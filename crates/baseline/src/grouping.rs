@@ -1,0 +1,182 @@
+//! Grouping bursty tags into trends by windowed co-occurrence.
+//!
+//! TwitterMonitor forms "tag groups … by clustering co-occurring tags".
+//! We reproduce the simple published recipe: bursty tags are vertices, an
+//! edge connects two tags whose windowed Jaccard exceeds a threshold, and
+//! trends are the connected components, scored by the sum of member burst
+//! strengths.
+
+use crate::burst::{BurstInfo, Trend};
+use enblogue_types::{TagId, TagPair};
+use enblogue_window::WindowedCounter;
+
+/// Union-find over `n` dense indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Attach the larger root index under the smaller so component
+            // representatives are deterministic.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Clusters `bursting` tags into trends using windowed co-occurrence.
+///
+/// `window_counts` and `window_pairs` are the same-window per-tag and
+/// per-pair document counts maintained by the detector; `jaccard_threshold`
+/// is the edge criterion.
+pub fn group_bursty_tags(
+    bursting: &[BurstInfo],
+    window_counts: &WindowedCounter<TagId>,
+    window_pairs: &WindowedCounter<u64>,
+    jaccard_threshold: f64,
+) -> Vec<Trend> {
+    if bursting.is_empty() {
+        return Vec::new();
+    }
+    // Deterministic vertex order.
+    let mut infos: Vec<BurstInfo> = bursting.to_vec();
+    infos.sort_unstable_by_key(|a| a.tag);
+
+    let n = infos.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let a = infos[i].tag;
+            let b = infos[j].tag;
+            let ab = window_pairs.count(TagPair::new(a, b).packed());
+            if ab == 0 {
+                continue;
+            }
+            let ca = window_counts.count(a);
+            let cb = window_counts.count(b);
+            let union = (ca + cb).saturating_sub(ab);
+            if union == 0 {
+                continue;
+            }
+            let jaccard = ab as f64 / union as f64;
+            if jaccard >= jaccard_threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    // Collect components.
+    let mut components: std::collections::BTreeMap<usize, (Vec<TagId>, f64)> =
+        std::collections::BTreeMap::new();
+    for (i, info) in infos.iter().enumerate() {
+        let root = uf.find(i);
+        let entry = components.entry(root).or_insert_with(|| (Vec::new(), 0.0));
+        entry.0.push(info.tag);
+        entry.1 += info.zscore;
+    }
+    let mut trends: Vec<Trend> = components
+        .into_values()
+        .map(|(mut tags, score)| {
+            tags.sort_unstable();
+            Trend { tags, score }
+        })
+        .collect();
+    // Strongest first; tie-break on first member for determinism.
+    trends.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).expect("finite scores").then_with(|| a.tags.cmp(&b.tags))
+    });
+    trends
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::Tick;
+
+    fn info(tag: u32, z: f64) -> BurstInfo {
+        BurstInfo { tag: TagId(tag), zscore: z, count: 10 }
+    }
+
+    fn counters(
+        tags: &[(u32, u64)],
+        pairs: &[((u32, u32), u64)],
+    ) -> (WindowedCounter<TagId>, WindowedCounter<u64>) {
+        let mut wc = WindowedCounter::new(4);
+        for &(t, c) in tags {
+            wc.add(Tick(0), TagId(t), c);
+        }
+        let mut wp = WindowedCounter::new(4);
+        for &((a, b), c) in pairs {
+            wp.add(Tick(0), TagPair::new(TagId(a), TagId(b)).packed(), c);
+        }
+        (wc, wp)
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let (wc, wp) = counters(&[], &[]);
+        assert!(group_bursty_tags(&[], &wc, &wp, 0.1).is_empty());
+    }
+
+    #[test]
+    fn connected_tags_merge_transitively() {
+        // 1–2 and 2–3 co-occur strongly; 1–3 never do, but the component
+        // still merges all three (single-link clustering).
+        let (wc, wp) = counters(
+            &[(1, 10), (2, 10), (3, 10)],
+            &[((1, 2), 5), ((2, 3), 5)],
+        );
+        let trends =
+            group_bursty_tags(&[info(1, 1.0), info(2, 2.0), info(3, 3.0)], &wc, &wp, 0.2);
+        assert_eq!(trends.len(), 1);
+        assert_eq!(trends[0].tags, vec![TagId(1), TagId(2), TagId(3)]);
+        assert!((trends[0].score - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_separates_weak_links() {
+        let (wc, wp) = counters(&[(1, 10), (2, 10)], &[((1, 2), 1)]);
+        // Jaccard = 1/19 ≈ 0.053.
+        let strict = group_bursty_tags(&[info(1, 1.0), info(2, 1.0)], &wc, &wp, 0.1);
+        assert_eq!(strict.len(), 2);
+        let lax = group_bursty_tags(&[info(1, 1.0), info(2, 1.0)], &wc, &wp, 0.05);
+        assert_eq!(lax.len(), 1);
+    }
+
+    #[test]
+    fn output_is_deterministic_regardless_of_input_order() {
+        let (wc, wp) = counters(&[(1, 10), (2, 10), (3, 8)], &[((1, 2), 6)]);
+        let a = group_bursty_tags(&[info(3, 5.0), info(1, 1.0), info(2, 1.0)], &wc, &wp, 0.2);
+        let b = group_bursty_tags(&[info(2, 1.0), info(3, 5.0), info(1, 1.0)], &wc, &wp, 0.2);
+        assert_eq!(a, b);
+        assert_eq!(a[0].tags, vec![TagId(3)], "solo trend with z=5 outranks pair with z=2");
+    }
+
+    #[test]
+    fn union_find_path_halving_terminates() {
+        let mut uf = UnionFind::new(100);
+        for i in 1..100 {
+            uf.union(i - 1, i);
+        }
+        let root = uf.find(99);
+        for i in 0..100 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+}

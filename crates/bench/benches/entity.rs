@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for entity tagging (supporting experiment
+//! P3): dictionary lookup cost vs dictionary size and text length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enblogue::datagen::entities::EntityUniverse;
+use enblogue::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sample_text(universe: &EntityUniverse, words: usize, seed: u64) -> String {
+    let filler = ["the", "quick", "report", "says", "that", "today", "nothing", "new", "was", "found"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(words + 4);
+    for i in 0..words {
+        if i % 40 == 20 {
+            out.push(universe.sample(&mut rng).name.clone());
+        }
+        out.push(filler[rng.gen_range(0..filler.len())].to_string());
+    }
+    out.join(" ")
+}
+
+fn bench_tagging_vs_dict_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entity_tag_dict_size");
+    for n_entities in [1_000usize, 10_000, 100_000] {
+        let universe = EntityUniverse::generate(n_entities, 1);
+        let tagger = EntityTagger::new(Arc::clone(&universe.gazetteer));
+        let text = sample_text(&universe, 400, 2);
+        group.throughput(Throughput::Elements(400));
+        group.bench_with_input(BenchmarkId::new("entities", n_entities), &n_entities, |b, _| {
+            b.iter(|| black_box(tagger.tag_text(black_box(&text))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tagging_vs_text_length(c: &mut Criterion) {
+    let universe = EntityUniverse::generate(10_000, 1);
+    let tagger = EntityTagger::new(Arc::clone(&universe.gazetteer));
+    let mut group = c.benchmark_group("entity_tag_text_length");
+    for words in [50usize, 200, 1_000] {
+        let text = sample_text(&universe, words, 3);
+        group.throughput(Throughput::Elements(words as u64));
+        group.bench_with_input(BenchmarkId::new("words", words), &words, |b, _| {
+            b.iter(|| black_box(tagger.tag_text(black_box(&text))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let universe = EntityUniverse::generate(100, 1);
+    let text = sample_text(&universe, 1_000, 4);
+    let mut group = c.benchmark_group("tokenize");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("1000_words", |b| {
+        b.iter(|| black_box(enblogue::entity::tokenize::tokenize(black_box(&text))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tagging_vs_dict_size, bench_tagging_vs_text_length, bench_tokenize);
+criterion_main!(benches);

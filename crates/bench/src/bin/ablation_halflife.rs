@@ -1,0 +1,66 @@
+//! Experiment P8 — half-life sensitivity.
+//!
+//! §3(iii) dampens past prediction errors "using an exponential decline
+//! factor with a half life of approximately 2 days". This sweep shows what
+//! the choice buys: short half-lives drop topics quickly (responsive,
+//! forgetful), long ones keep them ranked (persistent, stale).
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin ablation_halflife`
+
+use enblogue::datagen::eval::evaluate;
+use enblogue::prelude::*;
+use enblogue_bench::{f2, small_archive, Table};
+
+fn main() {
+    let archive = small_archive(0x4A1F);
+    println!("P8 — half-life sensitivity ({} docs, 5 events)\n", archive.len());
+
+    let table = Table::new(&[12, 10, 14, 14, 18]);
+    table.header(&["half-life", "recall", "precision@10", "latency (d)", "mean dwell (d)"]);
+    for (label, half_life) in [
+        ("6h", 6 * Timestamp::HOUR),
+        ("1d", Timestamp::DAY),
+        ("2d (paper)", 2 * Timestamp::DAY),
+        ("4d", 4 * Timestamp::DAY),
+        ("8d", 8 * Timestamp::DAY),
+    ] {
+        let config = EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(30)
+            .min_seed_count(3)
+            .top_k(10)
+            .half_life_ms(half_life)
+            .build()
+            .unwrap();
+        let mut engine = EnBlogueEngine::new(config);
+        let snaps = engine.run_replay(&archive.docs);
+        let report = evaluate(&snaps, &archive.script, 10, 2 * Timestamp::DAY);
+
+        // Dwell: how many days a truth pair stays in the top-10 after its
+        // first appearance (persistence of the decayed-max score).
+        let mut dwell_total = 0.0;
+        let mut dwell_n = 0;
+        for event in archive.script.events() {
+            let pair = event.pair();
+            let days: Vec<u64> =
+                snaps.iter().filter(|s| s.contains_in_top(pair, 10)).map(|s| s.tick.0).collect();
+            if let (Some(&first), Some(&last)) = (days.first(), days.last()) {
+                dwell_total += (last - first + 1) as f64;
+                dwell_n += 1;
+            }
+        }
+        let dwell = if dwell_n == 0 { 0.0 } else { dwell_total / dwell_n as f64 };
+        table.row(&[
+            label,
+            &f2(report.recall),
+            &f2(report.precision_at_k),
+            &f2(report.mean_latency_ms / Timestamp::DAY as f64),
+            &f2(dwell),
+        ]);
+    }
+    println!("\nRecall/latency barely move (detection is driven by the instantaneous error);");
+    println!("what the half-life controls is how long a detected topic *stays* ranked —");
+    println!("dwell grows with the half-life. ≈2 days keeps topics visible for the lifetime");
+    println!("of a typical news story without letting stale topics crowd out new ones.");
+}

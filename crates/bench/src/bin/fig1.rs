@@ -1,0 +1,188 @@
+//! Experiment F1 — regenerates Figure 1 of the paper.
+//!
+//! Prints the per-tick series of the figure (|D(t1)|, |D(t2)|,
+//! |D(t1)∩D(t2)|) for the canonical two-tag stream, plus the windowed
+//! Jaccard correlation, EnBlogue's shift score for the pair, and the burst
+//! baseline's verdict — demonstrating that (a) the popular tag's peaks
+//! have no influence on the overlap or the ranking and (b) the
+//! intersection growth is caught by EnBlogue and missed by the baseline.
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin fig1`
+
+use enblogue::baseline::burst::{BaselineConfig, BurstBaseline};
+use enblogue::prelude::*;
+use enblogue_bench::{f3, Table};
+
+fn stream(t1: TagId, t2: TagId) -> Vec<Document> {
+    let mut docs = Vec::new();
+    let mut id = 0;
+    for tick in 0..120u64 {
+        let t1_total: u64 = if tick == 30 || tick == 60 { 100 } else { 40 };
+        let t2_total: u64 = 6;
+        let both: u64 = if tick >= 90 { 5 } else { 0 };
+        let ts = |i: u64| Timestamp::from_hours(tick).plus(i * 100);
+        for i in 0..both {
+            id += 1;
+            docs.push(Document::builder(id, ts(i)).tags([t1, t2]).build());
+        }
+        for i in 0..t1_total - both {
+            id += 1;
+            docs.push(Document::builder(id, ts(10 + i)).tags([t1]).build());
+        }
+        for i in 0..t2_total - both {
+            id += 1;
+            docs.push(Document::builder(id, ts(200 + i)).tags([t2]).build());
+        }
+    }
+    docs.sort_by_key(|d| (d.timestamp, d.id));
+    docs
+}
+
+fn main() {
+    let interner = TagInterner::new();
+    let t1 = interner.intern("t1-popular", TagKind::Hashtag);
+    let t2 = interner.intern("t2-niche", TagKind::Hashtag);
+    let docs = stream(t1, t2);
+    let pair = TagPair::new(t1, t2);
+    let spec = TickSpec::hourly();
+
+    // EnBlogue.
+    let mut engine = EnBlogueEngine::new(
+        EnBlogueConfig::builder()
+            .tick_spec(spec)
+            .window_ticks(12)
+            .seed_count(5)
+            .min_seed_count(3)
+            .top_k(5)
+            .min_pair_support(1)
+            .build()
+            .unwrap(),
+    );
+    let snapshots = engine.run_replay(&docs);
+
+    // Baseline, tick-aligned.
+    let mut baseline = BurstBaseline::new(BaselineConfig {
+        history_ticks: 24,
+        window_ticks: 6,
+        gamma: 2.5,
+        min_support: 5,
+        group_jaccard: 0.1,
+    });
+    let mut baseline_rows: Vec<String> = Vec::new();
+    {
+        let mut open = Tick(0);
+        for doc in &docs {
+            let tick = spec.tick_of(doc.timestamp);
+            while open < tick {
+                let trends = baseline.close_tick(open);
+                baseline_rows.push(render_trends(&trends, t1, t2, pair));
+                open = open.next();
+            }
+            baseline.observe_doc(doc);
+        }
+        let trends = baseline.close_tick(open);
+        baseline_rows.push(render_trends(&trends, t1, t2, pair));
+    }
+
+    // Per-tick raw series.
+    let mut series = vec![(0u64, 0u64, 0u64); 120];
+    for doc in &docs {
+        let t = spec.tick_of(doc.timestamp).0 as usize;
+        if doc.has_tag(t1) {
+            series[t].0 += 1;
+        }
+        if doc.has_tag(t2) {
+            series[t].1 += 1;
+        }
+        if doc.has_tag(t1) && doc.has_tag(t2) {
+            series[t].2 += 1;
+        }
+    }
+
+    // Windowed Jaccard per tick (window = 12 ticks, same as the engine).
+    let window = 12usize;
+    let windowed_jaccard = |i: usize| -> f64 {
+        let lo = i.saturating_sub(window - 1);
+        let (mut a, mut b, mut ab) = (0u64, 0u64, 0u64);
+        for &(x, y, z) in &series[lo..=i] {
+            a += x;
+            b += y;
+            ab += z;
+        }
+        let union = a + b - ab;
+        if union == 0 {
+            0.0
+        } else {
+            ab as f64 / union as f64
+        }
+    };
+
+    println!("F1 — Figure 1: interesting shift in correlation of two tags");
+    println!("t1 peaks at ticks 30/60 (solo); intersection shift at tick 90\n");
+    let table = Table::new(&[6, 8, 8, 8, 10, 12, 10, 28]);
+    table.header(&["tick", "|D(t1)|", "|D(t2)|", "|D∩|", "jaccard", "shift score", "rank", "baseline trends"]);
+    for (i, snap) in snapshots.iter().enumerate() {
+        // Print the interesting region sparsely.
+        let t = snap.tick.0;
+        if !(t % 10 == 9 || (28..=32).contains(&t) || (58..=62).contains(&t) || (88..=100).contains(&t)) {
+            continue;
+        }
+        let (a, b, ab) = series[i];
+        table.row(&[
+            &format!("{t}"),
+            &format!("{a}"),
+            &format!("{b}"),
+            &format!("{ab}"),
+            &f3(windowed_jaccard(i)),
+            &snap.score_of(pair).map(f3).unwrap_or_else(|| "-".into()),
+            &snap.rank_of(pair).map(|r| format!("#{}", r + 1)).unwrap_or_else(|| "-".into()),
+            &baseline_rows[i],
+        ]);
+    }
+
+    let first_hit = snapshots.iter().find(|s| s.contains_in_top(pair, 5));
+    println!();
+    match first_hit {
+        Some(s) => println!(
+            "EnBlogue first ranks the pair at tick {} (event onset: tick 90), rank #{}.",
+            s.tick,
+            s.rank_of(pair).unwrap() + 1
+        ),
+        None => println!("EnBlogue MISSED the shift — regression!"),
+    }
+    let baseline_saw_pair = baseline_rows.iter().skip(88).any(|r| r.contains("PAIR"));
+    println!(
+        "Burst baseline flagged t1's solo peaks at ticks 30/60: {}; saw the pair shift: {}.",
+        baseline_rows[30].contains("t1") || baseline_rows[31].contains("t1"),
+        baseline_saw_pair
+    );
+    let _ = engine; // the engine outlives the loop so pair histories stay inspectable
+    println!("\nPaper claim: peaks of the popular tag do not move the overlap; the intersection");
+    println!("growth 'can not be given solely by looking at the individual frequencies'. ✓");
+}
+
+fn render_trends(
+    trends: &[enblogue::baseline::Trend],
+    t1: TagId,
+    t2: TagId,
+    pair: TagPair,
+) -> String {
+    if trends.is_empty() {
+        return "-".into();
+    }
+    let mut cells: Vec<String> = Vec::new();
+    for trend in trends.iter().take(2) {
+        let covered = trend.covered_pairs().contains(&pair);
+        let label = if covered {
+            "PAIR".to_string()
+        } else if trend.tags.contains(&t1) {
+            "t1".to_string()
+        } else if trend.tags.contains(&t2) {
+            "t2".to_string()
+        } else {
+            format!("{} tags", trend.tags.len())
+        };
+        cells.push(format!("{label}(z={:.1})", trend.score));
+    }
+    cells.join(" ")
+}

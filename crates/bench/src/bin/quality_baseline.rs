@@ -1,0 +1,139 @@
+//! Experiment P7 — EnBlogue vs the TwitterMonitor-style burst baseline.
+//!
+//! Both systems run over the same event-annotated archives and are scored
+//! with the same metric. The planted events are volume-preserving
+//! correlation shifts (Figure-1 style), so this quantifies the paper's
+//! central differentiation: "unlike looking solely for bursty tags, we
+//! detect shifts in tag correlations".
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin quality_baseline`
+
+use enblogue::baseline::burst::BaselineConfig;
+use enblogue::baseline::kleinberg::{detect_bursts, KleinbergConfig};
+use enblogue::datagen::eval::evaluate;
+use enblogue::datagen::nyt::NytArchive;
+use enblogue::prelude::*;
+use enblogue::types::FxHashMap;
+use enblogue_bench::{baseline_snapshots, f2, small_archive, Table};
+
+/// Kleinberg per-tag baseline: a pair is reported at tick t when *both*
+/// members are inside a Kleinberg burst at t and the pair co-occurred in
+/// that tick. Scored by the sum of the two burst weights.
+fn kleinberg_snapshots(archive: &NytArchive, days: usize, k: usize) -> Vec<RankingSnapshot> {
+    let spec = TickSpec::daily();
+    // Per-tag daily counts + per-tick co-occurring pairs.
+    let mut per_tag: FxHashMap<TagId, Vec<u64>> = FxHashMap::default();
+    let mut totals = vec![0u64; days];
+    let mut tick_pairs: Vec<Vec<TagPair>> = vec![Vec::new(); days];
+    for doc in &archive.docs {
+        let t = spec.tick_of(doc.timestamp).0 as usize;
+        if t >= days {
+            continue;
+        }
+        totals[t] += 1;
+        let tags: Vec<TagId> = doc.annotations().collect();
+        for &tag in &tags {
+            per_tag.entry(tag).or_insert_with(|| vec![0; days])[t] += 1;
+        }
+        for i in 0..tags.len() {
+            for j in i + 1..tags.len() {
+                tick_pairs[t].push(TagPair::new(tags[i], tags[j]));
+            }
+        }
+    }
+    // Burst intervals per tag (skip very rare tags — nothing to model).
+    let config = KleinbergConfig { s: 2.5, gamma: 2.0 };
+    let bursts: FxHashMap<TagId, Vec<enblogue::baseline::Burst>> = per_tag
+        .iter()
+        .filter(|(_, series)| series.iter().sum::<u64>() >= 10)
+        .map(|(&tag, series)| (tag, detect_bursts(series, &totals, &config)))
+        .collect();
+    let weight_at = |tag: TagId, t: usize| -> Option<f64> {
+        bursts.get(&tag).and_then(|bs| {
+            bs.iter().find(|b| b.start <= t && t < b.end).map(|b| b.weight)
+        })
+    };
+    (0..days)
+        .map(|t| {
+            let mut ranked: Vec<(TagPair, f64)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for &pair in &tick_pairs[t] {
+                if !seen.insert(pair) {
+                    continue;
+                }
+                if let (Some(wa), Some(wb)) = (weight_at(pair.lo(), t), weight_at(pair.hi(), t)) {
+                    ranked.push((pair, wa + wb));
+                }
+            }
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+            ranked.truncate(k);
+            RankingSnapshot { tick: Tick(t as u64), time: spec.end_of(Tick(t as u64)), ranked }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("P7 — detection quality: EnBlogue vs single-tag burst baseline\n");
+    let seeds = [0x11u64, 0x22, 0x33, 0x44];
+    println!("{} archives × 5 volume-preserving pair events each, top-10, 2-day grace\n", seeds.len());
+
+    let table = Table::new(&[22, 10, 14, 14]);
+    table.header(&["system", "recall", "precision@10", "latency (d)"]);
+
+    let mut en_recall = 0.0;
+    let mut en_precision = 0.0;
+    let mut en_latency = 0.0;
+    let mut bl_recall = 0.0;
+    let mut bl_precision = 0.0;
+    let mut kl_recall = 0.0;
+    let mut kl_precision = 0.0;
+    for &seed in &seeds {
+        let archive = small_archive(seed);
+
+        let config = EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(30)
+            .min_seed_count(3)
+            .top_k(10)
+            .build()
+            .unwrap();
+        let mut engine = EnBlogueEngine::new(config);
+        let snaps = engine.run_replay(&archive.docs);
+        let report = evaluate(&snaps, &archive.script, 10, 2 * Timestamp::DAY);
+        en_recall += report.recall;
+        en_precision += report.precision_at_k;
+        en_latency += report.mean_latency_ms / Timestamp::DAY as f64;
+
+        let bl_snaps = baseline_snapshots(
+            &archive.docs,
+            TickSpec::daily(),
+            BaselineConfig {
+                history_ticks: 14,
+                window_ticks: 5,
+                gamma: 2.0,
+                min_support: 5,
+                group_jaccard: 0.05,
+            },
+            10,
+        );
+        let bl_report = evaluate(&bl_snaps, &archive.script, 10, 2 * Timestamp::DAY);
+        bl_recall += bl_report.recall;
+        bl_precision += bl_report.precision_at_k;
+
+        let kl_snaps = kleinberg_snapshots(&archive, 60, 10);
+        let kl_report = evaluate(&kl_snaps, &archive.script, 10, 2 * Timestamp::DAY);
+        kl_recall += kl_report.recall;
+        kl_precision += kl_report.precision_at_k;
+    }
+    let n = seeds.len() as f64;
+    table.row(&["enblogue (corr. shifts)", &f2(en_recall / n), &f2(en_precision / n), &f2(en_latency / n)]);
+    table.row(&["mean+γσ burst baseline", &f2(bl_recall / n), &f2(bl_precision / n), "-"]);
+    table.row(&["kleinberg burst baseline", &f2(kl_recall / n), &f2(kl_precision / n), "-"]);
+
+    println!("\nThe events move *only* the pair intersection (individual tag volumes are");
+    println!("preserved by construction), so per-tag burst gating — whether the simple");
+    println!("mean+γσ rule or Kleinberg's principled two-state automaton — has almost no");
+    println!("signal to fire on. EnBlogue's correlation tracking sees exactly what burst");
+    println!("detection cannot: the paper's Figure-1 claim, reproduced quantitatively.");
+}

@@ -1,0 +1,329 @@
+//! Engine configuration.
+
+use enblogue_stats::correlation::CorrelationMeasure;
+use enblogue_stats::predict::PredictorKind;
+use enblogue_stats::shift::ErrorNormalization;
+use enblogue_types::{EnBlogueError, TickSpec, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// How seed tags are selected (§3(i): "Seed tags can be determined based on
+/// different criteria, such as popularity and volatility").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum SeedStrategy {
+    /// Top-S tags by windowed document count (the paper's default:
+    /// "We choose seed tags to be popular tags").
+    #[default]
+    Popularity,
+    /// Top-S tags by coefficient of variation of their per-tick counts,
+    /// among tags meeting the popularity floor.
+    Volatility,
+    /// Weighted blend: `w·popularity_rankscore + (1−w)·volatility_rankscore`.
+    Hybrid {
+        /// Weight of popularity in `[0, 1]`.
+        popularity_weight: f64,
+    },
+    /// Approximate popularity from a Space-Saving sketch with the given
+    /// number of counters (ablation P5: sketch vs exact seed selection).
+    SketchPopularity {
+        /// Number of Space-Saving counters.
+        capacity: usize,
+    },
+}
+
+
+/// Which correlation measure the tracker computes per pair (§3(ii)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MeasureKind {
+    /// Set-overlap measure over windowed document counts.
+    Set(CorrelationMeasure),
+    /// Jensen–Shannon similarity of the member tags' windowed term
+    /// distributions (the paper's "information-theory measures like
+    /// relative entropy" variant). Requires documents to carry terms.
+    JsDivergence,
+}
+
+impl Default for MeasureKind {
+    fn default() -> Self {
+        MeasureKind::Set(CorrelationMeasure::Jaccard)
+    }
+}
+
+impl MeasureKind {
+    /// Short identifier for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeasureKind::Set(m) => m.name(),
+            MeasureKind::JsDivergence => "jsd",
+        }
+    }
+}
+
+/// Full engine configuration. Build with [`EnBlogueConfig::builder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnBlogueConfig {
+    /// Tick width (stream-time discretisation).
+    pub tick_spec: TickSpec,
+    /// Correlation window length in ticks.
+    pub window_ticks: usize,
+    /// Number of seed tags selected per tick.
+    pub seed_count: usize,
+    /// Seed selection strategy.
+    pub seed_strategy: SeedStrategy,
+    /// Minimum windowed count for a tag to qualify as seed.
+    pub min_seed_count: u64,
+    /// Correlation measure.
+    pub measure: MeasureKind,
+    /// Shift predictor.
+    pub predictor: PredictorKind,
+    /// Prediction-error normalisation.
+    pub normalization: ErrorNormalization,
+    /// Score half-life in milliseconds (paper: ≈ 2 days).
+    pub half_life_ms: u64,
+    /// Ranking depth (top-k emergent topics reported).
+    pub k: usize,
+    /// Minimum windowed co-occurrence count to keep tracking a pair.
+    pub min_pair_support: u64,
+    /// Merge entity annotations into the tag space ("tag/entity mixtures
+    /// as emergent topics", §3).
+    pub use_entities: bool,
+    /// Hard cap on concurrently tracked pairs (memory bound); the lowest-
+    /// scored pairs are evicted beyond it.
+    pub max_tracked_pairs: usize,
+}
+
+impl Default for EnBlogueConfig {
+    fn default() -> Self {
+        EnBlogueConfig {
+            tick_spec: TickSpec::hourly(),
+            window_ticks: 24,
+            seed_count: 50,
+            seed_strategy: SeedStrategy::Popularity,
+            min_seed_count: 3,
+            measure: MeasureKind::default(),
+            predictor: PredictorKind::default(),
+            normalization: ErrorNormalization::Absolute,
+            half_life_ms: 2 * Timestamp::DAY,
+            k: 10,
+            min_pair_support: 2,
+            use_entities: true,
+            max_tracked_pairs: 100_000,
+        }
+    }
+}
+
+impl EnBlogueConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> EnBlogueConfigBuilder {
+        EnBlogueConfigBuilder { config: EnBlogueConfig::default() }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), EnBlogueError> {
+        if self.window_ticks < 2 {
+            return Err(EnBlogueError::invalid_config(
+                "window_ticks",
+                "the correlation window must span at least 2 ticks",
+            ));
+        }
+        if self.seed_count == 0 {
+            return Err(EnBlogueError::invalid_config("seed_count", "must select at least one seed"));
+        }
+        if self.k == 0 {
+            return Err(EnBlogueError::invalid_config("k", "top-k must be positive"));
+        }
+        if self.half_life_ms == 0 {
+            return Err(EnBlogueError::invalid_config("half_life_ms", "half-life must be positive"));
+        }
+        if self.max_tracked_pairs == 0 {
+            return Err(EnBlogueError::invalid_config("max_tracked_pairs", "pair cap must be positive"));
+        }
+        if let SeedStrategy::Hybrid { popularity_weight } = self.seed_strategy {
+            if !(0.0..=1.0).contains(&popularity_weight) {
+                return Err(EnBlogueError::invalid_config(
+                    "seed_strategy",
+                    "hybrid popularity weight must be in [0, 1]",
+                ));
+            }
+        }
+        if let SeedStrategy::SketchPopularity { capacity } = self.seed_strategy {
+            if capacity < self.seed_count {
+                return Err(EnBlogueError::invalid_config(
+                    "seed_strategy",
+                    "sketch capacity must be at least seed_count",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The correlation window expressed in milliseconds of stream time.
+    pub fn window_ms(&self) -> u64 {
+        self.window_ticks as u64 * self.tick_spec.width_ms()
+    }
+}
+
+/// Builder for [`EnBlogueConfig`].
+#[derive(Debug, Clone)]
+pub struct EnBlogueConfigBuilder {
+    config: EnBlogueConfig,
+}
+
+impl EnBlogueConfigBuilder {
+    /// Sets the tick width.
+    #[must_use]
+    pub fn tick_spec(mut self, spec: TickSpec) -> Self {
+        self.config.tick_spec = spec;
+        self
+    }
+
+    /// Sets the correlation window length in ticks.
+    #[must_use]
+    pub fn window_ticks(mut self, ticks: usize) -> Self {
+        self.config.window_ticks = ticks;
+        self
+    }
+
+    /// Sets the number of seeds.
+    #[must_use]
+    pub fn seed_count(mut self, s: usize) -> Self {
+        self.config.seed_count = s;
+        self
+    }
+
+    /// Sets the seed strategy.
+    #[must_use]
+    pub fn seed_strategy(mut self, strategy: SeedStrategy) -> Self {
+        self.config.seed_strategy = strategy;
+        self
+    }
+
+    /// Sets the minimum windowed count for seeds.
+    #[must_use]
+    pub fn min_seed_count(mut self, count: u64) -> Self {
+        self.config.min_seed_count = count;
+        self
+    }
+
+    /// Sets the correlation measure.
+    #[must_use]
+    pub fn measure(mut self, measure: MeasureKind) -> Self {
+        self.config.measure = measure;
+        self
+    }
+
+    /// Sets the shift predictor.
+    #[must_use]
+    pub fn predictor(mut self, predictor: PredictorKind) -> Self {
+        self.config.predictor = predictor;
+        self
+    }
+
+    /// Sets the error normalisation.
+    #[must_use]
+    pub fn normalization(mut self, normalization: ErrorNormalization) -> Self {
+        self.config.normalization = normalization;
+        self
+    }
+
+    /// Sets the score half-life.
+    #[must_use]
+    pub fn half_life_ms(mut self, ms: u64) -> Self {
+        self.config.half_life_ms = ms;
+        self
+    }
+
+    /// Sets the ranking depth k.
+    #[must_use]
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Sets the minimum pair support.
+    #[must_use]
+    pub fn min_pair_support(mut self, support: u64) -> Self {
+        self.config.min_pair_support = support;
+        self
+    }
+
+    /// Enables/disables entity merging.
+    #[must_use]
+    pub fn use_entities(mut self, yes: bool) -> Self {
+        self.config.use_entities = yes;
+        self
+    }
+
+    /// Sets the tracked-pair cap.
+    #[must_use]
+    pub fn max_tracked_pairs(mut self, cap: usize) -> Self {
+        self.config.max_tracked_pairs = cap;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EnBlogueConfig, EnBlogueError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(EnBlogueConfig::default().validate().is_ok());
+        assert_eq!(EnBlogueConfig::default().half_life_ms, 2 * Timestamp::DAY, "paper's 2-day half-life");
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let config = EnBlogueConfig::builder()
+            .tick_spec(TickSpec::minutely())
+            .window_ticks(30)
+            .seed_count(20)
+            .top_k(7)
+            .min_pair_support(4)
+            .use_entities(false)
+            .build()
+            .unwrap();
+        assert_eq!(config.window_ticks, 30);
+        assert_eq!(config.k, 7);
+        assert_eq!(config.min_pair_support, 4);
+        assert!(!config.use_entities);
+        assert_eq!(config.window_ms(), 30 * Timestamp::MINUTE);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(EnBlogueConfig::builder().window_ticks(1).build().is_err());
+        assert!(EnBlogueConfig::builder().seed_count(0).build().is_err());
+        assert!(EnBlogueConfig::builder().top_k(0).build().is_err());
+        assert!(EnBlogueConfig::builder().half_life_ms(0).build().is_err());
+        assert!(EnBlogueConfig::builder().max_tracked_pairs(0).build().is_err());
+        assert!(EnBlogueConfig::builder()
+            .seed_strategy(SeedStrategy::Hybrid { popularity_weight: 1.5 })
+            .build()
+            .is_err());
+        assert!(EnBlogueConfig::builder()
+            .seed_count(50)
+            .seed_strategy(SeedStrategy::SketchPopularity { capacity: 10 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_parameter() {
+        let err = EnBlogueConfig::builder().window_ticks(0).build().unwrap_err();
+        assert!(err.to_string().contains("window_ticks"));
+    }
+
+    #[test]
+    fn measure_kind_names() {
+        assert_eq!(MeasureKind::default().name(), "jaccard");
+        assert_eq!(MeasureKind::JsDivergence.name(), "jsd");
+        assert_eq!(MeasureKind::Set(CorrelationMeasure::Cosine).name(), "cosine");
+    }
+}

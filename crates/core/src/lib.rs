@@ -1,0 +1,85 @@
+//! The EnBlogue engine: emergent topic detection in Web 2.0 streams.
+//!
+//! This crate implements the paper's three-stage framework (§3) on top of
+//! the substrates in the sibling crates:
+//!
+//! 1. **Seed tag selection** ([`seeds`]) — popular (or volatile) tags
+//!    chosen by sliding-window statistics; candidate topics are tag pairs
+//!    containing at least one seed.
+//! 2. **Correlation tracking** ([`pairs`], [`termwin`]) — windowed
+//!    co-occurrence counts per candidate pair, mapped to a correlation
+//!    value by a set-overlap measure or the relative-entropy variant.
+//! 3. **Shift detection** ([`pairs`], `enblogue_stats::shift`) — one-step
+//!    prediction errors scored through the decayed-max rule with the
+//!    paper's ≈2-day half-life; topics ranked, top-k reported.
+//!
+//! Around the core loop:
+//!
+//! * [`engine::EnBlogueEngine`] — the stand-alone engine (feed documents,
+//!   close ticks, collect [`RankingSnapshot`]s),
+//! * [`ops`] — the engine and entity tagger wrapped as stream operators,
+//! * [`pipeline`] — full query plans on the push-based DAG with multi-plan
+//!   sharing (§4.1),
+//! * [`personalization`] — per-user continuous keyword queries and category
+//!   preferences re-ranking the topics (§5, Show Case 3),
+//! * [`notify`] — the push broker substituting the Ajax Push Engine
+//!   front-end (§4.2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use enblogue_core::config::EnBlogueConfig;
+//! use enblogue_core::engine::EnBlogueEngine;
+//! use enblogue_types::{Document, TagInterner, TagKind, TickSpec, Timestamp};
+//!
+//! let interner = TagInterner::new();
+//! let volcano = interner.intern("volcano", TagKind::Hashtag);
+//! let iceland = interner.intern("iceland", TagKind::Hashtag);
+//!
+//! let config = EnBlogueConfig::builder()
+//!     .tick_spec(TickSpec::hourly())
+//!     .window_ticks(6)
+//!     .seed_count(10)
+//!     .top_k(5)
+//!     .build()
+//!     .unwrap();
+//! let mut engine = EnBlogueEngine::new(config);
+//!
+//! // Feed a stream: a few hours of background, then a correlated burst.
+//! let mut id = 0;
+//! for hour in 0..12u64 {
+//!     for _ in 0..20 {
+//!         id += 1;
+//!         let mut doc = Document::builder(id, Timestamp::from_hours(hour)).tag(volcano).build();
+//!         if hour >= 9 {
+//!             doc.tags.push(iceland);
+//!             doc.normalize();
+//!         }
+//!         engine.process_doc(&doc);
+//!     }
+//!     engine.close_tick(enblogue_types::Tick(hour));
+//! }
+//! let ranking = engine.latest_snapshot().unwrap();
+//! assert!(!ranking.ranked.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod notify;
+pub mod ops;
+pub mod pairs;
+pub mod personalization;
+pub mod pipeline;
+pub mod rankdiff;
+pub mod seeds;
+pub mod termwin;
+
+pub use config::{EnBlogueConfig, MeasureKind, SeedStrategy};
+pub use engine::EnBlogueEngine;
+pub use enblogue_types::RankingSnapshot;
+pub use notify::{PushBroker, RankingUpdate, Subscription};
+pub use personalization::{PersonalizedRanking, UserProfile};
+pub use rankdiff::{diff as ranking_diff, kendall_tau, RankChange, RankingHistory};

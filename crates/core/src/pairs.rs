@@ -1,0 +1,376 @@
+//! Stages (ii) and (iii): candidate-pair tracking, correlation series and
+//! decayed-max shift scores.
+//!
+//! "We use seed tags to generate candidate topics, i.e., pairs of tags that
+//! contain at least one seed tag. … For each such pair, we continuously
+//! monitor the amount of documents that are annotated with both tags."
+//! (§3(i)–(ii))
+
+use enblogue_stats::shift::ShiftScorer;
+use enblogue_types::{FxHashMap, TagPair, Tick, Timestamp};
+use enblogue_window::{DecayValue, RingBuffer, TopK};
+
+/// Per-pair tracked state.
+pub struct PairState {
+    /// Correlation values of past ticks (oldest → newest), the predictor's
+    /// input window.
+    pub history: RingBuffer<f64>,
+    /// The decayed-max shift score (§3(iii)).
+    pub score: DecayValue,
+    /// Last tick in which the pair had window support (for eviction).
+    pub last_support: Tick,
+    /// Tick at which tracking started.
+    pub since: Tick,
+}
+
+/// Summary of one ranked pair, enriched for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedPairInfo {
+    /// The pair.
+    pub pair: TagPair,
+    /// Its current decayed score.
+    pub score: f64,
+    /// Newest correlation value.
+    pub correlation: f64,
+    /// Ticks under tracking.
+    pub tracked_ticks: u64,
+}
+
+/// The candidate-pair registry: discovery, scoring, eviction, ranking.
+pub struct PairRegistry {
+    states: FxHashMap<u64, PairState>,
+    history_len: usize,
+    half_life_ms: u64,
+    min_pair_support: u64,
+    max_tracked_pairs: usize,
+    /// Total pairs ever discovered (metrics).
+    pub discovered_total: u64,
+    /// Total pairs evicted (metrics).
+    pub evicted_total: u64,
+}
+
+impl PairRegistry {
+    /// A registry whose correlation histories hold `history_len` ticks.
+    pub fn new(history_len: usize, half_life_ms: u64, min_pair_support: u64, max_tracked_pairs: usize) -> Self {
+        assert!(history_len >= 2, "predictors need at least two history slots");
+        PairRegistry {
+            states: FxHashMap::default(),
+            history_len,
+            half_life_ms,
+            min_pair_support,
+            max_tracked_pairs,
+            discovered_total: 0,
+            evicted_total: 0,
+        }
+    }
+
+    /// Number of currently tracked pairs.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no pair is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Whether `pair` is currently tracked.
+    pub fn is_tracked(&self, pair: TagPair) -> bool {
+        self.states.contains_key(&pair.packed())
+    }
+
+    /// Starts tracking `pair` at `tick` if it is not yet tracked.
+    ///
+    /// `backfill_zeros` seeds the correlation history with that many 0.0
+    /// values. A pair is discovered the moment it first co-occurs with a
+    /// seed — but its correlation *was* zero in the window before that, and
+    /// without the backfill a topic that appears fully formed (the demo's
+    /// "SIGMOD Athens" stunt: two tags that only ever occur together) would
+    /// present a flat history at 1.0 and never register as a shift. The
+    /// engine caps the backfill by stream age so a cold start does not make
+    /// every initial pair look emergent.
+    pub fn discover(&mut self, pair: TagPair, tick: Tick, backfill_zeros: usize) {
+        self.states.entry(pair.packed()).or_insert_with(|| {
+            self.discovered_total += 1;
+            let mut history = RingBuffer::new(self.history_len);
+            for _ in 0..backfill_zeros.min(self.history_len - 1) {
+                history.push(0.0);
+            }
+            PairState {
+                history,
+                score: DecayValue::new(self.half_life_ms),
+                last_support: tick,
+                since: tick,
+            }
+        });
+    }
+
+    /// Updates one tracked pair at a tick close.
+    ///
+    /// * `correlation` — the windowed correlation value of this tick,
+    /// * `support` — windowed co-occurrence count (for eviction),
+    /// * `now` — stream time of the tick end (drives score decay).
+    ///
+    /// Returns the new decayed-max score. The scorer sees the history
+    /// *before* this tick's value; afterwards the value is appended.
+    pub fn update_pair(
+        &mut self,
+        pair: TagPair,
+        correlation: f64,
+        support: u64,
+        tick: Tick,
+        now: Timestamp,
+        scorer: &ShiftScorer,
+    ) -> f64 {
+        let state = self.states.get_mut(&pair.packed()).expect("update_pair on untracked pair");
+        let history: Vec<f64> = state.history.iter().copied().collect();
+        // Scoring is gated on window support: measures like overlap or NPMI
+        // saturate to 1.0 on a single co-occurrence of two rare tags, and
+        // without the gate such one-off pairs would flood the ranking.
+        // (The correlation still enters the history, so the pair's series
+        // stays tick-aligned either way.)
+        let shift = if support >= self.min_pair_support {
+            scorer.score(&history, correlation).map(|(s, _)| s).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        let score = state.score.observe_max(now, shift);
+        state.history.push(correlation);
+        if support >= self.min_pair_support {
+            state.last_support = tick;
+        }
+        score
+    }
+
+    /// Evicts pairs without support for a full history window and enforces
+    /// the tracked-pair cap (lowest current scores go first). Returns the
+    /// number evicted.
+    pub fn evict(&mut self, tick: Tick, now: Timestamp) -> usize {
+        let horizon = self.history_len as u64;
+        let before = self.states.len();
+        self.states.retain(|_, state| tick.since(state.last_support) < horizon);
+        let mut evicted = before - self.states.len();
+
+        if self.states.len() > self.max_tracked_pairs {
+            let excess = self.states.len() - self.max_tracked_pairs;
+            // Collect (score, packed) and drop the weakest `excess`.
+            let mut scored: Vec<(f64, u64)> =
+                self.states.iter().map(|(&packed, s)| (s.score.value_at(now), packed)).collect();
+            scored.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("finite scores").then(a.1.cmp(&b.1))
+            });
+            for &(_, packed) in scored.iter().take(excess) {
+                self.states.remove(&packed);
+            }
+            evicted += excess;
+        }
+        self.evicted_total += evicted as u64;
+        evicted
+    }
+
+    /// The current top-k ranking by decayed score at `now`.
+    pub fn ranking(&self, k: usize, now: Timestamp) -> Vec<(TagPair, f64)> {
+        if self.states.is_empty() {
+            return Vec::new();
+        }
+        let mut topk: TopK<u64> = TopK::new(k);
+        for (&packed, state) in &self.states {
+            let score = state.score.value_at(now);
+            if score > 0.0 {
+                topk.offer(packed, score);
+            }
+        }
+        topk.into_sorted().into_iter().map(|r| (TagPair::from_packed(r.key), r.score)).collect()
+    }
+
+    /// Rich info for `pair`, if tracked.
+    pub fn info(&self, pair: TagPair, tick: Tick, now: Timestamp) -> Option<TrackedPairInfo> {
+        self.states.get(&pair.packed()).map(|state| TrackedPairInfo {
+            pair,
+            score: state.score.value_at(now),
+            correlation: state.history.newest().copied().unwrap_or(0.0),
+            tracked_ticks: tick.since(state.since),
+        })
+    }
+
+    /// The correlation history of `pair` (oldest → newest), if tracked.
+    pub fn history_of(&self, pair: TagPair) -> Option<Vec<f64>> {
+        self.states.get(&pair.packed()).map(|s| s.history.iter().copied().collect())
+    }
+
+    /// Packed keys of all tracked pairs, sorted (deterministic iteration
+    /// order for the engine's per-tick update loop).
+    pub fn tracked_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.states.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_stats::predict::PredictorKind;
+    use enblogue_stats::shift::{ErrorNormalization, ShiftScorer};
+    use enblogue_types::TagId;
+
+    fn pair(a: u32, b: u32) -> TagPair {
+        TagPair::new(TagId(a), TagId(b))
+    }
+
+    fn scorer() -> ShiftScorer {
+        ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Absolute)
+    }
+
+    fn registry() -> PairRegistry {
+        PairRegistry::new(8, Timestamp::DAY, 1, 1000)
+    }
+
+    fn hour(h: u64) -> Timestamp {
+        Timestamp::from_hours(h)
+    }
+
+    #[test]
+    fn discovery_is_idempotent() {
+        let mut r = registry();
+        r.discover(pair(1, 2), Tick(0), 0);
+        r.discover(pair(2, 1), Tick(5), 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.discovered_total, 1);
+        assert!(r.is_tracked(pair(1, 2)));
+    }
+
+    #[test]
+    fn flat_correlation_scores_zero() {
+        let mut r = registry();
+        let s = scorer();
+        r.discover(pair(1, 2), Tick(0), 0);
+        for t in 0..8u64 {
+            let score = r.update_pair(pair(1, 2), 0.2, 3, Tick(t), hour(t), &s);
+            if t >= 1 {
+                assert_eq!(score, 0.0, "flat series must not alarm at tick {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn jump_raises_score_then_decays() {
+        let mut r = registry();
+        let s = scorer();
+        r.discover(pair(1, 2), Tick(0), 0);
+        for t in 0..6u64 {
+            r.update_pair(pair(1, 2), 0.1, 3, Tick(t), hour(t), &s);
+        }
+        let jumped = r.update_pair(pair(1, 2), 0.6, 10, Tick(6), hour(6), &s);
+        assert!(jumped > 0.3, "jump must register: {jumped}");
+        // Correlation stays high: no further *shift*, score decays (half-
+        // life is one day here).
+        let later = r.update_pair(pair(1, 2), 0.6, 10, Tick(30), hour(30), &s);
+        assert!(later < jumped, "score must decay after the shift: {later} !< {jumped}");
+        assert!(later > jumped * 0.4, "one day later roughly half remains: {later}");
+    }
+
+    #[test]
+    fn decayed_max_keeps_past_peak_over_small_new_errors() {
+        let mut r = registry();
+        let s = scorer();
+        r.discover(pair(1, 2), Tick(0), 0);
+        for t in 0..6u64 {
+            r.update_pair(pair(1, 2), 0.1, 3, Tick(t), hour(t), &s);
+        }
+        let peak = r.update_pair(pair(1, 2), 0.7, 10, Tick(6), hour(6), &s);
+        // A tiny wobble an hour later must not displace the decayed peak.
+        let next = r.update_pair(pair(1, 2), 0.71, 10, Tick(7), hour(7), &s);
+        assert!(next > 0.9 * peak, "decayed peak must dominate: {next} vs {peak}");
+    }
+
+    #[test]
+    fn eviction_after_support_loss() {
+        let mut r = registry();
+        let s = scorer();
+        r.discover(pair(1, 2), Tick(0), 0);
+        r.update_pair(pair(1, 2), 0.3, 5, Tick(0), hour(0), &s);
+        // Ticks 1..8: no support (support < min = 1 is passed as 0).
+        for t in 1..9u64 {
+            r.update_pair(pair(1, 2), 0.0, 0, Tick(t), hour(t), &s);
+        }
+        let evicted = r.evict(Tick(9), hour(9));
+        assert_eq!(evicted, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.evicted_total, 1);
+    }
+
+    #[test]
+    fn supported_pairs_survive_eviction() {
+        let mut r = registry();
+        let s = scorer();
+        r.discover(pair(1, 2), Tick(0), 0);
+        for t in 0..20u64 {
+            r.update_pair(pair(1, 2), 0.3, 5, Tick(t), hour(t), &s);
+            assert_eq!(r.evict(Tick(t), hour(t)), 0);
+        }
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn cap_evicts_lowest_scores() {
+        let mut r = PairRegistry::new(4, Timestamp::DAY, 1, 2);
+        let s = scorer();
+        for (i, p) in [pair(1, 2), pair(3, 4), pair(5, 6)].into_iter().enumerate() {
+            r.discover(p, Tick(0), 0);
+            // Give each pair a different shift magnitude via a jump from 0.
+            r.update_pair(p, 0.0, 1, Tick(0), hour(0), &s);
+            r.update_pair(p, 0.1 * (i as f64 + 1.0), 1, Tick(1), hour(1), &s);
+        }
+        assert_eq!(r.len(), 3);
+        let evicted = r.evict(Tick(1), hour(1));
+        assert_eq!(evicted, 1);
+        assert!(!r.is_tracked(pair(1, 2)), "weakest score evicted");
+        assert!(r.is_tracked(pair(5, 6)));
+    }
+
+    #[test]
+    fn ranking_orders_by_decayed_score() {
+        let mut r = registry();
+        let s = scorer();
+        for p in [pair(1, 2), pair(3, 4)] {
+            r.discover(p, Tick(0), 0);
+            for t in 0..4u64 {
+                r.update_pair(p, 0.1, 3, Tick(t), hour(t), &s);
+            }
+        }
+        // Pair (3,4) jumps harder.
+        r.update_pair(pair(1, 2), 0.3, 3, Tick(4), hour(4), &s);
+        r.update_pair(pair(3, 4), 0.8, 3, Tick(4), hour(4), &s);
+        let ranking = r.ranking(10, hour(4));
+        assert_eq!(ranking.len(), 2);
+        assert_eq!(ranking[0].0, pair(3, 4));
+        assert!(ranking[0].1 > ranking[1].1);
+        // k = 1 truncates.
+        assert_eq!(r.ranking(1, hour(4)).len(), 1);
+    }
+
+    #[test]
+    fn zero_scores_are_not_ranked() {
+        let mut r = registry();
+        let s = scorer();
+        r.discover(pair(1, 2), Tick(0), 0);
+        r.update_pair(pair(1, 2), 0.2, 3, Tick(0), hour(0), &s);
+        r.update_pair(pair(1, 2), 0.2, 3, Tick(1), hour(1), &s);
+        assert!(r.ranking(5, hour(1)).is_empty(), "nothing emergent yet");
+    }
+
+    #[test]
+    fn info_reports_current_state() {
+        let mut r = registry();
+        let s = scorer();
+        r.discover(pair(1, 2), Tick(3), 0);
+        r.update_pair(pair(1, 2), 0.25, 3, Tick(3), hour(3), &s);
+        let info = r.info(pair(1, 2), Tick(5), hour(5)).unwrap();
+        assert_eq!(info.pair, pair(1, 2));
+        assert_eq!(info.correlation, 0.25);
+        assert_eq!(info.tracked_ticks, 2);
+        assert!(r.info(pair(7, 8), Tick(5), hour(5)).is_none());
+        assert_eq!(r.history_of(pair(1, 2)), Some(vec![0.25]));
+    }
+}

@@ -1,0 +1,289 @@
+//! Ranking evolution: diffs, trajectories and rank correlation.
+//!
+//! Show Case 2 lets visitors "watch how the rankings for these topics
+//! changes with time". This module provides the machinery behind such a
+//! view: structural diffs between consecutive snapshots (what entered,
+//! exited, moved), per-pair rank trajectories over a run, and Kendall-tau
+//! agreement between two rankings (used to compare engines, users, or
+//! consecutive ticks).
+
+use enblogue_types::{FxHashMap, RankingSnapshot, TagPair, Tick};
+
+/// One structural change between two consecutive rankings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankChange {
+    /// The pair is ranked now but was not before.
+    Entered {
+        /// The pair.
+        pair: TagPair,
+        /// Its new rank (0-based).
+        rank: usize,
+    },
+    /// The pair was ranked before but is not any more.
+    Exited {
+        /// The pair.
+        pair: TagPair,
+        /// Its previous rank (0-based).
+        last_rank: usize,
+    },
+    /// The pair stayed ranked but changed position.
+    Moved {
+        /// The pair.
+        pair: TagPair,
+        /// Previous rank (0-based).
+        from: usize,
+        /// New rank (0-based).
+        to: usize,
+    },
+}
+
+impl RankChange {
+    /// The pair this change concerns.
+    pub fn pair(&self) -> TagPair {
+        match *self {
+            RankChange::Entered { pair, .. }
+            | RankChange::Exited { pair, .. }
+            | RankChange::Moved { pair, .. } => pair,
+        }
+    }
+}
+
+/// Structural diff between two rankings (typically consecutive ticks).
+///
+/// Changes are ordered: entries first (by new rank), then moves (by new
+/// rank), then exits (by old rank) — the order a UI would animate them.
+pub fn diff(prev: &RankingSnapshot, next: &RankingSnapshot) -> Vec<RankChange> {
+    let prev_ranks: FxHashMap<TagPair, usize> =
+        prev.ranked.iter().enumerate().map(|(i, &(p, _))| (p, i)).collect();
+    let next_ranks: FxHashMap<TagPair, usize> =
+        next.ranked.iter().enumerate().map(|(i, &(p, _))| (p, i)).collect();
+
+    let mut entered = Vec::new();
+    let mut moved = Vec::new();
+    for (rank, &(pair, _)) in next.ranked.iter().enumerate() {
+        match prev_ranks.get(&pair) {
+            None => entered.push(RankChange::Entered { pair, rank }),
+            Some(&from) if from != rank => moved.push(RankChange::Moved { pair, from, to: rank }),
+            Some(_) => {}
+        }
+    }
+    let mut exited: Vec<RankChange> = prev
+        .ranked
+        .iter()
+        .enumerate()
+        .filter(|(_, (p, _))| !next_ranks.contains_key(p))
+        .map(|(last_rank, &(pair, _))| RankChange::Exited { pair, last_rank })
+        .collect();
+    exited.sort_by_key(|c| match c {
+        RankChange::Exited { last_rank, .. } => *last_rank,
+        _ => usize::MAX,
+    });
+
+    let mut changes = entered;
+    changes.extend(moved);
+    changes.extend(exited);
+    changes
+}
+
+/// Kendall-tau rank correlation between two rankings, computed over the
+/// pairs present in **both** (tau-a on the shared set).
+///
+/// Returns a value in `[-1, 1]`: 1 = identical order, −1 = reversed.
+/// `None` when fewer than two pairs are shared (no order to compare).
+pub fn kendall_tau(a: &RankingSnapshot, b: &RankingSnapshot) -> Option<f64> {
+    let rank_b: FxHashMap<TagPair, usize> =
+        b.ranked.iter().enumerate().map(|(i, &(p, _))| (p, i)).collect();
+    // Shared pairs in a's order, with their b-ranks.
+    let shared: Vec<usize> =
+        a.ranked.iter().filter_map(|&(p, _)| rank_b.get(&p).copied()).collect();
+    let n = shared.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            // In `a` the order is i before j; check `b`.
+            if shared[i] < shared[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    Some((concordant - discordant) as f64 / (concordant + discordant) as f64)
+}
+
+/// Accumulates ranking snapshots and answers trajectory queries — the
+/// backing store of the demo's "time lapse" rank view.
+#[derive(Debug, Default)]
+pub struct RankingHistory {
+    /// Per-pair `(tick, rank)` observations, in tick order.
+    trajectories: FxHashMap<TagPair, Vec<(Tick, usize)>>,
+    ticks_recorded: u64,
+    last_tick: Option<Tick>,
+}
+
+impl RankingHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one snapshot (ticks must be non-decreasing).
+    ///
+    /// # Panics
+    /// Panics if snapshots arrive out of tick order.
+    pub fn record(&mut self, snapshot: &RankingSnapshot) {
+        if let Some(last) = self.last_tick {
+            assert!(snapshot.tick >= last, "snapshots must arrive in tick order");
+        }
+        self.last_tick = Some(snapshot.tick);
+        self.ticks_recorded += 1;
+        for (rank, &(pair, _)) in snapshot.ranked.iter().enumerate() {
+            self.trajectories.entry(pair).or_default().push((snapshot.tick, rank));
+        }
+    }
+
+    /// The `(tick, rank)` trajectory of `pair` (empty if never ranked).
+    pub fn trajectory(&self, pair: TagPair) -> &[(Tick, usize)] {
+        self.trajectories.get(&pair).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Best (lowest) rank `pair` ever reached.
+    pub fn best_rank(&self, pair: TagPair) -> Option<usize> {
+        self.trajectories.get(&pair)?.iter().map(|&(_, r)| r).min()
+    }
+
+    /// Number of ticks `pair` spent ranked.
+    pub fn ticks_ranked(&self, pair: TagPair) -> usize {
+        self.trajectories.get(&pair).map_or(0, Vec::len)
+    }
+
+    /// Number of snapshots recorded.
+    pub fn ticks_recorded(&self) -> u64 {
+        self.ticks_recorded
+    }
+
+    /// Pairs that were ever ranked, sorted by best rank then pair.
+    pub fn all_time_toplist(&self) -> Vec<(TagPair, usize)> {
+        let mut list: Vec<(TagPair, usize)> = self
+            .trajectories
+            .iter()
+            .map(|(&pair, traj)| (pair, traj.iter().map(|&(_, r)| r).min().expect("non-empty")))
+            .collect();
+        list.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::{TagId, Timestamp};
+
+    fn pair(a: u32, b: u32) -> TagPair {
+        TagPair::new(TagId(a), TagId(b))
+    }
+
+    fn snap(tick: u64, pairs: &[(u32, u32)]) -> RankingSnapshot {
+        RankingSnapshot {
+            tick: Tick(tick),
+            time: Timestamp::from_hours(tick),
+            ranked: pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| (pair(a, b), 1.0 - 0.1 * i as f64))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_detects_all_change_kinds() {
+        let prev = snap(1, &[(1, 2), (3, 4), (5, 6)]);
+        let next = snap(2, &[(3, 4), (7, 8), (1, 2)]);
+        let changes = diff(&prev, &next);
+        assert!(changes.contains(&RankChange::Entered { pair: pair(7, 8), rank: 1 }));
+        assert!(changes.contains(&RankChange::Exited { pair: pair(5, 6), last_rank: 2 }));
+        assert!(changes.contains(&RankChange::Moved { pair: pair(3, 4), from: 1, to: 0 }));
+        assert!(changes.contains(&RankChange::Moved { pair: pair(1, 2), from: 0, to: 2 }));
+        assert_eq!(changes.len(), 4);
+    }
+
+    #[test]
+    fn diff_of_identical_rankings_is_empty() {
+        let s = snap(1, &[(1, 2), (3, 4)]);
+        assert!(diff(&s, &s).is_empty());
+    }
+
+    #[test]
+    fn diff_orders_entries_moves_exits() {
+        let prev = snap(1, &[(1, 2), (3, 4)]);
+        let next = snap(2, &[(5, 6), (1, 2)]);
+        let changes = diff(&prev, &next);
+        assert!(matches!(changes[0], RankChange::Entered { .. }));
+        assert!(matches!(changes[1], RankChange::Moved { .. }));
+        assert!(matches!(changes[2], RankChange::Exited { .. }));
+        assert_eq!(changes[2].pair(), pair(3, 4));
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = snap(1, &[(1, 2), (3, 4), (5, 6)]);
+        let same = snap(2, &[(1, 2), (3, 4), (5, 6)]);
+        let reversed = snap(2, &[(5, 6), (3, 4), (1, 2)]);
+        assert_eq!(kendall_tau(&a, &same), Some(1.0));
+        assert_eq!(kendall_tau(&a, &reversed), Some(-1.0));
+    }
+
+    #[test]
+    fn kendall_tau_partial_overlap() {
+        let a = snap(1, &[(1, 2), (3, 4), (5, 6), (7, 8)]);
+        // Shares (1,2) and (5,6), same relative order, plus unrelated pairs.
+        let b = snap(2, &[(9, 10), (1, 2), (5, 6)]);
+        assert_eq!(kendall_tau(&a, &b), Some(1.0));
+        // Fewer than two shared pairs: no order to compare.
+        let c = snap(2, &[(1, 2)]);
+        assert_eq!(kendall_tau(&a, &c), None);
+        let d = snap(2, &[(11, 12)]);
+        assert_eq!(kendall_tau(&a, &d), None);
+    }
+
+    #[test]
+    fn history_tracks_trajectories() {
+        let mut h = RankingHistory::new();
+        h.record(&snap(1, &[(1, 2), (3, 4)]));
+        h.record(&snap(2, &[(3, 4), (1, 2)]));
+        h.record(&snap(3, &[(3, 4)]));
+        assert_eq!(h.trajectory(pair(1, 2)), &[(Tick(1), 0), (Tick(2), 1)]);
+        assert_eq!(h.best_rank(pair(1, 2)), Some(0));
+        assert_eq!(h.best_rank(pair(3, 4)), Some(0));
+        assert_eq!(h.ticks_ranked(pair(3, 4)), 3);
+        assert_eq!(h.ticks_ranked(pair(9, 9 + 1)), 0);
+        assert_eq!(h.best_rank(pair(5, 6)), None);
+        assert_eq!(h.ticks_recorded(), 3);
+    }
+
+    #[test]
+    fn all_time_toplist_orders_by_best_rank() {
+        let mut h = RankingHistory::new();
+        h.record(&snap(1, &[(1, 2), (3, 4)]));
+        h.record(&snap(2, &[(3, 4), (5, 6)]));
+        let toplist = h.all_time_toplist();
+        assert_eq!(toplist[0].1, 0);
+        assert_eq!(toplist.len(), 3);
+        // (1,2) and (3,4) both reached rank 0; tie broken by pair order.
+        assert_eq!(toplist[0].0, pair(1, 2));
+        assert_eq!(toplist[1].0, pair(3, 4));
+        assert_eq!(toplist[2], (pair(5, 6), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick order")]
+    fn history_rejects_out_of_order_snapshots() {
+        let mut h = RankingHistory::new();
+        h.record(&snap(5, &[(1, 2)]));
+        h.record(&snap(3, &[(1, 2)]));
+    }
+}

@@ -1,0 +1,230 @@
+//! Windowed per-tag term distributions (the relative-entropy variant).
+//!
+//! §3(ii): "In the more complex case of documents being represented by
+//! their entire tag sets or term distributions, we can apply
+//! information-theory measures like relative entropy to assess the
+//! similarity of tag/term usage." For each tag, this structure aggregates
+//! the content terms of all window documents annotated with it; the
+//! correlation of a pair is then the Jensen–Shannon similarity of the two
+//! member distributions.
+//!
+//! Only allocated when the engine is configured with
+//! [`crate::config::MeasureKind::JsDivergence`] — the per-document cost is
+//! `O(tags × terms)` and pointless otherwise.
+
+use enblogue_stats::divergence::TermDistribution;
+use enblogue_types::{Document, FxHashMap, TagId, Tick};
+use std::collections::VecDeque;
+
+/// Per-tag term distributions over a sliding window of ticks.
+pub struct WindowedTermDists {
+    window_ticks: usize,
+    /// Aggregated distribution per tag.
+    totals: FxHashMap<TagId, TermDistribution>,
+    /// Per-tick contributions, oldest first: `(tag, term, count)` triples,
+    /// kept compact for cheap eviction replay.
+    ticks: VecDeque<Vec<(TagId, TagId, u32)>>,
+    newest_tick: Option<Tick>,
+    /// Scratch buffer for per-document term counting.
+    scratch: FxHashMap<TagId, u32>,
+}
+
+impl WindowedTermDists {
+    /// Distributions windowed over `window_ticks`.
+    ///
+    /// # Panics
+    /// Panics if `window_ticks == 0`.
+    pub fn new(window_ticks: usize) -> Self {
+        assert!(window_ticks > 0, "window must span at least one tick");
+        WindowedTermDists {
+            window_ticks,
+            totals: FxHashMap::default(),
+            ticks: VecDeque::with_capacity(window_ticks),
+            newest_tick: None,
+            scratch: FxHashMap::default(),
+        }
+    }
+
+    fn advance_to(&mut self, tick: Tick) {
+        let Some(newest) = self.newest_tick else {
+            self.ticks.push_back(Vec::new());
+            self.newest_tick = Some(tick);
+            return;
+        };
+        if tick <= newest {
+            return;
+        }
+        let gap = tick.since(newest) as usize;
+        if gap >= self.window_ticks {
+            self.ticks.clear();
+            self.totals.clear();
+            self.ticks.push_back(Vec::new());
+        } else {
+            for _ in 0..gap {
+                if self.ticks.len() == self.window_ticks {
+                    self.expire_oldest();
+                }
+                self.ticks.push_back(Vec::new());
+            }
+        }
+        self.newest_tick = Some(tick);
+    }
+
+    fn expire_oldest(&mut self) {
+        let Some(expired) = self.ticks.pop_front() else { return };
+        for (tag, term, count) in expired {
+            if let Some(dist) = self.totals.get_mut(&tag) {
+                dist.remove(term, count as u64);
+                if dist.is_empty() {
+                    self.totals.remove(&tag);
+                }
+            }
+        }
+    }
+
+    /// Records `doc`'s terms under each of its annotations, in `tick`.
+    ///
+    /// `use_entities` mirrors the engine config: when set, entity
+    /// annotations also accumulate term distributions.
+    pub fn observe_doc(&mut self, tick: Tick, doc: &Document, use_entities: bool) {
+        if doc.terms.is_empty() {
+            return;
+        }
+        self.advance_to(tick);
+        // Count the document's terms once.
+        self.scratch.clear();
+        for &term in &doc.terms {
+            *self.scratch.entry(term).or_insert(0) += 1;
+        }
+        let log = self.ticks.back_mut().expect("advance_to ensures a slot");
+        let mut record = |tag: TagId, scratch: &FxHashMap<TagId, u32>, totals: &mut FxHashMap<TagId, TermDistribution>| {
+            let dist = totals.entry(tag).or_default();
+            for (&term, &count) in scratch {
+                dist.add(term, count as u64);
+                log.push((tag, term, count));
+            }
+        };
+        for &tag in &doc.tags {
+            record(tag, &self.scratch, &mut self.totals);
+        }
+        if use_entities {
+            for &entity in &doc.entities {
+                record(entity, &self.scratch, &mut self.totals);
+            }
+        }
+    }
+
+    /// Advances the window to `tick` without recording anything.
+    pub fn close_tick(&mut self, tick: Tick) {
+        self.advance_to(tick);
+    }
+
+    /// The windowed term distribution of `tag`, if any terms were seen.
+    pub fn distribution(&self, tag: TagId) -> Option<&TermDistribution> {
+        self.totals.get(&tag)
+    }
+
+    /// Jensen–Shannon similarity of two tags' distributions (0 when either
+    /// is empty — no term evidence means no correlation signal).
+    pub fn js_similarity(&self, a: TagId, b: TagId) -> f64 {
+        match (self.totals.get(&a), self.totals.get(&b)) {
+            (Some(da), Some(db)) => da.js_similarity(db),
+            _ => 0.0,
+        }
+    }
+
+    /// Number of tags with live distributions.
+    pub fn tracked_tags(&self) -> usize {
+        self.totals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::Timestamp;
+
+    fn doc(id: u64, tags: &[u32], terms: &[u32]) -> Document {
+        Document::builder(id, Timestamp::ZERO)
+            .tags(tags.iter().map(|&t| TagId(t)))
+            .terms(terms.iter().map(|&t| TagId(t)))
+            .build()
+    }
+
+    #[test]
+    fn accumulates_terms_per_tag() {
+        let mut w = WindowedTermDists::new(4);
+        w.observe_doc(Tick(0), &doc(1, &[1], &[100, 100, 101]), true);
+        let dist = w.distribution(TagId(1)).unwrap();
+        assert_eq!(dist.total(), 3);
+        assert_eq!(dist.probability(TagId(100)), 2.0 / 3.0);
+        assert!(w.distribution(TagId(2)).is_none());
+    }
+
+    #[test]
+    fn multiple_tags_share_the_docs_terms() {
+        let mut w = WindowedTermDists::new(4);
+        w.observe_doc(Tick(0), &doc(1, &[1, 2], &[100, 101]), true);
+        assert!((w.js_similarity(TagId(1), TagId(2)) - 1.0).abs() < 1e-9, "identical usage");
+        assert_eq!(w.tracked_tags(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_expired_contributions() {
+        let mut w = WindowedTermDists::new(2);
+        w.observe_doc(Tick(0), &doc(1, &[1], &[100]), true);
+        w.observe_doc(Tick(1), &doc(2, &[1], &[101]), true);
+        assert_eq!(w.distribution(TagId(1)).unwrap().total(), 2);
+        w.close_tick(Tick(2)); // tick 0 expires
+        assert_eq!(w.distribution(TagId(1)).unwrap().total(), 1);
+        assert_eq!(w.distribution(TagId(1)).unwrap().probability(TagId(101)), 1.0);
+        w.close_tick(Tick(3)); // tick 1 expires; tag has no terms left
+        assert!(w.distribution(TagId(1)).is_none());
+        assert_eq!(w.tracked_tags(), 0);
+    }
+
+    #[test]
+    fn big_gap_clears_everything() {
+        let mut w = WindowedTermDists::new(3);
+        w.observe_doc(Tick(0), &doc(1, &[1], &[100]), true);
+        w.close_tick(Tick(50));
+        assert_eq!(w.tracked_tags(), 0);
+    }
+
+    #[test]
+    fn entities_respected_per_flag() {
+        let d = Document::builder(1, Timestamp::ZERO)
+            .entity(TagId(9))
+            .terms([TagId(100)])
+            .build();
+        let mut with = WindowedTermDists::new(2);
+        with.observe_doc(Tick(0), &d, true);
+        assert!(with.distribution(TagId(9)).is_some());
+
+        let mut without = WindowedTermDists::new(2);
+        without.observe_doc(Tick(0), &d, false);
+        assert!(without.distribution(TagId(9)).is_none());
+    }
+
+    #[test]
+    fn similarity_tracks_convergence_over_window() {
+        let mut w = WindowedTermDists::new(8);
+        // Tags 1 and 2 start with disjoint vocabularies.
+        w.observe_doc(Tick(0), &doc(1, &[1], &[100, 101]), true);
+        w.observe_doc(Tick(0), &doc(2, &[2], &[200, 201]), true);
+        let before = w.js_similarity(TagId(1), TagId(2));
+        // Then tag 2's documents start using tag 1's vocabulary.
+        for t in 1..5u64 {
+            w.observe_doc(Tick(t), &doc(10 + t, &[2], &[100, 101]), true);
+        }
+        let after = w.js_similarity(TagId(1), TagId(2));
+        assert!(after > before + 0.3, "convergence must raise similarity: {before} -> {after}");
+    }
+
+    #[test]
+    fn docs_without_terms_are_ignored() {
+        let mut w = WindowedTermDists::new(2);
+        w.observe_doc(Tick(0), &doc(1, &[1], &[]), true);
+        assert_eq!(w.tracked_tags(), 0);
+    }
+}

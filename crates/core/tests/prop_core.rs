@@ -1,0 +1,108 @@
+//! Property-based tests for the EnBlogue engine.
+
+use enblogue_core::config::EnBlogueConfig;
+use enblogue_core::engine::EnBlogueEngine;
+use enblogue_types::{Document, TagId, TickSpec, Timestamp};
+use proptest::prelude::*;
+
+/// A compact random workload description: per tick, a list of documents,
+/// each a list of tag ids drawn from a small universe.
+fn workload() -> impl Strategy<Value = Vec<Vec<Vec<u32>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::collection::vec(0u32..12, 1..5), 0..12),
+        2..15,
+    )
+}
+
+fn run_engine(config: EnBlogueConfig, ticks: &[Vec<Vec<u32>>]) -> EnBlogueEngine {
+    let mut engine = EnBlogueEngine::new(config);
+    let mut id = 0u64;
+    for (t, docs) in ticks.iter().enumerate() {
+        for tags in docs {
+            id += 1;
+            let doc = Document::builder(id, Timestamp::from_hours(t as u64))
+                .tags(tags.iter().map(|&x| TagId(x)))
+                .build();
+            engine.process_doc(&doc);
+        }
+        engine.close_tick(enblogue_types::Tick(t as u64));
+    }
+    engine
+}
+
+fn small_config(max_pairs: usize) -> EnBlogueConfig {
+    EnBlogueConfig::builder()
+        .tick_spec(TickSpec::hourly())
+        .window_ticks(4)
+        .seed_count(6)
+        .min_seed_count(1)
+        .top_k(5)
+        .max_tracked_pairs(max_pairs)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rankings are sorted descending, scores positive and finite, and
+    /// bounded by k.
+    #[test]
+    fn ranking_invariants(ticks in workload()) {
+        let engine = run_engine(small_config(1000), &ticks);
+        if let Some(snap) = engine.latest_snapshot() {
+            prop_assert!(snap.ranked.len() <= 5);
+            for w in snap.ranked.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1, "ranking not sorted: {:?}", snap.ranked);
+            }
+            for &(pair, score) in &snap.ranked {
+                prop_assert!(score.is_finite() && score > 0.0);
+                prop_assert!(pair.lo() < pair.hi(), "pairs canonical");
+            }
+        }
+    }
+
+    /// The tracked-pair cap is a hard bound after every tick.
+    #[test]
+    fn pair_cap_is_enforced(ticks in workload()) {
+        let engine = run_engine(small_config(3), &ticks);
+        prop_assert!(engine.metrics().pairs_tracked <= 3);
+    }
+
+    /// Identical input produces identical output (bit-for-bit rankings).
+    #[test]
+    fn engine_is_deterministic(ticks in workload()) {
+        let a = run_engine(small_config(100), &ticks);
+        let b = run_engine(small_config(100), &ticks);
+        prop_assert_eq!(a.latest_snapshot(), b.latest_snapshot());
+        prop_assert_eq!(a.metrics(), b.metrics());
+    }
+
+    /// Metrics are internally consistent.
+    #[test]
+    fn metrics_consistent(ticks in workload()) {
+        let engine = run_engine(small_config(100), &ticks);
+        let m = engine.metrics();
+        let total_docs: u64 = ticks.iter().map(|t| t.len() as u64).sum();
+        prop_assert_eq!(m.docs_processed, total_docs);
+        prop_assert_eq!(m.ticks_closed, ticks.len() as u64);
+        prop_assert!(m.pairs_tracked as u64 <= m.pairs_discovered);
+        prop_assert!(m.pairs_evicted <= m.pairs_discovered);
+        prop_assert_eq!(
+            m.pairs_discovered - m.pairs_evicted,
+            m.pairs_tracked as u64,
+            "discovered = tracked + evicted"
+        );
+    }
+
+    /// A document stream with a single tag can never produce a ranking
+    /// (there is no pair to correlate).
+    #[test]
+    fn single_tag_streams_never_rank(per_tick in 1usize..10, ticks in 2usize..12) {
+        let workload: Vec<Vec<Vec<u32>>> = (0..ticks).map(|_| vec![vec![1u32]; per_tick]).collect();
+        let engine = run_engine(small_config(100), &workload);
+        let snap = engine.latest_snapshot().unwrap();
+        prop_assert!(snap.ranked.is_empty());
+        prop_assert_eq!(engine.metrics().pairs_discovered, 0);
+    }
+}

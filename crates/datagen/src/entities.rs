@@ -1,0 +1,274 @@
+//! Synthetic entity universe: the Wikipedia + YAGO substitute.
+//!
+//! Generates people, organisations and places with multi-word names
+//! (≤ 4 terms), redirect aliases (short forms), and a small type DAG, then
+//! packages them as a [`Gazetteer`] and [`Ontology`] for the entity tagger.
+
+use crate::vocab::pseudo_word;
+use enblogue_entity::gazetteer::{EntityId, Gazetteer, GazetteerBuilder};
+use enblogue_entity::ontology::{Ontology, OntologyBuilder, TypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Which top-level class an entity belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityClass {
+    /// People: "first last" names, redirect = last name.
+    Person,
+    /// Organisations: 2–4-word names, redirect = acronym-ish short form.
+    Organization,
+    /// Places: 1–2-word names, optional "city of X" redirect.
+    Place,
+}
+
+impl EntityClass {
+    const ALL: [EntityClass; 3] = [EntityClass::Person, EntityClass::Organization, EntityClass::Place];
+
+    /// The ontology leaf type name for the class.
+    pub const fn type_name(self) -> &'static str {
+        match self {
+            EntityClass::Person => "person",
+            EntityClass::Organization => "organization",
+            EntityClass::Place => "place",
+        }
+    }
+}
+
+/// One generated entity.
+#[derive(Debug, Clone)]
+pub struct GeneratedEntity {
+    /// Dictionary id.
+    pub id: EntityId,
+    /// Canonical (normalised) name.
+    pub name: String,
+    /// Alias phrases that redirect to the canonical name.
+    pub aliases: Vec<String>,
+    /// Top-level class.
+    pub class: EntityClass,
+}
+
+/// A complete synthetic entity world.
+pub struct EntityUniverse {
+    /// The dictionary (titles + redirects).
+    pub gazetteer: Arc<Gazetteer>,
+    /// The type DAG with entity typing.
+    pub ontology: Arc<Ontology>,
+    /// All generated entities.
+    pub entities: Vec<GeneratedEntity>,
+    /// Leaf type ids by class, in [`EntityClass::ALL`] order.
+    pub class_types: [TypeId; 3],
+    /// The root type ("entity").
+    pub root_type: TypeId,
+}
+
+impl EntityUniverse {
+    /// Generates `n` entities (split across classes) with the given seed.
+    ///
+    /// Roughly 40% people, 30% organisations, 30% places; about half the
+    /// entities get a redirect alias, mirroring how Wikipedia's redirect
+    /// graph maps short names onto canonical titles.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gb = GazetteerBuilder::default();
+        let mut ob = OntologyBuilder::default();
+
+        let root = ob.add_type("entity");
+        let agent = ob.add_subtype("agent", &[root]);
+        let person = ob.add_subtype("person", &[agent]);
+        let politician = ob.add_subtype("politician", &[person]);
+        let athlete = ob.add_subtype("athlete", &[person]);
+        let organization = ob.add_subtype("organization", &[agent]);
+        let place = ob.add_subtype("place", &[root]);
+        let city = ob.add_subtype("city", &[place]);
+
+        let mut entities = Vec::with_capacity(n);
+        let mut used_names = std::collections::HashSet::new();
+        while entities.len() < n {
+            let class = match rng.gen_range(0..10) {
+                0..=3 => EntityClass::Person,
+                4..=6 => EntityClass::Organization,
+                _ => EntityClass::Place,
+            };
+            let (name, aliases) = match class {
+                EntityClass::Person => {
+                    let first_len = rng.gen_range(2..=3);
+                    let first = pseudo_word(&mut rng, first_len);
+                    let last_len = rng.gen_range(2..=4);
+                    let last = pseudo_word(&mut rng, last_len);
+                    let name = format!("{first} {last}");
+                    // Half of the people are referred to by surname too.
+                    let aliases = if rng.gen_bool(0.5) { vec![last] } else { vec![] };
+                    (name, aliases)
+                }
+                EntityClass::Organization => {
+                    let words = rng.gen_range(2..=4);
+                    let parts: Vec<String> = (0..words)
+                        .map(|_| {
+                            let len = rng.gen_range(2..=3);
+                            pseudo_word(&mut rng, len)
+                        })
+                        .collect();
+                    let name = parts.join(" ");
+                    let alias = if rng.gen_bool(0.5) {
+                        // Short form: first word.
+                        vec![parts[0].clone()]
+                    } else {
+                        vec![]
+                    };
+                    (name, alias)
+                }
+                EntityClass::Place => {
+                    let words = rng.gen_range(1..=2);
+                    let parts: Vec<String> = (0..words)
+                        .map(|_| {
+                            let len = rng.gen_range(2..=4);
+                            pseudo_word(&mut rng, len)
+                        })
+                        .collect();
+                    let name = parts.join(" ");
+                    let alias =
+                        if rng.gen_bool(0.3) { vec![format!("city of {}", parts[0])] } else { vec![] };
+                    (name, alias)
+                }
+            };
+            if !used_names.insert(name.clone()) {
+                continue;
+            }
+            let id = gb.add_title(&name);
+            let mut kept_aliases = Vec::new();
+            for alias in aliases {
+                // Aliases may collide with existing titles; the builder
+                // keeps titles, so check before counting it as an alias.
+                if used_names.insert(alias.clone()) {
+                    gb.add_redirect(&alias, &name);
+                    kept_aliases.push(alias);
+                }
+            }
+            let leaf = match class {
+                EntityClass::Person => {
+                    if rng.gen_bool(0.3) {
+                        politician
+                    } else if rng.gen_bool(0.3) {
+                        athlete
+                    } else {
+                        person
+                    }
+                }
+                EntityClass::Organization => organization,
+                EntityClass::Place => {
+                    if rng.gen_bool(0.5) {
+                        city
+                    } else {
+                        place
+                    }
+                }
+            };
+            ob.assign(id, leaf);
+            entities.push(GeneratedEntity { id, name, aliases: kept_aliases, class });
+        }
+
+        EntityUniverse {
+            gazetteer: Arc::new(gb.build()),
+            ontology: Arc::new(ob.build()),
+            entities,
+            class_types: [person, organization, place],
+            root_type: root,
+        }
+    }
+
+    /// Entities of a given class.
+    pub fn of_class(&self, class: EntityClass) -> impl Iterator<Item = &GeneratedEntity> {
+        self.entities.iter().filter(move |e| e.class == class)
+    }
+
+    /// The leaf type id for `class`.
+    pub fn type_of_class(&self, class: EntityClass) -> TypeId {
+        let idx = EntityClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        self.class_types[idx]
+    }
+
+    /// Picks a random entity.
+    pub fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> &'a GeneratedEntity {
+        &self.entities[rng.gen_range(0..self.entities.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_entity::tagger::EntityTagger;
+
+    #[test]
+    fn generates_requested_count() {
+        let u = EntityUniverse::generate(100, 11);
+        assert_eq!(u.entities.len(), 100);
+        assert_eq!(u.gazetteer.entity_count(), 100);
+        assert!(u.gazetteer.phrase_count() >= 100, "aliases add phrases");
+    }
+
+    #[test]
+    fn all_classes_present_and_typed() {
+        let u = EntityUniverse::generate(200, 5);
+        for class in EntityClass::ALL {
+            let type_id = u.type_of_class(class);
+            let members: Vec<_> = u.of_class(class).collect();
+            assert!(!members.is_empty(), "{class:?} missing");
+            for e in &members {
+                assert!(
+                    u.ontology.entity_has_type(e.id, type_id),
+                    "{} not typed as {}",
+                    e.name,
+                    class.type_name()
+                );
+                assert!(u.ontology.entity_has_type(e.id, u.root_type), "everything is an entity");
+            }
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_in_tagger() {
+        let u = EntityUniverse::generate(300, 7);
+        let tagger = EntityTagger::new(Arc::clone(&u.gazetteer));
+        let with_alias = u.entities.iter().find(|e| !e.aliases.is_empty()).expect("some alias exists");
+        let text = format!("report about {} yesterday", with_alias.aliases[0]);
+        let mentions = tagger.tag_text(&text);
+        assert!(mentions.iter().any(|m| m.entity == with_alias.id), "alias must tag the canonical entity");
+    }
+
+    #[test]
+    fn canonical_names_are_taggable() {
+        let u = EntityUniverse::generate(50, 13);
+        let tagger = EntityTagger::new(Arc::clone(&u.gazetteer));
+        for e in &u.entities {
+            let text = format!("zzz {} zzz", e.name);
+            let mentions = tagger.tag_text(&text);
+            assert!(mentions.iter().any(|m| m.entity == e.id), "cannot find `{}`", e.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = EntityUniverse::generate(40, 21);
+        let b = EntityUniverse::generate(40, 21);
+        for (x, y) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.aliases, y.aliases);
+        }
+    }
+
+    #[test]
+    fn type_filter_narrows_to_class() {
+        let u = EntityUniverse::generate(200, 3);
+        let person_type = u.type_of_class(EntityClass::Person);
+        let tagger = EntityTagger::new(Arc::clone(&u.gazetteer))
+            .with_ontology(Arc::clone(&u.ontology))
+            .with_type_filter(vec![person_type]);
+        let place = u.of_class(EntityClass::Place).next().unwrap();
+        let person = u.of_class(EntityClass::Person).next().unwrap();
+        let text = format!("{} met near {}", person.name, place.name);
+        let ids = tagger.distinct_entities(&text);
+        assert!(ids.contains(&person.id));
+        assert!(!ids.contains(&place.id), "place must be filtered out");
+    }
+}

@@ -1,0 +1,285 @@
+//! Scripted correlation events: the planted emergent topics.
+//!
+//! A [`CorrelationEvent`] injects documents tagged with *both* members of a
+//! tag pair over a time window, following a ramp shape. The pair's
+//! individual frequencies barely move (the extra volume is small against
+//! background chatter) while their intersection rises sharply — exactly the
+//! Figure-1 situation EnBlogue is built to detect. Scripts double as ground
+//! truth for precision/recall/latency evaluation.
+
+use enblogue_types::{TagId, TagPair, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// The temporal intensity profile of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RampShape {
+    /// Full intensity for the whole window (breaking news).
+    Step,
+    /// Linear rise to the peak at window end (building story).
+    Linear,
+    /// Smooth S-curve rise (organically spreading topic).
+    Sigmoid,
+    /// Sharp rise then exponential cool-down (flash event; peaks at 20% of
+    /// the window).
+    Spike,
+}
+
+impl RampShape {
+    /// Intensity multiplier in `[0, 1]` at relative position `x ∈ [0, 1]`
+    /// within the event window.
+    pub fn intensity(self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        match self {
+            RampShape::Step => 1.0,
+            RampShape::Linear => x,
+            RampShape::Sigmoid => {
+                // Logistic centred at 0.5 with steepness 10, rescaled so
+                // intensity(0) == 0 and intensity(1) == 1 exactly.
+                let raw = |x: f64| 1.0 / (1.0 + (-10.0 * (x - 0.5)).exp());
+                let (lo, hi) = (raw(0.0), raw(1.0));
+                (raw(x) - lo) / (hi - lo)
+            }
+            RampShape::Spike => {
+                let peak = 0.2;
+                if x <= peak {
+                    x / peak
+                } else {
+                    // Exponential cool-down to ~5% at window end.
+                    (-3.0 * (x - peak) / (1.0 - peak)).exp()
+                }
+            }
+        }
+    }
+
+    /// Short identifier for experiment output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RampShape::Step => "step",
+            RampShape::Linear => "linear",
+            RampShape::Sigmoid => "sigmoid",
+            RampShape::Spike => "spike",
+        }
+    }
+}
+
+/// One planted emergent topic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationEvent {
+    /// Human-readable label ("hurricane katrina", "sigmod athens").
+    pub name: String,
+    /// First member of the pair.
+    pub tag_a: TagId,
+    /// Second member of the pair.
+    pub tag_b: TagId,
+    /// Event start (inclusive).
+    pub start: Timestamp,
+    /// Event end (exclusive).
+    pub end: Timestamp,
+    /// Extra co-tagged documents per tick at full intensity.
+    pub peak_rate: f64,
+    /// Intensity profile.
+    pub shape: RampShape,
+}
+
+impl CorrelationEvent {
+    /// Builds an event, validating the window.
+    ///
+    /// # Panics
+    /// Panics if `end <= start`, `peak_rate < 0`, or the tags coincide.
+    pub fn new(
+        name: impl Into<String>,
+        tag_a: TagId,
+        tag_b: TagId,
+        start: Timestamp,
+        end: Timestamp,
+        peak_rate: f64,
+        shape: RampShape,
+    ) -> Self {
+        assert!(end > start, "event window must be non-empty");
+        assert!(peak_rate >= 0.0, "peak rate cannot be negative");
+        assert_ne!(tag_a, tag_b, "a correlation event needs two distinct tags");
+        CorrelationEvent { name: name.into(), tag_a, tag_b, start, end, peak_rate, shape }
+    }
+
+    /// The canonical pair this event makes emergent.
+    pub fn pair(&self) -> TagPair {
+        TagPair::new(self.tag_a, self.tag_b)
+    }
+
+    /// Whether the event is active at `ts`.
+    pub fn active_at(&self, ts: Timestamp) -> bool {
+        self.start <= ts && ts < self.end
+    }
+
+    /// Expected extra co-tagged documents per tick at `ts`.
+    pub fn rate_at(&self, ts: Timestamp) -> f64 {
+        if !self.active_at(ts) {
+            return 0.0;
+        }
+        let span = self.end.since(self.start) as f64;
+        let x = ts.since(self.start) as f64 / span;
+        self.peak_rate * self.shape.intensity(x)
+    }
+}
+
+/// A collection of scripted events; doubles as ground truth.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventScript {
+    events: Vec<CorrelationEvent>,
+}
+
+impl EventScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event.
+    pub fn push(&mut self, event: CorrelationEvent) {
+        self.events.push(event);
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[CorrelationEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events active at `ts`.
+    pub fn active_at(&self, ts: Timestamp) -> impl Iterator<Item = &CorrelationEvent> {
+        self.events.iter().filter(move |e| e.active_at(ts))
+    }
+
+    /// The set of ground-truth pairs.
+    pub fn truth_pairs(&self) -> Vec<TagPair> {
+        let mut pairs: Vec<TagPair> = self.events.iter().map(CorrelationEvent::pair).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// The event (if any) whose window contains `ts` and whose pair is
+    /// `pair`.
+    pub fn event_for(&self, pair: TagPair, ts: Timestamp) -> Option<&CorrelationEvent> {
+        self.events.iter().find(|e| e.pair() == pair && e.active_at(ts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TagId {
+        TagId(i)
+    }
+
+    #[test]
+    fn shapes_are_bounded_and_anchored() {
+        for shape in [RampShape::Step, RampShape::Linear, RampShape::Sigmoid, RampShape::Spike] {
+            for i in 0..=100 {
+                let x = i as f64 / 100.0;
+                let v = shape.intensity(x);
+                assert!((0.0..=1.0).contains(&v), "{} at {x}: {v}", shape.name());
+            }
+            assert_eq!(shape.intensity(-0.1), 0.0);
+            assert_eq!(shape.intensity(1.1), 0.0);
+        }
+        assert_eq!(RampShape::Linear.intensity(0.0), 0.0);
+        assert!((RampShape::Linear.intensity(1.0) - 1.0).abs() < 1e-12);
+        assert!((RampShape::Sigmoid.intensity(0.0)).abs() < 1e-12);
+        assert!((RampShape::Sigmoid.intensity(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(RampShape::Step.intensity(0.5), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let mut prev = -1.0;
+        for i in 0..=50 {
+            let v = RampShape::Sigmoid.intensity(i as f64 / 50.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn spike_peaks_early_then_cools() {
+        let peak = RampShape::Spike.intensity(0.2);
+        assert!((peak - 1.0).abs() < 1e-12);
+        assert!(RampShape::Spike.intensity(0.1) < peak);
+        assert!(RampShape::Spike.intensity(0.5) < peak);
+        assert!(RampShape::Spike.intensity(0.99) < 0.1, "cooled down near the end");
+    }
+
+    #[test]
+    fn event_rate_respects_window() {
+        let e = CorrelationEvent::new(
+            "volcano",
+            t(1),
+            t(2),
+            Timestamp::from_hours(10),
+            Timestamp::from_hours(20),
+            8.0,
+            RampShape::Step,
+        );
+        assert_eq!(e.rate_at(Timestamp::from_hours(9)), 0.0);
+        assert_eq!(e.rate_at(Timestamp::from_hours(10)), 8.0);
+        assert_eq!(e.rate_at(Timestamp::from_hours(19)), 8.0);
+        assert_eq!(e.rate_at(Timestamp::from_hours(20)), 0.0, "end is exclusive");
+        assert!(e.active_at(Timestamp::from_hours(15)));
+        assert_eq!(e.pair(), TagPair::new(t(2), t(1)));
+    }
+
+    #[test]
+    fn script_queries() {
+        let mut script = EventScript::new();
+        script.push(CorrelationEvent::new(
+            "a",
+            t(1),
+            t(2),
+            Timestamp::from_hours(0),
+            Timestamp::from_hours(10),
+            1.0,
+            RampShape::Step,
+        ));
+        script.push(CorrelationEvent::new(
+            "b",
+            t(3),
+            t(4),
+            Timestamp::from_hours(5),
+            Timestamp::from_hours(15),
+            1.0,
+            RampShape::Linear,
+        ));
+        assert_eq!(script.len(), 2);
+        assert_eq!(script.active_at(Timestamp::from_hours(7)).count(), 2);
+        assert_eq!(script.active_at(Timestamp::from_hours(12)).count(), 1);
+        assert_eq!(script.truth_pairs(), vec![TagPair::new(t(1), t(2)), TagPair::new(t(3), t(4))]);
+        assert!(script.event_for(TagPair::new(t(1), t(2)), Timestamp::from_hours(3)).is_some());
+        assert!(script.event_for(TagPair::new(t(1), t(2)), Timestamp::from_hours(12)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = CorrelationEvent::new(
+            "x",
+            t(1),
+            t(2),
+            Timestamp::from_hours(5),
+            Timestamp::from_hours(5),
+            1.0,
+            RampShape::Step,
+        );
+    }
+}

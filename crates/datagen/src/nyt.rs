@@ -1,0 +1,498 @@
+//! NYT-style archive generator: Show Case 1's workload.
+//!
+//! The paper replays "the New York Times archive, consisting of news
+//! articles from 1987 and 2007, a total of 1.8 million full-text documents.
+//! Each article is manually assigned … to one or more categories and
+//! annotated with additional descriptors. We use these categories and
+//! descriptors as tags." The corpus is licensed, so this module generates a
+//! deterministic synthetic archive with the same shape: a category
+//! taxonomy, a long descriptor tail, full text with taggable entities, and
+//! **scripted historic events** (elections, hurricanes, sport finals) that
+//! raise category–descriptor co-occurrence — with ground truth attached.
+
+use crate::entities::EntityUniverse;
+use crate::events::{CorrelationEvent, EventScript, RampShape};
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use enblogue_types::{Document, TagId, TagInterner, TagKind, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic archive.
+#[derive(Debug, Clone)]
+pub struct NytConfig {
+    /// Master seed; every derived generator is seeded from it.
+    pub seed: u64,
+    /// Number of days covered by the archive.
+    pub days: u64,
+    /// Background documents per day.
+    pub docs_per_day: u64,
+    /// Category vocabulary size (the NYT taxonomy is small).
+    pub n_categories: usize,
+    /// Descriptor vocabulary size (long tail).
+    pub n_descriptors: usize,
+    /// Size of the entity universe embedded in document text.
+    pub n_entities: usize,
+    /// Content-term vocabulary size.
+    pub n_terms: usize,
+    /// Number of scripted historic events (0 = background only).
+    pub historic_events: usize,
+}
+
+impl Default for NytConfig {
+    /// A laptop-scale default: ~36 k documents over 120 days with 8
+    /// scripted events. (The real corpus: 1.8 M documents over 21 years;
+    /// scale `days`/`docs_per_day` up for stress runs.)
+    fn default() -> Self {
+        NytConfig {
+            seed: 0x0e_b1_06,
+            days: 120,
+            docs_per_day: 300,
+            n_categories: 40,
+            n_descriptors: 400,
+            n_entities: 400,
+            n_terms: 2_000,
+            historic_events: 8,
+        }
+    }
+}
+
+/// The generated archive.
+pub struct NytArchive {
+    /// All documents, sorted by timestamp.
+    pub docs: Vec<Document>,
+    /// The planted events (ground truth).
+    pub script: EventScript,
+    /// The shared interner (categories, descriptors, terms, entities).
+    pub interner: TagInterner,
+    /// Category vocabulary (rank 0 = most popular).
+    pub categories: Vocabulary,
+    /// Descriptor vocabulary.
+    pub descriptors: Vocabulary,
+    /// The embedded entity universe (for entity-tagging experiments).
+    pub universe: EntityUniverse,
+}
+
+impl NytArchive {
+    /// Generates the archive for `config`.
+    pub fn generate(config: &NytConfig) -> Self {
+        assert!(config.days > 0, "archive must span at least one day");
+        assert!(config.n_categories >= 4 && config.n_descriptors >= 8, "taxonomy too small");
+        let interner = TagInterner::new();
+        let categories =
+            Vocabulary::generate(&interner, TagKind::Category, config.n_categories, config.seed ^ 0xCA7);
+        let descriptors =
+            Vocabulary::generate(&interner, TagKind::Descriptor, config.n_descriptors, config.seed ^ 0xDE5C);
+        let terms = Vocabulary::generate(&interner, TagKind::Term, config.n_terms, config.seed ^ 0x7E51);
+        let universe = EntityUniverse::generate(config.n_entities, config.seed ^ 0xE171);
+
+        let cat_zipf = Zipf::new(config.n_categories, 1.1);
+        let desc_zipf = Zipf::new(config.n_descriptors, 1.05);
+        let term_zipf = Zipf::new(config.n_terms, 1.0);
+
+        let script = plan_events(config, &categories, &descriptors, &cat_zipf, &desc_zipf);
+        let slice_zipf = Zipf::new(CATEGORY_SLICE, 0.8);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut docs = Vec::with_capacity((config.days * config.docs_per_day) as usize);
+        let mut next_id: u64 = 1;
+        // Background documents, day by day; remember each day's index range
+        // for the event-conversion pass.
+        let mut day_ranges: Vec<(usize, usize)> = Vec::with_capacity(config.days as usize);
+        for day in 0..config.days {
+            let day_start = Timestamp::from_days(day);
+            let range_start = docs.len();
+            for _ in 0..config.docs_per_day {
+                let ts = day_start.plus(rng.gen_range(0..Timestamp::DAY));
+                docs.push(background_doc(
+                    next_id, ts, &mut rng, &categories, &descriptors, &terms, &universe, &cat_zipf,
+                    &desc_zipf, &term_zipf, &slice_zipf,
+                ));
+                next_id += 1;
+            }
+            day_ranges.push((range_start, docs.len()));
+        }
+
+        // Event pass — **volume preserving**: instead of adding documents
+        // (which would make the individual tags burst and hand the event
+        // to single-tag burst detectors), the event *converts* existing
+        // documents that carry the descriptor by adding the category tag.
+        // The descriptor's volume is untouched, the popular category's
+        // volume moves by a few documents a day — only the intersection
+        // jumps. This is exactly the Figure-1 constellation.
+        //
+        // Converted documents also start *speaking the category's
+        // language*: a share of their content terms is redrawn from the
+        // category's topical slice, so the term-distribution (relative
+        // entropy) correlation variant has the same signal the set-overlap
+        // measures get from the tags. (`text` is not rebuilt — it feeds the
+        // entity tagger, which is term-agnostic.)
+        let mut event_rng = StdRng::seed_from_u64(config.seed ^ 0xC04E);
+        let mut carry = vec![0.0f64; script.len()];
+        for (day, &(lo, hi)) in day_ranges.iter().enumerate() {
+            let day_start = Timestamp::from_days(day as u64);
+            let mid = day_start.plus(Timestamp::DAY / 2);
+            for (i, event) in script.events().iter().enumerate() {
+                let rate = event.rate_at(mid) + carry[i];
+                let mut remaining = rate.floor() as u64;
+                carry[i] = rate - remaining as f64;
+                if remaining == 0 {
+                    continue;
+                }
+                let cat_rank = (event.tag_a.0 - categories.id(0).0) as usize;
+                for doc in &mut docs[lo..hi] {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if doc.has_tag(event.tag_b) && !doc.has_tag(event.tag_a) {
+                        doc.tags.push(event.tag_a);
+                        doc.normalize();
+                        for term in doc.terms.iter_mut() {
+                            if event_rng.gen_bool(0.6) {
+                                *term = terms.id(slice_rank(cat_rank, slice_zipf.sample(&mut event_rng), terms.len()));
+                            }
+                        }
+                        remaining -= 1;
+                    }
+                }
+                // If the day ran out of descriptor documents the shortfall
+                // is simply lost — never add volume.
+            }
+        }
+        docs.sort_by_key(|d| (d.timestamp, d.id));
+        NytArchive { docs, script, interner, categories, descriptors, universe }
+    }
+
+    /// Total number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Plans the historic-event script: each event couples a popular category
+/// (the seed side) with a *moderately rare* descriptor — one with enough
+/// background volume that the conversion pass can move a meaningful share
+/// of its documents into the intersection without changing its volume.
+fn plan_events(
+    config: &NytConfig,
+    categories: &Vocabulary,
+    descriptors: &Vocabulary,
+    cat_zipf: &Zipf,
+    desc_zipf: &Zipf,
+) -> EventScript {
+    let mut script = EventScript::new();
+    if config.historic_events == 0 {
+        return script;
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE7E57);
+    let themes = ["election", "hurricane", "finals", "scandal", "eruption", "verdict", "summit", "strike"];
+    let shapes = [RampShape::Sigmoid, RampShape::Spike, RampShape::Linear, RampShape::Step];
+
+    // Candidate descriptors: expected daily document volume in a band that
+    // is big enough to convert from and small enough that random
+    // co-occurrence with a popular category stays low. Background docs
+    // carry 2–4 descriptors (mean 3).
+    let descs_per_doc = 3.0;
+    let expected_daily =
+        |rank: usize| config.docs_per_day as f64 * descs_per_doc * desc_zipf.pmf(rank);
+    // Band scales with stream volume: descriptors carrying ~5–12% of the
+    // daily documents. Rarer descriptors give the conversion pass too few
+    // documents for the intersection to move the windowed correlation off
+    // its background level; more common ones already co-occur with every
+    // category by chance.
+    let band_lo = (0.05 * config.docs_per_day as f64).max(4.0);
+    let band_hi = (0.12 * config.docs_per_day as f64).max(band_lo + 2.0);
+    let band: Vec<usize> = (0..descriptors.len())
+        .filter(|&r| {
+            let e = expected_daily(r);
+            (band_lo..=band_hi).contains(&e)
+        })
+        .collect();
+    assert!(
+        !band.is_empty(),
+        "no descriptor has workable daily volume; grow docs_per_day or n_descriptors"
+    );
+
+    // Leave warm-up (first ~20%) and cool-down room.
+    let lo_day = (config.days / 5).max(1);
+    let hi_day = config.days.saturating_sub(10).max(lo_day + 1);
+    let mut used_descs: Vec<usize> = Vec::new();
+    let cats_per_doc = 1.5;
+    for i in 0..config.historic_events {
+        // Upper-mid categories: comfortably inside any reasonable seed set,
+        // but with a low enough document share that random co-occurrence
+        // with the descriptor stays well under the converted volume.
+        let cat_lo = 2.min(categories.len() - 1);
+        let cat_hi = 6.min(categories.len());
+        let cat_rank = rng.gen_range(cat_lo..cat_hi.max(cat_lo + 1));
+        let cat_daily = config.docs_per_day as f64 * cats_per_doc * cat_zipf.pmf(cat_rank);
+        // Distinct descriptor per event when possible.
+        let desc_rank = loop {
+            let candidate = band[rng.gen_range(0..band.len())];
+            if !used_descs.contains(&candidate) || used_descs.len() >= band.len() {
+                break candidate;
+            }
+        };
+        used_descs.push(desc_rank);
+        let start_day = rng.gen_range(lo_day..hi_day);
+        let duration_days = rng.gen_range(5..=12);
+        // Convert most of the descriptor's daily documents at peak, but
+        // never more than a fraction of the category's own volume — the
+        // category side must stay visually flat (Figure 1's t1).
+        let peak =
+            (expected_daily(desc_rank) * rng.gen_range(0.8..0.95)).min(0.7 * cat_daily).max(2.0);
+        let shape = shapes[i % shapes.len()];
+        let theme = themes[i % themes.len()];
+        script.push(CorrelationEvent::new(
+            format!("{theme}-{i}"),
+            categories.id(cat_rank),
+            descriptors.id(desc_rank),
+            Timestamp::from_days(start_day),
+            Timestamp::from_days(start_day + duration_days),
+            peak,
+            shape,
+        ));
+    }
+    script
+}
+
+/// Size of each category's topical term slice.
+///
+/// Real corpora are topically coherent: articles of one category reuse that
+/// category's vocabulary. Giving each category a (possibly overlapping)
+/// slice of the term space makes per-tag term distributions *distinctive*,
+/// which is the precondition for the relative-entropy correlation variant
+/// to carry any signal.
+const CATEGORY_SLICE: usize = 60;
+
+/// Rank (within the term vocabulary) of the `i`-th term of category
+/// `cat_rank`'s slice.
+fn slice_rank(cat_rank: usize, i: usize, n_terms: usize) -> usize {
+    let start = (cat_rank * 53) % n_terms.saturating_sub(CATEGORY_SLICE).max(1);
+    start + i
+}
+
+#[allow(clippy::too_many_arguments)]
+fn background_doc(
+    id: u64,
+    ts: Timestamp,
+    rng: &mut StdRng,
+    categories: &Vocabulary,
+    descriptors: &Vocabulary,
+    terms: &Vocabulary,
+    universe: &EntityUniverse,
+    cat_zipf: &Zipf,
+    desc_zipf: &Zipf,
+    term_zipf: &Zipf,
+    slice_zipf: &Zipf,
+) -> Document {
+    let n_cats = rng.gen_range(1..=2);
+    let n_descs = rng.gen_range(2..=4);
+    let n_terms = rng.gen_range(20..=60);
+    let n_mentions = rng.gen_range(1..=3);
+
+    let mut cat_ranks: Vec<usize> = Vec::with_capacity(n_cats);
+    for _ in 0..n_cats {
+        cat_ranks.push(cat_zipf.sample(rng));
+    }
+    let mut tags: Vec<TagId> = Vec::with_capacity(n_cats + n_descs);
+    for &r in &cat_ranks {
+        tags.push(categories.id(r));
+    }
+    for _ in 0..n_descs {
+        tags.push(descriptors.id(desc_zipf.sample(rng)));
+    }
+
+    // Topically coherent terms: ~45% from the primary category's slice,
+    // the rest global chatter.
+    let primary_cat = cat_ranks[0];
+    let term_ids: Vec<TagId> = (0..n_terms)
+        .map(|_| {
+            if rng.gen_bool(0.45) {
+                terms.id(slice_rank(primary_cat, slice_zipf.sample(rng), terms.len()))
+            } else {
+                terms.id(term_zipf.sample(rng))
+            }
+        })
+        .collect();
+
+    // Full text: filler terms with entity names embedded — the input the
+    // entity tagger scans with its ≤4-term window.
+    let mut text = String::with_capacity(n_terms * 8);
+    let mention_positions: Vec<usize> = (0..n_mentions).map(|_| rng.gen_range(0..n_terms)).collect();
+    for (i, term) in term_ids.iter().enumerate() {
+        if i > 0 {
+            text.push(' ');
+        }
+        if mention_positions.contains(&i) {
+            text.push_str(&universe.sample(rng).name);
+            text.push(' ');
+        }
+        // Interner ids always resolve; the vocabulary interned them.
+        text.push_str(terms.word(term_rank(terms, *term)));
+    }
+
+    Document::builder(id, ts).tags(tags).terms(term_ids).text(text).build()
+}
+
+/// Rank of `id` within `vocab` (ids are dense in interning order).
+fn term_rank(vocab: &Vocabulary, id: TagId) -> usize {
+    // Vocabulary ids are contiguous from the first interned id.
+    let first = vocab.id(0).0;
+    (id.0 - first) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> NytConfig {
+        NytConfig {
+            seed: 42,
+            days: 30,
+            docs_per_day: 50,
+            n_categories: 10,
+            n_descriptors: 80,
+            n_entities: 50,
+            n_terms: 200,
+            historic_events: 3,
+        }
+    }
+
+    #[test]
+    fn generates_sorted_timestamped_docs() {
+        let archive = NytArchive::generate(&small_config());
+        assert!(archive.len() >= 30 * 50, "background volume");
+        for w in archive.docs.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp, "sorted by time");
+        }
+        let last = archive.docs.last().unwrap();
+        assert!(last.timestamp < Timestamp::from_days(30));
+    }
+
+    #[test]
+    fn docs_carry_tags_terms_and_text() {
+        let archive = NytArchive::generate(&small_config());
+        for doc in archive.docs.iter().take(100) {
+            assert!(!doc.tags.is_empty(), "every article is categorised");
+            assert!(doc.terms.len() >= 20);
+            assert!(doc.text.as_ref().is_some_and(|t| !t.is_empty()));
+        }
+    }
+
+    #[test]
+    fn events_inject_co_tagged_docs_in_window() {
+        let archive = NytArchive::generate(&small_config());
+        assert_eq!(archive.script.len(), 3);
+        for event in archive.script.events() {
+            let in_window = archive
+                .docs
+                .iter()
+                .filter(|d| event.active_at(d.timestamp))
+                .filter(|d| d.has_tag(event.tag_a) && d.has_tag(event.tag_b))
+                .count();
+            let outside = archive
+                .docs
+                .iter()
+                .filter(|d| !event.active_at(d.timestamp))
+                .filter(|d| d.has_tag(event.tag_a) && d.has_tag(event.tag_b))
+                .count();
+            assert!(in_window > 0, "event {} emitted no co-tagged docs", event.name);
+            // Compare per-day co-occurrence rates: inside the window the
+            // pair must co-occur clearly more often than the random
+            // background co-occurrence outside it.
+            let window_days = (event.end.since(event.start) / Timestamp::DAY).max(1) as f64;
+            let outside_days = (30.0 - window_days).max(1.0);
+            let in_rate = in_window as f64 / window_days;
+            let out_rate = outside as f64 / outside_days;
+            assert!(
+                in_rate > 2.0 * out_rate.max(0.1),
+                "event {}: in-rate {in_rate:.2}/day vs out-rate {out_rate:.2}/day",
+                event.name,
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NytArchive::generate(&small_config());
+        let b = NytArchive::generate(&small_config());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.docs.iter().zip(&b.docs).take(500) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.timestamp, y.timestamp);
+            assert_eq!(x.tags, y.tags);
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_archive() {
+        let a = NytArchive::generate(&small_config());
+        let mut cfg = small_config();
+        cfg.seed = 43;
+        let b = NytArchive::generate(&cfg);
+        let differing = a.docs.iter().zip(&b.docs).take(100).filter(|(x, y)| x.tags != y.tags).count();
+        assert!(differing > 50);
+    }
+
+    #[test]
+    fn entity_names_are_taggable_in_text() {
+        let archive = NytArchive::generate(&small_config());
+        let tagger = enblogue_entity::tagger::EntityTagger::new(std::sync::Arc::clone(&archive.universe.gazetteer));
+        let tagged = archive
+            .docs
+            .iter()
+            .take(200)
+            .filter(|d| !tagger.tag_text(d.text.as_ref().unwrap()).is_empty())
+            .count();
+        assert!(tagged > 150, "most docs embed at least one recognisable entity; got {tagged}/200");
+    }
+
+    #[test]
+    fn zero_events_config_is_pure_background() {
+        let mut cfg = small_config();
+        cfg.historic_events = 0;
+        let archive = NytArchive::generate(&cfg);
+        assert!(archive.script.is_empty());
+        assert_eq!(archive.len(), 30 * 50);
+    }
+
+    #[test]
+    fn events_preserve_individual_tag_volumes() {
+        // The conversion design's whole point: an event must not change
+        // how often its tags appear, only how often they appear *together*.
+        let with_events = NytArchive::generate(&small_config());
+        let mut cfg = small_config();
+        cfg.historic_events = 0;
+        let without_events = NytArchive::generate(&cfg);
+        assert_eq!(with_events.len(), without_events.len(), "no documents added");
+
+        for event in with_events.script.events() {
+            // The descriptor's total volume is bit-identical (conversion
+            // only touches the category side of other docs).
+            let count_b =
+                |docs: &[enblogue_types::Document]| docs.iter().filter(|d| d.has_tag(event.tag_b)).count();
+            assert_eq!(
+                count_b(&with_events.docs),
+                count_b(&without_events.docs),
+                "descriptor volume must be preserved for {}",
+                event.name
+            );
+            // The category's volume moves only by the converted documents.
+            let count_a =
+                |docs: &[enblogue_types::Document]| docs.iter().filter(|d| d.has_tag(event.tag_a)).count();
+            let delta = count_a(&with_events.docs) as i64 - count_a(&without_events.docs) as i64;
+            let baseline = count_a(&without_events.docs) as i64;
+            assert!(
+                delta.unsigned_abs() as i64 <= baseline / 5,
+                "category volume shift too large for {}: {delta} on {baseline}",
+                event.name
+            );
+        }
+    }
+}

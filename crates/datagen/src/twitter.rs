@@ -1,0 +1,268 @@
+//! Tweet-stream generator: Show Case 2's workload.
+//!
+//! Models the paper's live-data demo: heavy-tailed hashtag chatter at
+//! per-minute resolution, with planted correlation events — including the
+//! paper's stunt of getting "a topic regarding SIGMOD and Athens in a
+//! highly ranked position in the list of the emergent topics".
+
+use crate::events::{CorrelationEvent, EventScript, RampShape};
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use enblogue_types::{Document, TagId, TagInterner, TagKind, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic tweet stream.
+#[derive(Debug, Clone)]
+pub struct TweetConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Stream length in hours.
+    pub hours: u64,
+    /// Background tweets per minute.
+    pub tweets_per_minute: u64,
+    /// Hashtag vocabulary size.
+    pub n_hashtags: usize,
+    /// Content-term vocabulary size.
+    pub n_terms: usize,
+    /// Number of generic planted correlation events.
+    pub planted_events: usize,
+    /// Inject the paper's "SIGMOD Athens" stunt (a sigmoid-rising pair in
+    /// the second half of the stream).
+    pub sigmod_stunt: bool,
+}
+
+impl Default for TweetConfig {
+    /// 48 hours × 20 tweets/min ≈ 57 k tweets, 3 planted events + stunt.
+    fn default() -> Self {
+        TweetConfig {
+            seed: 0x7137,
+            hours: 48,
+            tweets_per_minute: 20,
+            n_hashtags: 500,
+            n_terms: 1_500,
+            planted_events: 3,
+            sigmod_stunt: true,
+        }
+    }
+}
+
+/// The generated stream.
+pub struct TweetStream {
+    /// All tweets, sorted by timestamp.
+    pub docs: Vec<Document>,
+    /// Planted events (ground truth); the stunt event is named
+    /// `"sigmod-athens"`.
+    pub script: EventScript,
+    /// The shared interner.
+    pub interner: TagInterner,
+    /// Hashtag vocabulary (rank 0 = most popular).
+    pub hashtags: Vocabulary,
+    /// The stunt pair's ids `(sigmod, athens)`, if enabled.
+    pub stunt_pair: Option<(TagId, TagId)>,
+}
+
+impl TweetStream {
+    /// Generates the stream for `config`.
+    pub fn generate(config: &TweetConfig) -> Self {
+        assert!(config.hours > 0 && config.tweets_per_minute > 0, "stream must be non-empty");
+        assert!(config.n_hashtags >= 16, "hashtag vocabulary too small");
+        let interner = TagInterner::new();
+        let hashtags =
+            Vocabulary::generate(&interner, TagKind::Hashtag, config.n_hashtags, config.seed ^ 0x4A58);
+        let terms = Vocabulary::generate(&interner, TagKind::Term, config.n_terms, config.seed ^ 0x7E12);
+
+        let mut script = EventScript::new();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5C17);
+        let total_minutes = config.hours * 60;
+        for i in 0..config.planted_events {
+            // Popular × niche hashtag pair, like the archive events.
+            let popular = rng.gen_range(0..12.min(hashtags.len()));
+            let niche = rng.gen_range(hashtags.len() / 2..hashtags.len());
+            let start_min = rng.gen_range(total_minutes / 5..total_minutes * 3 / 5);
+            let duration = rng.gen_range(total_minutes / 12..total_minutes / 6);
+            let peak = (config.tweets_per_minute as f64 * rng.gen_range(0.10..0.25)).max(1.0);
+            let shapes = [RampShape::Sigmoid, RampShape::Spike, RampShape::Linear];
+            script.push(CorrelationEvent::new(
+                format!("planted-{i}"),
+                hashtags.id(popular),
+                hashtags.id(niche),
+                Timestamp::from_minutes(start_min),
+                Timestamp::from_minutes(start_min + duration),
+                peak,
+                shapes[i % shapes.len()],
+            ));
+        }
+        let stunt_pair = if config.sigmod_stunt {
+            let sigmod = interner.intern("sigmod", TagKind::Hashtag);
+            let athens = interner.intern("athens", TagKind::Hashtag);
+            script.push(CorrelationEvent::new(
+                "sigmod-athens",
+                sigmod,
+                athens,
+                Timestamp::from_minutes(total_minutes / 2),
+                Timestamp::from_minutes(total_minutes),
+                (config.tweets_per_minute as f64 * 0.15).max(1.0),
+                RampShape::Sigmoid,
+            ));
+            Some((sigmod, athens))
+        } else {
+            None
+        };
+
+        let tag_zipf = Zipf::new(config.n_hashtags, 1.0);
+        let term_zipf = Zipf::new(config.n_terms, 1.0);
+        let mut gen_rng = StdRng::seed_from_u64(config.seed);
+        let mut docs = Vec::with_capacity((total_minutes * config.tweets_per_minute) as usize);
+        let mut next_id: u64 = 1;
+        let mut carry = vec![0.0f64; script.len()];
+
+        for minute in 0..total_minutes {
+            let minute_start = Timestamp::from_minutes(minute);
+            for _ in 0..config.tweets_per_minute {
+                let ts = minute_start.plus(gen_rng.gen_range(0..Timestamp::MINUTE));
+                docs.push(background_tweet(next_id, ts, &mut gen_rng, &hashtags, &terms, &tag_zipf, &term_zipf));
+                next_id += 1;
+            }
+            for (i, event) in script.events().iter().enumerate() {
+                let rate = event.rate_at(minute_start) + carry[i];
+                let emit = rate.floor() as u64;
+                carry[i] = rate - emit as f64;
+                for _ in 0..emit {
+                    let ts = minute_start.plus(gen_rng.gen_range(0..Timestamp::MINUTE));
+                    let mut doc =
+                        background_tweet(next_id, ts, &mut gen_rng, &hashtags, &terms, &tag_zipf, &term_zipf);
+                    doc.tags.push(event.tag_a);
+                    doc.tags.push(event.tag_b);
+                    doc.normalize();
+                    docs.push(doc);
+                    next_id += 1;
+                }
+            }
+        }
+        docs.sort_by_key(|d| (d.timestamp, d.id));
+        TweetStream { docs, script, interner, hashtags, stunt_pair }
+    }
+
+    /// Total number of tweets.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+fn background_tweet(
+    id: u64,
+    ts: Timestamp,
+    rng: &mut StdRng,
+    hashtags: &Vocabulary,
+    terms: &Vocabulary,
+    tag_zipf: &Zipf,
+    term_zipf: &Zipf,
+) -> Document {
+    let n_tags = rng.gen_range(1..=3);
+    let n_terms = rng.gen_range(5..=15);
+    let tags: Vec<TagId> = (0..n_tags).map(|_| hashtags.id(tag_zipf.sample(rng))).collect();
+    let term_ids: Vec<TagId> = (0..n_terms).map(|_| terms.id(term_zipf.sample(rng))).collect();
+    // Tweets are short; text is just the terms (no entity embedding — the
+    // live pipeline tags entities from the same text path regardless).
+    let mut text = String::with_capacity(n_terms * 8);
+    let first_term = terms.id(0).0;
+    for (i, t) in term_ids.iter().enumerate() {
+        if i > 0 {
+            text.push(' ');
+        }
+        text.push_str(terms.word((t.0 - first_term) as usize));
+    }
+    Document::builder(id, ts).tags(tags).terms(term_ids).text(text).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> TweetConfig {
+        TweetConfig {
+            seed: 7,
+            hours: 4,
+            tweets_per_minute: 5,
+            n_hashtags: 50,
+            n_terms: 100,
+            planted_events: 2,
+            sigmod_stunt: true,
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_and_sized() {
+        let stream = TweetStream::generate(&small_config());
+        assert!(stream.len() >= 4 * 60 * 5);
+        for w in stream.docs.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn stunt_event_is_planted_in_second_half() {
+        let stream = TweetStream::generate(&small_config());
+        let (sigmod, athens) = stream.stunt_pair.expect("stunt enabled");
+        let stunt = stream
+            .script
+            .events()
+            .iter()
+            .find(|e| e.name == "sigmod-athens")
+            .expect("stunt event scripted");
+        assert_eq!(stunt.pair(), enblogue_types::TagPair::new(sigmod, athens));
+        assert!(stunt.start >= Timestamp::from_hours(2));
+        // Co-tagged tweets appear near the end (sigmoid peaks late).
+        let late_cooccur = stream
+            .docs
+            .iter()
+            .filter(|d| d.timestamp >= Timestamp::from_hours(3))
+            .filter(|d| d.has_tag(sigmod) && d.has_tag(athens))
+            .count();
+        assert!(late_cooccur > 0, "stunt produced no co-tagged tweets late in the stream");
+        let early_cooccur = stream
+            .docs
+            .iter()
+            .filter(|d| d.timestamp < Timestamp::from_hours(2))
+            .filter(|d| d.has_tag(sigmod) && d.has_tag(athens))
+            .count();
+        assert_eq!(early_cooccur, 0, "stunt must not leak before its start");
+    }
+
+    #[test]
+    fn stunt_can_be_disabled() {
+        let mut cfg = small_config();
+        cfg.sigmod_stunt = false;
+        let stream = TweetStream::generate(&cfg);
+        assert!(stream.stunt_pair.is_none());
+        assert!(stream.script.events().iter().all(|e| e.name != "sigmod-athens"));
+        assert_eq!(stream.script.len(), 2);
+    }
+
+    #[test]
+    fn tweets_are_short_and_tagged() {
+        let stream = TweetStream::generate(&small_config());
+        for doc in stream.docs.iter().take(200) {
+            assert!(!doc.tags.is_empty());
+            assert!(doc.tags.len() <= 5);
+            assert!(doc.terms.len() <= 15);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = TweetStream::generate(&small_config());
+        let b = TweetStream::generate(&small_config());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.docs.iter().zip(&b.docs).take(300) {
+            assert_eq!(x.tags, y.tags);
+            assert_eq!(x.timestamp, y.timestamp);
+        }
+    }
+}

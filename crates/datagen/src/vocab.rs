@@ -1,0 +1,139 @@
+//! Pseudo-word vocabularies for tags and content terms.
+//!
+//! Generates pronounceable, collision-free synthetic words so experiment
+//! output is human-readable ("beruno kilatu" instead of "tag_1234"), and
+//! maps them into the shared [`TagInterner`].
+
+use enblogue_types::{TagId, TagInterner, TagKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ONSETS: [&str; 16] =
+    ["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st"];
+const VOWELS: [&str; 6] = ["a", "e", "i", "o", "u", "ai"];
+
+/// Generates a pseudo-word of `syllables` syllables.
+pub fn pseudo_word(rng: &mut impl Rng, syllables: usize) -> String {
+    let mut word = String::with_capacity(syllables * 3);
+    for _ in 0..syllables.max(1) {
+        word.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        word.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+    }
+    word
+}
+
+/// A seeded vocabulary of distinct pseudo-words interned as tags.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    ids: Vec<TagId>,
+    kind: TagKind,
+}
+
+impl Vocabulary {
+    /// Generates `size` distinct words of 2–4 syllables, interning each
+    /// under `kind`.
+    pub fn generate(interner: &TagInterner, kind: TagKind, size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::with_capacity(size);
+        let mut words = Vec::with_capacity(size);
+        let mut ids = Vec::with_capacity(size);
+        while words.len() < size {
+            let syllables = rng.gen_range(2..=4);
+            let word = pseudo_word(&mut rng, syllables);
+            if !seen.insert(word.clone()) {
+                continue;
+            }
+            let id = interner.intern(&word, kind);
+            words.push(word);
+            ids.push(id);
+        }
+        Vocabulary { words, ids, kind }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The tag kind of every word.
+    pub fn kind(&self) -> TagKind {
+        self.kind
+    }
+
+    /// The word at `rank` (0 = first generated).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// The interned id at `rank`.
+    pub fn id(&self, rank: usize) -> TagId {
+        self.ids[rank]
+    }
+
+    /// All interned ids in rank order.
+    pub fn ids(&self) -> &[TagId] {
+        &self.ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_distinct_and_interned() {
+        let interner = TagInterner::new();
+        let vocab = Vocabulary::generate(&interner, TagKind::Hashtag, 200, 1);
+        assert_eq!(vocab.len(), 200);
+        let distinct: std::collections::HashSet<&str> = (0..200).map(|i| vocab.word(i)).collect();
+        assert_eq!(distinct.len(), 200);
+        for i in 0..200 {
+            assert_eq!(interner.get(vocab.word(i), TagKind::Hashtag), Some(vocab.id(i)));
+        }
+        assert_eq!(vocab.kind(), TagKind::Hashtag);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let i1 = TagInterner::new();
+        let v1 = Vocabulary::generate(&i1, TagKind::Term, 50, 99);
+        let i2 = TagInterner::new();
+        let v2 = Vocabulary::generate(&i2, TagKind::Term, 50, 99);
+        for i in 0..50 {
+            assert_eq!(v1.word(i), v2.word(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let interner = TagInterner::new();
+        let v1 = Vocabulary::generate(&interner, TagKind::Term, 20, 1);
+        let v2 = Vocabulary::generate(&interner, TagKind::Term, 20, 2);
+        let same = (0..20).filter(|&i| v1.word(i) == v2.word(i)).count();
+        assert!(same < 20, "seeds must change the vocabulary");
+    }
+
+    #[test]
+    fn pseudo_words_are_pronounceable_ascii() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = pseudo_word(&mut rng, 3);
+            assert!(w.is_ascii());
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(w.len() >= 6, "3 syllables are at least 6 chars: {w}");
+        }
+    }
+
+    #[test]
+    fn zero_syllables_clamped_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = pseudo_word(&mut rng, 0);
+        assert!(!w.is_empty());
+    }
+}

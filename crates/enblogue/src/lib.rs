@@ -1,0 +1,74 @@
+//! # EnBlogue — emergent topic detection in Web 2.0 streams
+//!
+//! A complete Rust implementation of the EnBlogue system (Alvanaki,
+//! Michel, Ramamritham, Weikum — SIGMOD 2011): continuous monitoring of
+//! document streams for *emergent topics*, i.e. sudden, unpredictable
+//! shifts in the correlation of tag pairs — as opposed to mere single-tag
+//! burstiness.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `enblogue-types` | documents, tags, pairs, ticks, rankings |
+//! | [`window`] | `enblogue-window` | sliding windows, sketches, decay, top-k |
+//! | [`stats`] | `enblogue-stats` | correlation measures, divergences, predictors |
+//! | [`stream`] | `enblogue-stream` | push-based operator DAG + executors |
+//! | [`entity`] | `enblogue-entity` | gazetteer + ontology entity tagging |
+//! | [`core`] | `enblogue-core` | the EnBlogue engine, personalization, push broker |
+//! | [`datagen`] | `enblogue-datagen` | synthetic NYT / Twitter / RSS workloads |
+//! | [`baseline`] | `enblogue-baseline` | TwitterMonitor-style burst baseline |
+//!
+//! The [`prelude`] pulls in the names needed by typical applications; see
+//! the `examples/` directory for runnable end-to-end scenarios
+//! (`quickstart`, `historic_events`, `live_stream`, `personalization`,
+//! `entity_tagging`, `engine_tuning`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use enblogue_baseline as baseline;
+pub use enblogue_core as core;
+pub use enblogue_datagen as datagen;
+pub use enblogue_entity as entity;
+pub use enblogue_stats as stats;
+pub use enblogue_stream as stream;
+pub use enblogue_types as types;
+pub use enblogue_window as window;
+
+/// The names most applications need.
+pub mod prelude {
+    pub use enblogue_core::config::{EnBlogueConfig, MeasureKind, SeedStrategy};
+    pub use enblogue_core::engine::{EnBlogueEngine, EngineMetrics};
+    pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
+    pub use enblogue_core::ops::{EngineOp, EntityTagOp};
+    pub use enblogue_core::personalization::{
+        jaccard_at_k, personalize, PersonalizedRanking, UserProfile,
+    };
+    pub use enblogue_core::pipeline::PipelineBuilder;
+    pub use enblogue_core::rankdiff::{diff as ranking_diff, kendall_tau, RankChange, RankingHistory};
+    pub use enblogue_entity::gazetteer::{Gazetteer, GazetteerBuilder};
+    pub use enblogue_entity::ontology::{Ontology, OntologyBuilder};
+    pub use enblogue_entity::tagger::EntityTagger;
+    pub use enblogue_stats::correlation::CorrelationMeasure;
+    pub use enblogue_stats::predict::PredictorKind;
+    pub use enblogue_stats::shift::ErrorNormalization;
+    pub use enblogue_stream::exec::{run_graph, run_graph_threaded};
+    pub use enblogue_stream::graph::Graph;
+    pub use enblogue_stream::source::{MergeSource, ReplaySource};
+    pub use enblogue_types::{
+        Document, RankingSnapshot, TagId, TagInterner, TagKind, TagPair, Tick, TickSpec, Timestamp,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reaches_everything() {
+        use crate::prelude::*;
+        let interner = TagInterner::new();
+        let _ = interner.intern("smoke", TagKind::Hashtag);
+        let config = EnBlogueConfig::builder().build().unwrap();
+        let _ = EnBlogueEngine::new(config);
+    }
+}

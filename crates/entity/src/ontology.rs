@@ -1,0 +1,300 @@
+//! A YAGO-style ontology: typed entities over a subtype DAG.
+//!
+//! The paper's second filter: "lookups in an ontology (e.g., YAGO), which
+//! allows us to focus on particular entity types." Types form a DAG
+//! (`politician ⊑ person`, `city ⊑ location`); an entity passes a type
+//! filter if any of its direct types is a (transitive) subtype of any
+//! allowed type.
+
+use crate::gazetteer::EntityId;
+use enblogue_types::{FxHashMap, FxHashSet};
+use std::sync::Arc;
+
+/// Identifier of a type within an [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TypeNode {
+    name: Arc<str>,
+    parents: Vec<TypeId>,
+}
+
+/// Immutable type DAG + entity typing.
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    types: Vec<TypeNode>,
+    by_name: FxHashMap<String, TypeId>,
+    /// Direct types per entity.
+    entity_types: FxHashMap<EntityId, Vec<TypeId>>,
+    /// Transitive supertype closure per type (includes the type itself).
+    closure: Vec<FxHashSet<TypeId>>,
+}
+
+impl Ontology {
+    /// Starts building an ontology.
+    pub fn builder() -> OntologyBuilder {
+        OntologyBuilder::default()
+    }
+
+    /// Number of types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Resolves a type name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(&name.trim().to_lowercase()).copied()
+    }
+
+    /// The name of `id`.
+    pub fn type_name(&self, id: TypeId) -> Option<Arc<str>> {
+        self.types.get(id.index()).map(|t| t.name.clone())
+    }
+
+    /// Whether `sub` is `sup` or a transitive subtype of it.
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        self.closure.get(sub.index()).is_some_and(|c| c.contains(&sup))
+    }
+
+    /// The direct types of `entity` (empty if untyped).
+    pub fn types_of(&self, entity: EntityId) -> &[TypeId] {
+        self.entity_types.get(&entity).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All types of `entity` including transitive supertypes.
+    pub fn all_types_of(&self, entity: EntityId) -> FxHashSet<TypeId> {
+        let mut out = FxHashSet::default();
+        for &t in self.types_of(entity) {
+            out.extend(self.closure[t.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Whether `entity` has `wanted` among its types, transitively.
+    pub fn entity_has_type(&self, entity: EntityId, wanted: TypeId) -> bool {
+        self.types_of(entity).iter().any(|&t| self.is_subtype(t, wanted))
+    }
+
+    /// Whether `entity` matches *any* of `allowed` (transitively).
+    ///
+    /// An empty `allowed` slice means "no filter" and admits everything —
+    /// including untyped entities.
+    pub fn passes_filter(&self, entity: EntityId, allowed: &[TypeId]) -> bool {
+        if allowed.is_empty() {
+            return true;
+        }
+        allowed.iter().any(|&wanted| self.entity_has_type(entity, wanted))
+    }
+}
+
+/// Builder for [`Ontology`].
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    types: Vec<TypeNode>,
+    by_name: FxHashMap<String, TypeId>,
+    entity_types: FxHashMap<EntityId, Vec<TypeId>>,
+}
+
+impl OntologyBuilder {
+    /// Adds (or finds) a root type.
+    pub fn add_type(&mut self, name: &str) -> TypeId {
+        self.add_subtype(name, &[])
+    }
+
+    /// Adds (or finds) a type with the given parent types.
+    ///
+    /// Parents must already exist; re-adding a type merges parent lists.
+    ///
+    /// # Panics
+    /// Panics if the name is empty or a parent id is unknown.
+    pub fn add_subtype(&mut self, name: &str, parents: &[TypeId]) -> TypeId {
+        let key = name.trim().to_lowercase();
+        assert!(!key.is_empty(), "type name must not be empty");
+        for p in parents {
+            assert!(p.index() < self.types.len(), "unknown parent type {p:?}");
+        }
+        if let Some(&id) = self.by_name.get(&key) {
+            for &p in parents {
+                assert_ne!(p, id, "type `{key}` cannot be its own parent");
+                if !self.types[id.index()].parents.contains(&p) {
+                    self.types[id.index()].parents.push(p);
+                }
+            }
+            return id;
+        }
+        let id = TypeId(u32::try_from(self.types.len()).expect("too many types"));
+        self.types.push(TypeNode { name: Arc::from(key.as_str()), parents: parents.to_vec() });
+        self.by_name.insert(key, id);
+        id
+    }
+
+    /// Declares that `entity` has direct type `type_id`.
+    ///
+    /// # Panics
+    /// Panics if `type_id` is unknown.
+    pub fn assign(&mut self, entity: EntityId, type_id: TypeId) {
+        assert!(type_id.index() < self.types.len(), "unknown type {type_id:?}");
+        let types = self.entity_types.entry(entity).or_default();
+        if !types.contains(&type_id) {
+            types.push(type_id);
+        }
+    }
+
+    /// Finalises the ontology, computing the supertype closure.
+    ///
+    /// # Panics
+    /// Panics if the parent relation contains a cycle (a type DAG is
+    /// acyclic by construction in YAGO; a cycle is a data bug).
+    pub fn build(self) -> Ontology {
+        let n = self.types.len();
+        let mut closure: Vec<FxHashSet<TypeId>> = vec![FxHashSet::default(); n];
+        // Depth-first closure with cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            White,
+            Grey,
+            Black,
+        }
+        let mut state = vec![State::White; n];
+        fn visit(
+            i: usize,
+            types: &[TypeNode],
+            state: &mut [State],
+            closure: &mut [FxHashSet<TypeId>],
+        ) {
+            match state[i] {
+                State::Black => return,
+                State::Grey => panic!("cycle in type hierarchy at `{}`", types[i].name),
+                State::White => {}
+            }
+            state[i] = State::Grey;
+            let mut acc = FxHashSet::default();
+            acc.insert(TypeId(i as u32));
+            let parents = types[i].parents.clone();
+            for p in parents {
+                visit(p.index(), types, state, closure);
+                acc.extend(closure[p.index()].iter().copied());
+            }
+            closure[i] = acc;
+            state[i] = State::Black;
+        }
+        for i in 0..n {
+            visit(i, &self.types, &mut state, &mut closure);
+        }
+        Ontology { types: self.types, by_name: self.by_name, entity_types: self.entity_types, closure }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Ontology, TypeId, TypeId, TypeId, TypeId) {
+        let mut b = Ontology::builder();
+        let person = b.add_type("person");
+        let politician = b.add_subtype("politician", &[person]);
+        let location = b.add_type("location");
+        let city = b.add_subtype("city", &[location]);
+        b.assign(EntityId(0), politician); // obama
+        b.assign(EntityId(1), city); // athens
+        (b.build(), person, politician, location, city)
+    }
+
+    #[test]
+    fn subtype_is_reflexive_and_transitive() {
+        let mut b = Ontology::builder();
+        let a = b.add_type("a");
+        let bb = b.add_subtype("b", &[a]);
+        let c = b.add_subtype("c", &[bb]);
+        let ont = b.build();
+        assert!(ont.is_subtype(c, c), "reflexive");
+        assert!(ont.is_subtype(c, bb));
+        assert!(ont.is_subtype(c, a), "transitive");
+        assert!(!ont.is_subtype(a, c), "not symmetric");
+    }
+
+    #[test]
+    fn multiple_inheritance_closure() {
+        let mut b = Ontology::builder();
+        let person = b.add_type("person");
+        let artist = b.add_subtype("artist", &[person]);
+        let politician = b.add_subtype("politician", &[person]);
+        let actor_politician = b.add_subtype("actor politician", &[artist, politician]);
+        let ont = b.build();
+        assert!(ont.is_subtype(actor_politician, artist));
+        assert!(ont.is_subtype(actor_politician, politician));
+        assert!(ont.is_subtype(actor_politician, person));
+    }
+
+    #[test]
+    fn entity_typing_and_filters() {
+        let (ont, person, politician, location, _city) = sample();
+        assert!(ont.entity_has_type(EntityId(0), politician));
+        assert!(ont.entity_has_type(EntityId(0), person), "via closure");
+        assert!(!ont.entity_has_type(EntityId(0), location));
+
+        assert!(ont.passes_filter(EntityId(0), &[person]));
+        assert!(!ont.passes_filter(EntityId(1), &[person]));
+        assert!(ont.passes_filter(EntityId(1), &[location, person]));
+        assert!(ont.passes_filter(EntityId(99), &[]), "empty filter admits untyped entities");
+        assert!(!ont.passes_filter(EntityId(99), &[person]), "typed filter rejects untyped entities");
+    }
+
+    #[test]
+    fn all_types_of_includes_closure() {
+        let (ont, person, politician, _, _) = sample();
+        let all = ont.all_types_of(EntityId(0));
+        assert!(all.contains(&politician));
+        assert!(all.contains(&person));
+        assert_eq!(ont.types_of(EntityId(0)), &[politician], "direct types stay direct");
+    }
+
+    #[test]
+    fn names_resolve_case_insensitively() {
+        let (ont, person, ..) = sample();
+        assert_eq!(ont.type_id("Person"), Some(person));
+        assert_eq!(ont.type_id(" PERSON "), Some(person));
+        assert_eq!(ont.type_id("nonexistent"), None);
+        assert_eq!(ont.type_name(person).as_deref(), Some("person"));
+    }
+
+    #[test]
+    fn readding_type_merges_parents() {
+        let mut b = Ontology::builder();
+        let a = b.add_type("a");
+        let c = b.add_type("c");
+        let x1 = b.add_subtype("x", &[a]);
+        let x2 = b.add_subtype("x", &[c]);
+        assert_eq!(x1, x2);
+        let ont = b.build();
+        assert!(ont.is_subtype(x1, a));
+        assert!(ont.is_subtype(x1, c));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle in type hierarchy")]
+    fn cycles_panic_at_build() {
+        let mut b = Ontology::builder();
+        let a = b.add_type("a");
+        let bb = b.add_subtype("b", &[a]);
+        // Force a cycle by re-adding `a` with parent `b`.
+        b.add_subtype("a", &[bb]);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent type")]
+    fn unknown_parent_panics() {
+        let mut b = Ontology::builder();
+        b.add_subtype("x", &[TypeId(42)]);
+    }
+}

@@ -1,0 +1,264 @@
+//! The sliding-window entity tagger.
+//!
+//! §3: "we scan its text content with a sliding window of up to 4
+//! successive terms, and check whether substrings of these match the title
+//! of a Wikipedia article", with redirect canonicalisation and an optional
+//! ontology type filter.
+
+use crate::gazetteer::{EntityId, Gazetteer};
+use crate::ontology::{Ontology, TypeId};
+use crate::tokenize::tokenize;
+use std::sync::Arc;
+
+/// One recognised entity occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mention {
+    /// The canonical entity.
+    pub entity: EntityId,
+    /// Canonical name (post-redirect).
+    pub name: Arc<str>,
+    /// Index of the first matched token.
+    pub token_start: usize,
+    /// Number of matched tokens (1..=4).
+    pub token_len: usize,
+}
+
+/// Sliding-window, longest-match entity tagger.
+///
+/// At each token position the tagger probes the dictionary with the
+/// longest window first (up to min(4, dictionary max)); on a hit it emits
+/// the mention and continues *after* it (mentions never overlap), matching
+/// the greedy behaviour of dictionary annotators. An optional ontology
+/// filter restricts output "to focus on particular entity types".
+#[derive(Debug, Clone)]
+pub struct EntityTagger {
+    gazetteer: Arc<Gazetteer>,
+    ontology: Option<Arc<Ontology>>,
+    type_filter: Vec<TypeId>,
+}
+
+impl EntityTagger {
+    /// A tagger over `gazetteer` with no type filtering.
+    pub fn new(gazetteer: Arc<Gazetteer>) -> Self {
+        EntityTagger { gazetteer, ontology: None, type_filter: Vec::new() }
+    }
+
+    /// Attaches an ontology (needed before [`Self::with_type_filter`]).
+    #[must_use]
+    pub fn with_ontology(mut self, ontology: Arc<Ontology>) -> Self {
+        self.ontology = Some(ontology);
+        self
+    }
+
+    /// Restricts output to entities matching any of `allowed` types
+    /// (transitively).
+    ///
+    /// # Panics
+    /// Panics if no ontology is attached.
+    #[must_use]
+    pub fn with_type_filter(mut self, allowed: Vec<TypeId>) -> Self {
+        assert!(self.ontology.is_some(), "a type filter requires an ontology");
+        self.type_filter = allowed;
+        self
+    }
+
+    /// The underlying dictionary.
+    pub fn gazetteer(&self) -> &Gazetteer {
+        &self.gazetteer
+    }
+
+    fn admits(&self, entity: EntityId) -> bool {
+        match (&self.ontology, self.type_filter.is_empty()) {
+            (_, true) => true,
+            (Some(ont), false) => ont.passes_filter(entity, &self.type_filter),
+            (None, false) => unreachable!("type filter without ontology is rejected at construction"),
+        }
+    }
+
+    /// Tags raw text, returning non-overlapping mentions left to right.
+    pub fn tag_text(&self, text: &str) -> Vec<Mention> {
+        let tokens = tokenize(text);
+        self.tag_tokens(&tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>())
+    }
+
+    /// Tags an already-tokenised term sequence (terms must be normalised
+    /// lowercase, as produced by [`crate::tokenize::tokenize`]).
+    pub fn tag_tokens(&self, tokens: &[&str]) -> Vec<Mention> {
+        let mut mentions = Vec::new();
+        let max_window = Gazetteer::MAX_NGRAM.min(self.gazetteer.max_phrase_len());
+        if max_window == 0 {
+            return mentions;
+        }
+        let mut phrase = String::new();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let longest = max_window.min(tokens.len() - i);
+            let mut matched = 0usize;
+            for window in (1..=longest).rev() {
+                phrase.clear();
+                for (j, token) in tokens[i..i + window].iter().enumerate() {
+                    if j > 0 {
+                        phrase.push(' ');
+                    }
+                    phrase.push_str(token);
+                }
+                if let Some(entity) = self.gazetteer.lookup_normalized(&phrase) {
+                    if self.admits(entity) {
+                        let name = self.gazetteer.canonical_name(entity).expect("id from this gazetteer");
+                        mentions.push(Mention { entity, name, token_start: i, token_len: window });
+                        matched = window;
+                        break;
+                    }
+                    // A filtered-out entity does not block shorter matches
+                    // at the same position (e.g. "new york city" typed as
+                    // location vs "new york" typed as newspaper).
+                }
+            }
+            i += if matched > 0 { matched } else { 1 };
+        }
+        mentions
+    }
+
+    /// Distinct canonical entities mentioned in `text`, sorted by id.
+    pub fn distinct_entities(&self, text: &str) -> Vec<EntityId> {
+        let mut ids: Vec<EntityId> = self.tag_text(text).into_iter().map(|m| m.entity).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::GazetteerBuilder;
+
+    fn gaz() -> (Arc<Gazetteer>, EntityId, EntityId, EntityId) {
+        let mut b = GazetteerBuilder::default();
+        let obama = b.add_title("Barack Obama");
+        b.add_redirect("Obama", "Barack Obama");
+        let iceland = b.add_title("Iceland");
+        let volcano_name = b.add_title("Eyjafjallajokull");
+        b.add_redirect("Eyjafjallajoekull volcano", "Eyjafjallajokull");
+        (Arc::new(b.build()), obama, iceland, volcano_name)
+    }
+
+    #[test]
+    fn finds_multiword_entities() {
+        let (g, obama, ..) = gaz();
+        let tagger = EntityTagger::new(g);
+        let mentions = tagger.tag_text("President Barack Obama spoke today.");
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].entity, obama);
+        assert_eq!(mentions[0].token_start, 1);
+        assert_eq!(mentions[0].token_len, 2);
+        assert_eq!(&*mentions[0].name, "barack obama");
+    }
+
+    #[test]
+    fn redirects_map_to_canonical_entity() {
+        let (g, obama, ..) = gaz();
+        let tagger = EntityTagger::new(g);
+        let mentions = tagger.tag_text("Obama visited Iceland");
+        assert_eq!(mentions[0].entity, obama);
+        assert_eq!(&*mentions[0].name, "barack obama", "alias resolves to unique name");
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut b = GazetteerBuilder::default();
+        let ny = b.add_title("New York");
+        let nyc = b.add_title("New York City");
+        let tagger = EntityTagger::new(Arc::new(b.build()));
+        let mentions = tagger.tag_text("I love New York City!");
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].entity, nyc);
+        let mentions = tagger.tag_text("I love New York!");
+        assert_eq!(mentions[0].entity, ny);
+    }
+
+    #[test]
+    fn mentions_do_not_overlap() {
+        let mut b = GazetteerBuilder::default();
+        b.add_title("air traffic");
+        b.add_title("traffic control");
+        let tagger = EntityTagger::new(Arc::new(b.build()));
+        let mentions = tagger.tag_text("air traffic control");
+        // Greedy: "air traffic" consumes tokens 0-1; "traffic control"
+        // cannot start inside it, and token 2 alone matches nothing.
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(&*mentions[0].name, "air traffic");
+    }
+
+    #[test]
+    fn multiple_mentions_in_order() {
+        let (g, obama, iceland, volcano) = gaz();
+        let tagger = EntityTagger::new(g);
+        let mentions = tagger.tag_text("Obama on Eyjafjallajokull: Iceland suffers.");
+        let ids: Vec<EntityId> = mentions.iter().map(|m| m.entity).collect();
+        assert_eq!(ids, vec![obama, volcano, iceland]);
+    }
+
+    #[test]
+    fn distinct_entities_dedups() {
+        let (g, obama, ..) = gaz();
+        let tagger = EntityTagger::new(g);
+        let ids = tagger.distinct_entities("Obama, Obama, Barack Obama!");
+        assert_eq!(ids, vec![obama]);
+    }
+
+    #[test]
+    fn type_filter_restricts_output() {
+        let (g, obama, iceland, _) = gaz();
+        let mut ob = Ontology::builder();
+        let person = ob.add_type("person");
+        let location = ob.add_type("location");
+        ob.assign(obama, person);
+        ob.assign(iceland, location);
+        let ont = Arc::new(ob.build());
+
+        let people_only =
+            EntityTagger::new(Arc::clone(&g)).with_ontology(Arc::clone(&ont)).with_type_filter(vec![person]);
+        let ids = people_only.distinct_entities("Obama visited Iceland");
+        assert_eq!(ids, vec![obama]);
+
+        let everything = EntityTagger::new(g).with_ontology(ont);
+        let ids = everything.distinct_entities("Obama visited Iceland");
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn filtered_long_match_falls_back_to_shorter() {
+        let mut b = GazetteerBuilder::default();
+        let nyc = b.add_title("New York City");
+        let ny = b.add_title("New York");
+        let mut ob = Ontology::builder();
+        let newspaper = ob.add_type("newspaper");
+        let location = ob.add_type("location");
+        ob.assign(nyc, location);
+        ob.assign(ny, newspaper);
+        let tagger = EntityTagger::new(Arc::new(b.build()))
+            .with_ontology(Arc::new(ob.build()))
+            .with_type_filter(vec![newspaper]);
+        let mentions = tagger.tag_text("read it in New York City pages");
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].entity, ny, "filtered NYC yields the shorter NY match");
+    }
+
+    #[test]
+    fn empty_inputs_yield_nothing() {
+        let (g, ..) = gaz();
+        let tagger = EntityTagger::new(g);
+        assert!(tagger.tag_text("").is_empty());
+        assert!(tagger.tag_text("nothing matches here").is_empty());
+        let empty = EntityTagger::new(Arc::new(GazetteerBuilder::default().build()));
+        assert!(empty.tag_text("Barack Obama").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an ontology")]
+    fn type_filter_without_ontology_panics() {
+        let (g, ..) = gaz();
+        let _ = EntityTagger::new(g).with_type_filter(vec![TypeId(0)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Text tokenisation for the entity tagger.
+
+/// A token with its character span in the original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Normalised (lowercased) token text.
+    pub text: String,
+    /// Byte offset of the token start in the original text.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// Splits `text` into lowercase alphanumeric tokens with byte spans.
+///
+/// Everything that is not alphanumeric separates tokens; apostrophes inside
+/// words are dropped ("O'Brien" → `obrien`) so dictionary lookups are
+/// robust to typographic variation. This matches the normalisation used by
+/// the gazetteer, which is what makes the ≤4-term window lookups hit.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut start = 0usize;
+    for (i, ch) in text.char_indices() {
+        if ch.is_alphanumeric() {
+            if current.is_empty() {
+                start = i;
+            }
+            for lower in ch.to_lowercase() {
+                // Lowercasing can expand into combining marks (e.g. Turkish
+                // 'İ' → "i\u{307}"); keep only alphanumeric output so that
+                // normalisation is idempotent and dictionary keys stay
+                // mark-free.
+                if lower.is_alphanumeric() {
+                    current.push(lower);
+                }
+            }
+        } else if ch == '\'' && !current.is_empty() {
+            // Swallow intra-word apostrophes without splitting.
+            continue;
+        } else if !current.is_empty() {
+            tokens.push(Token { text: std::mem::take(&mut current), start, end: i });
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(Token { text: current, start, end: text.len() });
+    }
+    tokens
+}
+
+/// Normalises a phrase the same way [`tokenize`] normalises text: lowercase
+/// tokens joined by single spaces.
+///
+/// Gazetteer keys are built with this, guaranteeing that a title matches
+/// its own occurrence in text.
+pub fn normalize_phrase(phrase: &str) -> String {
+    let tokens = tokenize(phrase);
+    let mut out = String::with_capacity(phrase.len());
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        let tokens = tokenize("Eyjafjallajokull erupts; air-traffic halted!");
+        assert_eq!(texts(&tokens), vec!["eyjafjallajokull", "erupts", "air", "traffic", "halted"]);
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        let tokens = tokenize("Eyjafjallajökull ERUPTS");
+        assert_eq!(texts(&tokens), vec!["eyjafjallajökull", "erupts"]);
+    }
+
+    #[test]
+    fn keeps_numbers() {
+        let tokens = tokenize("hurricane season 2007");
+        assert_eq!(texts(&tokens), vec!["hurricane", "season", "2007"]);
+    }
+
+    #[test]
+    fn spans_point_into_original_text() {
+        let text = "Iceland: volcano";
+        let tokens = tokenize(text);
+        assert_eq!(&text[tokens[0].start..tokens[0].end], "Iceland");
+        assert_eq!(&text[tokens[1].start..tokens[1].end], "volcano");
+    }
+
+    #[test]
+    fn apostrophes_do_not_split_words() {
+        let tokens = tokenize("O'Brien's book");
+        assert_eq!(texts(&tokens), vec!["obriens", "book"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!! ...").is_empty());
+    }
+
+    #[test]
+    fn normalize_phrase_is_canonical() {
+        assert_eq!(normalize_phrase("Barack  OBAMA"), "barack obama");
+        assert_eq!(normalize_phrase("air-traffic control"), "air traffic control");
+        assert_eq!(normalize_phrase(""), "");
+        // Idempotent.
+        assert_eq!(normalize_phrase("barack obama"), "barack obama");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the entity-tagging substrate.
+
+use enblogue_entity::gazetteer::GazetteerBuilder;
+use enblogue_entity::tagger::EntityTagger;
+use enblogue_entity::tokenize::{normalize_phrase, tokenize};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Words drawn from a small alphabet so collisions/multi-word phrases occur.
+fn word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn phrase(max_words: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 1..=max_words).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    /// Tokenisation is idempotent through normalisation, and spans always
+    /// slice the input without panicking.
+    #[test]
+    fn tokenize_spans_valid(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        for t in &tokens {
+            prop_assert!(t.start <= t.end);
+            prop_assert!(t.end <= text.len());
+            // Spans must lie on char boundaries.
+            prop_assert!(text.is_char_boundary(t.start));
+            prop_assert!(text.is_char_boundary(t.end));
+        }
+        // Normalising twice equals normalising once.
+        let once = normalize_phrase(&text);
+        prop_assert_eq!(normalize_phrase(&once), once);
+    }
+
+    /// Every title inserted into the gazetteer is found in a text that
+    /// contains it verbatim (surrounded by non-dictionary noise).
+    #[test]
+    fn planted_titles_are_found(titles in prop::collection::hash_set(phrase(4), 1..10)) {
+        let mut b = GazetteerBuilder::default();
+        for t in &titles {
+            b.add_title(t);
+        }
+        let tagger = EntityTagger::new(Arc::new(b.build()));
+        for t in &titles {
+            let text = format!("zzz0 {t} zzz1");
+            let mentions = tagger.tag_text(&text);
+            // The planted phrase may be subsumed by a longer inserted title
+            // or split differently by greedy matching, but something must
+            // match and every mention must be a dictionary phrase.
+            prop_assert!(!mentions.is_empty(), "no mention for planted `{}`", t);
+        }
+    }
+
+    /// Mentions never overlap and appear in strictly increasing token order.
+    #[test]
+    fn mentions_are_disjoint_and_ordered(
+        titles in prop::collection::hash_set(phrase(3), 1..8),
+        body in prop::collection::vec(word(), 0..40),
+    ) {
+        let mut b = GazetteerBuilder::default();
+        for t in &titles {
+            b.add_title(t);
+        }
+        let tagger = EntityTagger::new(Arc::new(b.build()));
+        let text = body.join(" ");
+        let mentions = tagger.tag_text(&text);
+        for w in mentions.windows(2) {
+            prop_assert!(w[0].token_start + w[0].token_len <= w[1].token_start, "overlap");
+        }
+        for m in &mentions {
+            prop_assert!(m.token_len >= 1 && m.token_len <= 4);
+        }
+    }
+
+    /// Redirect aliases resolve to the same entity as their canonical
+    /// title, wherever they occur.
+    #[test]
+    fn redirects_are_equivalent(canon in phrase(3), alias in phrase(3)) {
+        prop_assume!(normalize_phrase(&canon) != normalize_phrase(&alias));
+        let mut b = GazetteerBuilder::default();
+        let id = b.add_redirect(&alias, &canon);
+        let tagger = EntityTagger::new(Arc::new(b.build()));
+        let via_alias = tagger.tag_text(&format!("zzz {alias} zzz"));
+        let via_canon = tagger.tag_text(&format!("zzz {canon} zzz"));
+        prop_assert!(!via_alias.is_empty());
+        prop_assert!(!via_canon.is_empty());
+        prop_assert_eq!(via_alias[0].entity, id);
+        prop_assert_eq!(via_canon[0].entity, id);
+        prop_assert_eq!(&via_alias[0].name, &via_canon[0].name, "one unique name");
+    }
+}

@@ -1,0 +1,281 @@
+//! Information-theoretic similarity of tag/term usage.
+//!
+//! §3(ii): "In the more complex case of documents being represented by
+//! their entire tag sets or term distributions, we can apply
+//! information-theory measures like relative entropy to assess the
+//! similarity of tag/term usage." A [`TermDistribution`] aggregates the
+//! terms of all window documents carrying a tag; two tags whose term
+//! distributions converge are talking about the same thing.
+
+use enblogue_types::{FxHashMap, TagId};
+
+/// A probability distribution over terms, built from term counts.
+#[derive(Debug, Clone, Default)]
+pub struct TermDistribution {
+    counts: FxHashMap<TagId, u64>,
+    total: u64,
+}
+
+impl TermDistribution {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` occurrences of `term`.
+    pub fn add(&mut self, term: TagId, by: u64) {
+        if by == 0 {
+            return;
+        }
+        *self.counts.entry(term).or_insert(0) += by;
+        self.total += by;
+    }
+
+    /// Removes `by` occurrences of `term` (used when a tick expires from
+    /// the window).
+    ///
+    /// # Panics
+    /// Panics in debug builds if more occurrences are removed than were
+    /// added; release builds saturate.
+    pub fn remove(&mut self, term: TagId, by: u64) {
+        if by == 0 {
+            return;
+        }
+        match self.counts.get_mut(&term) {
+            Some(count) => {
+                debug_assert!(*count >= by, "removing more of term {term} than present");
+                let removed = by.min(*count);
+                *count -= removed;
+                if *count == 0 {
+                    self.counts.remove(&term);
+                }
+                self.total -= removed.min(self.total);
+            }
+            None => debug_assert!(false, "removing absent term {term}"),
+        }
+    }
+
+    /// Total number of term occurrences.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct terms.
+    #[inline]
+    pub fn distinct_terms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the distribution holds no mass.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The empirical probability of `term`.
+    pub fn probability(&self, term: TagId) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts.get(&term).copied().unwrap_or(0) as f64 / self.total as f64
+    }
+
+    /// Iterates `(term, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, u64)> + '_ {
+        self.counts.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Kullback–Leibler divergence `KL(self ‖ other)` in nats, with add-λ
+    /// smoothing over the union vocabulary so the result is finite.
+    ///
+    /// Not symmetric; for a symmetric bounded measure use
+    /// [`jensen_shannon`](Self::jensen_shannon). Returns 0 when either
+    /// distribution is empty (no evidence ⇒ no divergence signal).
+    pub fn kl_divergence(&self, other: &TermDistribution, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "smoothing constant must be positive for finite KL");
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        // Union vocabulary.
+        let vocab: Vec<TagId> = {
+            let mut v: Vec<TagId> = self.counts.keys().chain(other.counts.keys()).copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let v = vocab.len() as f64;
+        let self_total = self.total as f64 + lambda * v;
+        let other_total = other.total as f64 + lambda * v;
+        let mut kl = 0.0;
+        for term in vocab {
+            let p = (self.counts.get(&term).copied().unwrap_or(0) as f64 + lambda) / self_total;
+            let q = (other.counts.get(&term).copied().unwrap_or(0) as f64 + lambda) / other_total;
+            kl += p * (p / q).ln();
+        }
+        kl.max(0.0)
+    }
+
+    /// Jensen–Shannon divergence in nats; symmetric and bounded by `ln 2`.
+    pub fn jensen_shannon(&self, other: &TermDistribution) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let vocab: Vec<TagId> = {
+            let mut v: Vec<TagId> = self.counts.keys().chain(other.counts.keys()).copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut jsd = 0.0;
+        for term in vocab {
+            let p = self.probability(term);
+            let q = other.probability(term);
+            let m = 0.5 * (p + q);
+            if p > 0.0 {
+                jsd += 0.5 * p * (p / m).ln();
+            }
+            if q > 0.0 {
+                jsd += 0.5 * q * (q / m).ln();
+            }
+        }
+        jsd.max(0.0)
+    }
+
+    /// Similarity in `[0, 1]` derived from Jensen–Shannon divergence:
+    /// `1 − JSD/ln 2`. 1 = identical term usage, 0 = disjoint.
+    ///
+    /// This is the drop-in alternative to the set-overlap measures of
+    /// [`crate::correlation`]: a *rise* in term-usage similarity of two
+    /// tags is the distributional form of an emergent pair topic.
+    pub fn js_similarity(&self, other: &TermDistribution) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        (1.0 - self.jensen_shannon(other) / std::f64::consts::LN_2).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TagId {
+        TagId(i)
+    }
+
+    fn dist(pairs: &[(u32, u64)]) -> TermDistribution {
+        let mut d = TermDistribution::new();
+        for &(term, count) in pairs {
+            d.add(t(term), count);
+        }
+        d
+    }
+
+    #[test]
+    fn probabilities_normalise() {
+        let d = dist(&[(1, 3), (2, 1)]);
+        assert_eq!(d.total(), 4);
+        assert_eq!(d.probability(t(1)), 0.75);
+        assert_eq!(d.probability(t(2)), 0.25);
+        assert_eq!(d.probability(t(3)), 0.0);
+        assert_eq!(d.distinct_terms(), 2);
+    }
+
+    #[test]
+    fn remove_undoes_add() {
+        let mut d = dist(&[(1, 3), (2, 2)]);
+        d.remove(t(1), 3);
+        assert_eq!(d.probability(t(1)), 0.0);
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.distinct_terms(), 1);
+        d.remove(t(2), 2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let d1 = dist(&[(1, 5), (2, 5)]);
+        let d2 = dist(&[(1, 5), (2, 5)]);
+        assert!(d1.kl_divergence(&d2, 0.5) < 1e-9);
+    }
+
+    #[test]
+    fn kl_positive_and_asymmetric() {
+        let p = dist(&[(1, 9), (2, 1)]);
+        let q = dist(&[(1, 1), (2, 9)]);
+        let pq = p.kl_divergence(&q, 0.5);
+        let qp = q.kl_divergence(&p, 0.5);
+        assert!(pq > 0.0);
+        // These particular distributions are mirror images, so the two
+        // directions agree; asymmetry shows with unequal totals/vocab.
+        let r = dist(&[(1, 1), (2, 1), (3, 8)]);
+        assert!((p.kl_divergence(&r, 0.5) - r.kl_divergence(&p, 0.5)).abs() > 1e-6);
+        assert!(qp > 0.0);
+    }
+
+    #[test]
+    fn kl_finite_on_disjoint_support() {
+        let p = dist(&[(1, 10)]);
+        let q = dist(&[(2, 10)]);
+        let kl = p.kl_divergence(&q, 0.5);
+        assert!(kl.is_finite());
+        assert!(kl > 0.5, "disjoint supports should diverge strongly");
+    }
+
+    #[test]
+    fn jsd_symmetric_and_bounded() {
+        let p = dist(&[(1, 10), (2, 3)]);
+        let q = dist(&[(2, 5), (3, 7)]);
+        let pq = p.jensen_shannon(&q);
+        let qp = q.jensen_shannon(&p);
+        assert!((pq - qp).abs() < 1e-12);
+        assert!(pq > 0.0);
+        assert!(pq <= std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn jsd_maximal_on_disjoint_support() {
+        let p = dist(&[(1, 5)]);
+        let q = dist(&[(2, 5)]);
+        assert!((p.jensen_shannon(&q) - std::f64::consts::LN_2).abs() < 1e-9);
+        assert!(p.js_similarity(&q) < 1e-9);
+    }
+
+    #[test]
+    fn js_similarity_one_for_identical() {
+        let p = dist(&[(1, 2), (2, 8)]);
+        let q = dist(&[(1, 4), (2, 16)]); // same distribution, double mass
+        assert!((p.js_similarity(&q) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_distributions_are_neutral() {
+        let empty = TermDistribution::new();
+        let d = dist(&[(1, 3)]);
+        assert_eq!(empty.kl_divergence(&d, 0.5), 0.0);
+        assert_eq!(d.jensen_shannon(&empty), 0.0);
+        assert_eq!(d.js_similarity(&empty), 0.0);
+    }
+
+    #[test]
+    fn similarity_rises_as_usage_converges() {
+        // Simulates an emergent topic: tag B's term usage drifts towards A's.
+        let a = dist(&[(1, 10), (2, 10), (3, 10)]);
+        let b_far = dist(&[(4, 10), (5, 10), (6, 10)]);
+        let b_mid = dist(&[(1, 5), (2, 5), (5, 10), (6, 10)]);
+        let b_near = dist(&[(1, 9), (2, 9), (3, 9), (6, 3)]);
+        let s_far = a.js_similarity(&b_far);
+        let s_mid = a.js_similarity(&b_mid);
+        let s_near = a.js_similarity(&b_near);
+        assert!(s_far < s_mid && s_mid < s_near, "{s_far} < {s_mid} < {s_near}");
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing constant must be positive")]
+    fn kl_requires_positive_smoothing() {
+        let p = dist(&[(1, 1)]);
+        let q = dist(&[(2, 1)]);
+        let _ = p.kl_divergence(&q, 0.0);
+    }
+}

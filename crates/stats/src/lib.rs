@@ -1,0 +1,30 @@
+//! Correlation measures, divergences, predictors and shift scoring for
+//! EnBlogue.
+//!
+//! This crate implements the mathematical machinery of §3 of the paper:
+//!
+//! * [`correlation`] — set-overlap correlation measures between two tags
+//!   within a window ("there are multiple ways how to calculate a
+//!   correlation measure that reflects some notion of interestingness"),
+//! * [`divergence`] — information-theoretic measures over tag/term
+//!   distributions ("we can apply information-theory measures like relative
+//!   entropy to assess the similarity of tag/term usage"),
+//! * [`predict`] — one-step-ahead forecasters: "at any point in time we use
+//!   the previous correlation values and try to predict the current ones",
+//! * [`shift`] — prediction-error scoring with the decayed-max rule ("the
+//!   score of a topic is the maximum of the current prediction error and
+//!   the prediction errors from the past, dampened … with a half life of
+//!   approximately 2 days").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod divergence;
+pub mod predict;
+pub mod shift;
+
+pub use correlation::{CorrelationMeasure, PairCounts};
+pub use divergence::TermDistribution;
+pub use predict::{Predictor, PredictorKind};
+pub use shift::{ErrorNormalization, ShiftScorer};

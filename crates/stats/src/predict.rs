@@ -1,0 +1,456 @@
+//! One-step-ahead forecasters for correlation series.
+//!
+//! §3(iii): "at any point in time we use the previous correlation values
+//! and try to predict the current ones. If a predicted value is far away
+//! from the real one then the topic is considered to be emergent and the
+//! prediction error is used as a ranking criterion."
+//!
+//! All predictors are *stateless over the supplied history*: given the
+//! window of previous correlation values (oldest → newest, excluding the
+//! value being predicted) they return the forecast for the next value.
+//! This makes them trivially pluggable as "shift prediction operators"
+//! (§4.1) and exactly reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// A one-step-ahead forecaster over a correlation series.
+pub trait Predictor: Send + Sync {
+    /// Predicts the next value from `history` (oldest → newest).
+    ///
+    /// Returns `None` when the history is too short to say anything; the
+    /// shift detector treats that as "no alarm" rather than a zero
+    /// prediction, so brand-new pairs don't look emergent for free.
+    fn predict(&self, history: &[f64]) -> Option<f64>;
+
+    /// Minimum history length required for a prediction.
+    fn min_history(&self) -> usize;
+
+    /// Short identifier for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the last observed value (naïve / random-walk forecaster).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastValue;
+
+impl Predictor for LastValue {
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        history.last().copied()
+    }
+
+    fn min_history(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "last"
+    }
+}
+
+/// Predicts the mean of the last `window` values.
+#[derive(Debug, Clone, Copy)]
+pub struct MovingAverage {
+    window: usize,
+}
+
+impl MovingAverage {
+    /// A moving average over `window` trailing values.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "moving-average window must be positive");
+        MovingAverage { window }
+    }
+}
+
+impl Predictor for MovingAverage {
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let tail = &history[history.len().saturating_sub(self.window)..];
+        Some(tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+
+    fn min_history(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "ma"
+    }
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha`.
+///
+/// Higher `alpha` weights recent values more (α = 1 degenerates to
+/// [`LastValue`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+}
+
+impl Ewma {
+    /// An EWMA with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha }
+    }
+}
+
+impl Predictor for Ewma {
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        let (&first, rest) = history.split_first()?;
+        let mut level = first;
+        for &v in rest {
+            level = self.alpha * v + (1.0 - self.alpha) * level;
+        }
+        Some(level)
+    }
+
+    fn min_history(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Holt's double exponential smoothing: level + trend.
+///
+/// Tracks gradual drifts so only *sudden* jumps register as prediction
+/// error — exactly the paper's "a shift is sudden if it cannot be
+/// predicted using the previous correlation values".
+#[derive(Debug, Clone, Copy)]
+pub struct Holt {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Holt {
+    /// Holt smoothing with level factor `alpha` and trend factor `beta`,
+    /// both in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if either factor is outside `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Holt { alpha, beta }
+    }
+}
+
+impl Predictor for Holt {
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        if history.len() < 2 {
+            return None;
+        }
+        let mut level = history[0];
+        let mut trend = history[1] - history[0];
+        for &v in &history[1..] {
+            let prev_level = level;
+            level = self.alpha * v + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+        }
+        Some(level + trend)
+    }
+
+    fn min_history(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "holt"
+    }
+}
+
+/// Ordinary least-squares line over the last `window` values, extrapolated
+/// one step.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearRegression {
+    window: usize,
+}
+
+impl LinearRegression {
+    /// OLS over the trailing `window` values (≥ 2).
+    ///
+    /// # Panics
+    /// Panics if `window < 2`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "regression needs at least two points");
+        LinearRegression { window }
+    }
+}
+
+impl Predictor for LinearRegression {
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        if history.len() < 2 {
+            return None;
+        }
+        let tail = &history[history.len().saturating_sub(self.window)..];
+        let n = tail.len() as f64;
+        // x = 0..n-1, predict at x = n.
+        let x_mean = (n - 1.0) / 2.0;
+        let y_mean = tail.iter().sum::<f64>() / n;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        for (i, &y) in tail.iter().enumerate() {
+            let dx = i as f64 - x_mean;
+            sxy += dx * (y - y_mean);
+            sxx += dx * dx;
+        }
+        let slope = if sxx.abs() < f64::EPSILON { 0.0 } else { sxy / sxx };
+        Some(y_mean + slope * (n - x_mean))
+    }
+
+    fn min_history(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "ols"
+    }
+}
+
+/// Seasonal-naïve forecaster: predicts the value one period ago.
+///
+/// News and social streams are strongly periodic (day/night cycles,
+/// weekday/weekend). A popular tag's *regular* daily peak is not an
+/// emergent topic; predicting "same as this time yesterday" makes
+/// periodic structure invisible to shift detection while leaving genuine
+/// novelty fully visible. Falls back to the last value while the history
+/// is shorter than one period.
+#[derive(Debug, Clone, Copy)]
+pub struct SeasonalNaive {
+    period: usize,
+}
+
+impl SeasonalNaive {
+    /// A seasonal forecaster with the given period in ticks (e.g. 24 for
+    /// daily seasonality over hourly ticks).
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "season period must be positive");
+        SeasonalNaive { period }
+    }
+}
+
+impl Predictor for SeasonalNaive {
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        if history.len() >= self.period {
+            // The next value is one period after history[len - period].
+            Some(history[history.len() - self.period])
+        } else {
+            history.last().copied()
+        }
+    }
+
+    fn min_history(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "seasonal"
+    }
+}
+
+/// Serializable predictor selector for engine configuration and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// [`LastValue`].
+    Last,
+    /// [`MovingAverage`] over the given window.
+    MovingAverage(usize),
+    /// [`Ewma`] with the given alpha.
+    Ewma(f64),
+    /// [`Holt`] with `(alpha, beta)`.
+    Holt(f64, f64),
+    /// [`LinearRegression`] over the given window.
+    LinearRegression(usize),
+    /// [`SeasonalNaive`] with the given period in ticks.
+    SeasonalNaive(usize),
+}
+
+impl Default for PredictorKind {
+    /// EWMA with α = 0.3 — smooth enough to ignore noise, fast enough to
+    /// adapt after an event ends.
+    fn default() -> Self {
+        PredictorKind::Ewma(0.3)
+    }
+}
+
+impl PredictorKind {
+    /// The standard ablation set for experiment P4.
+    pub fn ablation_set() -> Vec<PredictorKind> {
+        vec![
+            PredictorKind::Last,
+            PredictorKind::MovingAverage(6),
+            PredictorKind::Ewma(0.3),
+            PredictorKind::Holt(0.4, 0.2),
+            PredictorKind::LinearRegression(6),
+            PredictorKind::SeasonalNaive(7),
+        ]
+    }
+
+    /// Instantiates the predictor.
+    pub fn build(self) -> Box<dyn Predictor> {
+        match self {
+            PredictorKind::Last => Box::new(LastValue),
+            PredictorKind::MovingAverage(w) => Box::new(MovingAverage::new(w)),
+            PredictorKind::Ewma(alpha) => Box::new(Ewma::new(alpha)),
+            PredictorKind::Holt(alpha, beta) => Box::new(Holt::new(alpha, beta)),
+            PredictorKind::LinearRegression(w) => Box::new(LinearRegression::new(w)),
+            PredictorKind::SeasonalNaive(period) => Box::new(SeasonalNaive::new(period)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn last_value_predicts_last() {
+        assert_eq!(LastValue.predict(&[]), None);
+        assert_eq!(LastValue.predict(&[0.2, 0.7]), Some(0.7));
+    }
+
+    #[test]
+    fn moving_average_uses_tail_window() {
+        let ma = MovingAverage::new(2);
+        assert_eq!(ma.predict(&[]), None);
+        approx(ma.predict(&[0.4]).unwrap(), 0.4);
+        approx(ma.predict(&[100.0, 0.2, 0.4]).unwrap(), 0.3);
+    }
+
+    #[test]
+    fn ewma_weights_recent_values() {
+        let ewma = Ewma::new(0.5);
+        assert_eq!(ewma.predict(&[]), None);
+        approx(ewma.predict(&[1.0]).unwrap(), 1.0);
+        // level = 0.5·0 + 0.5·1 = 0.5; then 0.5·1 + 0.5·0.5 = 0.75
+        approx(ewma.predict(&[1.0, 0.0, 1.0]).unwrap(), 0.75);
+        // α = 1 degenerates to last-value.
+        approx(Ewma::new(1.0).predict(&[0.1, 0.9]).unwrap(), 0.9);
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trends() {
+        let holt = Holt::new(0.8, 0.8);
+        assert_eq!(holt.predict(&[0.5]), None);
+        // A clean linear ramp should be predicted almost exactly.
+        let ramp: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+        let pred = holt.predict(&ramp).unwrap();
+        assert!((pred - 1.0).abs() < 0.05, "holt on ramp predicted {pred}");
+    }
+
+    #[test]
+    fn ols_extrapolates_exactly_on_lines() {
+        let ols = LinearRegression::new(5);
+        let line: Vec<f64> = (0..5).map(|i| 2.0 + 3.0 * i as f64).collect();
+        approx(ols.predict(&line).unwrap(), 2.0 + 3.0 * 5.0);
+        // Constant series ⇒ predicts the constant.
+        approx(ols.predict(&[4.0, 4.0, 4.0]).unwrap(), 4.0);
+        assert_eq!(ols.predict(&[1.0]), None);
+    }
+
+    #[test]
+    fn ols_ignores_history_outside_window() {
+        let ols = LinearRegression::new(3);
+        // Garbage before the window must not affect the fit.
+        let a = ols.predict(&[99.0, -5.0, 1.0, 2.0, 3.0]).unwrap();
+        let b = ols.predict(&[1.0, 2.0, 3.0]).unwrap();
+        approx(a, b);
+    }
+
+    #[test]
+    fn flat_series_yields_zero_error_for_all() {
+        let flat = vec![0.25; 12];
+        for kind in PredictorKind::ablation_set() {
+            let p = kind.build();
+            let pred = p.predict(&flat).unwrap();
+            assert!((pred - 0.25).abs() < 1e-6, "{} drifted on flat series: {pred}", p.name());
+        }
+    }
+
+    #[test]
+    fn sudden_jump_surprises_all_predictors() {
+        // History is flat at 0.1; the actual new value is 0.6. Every
+        // predictor must under-predict substantially — that *is* the shift
+        // signal of the paper.
+        let history = vec![0.1; 10];
+        for kind in PredictorKind::ablation_set() {
+            let p = kind.build();
+            let pred = p.predict(&history).unwrap();
+            assert!(0.6 - pred > 0.4, "{} failed to be surprised: {pred}", p.name());
+        }
+    }
+
+    #[test]
+    fn kind_builds_expected_names() {
+        let names: Vec<&str> = PredictorKind::ablation_set().iter().map(|k| k.build().name()).collect();
+        assert_eq!(names, vec!["last", "ma", "ewma", "holt", "ols", "seasonal"]);
+    }
+
+    #[test]
+    fn seasonal_predicts_one_period_back() {
+        let seasonal = SeasonalNaive::new(4);
+        assert_eq!(seasonal.predict(&[]), None);
+        // Short history falls back to last value.
+        approx(seasonal.predict(&[0.3, 0.5]).unwrap(), 0.5);
+        // Period-aligned: predicts history[len - period].
+        let two_periods = vec![0.1, 0.9, 0.1, 0.1, 0.1, 0.9, 0.1, 0.1];
+        approx(seasonal.predict(&two_periods).unwrap(), 0.1);
+        let at_peak = &two_periods[..5]; // next value is the peak slot
+        approx(seasonal.predict(at_peak).unwrap(), 0.9);
+    }
+
+    #[test]
+    fn seasonal_is_blind_to_periodic_peaks_where_others_alarm() {
+        // A perfectly periodic series: peak every 4 ticks. The seasonal
+        // predictor has zero error at the next peak; level predictors are
+        // surprised every time.
+        let mut series = Vec::new();
+        for _ in 0..5 {
+            series.extend_from_slice(&[0.1, 0.1, 0.1, 0.8]);
+        }
+        let history = &series[..series.len() - 1]; // next actual: 0.8 (peak)
+        let seasonal = SeasonalNaive::new(4);
+        let seasonal_err = (0.8 - seasonal.predict(history).unwrap()).max(0.0);
+        let ewma_err = (0.8 - Ewma::new(0.3).predict(history).unwrap()).max(0.0);
+        assert!(seasonal_err < 1e-9, "periodic peak fully predicted: {seasonal_err}");
+        assert!(ewma_err > 0.4, "level predictor must be surprised: {ewma_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn seasonal_rejects_zero_period() {
+        let _ = SeasonalNaive::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn regression_rejects_window_one() {
+        let _ = LinearRegression::new(1);
+    }
+}

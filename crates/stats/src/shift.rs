@@ -1,0 +1,222 @@
+//! Shift detection: prediction error and the decayed-max topic score.
+//!
+//! §3(iii): a shift is *sudden* if it cannot be predicted from previous
+//! correlation values; the (positive) prediction error is the emergence
+//! signal, and a topic's score is the maximum of the current error and the
+//! exponentially dampened past errors.
+
+use crate::predict::{Predictor, PredictorKind};
+use serde::{Deserialize, Serialize};
+
+/// How raw prediction errors are normalised into scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ErrorNormalization {
+    /// Use the raw positive error `max(0, actual − predicted)`.
+    ///
+    /// Correlation measures are already in `[0, 1]`, so raw errors are
+    /// comparable across pairs; this is the default.
+    #[default]
+    Absolute,
+    /// Relative error `max(0, actual − predicted) / (predicted + ε)`.
+    ///
+    /// Emphasises pairs that started near zero — a jump from 0.01 to 0.1
+    /// outranks a jump from 0.5 to 0.6.
+    Relative,
+}
+
+impl ErrorNormalization {
+    /// Applies the normalisation. `epsilon` guards division for
+    /// [`ErrorNormalization::Relative`].
+    pub fn apply(self, actual: f64, predicted: f64, epsilon: f64) -> f64 {
+        let raw = (actual - predicted).max(0.0);
+        match self {
+            ErrorNormalization::Absolute => raw,
+            ErrorNormalization::Relative => raw / (predicted.max(0.0) + epsilon),
+        }
+    }
+
+    /// Short identifier for experiment output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ErrorNormalization::Absolute => "abs",
+            ErrorNormalization::Relative => "rel",
+        }
+    }
+}
+
+/// Computes per-observation shift signals from a correlation history.
+///
+/// The scorer is stateless: the engine feeds it the windowed correlation
+/// history and the newly observed value; it returns the normalised positive
+/// prediction error (the "shift magnitude"). Combining it with the decayed
+/// maximum over time is the job of the per-pair state in `enblogue-core`
+/// (via `enblogue_window::DecayValue`).
+pub struct ShiftScorer {
+    predictor: Box<dyn Predictor>,
+    normalization: ErrorNormalization,
+    epsilon: f64,
+    /// Errors below this threshold are reported as 0 (noise floor).
+    min_error: f64,
+}
+
+impl ShiftScorer {
+    /// Default noise floor: correlation wobbles below this are ignored.
+    pub const DEFAULT_MIN_ERROR: f64 = 1e-3;
+
+    /// A scorer using `kind` and `normalization`.
+    pub fn new(kind: PredictorKind, normalization: ErrorNormalization) -> Self {
+        ShiftScorer {
+            predictor: kind.build(),
+            normalization,
+            epsilon: 0.05,
+            min_error: Self::DEFAULT_MIN_ERROR,
+        }
+    }
+
+    /// Overrides the relative-error epsilon.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Overrides the noise floor.
+    #[must_use]
+    pub fn with_min_error(mut self, min_error: f64) -> Self {
+        assert!(min_error >= 0.0, "noise floor cannot be negative");
+        self.min_error = min_error;
+        self
+    }
+
+    /// The wrapped predictor's name.
+    pub fn predictor_name(&self) -> &'static str {
+        self.predictor.name()
+    }
+
+    /// The configured normalisation.
+    pub fn normalization(&self) -> ErrorNormalization {
+        self.normalization
+    }
+
+    /// Minimum history length before any score can be produced.
+    pub fn min_history(&self) -> usize {
+        self.predictor.min_history()
+    }
+
+    /// Scores one new observation against its history (oldest → newest,
+    /// *excluding* `actual`).
+    ///
+    /// Returns `(shift_score, predicted)`; `None` while history is too
+    /// short. Scores below the noise floor collapse to 0.
+    pub fn score(&self, history: &[f64], actual: f64) -> Option<(f64, f64)> {
+        let predicted = self.predictor.predict(history)?;
+        let err = self.normalization.apply(actual, predicted, self.epsilon);
+        let score = if err < self.min_error { 0.0 } else { err };
+        Some((score, predicted))
+    }
+
+    /// Scores an entire series, returning one score per index (`None`
+    /// where history was insufficient). Useful for offline analysis and
+    /// the Figure-1 harness.
+    pub fn score_series(&self, series: &[f64]) -> Vec<Option<f64>> {
+        (0..series.len())
+            .map(|i| self.score(&series[..i], series[i]).map(|(s, _)| s))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ShiftScorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShiftScorer")
+            .field("predictor", &self.predictor.name())
+            .field("normalization", &self.normalization.name())
+            .field("epsilon", &self.epsilon)
+            .field("min_error", &self.min_error)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_error_is_positive_part() {
+        let n = ErrorNormalization::Absolute;
+        assert!((n.apply(0.7, 0.2, 0.05) - 0.5).abs() < 1e-12);
+        assert_eq!(n.apply(0.2, 0.7, 0.05), 0.0, "drops are not emergent");
+    }
+
+    #[test]
+    fn relative_error_amplifies_low_baselines() {
+        let n = ErrorNormalization::Relative;
+        let from_zero = n.apply(0.1, 0.0, 0.05);
+        let from_half = n.apply(0.6, 0.5, 0.05);
+        assert!(from_zero > from_half);
+    }
+
+    #[test]
+    fn scorer_flags_sudden_jump_only() {
+        let scorer = ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Absolute);
+        let flat = vec![0.1; 8];
+        let (score, predicted) = scorer.score(&flat, 0.1).unwrap();
+        assert_eq!(score, 0.0, "flat continuation is not a shift");
+        assert!((predicted - 0.1).abs() < 1e-9);
+
+        let (score, _) = scorer.score(&flat, 0.5).unwrap();
+        assert!(score > 0.35, "jump must score high, got {score}");
+    }
+
+    #[test]
+    fn gradual_ramp_scores_below_sudden_jump() {
+        let scorer = ShiftScorer::new(PredictorKind::Holt(0.4, 0.2), ErrorNormalization::Absolute);
+        // Gradual: 0.1 → 0.5 over 8 steps.
+        let ramp: Vec<f64> = (0..8).map(|i| 0.1 + 0.05 * i as f64).collect();
+        let (ramp_score, _) = scorer.score(&ramp, 0.5).unwrap();
+        // Sudden: flat 0.1 then 0.5.
+        let flat = vec![0.1; 8];
+        let (jump_score, _) = scorer.score(&flat, 0.5).unwrap();
+        assert!(
+            jump_score > 2.0 * ramp_score,
+            "sudden ({jump_score}) must dominate gradual ({ramp_score})"
+        );
+    }
+
+    #[test]
+    fn no_score_without_history() {
+        let scorer = ShiftScorer::new(PredictorKind::Last, ErrorNormalization::Absolute);
+        assert!(scorer.score(&[], 0.9).is_none(), "a brand-new pair is not emergent by default");
+        assert_eq!(scorer.min_history(), 1);
+    }
+
+    #[test]
+    fn noise_floor_suppresses_wobble() {
+        let scorer = ShiftScorer::new(PredictorKind::Last, ErrorNormalization::Absolute)
+            .with_min_error(0.05);
+        let (score, _) = scorer.score(&[0.200], 0.204).unwrap();
+        assert_eq!(score, 0.0);
+        let (score, _) = scorer.score(&[0.200], 0.30).unwrap();
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn score_series_aligns_with_pointwise() {
+        let scorer = ShiftScorer::new(PredictorKind::MovingAverage(3), ErrorNormalization::Absolute);
+        let series = vec![0.1, 0.1, 0.1, 0.4, 0.1];
+        let scores = scorer.score_series(&series);
+        assert_eq!(scores.len(), 5);
+        assert_eq!(scores[0], None, "no history for the first point");
+        assert_eq!(scores[1], Some(0.0));
+        let jump = scores[3].unwrap();
+        assert!(jump > 0.25, "the jump at index 3 must register: {jump}");
+        assert_eq!(scores[4], Some(0.0), "the drop back must not register");
+    }
+
+    #[test]
+    fn debug_format_names_components() {
+        let scorer = ShiftScorer::new(PredictorKind::Holt(0.4, 0.2), ErrorNormalization::Relative);
+        let s = format!("{scorer:?}");
+        assert!(s.contains("holt") && s.contains("rel"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for correlation measures, divergences and
+//! predictors.
+
+use enblogue_stats::correlation::{CorrelationMeasure, PairCounts};
+use enblogue_stats::divergence::TermDistribution;
+use enblogue_stats::predict::PredictorKind;
+use enblogue_stats::shift::{ErrorNormalization, ShiftScorer};
+use enblogue_types::TagId;
+use proptest::prelude::*;
+
+/// Strategy producing consistent pair counts (ab ≤ min(a,b) ≤ max(a,b) ≤ n).
+fn pair_counts() -> impl Strategy<Value = PairCounts> {
+    (1u64..500, 1u64..500, 0u64..500, 0u64..2000).prop_map(|(a, b, ab_seed, extra)| {
+        let ab = ab_seed % (a.min(b) + 1);
+        let n = a.max(b) + extra;
+        PairCounts::new(a, b, ab, n)
+    })
+}
+
+proptest! {
+    /// Every measure is bounded in [0, 1] on consistent counts.
+    #[test]
+    fn measures_bounded(counts in pair_counts()) {
+        prop_assert!(counts.is_consistent());
+        for m in CorrelationMeasure::ALL {
+            let v = m.compute(counts);
+            prop_assert!(v.is_finite(), "{} not finite on {:?}", m.name(), counts);
+            prop_assert!((0.0..=1.0).contains(&v), "{} out of range on {:?}: {}", m.name(), counts, v);
+        }
+    }
+
+    /// All measures are monotone in the intersection size, other counts
+    /// fixed.
+    #[test]
+    fn measures_monotone_in_intersection(counts in pair_counts()) {
+        prop_assume!(counts.ab < counts.a.min(counts.b));
+        let grown = PairCounts::new(counts.a, counts.b, counts.ab + 1, counts.n);
+        for m in CorrelationMeasure::ALL {
+            let before = m.compute(counts);
+            let after = m.compute(grown);
+            prop_assert!(after >= before - 1e-12,
+                "{} not monotone: {:?} -> {:?} gave {} -> {}", m.name(), counts, grown, before, after);
+        }
+    }
+
+    /// Set-overlap measures are symmetric in (a, b).
+    #[test]
+    fn measures_symmetric(counts in pair_counts()) {
+        let swapped = PairCounts::new(counts.b, counts.a, counts.ab, counts.n);
+        for m in CorrelationMeasure::ALL {
+            prop_assert!((m.compute(counts) - m.compute(swapped)).abs() < 1e-12, "{}", m.name());
+        }
+    }
+
+    /// Jensen–Shannon divergence: symmetric, bounded by ln 2, zero iff the
+    /// normalised distributions coincide.
+    #[test]
+    fn jsd_properties(
+        left in proptest::collection::vec((0u32..20, 1u64..50), 1..15),
+        right in proptest::collection::vec((0u32..20, 1u64..50), 1..15),
+    ) {
+        let mut p = TermDistribution::new();
+        for &(t, c) in &left { p.add(TagId(t), c); }
+        let mut q = TermDistribution::new();
+        for &(t, c) in &right { q.add(TagId(t), c); }
+
+        let pq = p.jensen_shannon(&q);
+        let qp = q.jensen_shannon(&p);
+        prop_assert!((pq - qp).abs() < 1e-9, "symmetry");
+        prop_assert!(pq >= 0.0);
+        prop_assert!(pq <= std::f64::consts::LN_2 + 1e-9, "bound: {}", pq);
+
+        let sim = p.js_similarity(&q);
+        prop_assert!((0.0..=1.0).contains(&sim));
+
+        // Self-similarity is exactly 1.
+        prop_assert!((p.js_similarity(&p) - 1.0).abs() < 1e-9);
+    }
+
+    /// KL divergence with smoothing is finite and non-negative.
+    #[test]
+    fn kl_finite_nonnegative(
+        left in proptest::collection::vec((0u32..20, 1u64..50), 1..15),
+        right in proptest::collection::vec((0u32..20, 1u64..50), 1..15),
+        lambda in 0.01f64..2.0,
+    ) {
+        let mut p = TermDistribution::new();
+        for &(t, c) in &left { p.add(TagId(t), c); }
+        let mut q = TermDistribution::new();
+        for &(t, c) in &right { q.add(TagId(t), c); }
+
+        let kl = p.kl_divergence(&q, lambda);
+        prop_assert!(kl.is_finite());
+        prop_assert!(kl >= 0.0);
+        // Gibbs: KL(p‖p) == 0 under equal smoothing.
+        prop_assert!(p.kl_divergence(&p, lambda).abs() < 1e-9);
+    }
+
+    /// Predictors are exact on constant series and never produce NaN on
+    /// bounded input.
+    #[test]
+    fn predictors_sane_on_bounded_series(
+        series in proptest::collection::vec(0.0f64..1.0, 2..40),
+        constant in 0.0f64..1.0,
+    ) {
+        for kind in PredictorKind::ablation_set() {
+            let p = kind.build();
+            if let Some(pred) = p.predict(&series) {
+                prop_assert!(pred.is_finite(), "{} produced non-finite value", p.name());
+            }
+            let flat = vec![constant; series.len()];
+            let pred = p.predict(&flat).unwrap();
+            prop_assert!((pred - constant).abs() < 1e-6, "{} drifted on constant series", p.name());
+        }
+    }
+
+    /// The shift scorer never reports negative scores and never alarms on
+    /// non-increasing series.
+    #[test]
+    fn scorer_nonnegative_and_quiet_on_decline(
+        mut series in proptest::collection::vec(0.0f64..1.0, 3..30),
+    ) {
+        series.sort_by(|a, b| b.partial_cmp(a).unwrap()); // non-increasing
+        for kind in PredictorKind::ablation_set() {
+            let scorer = ShiftScorer::new(kind, ErrorNormalization::Absolute);
+            for i in 1..series.len() {
+                if let Some((score, _)) = scorer.score(&series[..i], series[i]) {
+                    prop_assert!(score >= 0.0);
+                    // Last-value and MA never alarm on a decline; trend
+                    // followers (holt/ols) can overshoot downwards and then
+                    // see a "rise" relative to their forecast, which is
+                    // correct behaviour, so only check the non-trend ones.
+                    if matches!(kind, PredictorKind::Last | PredictorKind::MovingAverage(_))
+                        && scorer.predictor_name() == "last" {
+                            prop_assert_eq!(score, 0.0, "last-value alarmed on decline");
+                        }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Events flowing along producer–consumer edges.
+
+use enblogue_types::{Document, Tick};
+
+/// The unit of data pushed through the operator DAG.
+///
+/// Besides documents, the stream carries *punctuations*: a
+/// [`Event::TickBoundary`] guarantees that every document of the closed
+/// tick has been delivered (operators aggregate per tick and emit derived
+/// state on the boundary), and [`Event::Flush`] marks end-of-stream so
+/// sinks can finalise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A document tuple `(timestamp, docId, tags, entities)`.
+    Doc(Document),
+    /// All documents belonging to `tick` (and earlier) have been delivered.
+    TickBoundary(Tick),
+    /// End of stream; no further events will arrive.
+    Flush,
+}
+
+impl Event {
+    /// The contained document, if any.
+    pub fn as_doc(&self) -> Option<&Document> {
+        match self {
+            Event::Doc(doc) => Some(doc),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a tick-boundary punctuation.
+    pub fn is_tick_boundary(&self) -> bool {
+        matches!(self, Event::TickBoundary(_))
+    }
+
+    /// Whether this is the end-of-stream flush.
+    pub fn is_flush(&self) -> bool {
+        matches!(self, Event::Flush)
+    }
+
+    /// Short label for tracing/metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::Doc(_) => "doc",
+            Event::TickBoundary(_) => "tick",
+            Event::Flush => "flush",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::Timestamp;
+
+    #[test]
+    fn accessors_discriminate() {
+        let doc = Document::builder(1, Timestamp::ZERO).build();
+        let e = Event::Doc(doc.clone());
+        assert_eq!(e.as_doc(), Some(&doc));
+        assert!(!e.is_tick_boundary());
+        assert!(!e.is_flush());
+        assert_eq!(e.label(), "doc");
+
+        let t = Event::TickBoundary(Tick(4));
+        assert!(t.is_tick_boundary());
+        assert_eq!(t.as_doc(), None);
+        assert_eq!(t.label(), "tick");
+
+        assert!(Event::Flush.is_flush());
+        assert_eq!(Event::Flush.label(), "flush");
+    }
+}

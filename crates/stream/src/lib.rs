@@ -1,0 +1,37 @@
+//! Push-based stream-processing substrate for EnBlogue.
+//!
+//! Reimplements the paper's "core engine" (§4.1): "the implementation …
+//! follows the standard concepts of a push-based architecture for stream
+//! processing. At the data source level, it consists of several wrappers
+//! that either consume live streams or replay existing datasets … Data is
+//! represented in form of a tuple … consumed by stream operators and pushed
+//! along producer-consumer edges in query-processing plans."
+//!
+//! * [`event::Event`] — the unit flowing along edges: a document, a tick
+//!   boundary punctuation, or an end-of-stream flush,
+//! * [`operator::Operator`] — the pluggable stage interface ("plug-in
+//!   options for sketching operators … statistics operators, shift
+//!   prediction operators, etc."),
+//! * [`graph::Graph`] — the operator DAG with **structural plan sharing**:
+//!   "multiple query plans in parallel, where overlapping parts, like data
+//!   sources, sketching operators, entity tagging, and statistics operators
+//!   are shared for efficiency",
+//! * [`source::Source`] — stream wrappers (replay, generator, merge),
+//! * [`exec`] — a deterministic synchronous executor and a threaded
+//!   pipeline executor (one thread per operator, crossbeam channels).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod exec;
+pub mod graph;
+pub mod operator;
+pub mod ops;
+pub mod source;
+
+pub use event::Event;
+pub use exec::{run_graph, run_graph_threaded, ExecutionStats};
+pub use graph::{Graph, NodeId};
+pub use operator::{EventSink, Operator};
+pub use source::{GeneratorSource, MergeSource, PacedSource, ReplaySource, Source};

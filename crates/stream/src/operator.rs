@@ -1,0 +1,78 @@
+//! The operator interface: pluggable pipeline stages.
+
+use crate::event::Event;
+
+/// Downstream side of an operator: where produced events go.
+///
+/// The executor hands each [`Operator::process`] call a sink that forwards
+/// emitted events along the node's outgoing edges.
+pub trait EventSink {
+    /// Pushes `event` to all downstream consumers.
+    fn emit(&mut self, event: Event);
+}
+
+/// A `Vec<Event>` collects emitted events; used by tests and the executors'
+/// internal scratch buffers.
+impl EventSink for Vec<Event> {
+    fn emit(&mut self, event: Event) {
+        self.push(event);
+    }
+}
+
+/// A pipeline stage in the operator DAG.
+///
+/// Operators receive events pushed from their producers and emit any number
+/// of events to their consumers (zero = filter/sink behaviour, one = map,
+/// many = fan-out). They are `Send` so the threaded executor can own one
+/// per thread.
+///
+/// §4.1: "There are plug-in options for sketching operators that map stream
+/// items into synopses, statistics operators, shift prediction operators,
+/// etc."
+pub trait Operator: Send {
+    /// Human-readable name for metrics and tracing.
+    fn name(&self) -> &str;
+
+    /// Structural signature for plan sharing.
+    ///
+    /// Two operators with equal signatures compute the same function on the
+    /// same input; when a second query plan attaches an operator whose
+    /// signature matches an existing child of the same producer, the graph
+    /// reuses the existing node ("overlapping parts … are shared for
+    /// efficiency", §4.1). Return a string that encodes the operator type
+    /// *and all parameters that affect its output*. Stateful sinks whose
+    /// output handles differ must include a distinguishing token.
+    fn signature(&self) -> String;
+
+    /// Processes one event, emitting derived events downstream.
+    fn process(&mut self, event: Event, out: &mut dyn EventSink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::{Document, Timestamp};
+
+    struct Echo;
+    impl Operator for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn signature(&self) -> String {
+            "echo".into()
+        }
+        fn process(&mut self, event: Event, out: &mut dyn EventSink) {
+            out.emit(event);
+        }
+    }
+
+    #[test]
+    fn vec_collects_emitted_events() {
+        let mut op = Echo;
+        let mut out: Vec<Event> = Vec::new();
+        op.process(Event::Doc(Document::builder(1, Timestamp::ZERO).build()), &mut out);
+        op.process(Event::Flush, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out[1].is_flush());
+    }
+}

@@ -1,0 +1,330 @@
+//! Built-in operators: filters, maps, meters and sinks.
+//!
+//! Domain-specific operators (entity tagging, tick statistics, shift
+//! detection) live in their own crates; these are the generic plumbing
+//! stages every plan needs. By convention every operator **forwards
+//! punctuation** ([`Event::TickBoundary`], [`Event::Flush`]) unchanged so
+//! downstream stages stay tick-aligned.
+
+use crate::event::Event;
+use crate::operator::{EventSink, Operator};
+use enblogue_types::{Document, Tick};
+use std::sync::{Arc, Mutex};
+
+/// Forwards everything unchanged. Useful as an explicit plan stage (e.g. a
+/// named share point) and in tests.
+pub struct PassThrough {
+    name: String,
+}
+
+impl PassThrough {
+    /// A pass-through stage named `name` (the name participates in the
+    /// sharing signature).
+    pub fn new(name: impl Into<String>) -> Self {
+        PassThrough { name: name.into() }
+    }
+}
+
+impl Operator for PassThrough {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> String {
+        format!("pass:{}", self.name)
+    }
+
+    fn process(&mut self, event: Event, out: &mut dyn EventSink) {
+        out.emit(event);
+    }
+}
+
+/// Keeps only documents matching a predicate; punctuation passes through.
+pub struct FilterDocs<F: Fn(&Document) -> bool + Send> {
+    token: String,
+    predicate: F,
+}
+
+impl<F: Fn(&Document) -> bool + Send> FilterDocs<F> {
+    /// A filter whose sharing identity is `token` — closures cannot be
+    /// compared, so two filters share iff their tokens match.
+    pub fn new(token: impl Into<String>, predicate: F) -> Self {
+        FilterDocs { token: token.into(), predicate }
+    }
+}
+
+impl<F: Fn(&Document) -> bool + Send> Operator for FilterDocs<F> {
+    fn name(&self) -> &str {
+        &self.token
+    }
+
+    fn signature(&self) -> String {
+        format!("filter:{}", self.token)
+    }
+
+    fn process(&mut self, event: Event, out: &mut dyn EventSink) {
+        match event {
+            Event::Doc(doc) => {
+                if (self.predicate)(&doc) {
+                    out.emit(Event::Doc(doc));
+                }
+            }
+            other => out.emit(other),
+        }
+    }
+}
+
+/// Transforms documents with a function; punctuation passes through.
+pub struct MapDocs<F: FnMut(Document) -> Document + Send> {
+    token: String,
+    f: F,
+}
+
+impl<F: FnMut(Document) -> Document + Send> MapDocs<F> {
+    /// A map whose sharing identity is `token`.
+    pub fn new(token: impl Into<String>, f: F) -> Self {
+        MapDocs { token: token.into(), f }
+    }
+}
+
+impl<F: FnMut(Document) -> Document + Send> Operator for MapDocs<F> {
+    fn name(&self) -> &str {
+        &self.token
+    }
+
+    fn signature(&self) -> String {
+        format!("map:{}", self.token)
+    }
+
+    fn process(&mut self, event: Event, out: &mut dyn EventSink) {
+        match event {
+            Event::Doc(doc) => out.emit(Event::Doc((self.f)(doc))),
+            other => out.emit(other),
+        }
+    }
+}
+
+/// Measures per-tick document rates; forwards everything.
+///
+/// The paper's front-end displays how topic activity evolves; this meter is
+/// also the workhorse of the throughput benches.
+pub struct RateMeter {
+    name: String,
+    current_tick: Option<Tick>,
+    current_count: u64,
+    rates: Arc<Mutex<Vec<(Tick, u64)>>>,
+}
+
+impl RateMeter {
+    /// A rate meter named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        RateMeter {
+            name: name.into(),
+            current_tick: None,
+            current_count: 0,
+            rates: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Handle to the measured `(tick, docs)` series.
+    pub fn handle(&self) -> Arc<Mutex<Vec<(Tick, u64)>>> {
+        Arc::clone(&self.rates)
+    }
+}
+
+impl Operator for RateMeter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> String {
+        // Includes the handle address: two meters are the same node only if
+        // they are literally the same instance, since output goes to a
+        // caller-held handle.
+        format!("rate:{}:{:p}", self.name, Arc::as_ptr(&self.rates))
+    }
+
+    fn process(&mut self, event: Event, out: &mut dyn EventSink) {
+        match &event {
+            Event::Doc(_) => self.current_count += 1,
+            Event::TickBoundary(tick) => {
+                self.rates.lock().unwrap().push((*tick, self.current_count));
+                self.current_tick = Some(*tick);
+                self.current_count = 0;
+            }
+            Event::Flush => {
+                if self.current_count > 0 {
+                    let tick = self.current_tick.map_or(Tick::ZERO, Tick::next);
+                    self.rates.lock().unwrap().push((tick, self.current_count));
+                }
+            }
+        }
+        out.emit(event);
+    }
+}
+
+/// Terminal sink collecting all documents.
+pub struct CollectSink {
+    name: String,
+    docs: Arc<Mutex<Vec<Document>>>,
+}
+
+impl CollectSink {
+    /// A collecting sink named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CollectSink { name: name.into(), docs: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Handle to the collected documents.
+    pub fn handle(&self) -> Arc<Mutex<Vec<Document>>> {
+        Arc::clone(&self.docs)
+    }
+}
+
+impl Operator for CollectSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> String {
+        format!("collect:{}:{:p}", self.name, Arc::as_ptr(&self.docs))
+    }
+
+    fn process(&mut self, event: Event, _out: &mut dyn EventSink) {
+        if let Event::Doc(doc) = event {
+            self.docs.lock().unwrap().push(doc);
+        }
+    }
+}
+
+/// Counts observed by a [`CountingOp`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Documents seen.
+    pub docs: u64,
+    /// Tick boundaries seen.
+    pub boundaries: u64,
+    /// Flushes seen.
+    pub flushes: u64,
+}
+
+/// Terminal sink counting events by kind; used by tests and benches.
+pub struct CountingOp {
+    name: String,
+    counts: Arc<Mutex<EventCounts>>,
+}
+
+impl CountingOp {
+    /// A counting sink named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CountingOp { name: name.into(), counts: Arc::new(Mutex::new(EventCounts::default())) }
+    }
+
+    /// Handle to the counters.
+    pub fn handle(&self) -> Arc<Mutex<EventCounts>> {
+        Arc::clone(&self.counts)
+    }
+}
+
+impl Operator for CountingOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> String {
+        format!("count:{}:{:p}", self.name, Arc::as_ptr(&self.counts))
+    }
+
+    fn process(&mut self, event: Event, _out: &mut dyn EventSink) {
+        let mut counts = self.counts.lock().unwrap();
+        match event {
+            Event::Doc(_) => counts.docs += 1,
+            Event::TickBoundary(_) => counts.boundaries += 1,
+            Event::Flush => counts.flushes += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::{TagId, Timestamp};
+
+    fn doc(id: u64, tags: &[u32]) -> Document {
+        Document::builder(id, Timestamp::from_hours(id)).tags(tags.iter().map(|&t| TagId(t))).build()
+    }
+
+    #[test]
+    fn filter_keeps_matching_docs_and_punctuation() {
+        let mut f = FilterDocs::new("t1", |d: &Document| d.has_tag(TagId(1)));
+        let mut out: Vec<Event> = Vec::new();
+        f.process(Event::Doc(doc(1, &[1])), &mut out);
+        f.process(Event::Doc(doc(2, &[2])), &mut out);
+        f.process(Event::TickBoundary(Tick(0)), &mut out);
+        f.process(Event::Flush, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].as_doc().unwrap().id, 1);
+        assert!(out[1].is_tick_boundary());
+        assert!(out[2].is_flush());
+    }
+
+    #[test]
+    fn map_transforms_docs() {
+        let mut m = MapDocs::new("strip-text", |mut d: Document| {
+            d.clear_text();
+            d
+        });
+        let mut out: Vec<Event> = Vec::new();
+        let mut d = doc(1, &[1]);
+        d.text = Some("body".into());
+        m.process(Event::Doc(d), &mut out);
+        assert!(out[0].as_doc().unwrap().text.is_none());
+    }
+
+    #[test]
+    fn rate_meter_reports_per_tick_counts() {
+        let mut meter = RateMeter::new("m");
+        let handle = meter.handle();
+        let mut out: Vec<Event> = Vec::new();
+        meter.process(Event::Doc(doc(1, &[1])), &mut out);
+        meter.process(Event::Doc(doc(2, &[1])), &mut out);
+        meter.process(Event::TickBoundary(Tick(0)), &mut out);
+        meter.process(Event::Doc(doc(3, &[1])), &mut out);
+        meter.process(Event::TickBoundary(Tick(1)), &mut out);
+        meter.process(Event::Flush, &mut out);
+        assert_eq!(*handle.lock().unwrap(), vec![(Tick(0), 2), (Tick(1), 1)]);
+        assert_eq!(out.len(), 6, "meter forwards everything");
+    }
+
+    #[test]
+    fn rate_meter_flush_reports_partial_tick() {
+        let mut meter = RateMeter::new("m");
+        let handle = meter.handle();
+        let mut out: Vec<Event> = Vec::new();
+        meter.process(Event::Doc(doc(1, &[1])), &mut out);
+        meter.process(Event::Flush, &mut out);
+        assert_eq!(*handle.lock().unwrap(), vec![(Tick(0), 1)]);
+    }
+
+    #[test]
+    fn sinks_have_distinct_signatures() {
+        let a = CollectSink::new("s");
+        let b = CollectSink::new("s");
+        assert_ne!(a.signature(), b.signature(), "sinks with separate handles must not be shared");
+        let p = PassThrough::new("x");
+        let q = PassThrough::new("x");
+        assert_eq!(p.signature(), q.signature(), "stateless stages share by name");
+    }
+
+    #[test]
+    fn counting_op_counts_kinds() {
+        let mut c = CountingOp::new("c");
+        let handle = c.handle();
+        let mut out: Vec<Event> = Vec::new();
+        c.process(Event::Doc(doc(1, &[])), &mut out);
+        c.process(Event::TickBoundary(Tick(0)), &mut out);
+        c.process(Event::Flush, &mut out);
+        assert_eq!(*handle.lock().unwrap(), EventCounts { docs: 1, boundaries: 1, flushes: 1 });
+        assert!(out.is_empty(), "sinks emit nothing");
+    }
+}

@@ -1,0 +1,378 @@
+//! Stream sources: "wrappers that either consume live streams or replay
+//! existing datasets for experiments" (§4.1).
+
+use crate::event::Event;
+use enblogue_types::{Document, Tick, TickSpec};
+
+/// A pull-based event producer driven by the executor.
+///
+/// Sources yield events one at a time; returning `None` ends the stream
+/// (the executor then injects a final [`Event::Flush`] if the source did
+/// not emit one itself).
+pub trait Source: Send {
+    /// The next event, or `None` at end of stream.
+    fn next_event(&mut self) -> Option<Event>;
+
+    /// Human-readable name for metrics.
+    fn name(&self) -> &str {
+        "source"
+    }
+}
+
+/// Replays a dataset of documents, inserting tick boundaries.
+///
+/// Documents must be supplied in timestamp order. A time-lapse replay is
+/// simply a replay under a different [`TickSpec`]: stream time is data
+/// time, so no wall-clock pacing is involved.
+pub struct ReplaySource {
+    docs: std::vec::IntoIter<Document>,
+    tick_spec: TickSpec,
+    pending: Option<Document>,
+    current_tick: Option<Tick>,
+    flushed: bool,
+    last_ts: u64,
+}
+
+impl ReplaySource {
+    /// A replay of `docs` (must be sorted by timestamp) under `tick_spec`.
+    ///
+    /// # Panics
+    /// Panics at iteration time if documents are out of order.
+    pub fn new(docs: Vec<Document>, tick_spec: TickSpec) -> Self {
+        ReplaySource {
+            docs: docs.into_iter(),
+            tick_spec,
+            pending: None,
+            current_tick: None,
+            flushed: false,
+            last_ts: 0,
+        }
+    }
+}
+
+impl Source for ReplaySource {
+    fn next_event(&mut self) -> Option<Event> {
+        // Deliver a buffered document (held back to emit a boundary first).
+        if let Some(doc) = self.pending.take() {
+            self.current_tick = Some(self.tick_spec.tick_of(doc.timestamp));
+            return Some(Event::Doc(doc));
+        }
+        match self.docs.next() {
+            Some(doc) => {
+                assert!(
+                    doc.timestamp.as_millis() >= self.last_ts,
+                    "replay documents must be sorted by timestamp"
+                );
+                self.last_ts = doc.timestamp.as_millis();
+                let tick = self.tick_spec.tick_of(doc.timestamp);
+                match self.current_tick {
+                    Some(current) if tick > current => {
+                        // Close the current tick before the next document.
+                        self.pending = Some(doc);
+                        self.current_tick = Some(current.next());
+                        Some(Event::TickBoundary(current))
+                    }
+                    None => {
+                        self.current_tick = Some(tick);
+                        Some(Event::Doc(doc))
+                    }
+                    _ => Some(Event::Doc(doc)),
+                }
+            }
+            None => {
+                // Close the last tick, then flush exactly once.
+                if let Some(current) = self.current_tick.take() {
+                    return Some(Event::TickBoundary(current));
+                }
+                if self.flushed {
+                    None
+                } else {
+                    self.flushed = true;
+                    Some(Event::Flush)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+}
+
+/// Wraps a closure producing events; the "live wrapper" building block.
+pub struct GeneratorSource<F: FnMut() -> Option<Event> + Send> {
+    f: F,
+    name: String,
+}
+
+impl<F: FnMut() -> Option<Event> + Send> GeneratorSource<F> {
+    /// A source pulling events from `f` until it returns `None`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        GeneratorSource { f, name: name.into() }
+    }
+}
+
+impl<F: FnMut() -> Option<Event> + Send> Source for GeneratorSource<F> {
+    fn next_event(&mut self) -> Option<Event> {
+        (self.f)()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Merges several timestamp-sorted document sources into one ordered
+/// stream, re-deriving tick boundaries.
+///
+/// Models the demo's multi-feed setting (Twitter + several RSS feeds feeding
+/// one engine). Inner sources' own boundaries/flushes are discarded; the
+/// merge emits its own.
+pub struct MergeSource {
+    /// Per-source lookahead document.
+    heads: Vec<Option<Document>>,
+    sources: Vec<Box<dyn Source>>,
+    tick_spec: TickSpec,
+    pending: Option<Document>,
+    current_tick: Option<Tick>,
+    flushed: bool,
+}
+
+impl MergeSource {
+    /// Merges `sources` under `tick_spec`.
+    pub fn new(sources: Vec<Box<dyn Source>>, tick_spec: TickSpec) -> Self {
+        let heads = vec![None; sources.len()];
+        MergeSource { heads, sources, tick_spec, pending: None, current_tick: None, flushed: false }
+    }
+
+    fn refill(&mut self, i: usize) {
+        while self.heads[i].is_none() {
+            match self.sources[i].next_event() {
+                Some(Event::Doc(doc)) => self.heads[i] = Some(doc),
+                Some(_) => continue, // skip inner punctuation
+                None => break,
+            }
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Document> {
+        for i in 0..self.sources.len() {
+            self.refill(i);
+        }
+        let min_idx = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, head)| head.as_ref().map(|d| (i, d.timestamp)))
+            .min_by_key(|&(_, ts)| ts)
+            .map(|(i, _)| i)?;
+        self.heads[min_idx].take()
+    }
+}
+
+impl Source for MergeSource {
+    fn next_event(&mut self) -> Option<Event> {
+        if let Some(doc) = self.pending.take() {
+            self.current_tick = Some(self.tick_spec.tick_of(doc.timestamp));
+            return Some(Event::Doc(doc));
+        }
+        match self.pop_min() {
+            Some(doc) => {
+                let tick = self.tick_spec.tick_of(doc.timestamp);
+                match self.current_tick {
+                    Some(current) if tick > current => {
+                        self.pending = Some(doc);
+                        self.current_tick = Some(current.next());
+                        Some(Event::TickBoundary(current))
+                    }
+                    None => {
+                        self.current_tick = Some(tick);
+                        Some(Event::Doc(doc))
+                    }
+                    _ => Some(Event::Doc(doc)),
+                }
+            }
+            None => {
+                if let Some(current) = self.current_tick.take() {
+                    return Some(Event::TickBoundary(current));
+                }
+                if self.flushed {
+                    None
+                } else {
+                    self.flushed = true;
+                    Some(Event::Flush)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "merge"
+    }
+}
+
+/// Wraps a source with wall-clock pacing: stream time runs `speedup`
+/// times faster than real time.
+///
+/// The demo's "time lapse view over a sliding window of the past couple of
+/// days" replays archived data accelerated; live demos replay at 1×. The
+/// executor blocks in `next_event` until each document's scaled due time,
+/// so downstream operators experience realistic arrival pacing. Benches
+/// and tests use the unpaced sources; this wrapper exists for interactive
+/// replays.
+pub struct PacedSource<S: Source> {
+    inner: S,
+    speedup: f64,
+    started: Option<std::time::Instant>,
+    stream_epoch: Option<u64>,
+}
+
+impl<S: Source> PacedSource<S> {
+    /// Paces `inner` so that `speedup` milliseconds of stream time pass
+    /// per millisecond of wall-clock time.
+    ///
+    /// # Panics
+    /// Panics if `speedup` is not finite and positive.
+    pub fn new(inner: S, speedup: f64) -> Self {
+        assert!(speedup.is_finite() && speedup > 0.0, "speedup must be positive");
+        PacedSource { inner, speedup, started: None, stream_epoch: None }
+    }
+}
+
+impl<S: Source> Source for PacedSource<S> {
+    fn next_event(&mut self) -> Option<Event> {
+        let event = self.inner.next_event()?;
+        if let Event::Doc(doc) = &event {
+            let now = std::time::Instant::now();
+            let started = *self.started.get_or_insert(now);
+            let epoch = *self.stream_epoch.get_or_insert(doc.timestamp.as_millis());
+            let stream_elapsed = doc.timestamp.as_millis().saturating_sub(epoch) as f64;
+            let due = std::time::Duration::from_secs_f64(stream_elapsed / self.speedup / 1_000.0);
+            let elapsed = now.duration_since(started);
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+        }
+        Some(event)
+    }
+
+    fn name(&self) -> &str {
+        "paced"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::Timestamp;
+
+    fn doc(id: u64, hour: u64) -> Document {
+        Document::builder(id, Timestamp::from_hours(hour)).build()
+    }
+
+    fn drain(mut source: impl Source) -> Vec<Event> {
+        let mut events = Vec::new();
+        while let Some(e) = source.next_event() {
+            events.push(e);
+        }
+        events
+    }
+
+    #[test]
+    fn replay_inserts_boundaries_between_ticks() {
+        let source = ReplaySource::new(vec![doc(1, 0), doc(2, 0), doc(3, 1), doc(4, 3)], TickSpec::hourly());
+        let events = drain(source);
+        let labels: Vec<String> = events
+            .iter()
+            .map(|e| match e {
+                Event::Doc(d) => format!("d{}", d.id),
+                Event::TickBoundary(t) => format!("b{}", t.0),
+                Event::Flush => "f".into(),
+            })
+            .collect();
+        assert_eq!(labels, vec!["d1", "d2", "b0", "d3", "b1", "d4", "b3", "f"]);
+    }
+
+    #[test]
+    fn replay_of_empty_dataset_just_flushes() {
+        let events = drain(ReplaySource::new(vec![], TickSpec::hourly()));
+        assert_eq!(events, vec![Event::Flush]);
+    }
+
+    #[test]
+    fn replay_single_tick_closes_it() {
+        let events = drain(ReplaySource::new(vec![doc(1, 5)], TickSpec::hourly()));
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[1], Event::TickBoundary(Tick(5))));
+        assert!(events[2].is_flush());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by timestamp")]
+    fn replay_rejects_unsorted_input() {
+        let source = ReplaySource::new(vec![doc(1, 5), doc(2, 3)], TickSpec::hourly());
+        let _ = drain(source);
+    }
+
+    #[test]
+    fn generator_source_pulls_until_none() {
+        let mut remaining = 3u32;
+        let source = GeneratorSource::new("gen", move || {
+            if remaining == 0 {
+                None
+            } else {
+                remaining -= 1;
+                Some(Event::Flush)
+            }
+        });
+        assert_eq!(drain(source).len(), 3);
+    }
+
+    #[test]
+    fn merge_interleaves_by_timestamp() {
+        let a = ReplaySource::new(vec![doc(1, 0), doc(3, 2)], TickSpec::hourly());
+        let b = ReplaySource::new(vec![doc(2, 1), doc(4, 2)], TickSpec::hourly());
+        let merged = MergeSource::new(vec![Box::new(a), Box::new(b)], TickSpec::hourly());
+        let events = drain(merged);
+        let doc_ids: Vec<u64> = events.iter().filter_map(|e| e.as_doc().map(|d| d.id)).collect();
+        assert_eq!(doc_ids, vec![1, 2, 3, 4]);
+        // Boundaries for ticks 0, 1, 2 plus one flush.
+        let boundaries = events.iter().filter(|e| e.is_tick_boundary()).count();
+        assert_eq!(boundaries, 3);
+        assert!(events.last().unwrap().is_flush());
+    }
+
+    #[test]
+    fn merge_with_empty_member() {
+        let a = ReplaySource::new(vec![doc(1, 0)], TickSpec::hourly());
+        let b = ReplaySource::new(vec![], TickSpec::hourly());
+        let merged = MergeSource::new(vec![Box::new(a), Box::new(b)], TickSpec::hourly());
+        let events = drain(merged);
+        let doc_ids: Vec<u64> = events.iter().filter_map(|e| e.as_doc().map(|d| d.id)).collect();
+        assert_eq!(doc_ids, vec![1]);
+    }
+
+    #[test]
+    fn paced_source_preserves_content_and_paces() {
+        // Two docs 100 stream-ms apart at 10x speedup: ≥10ms wall time.
+        let docs = vec![
+            Document::builder(1, Timestamp(0)).build(),
+            Document::builder(2, Timestamp(100)).build(),
+        ];
+        let inner = ReplaySource::new(docs, TickSpec::hourly());
+        let paced = PacedSource::new(inner, 10.0);
+        let start = std::time::Instant::now();
+        let events = drain(paced);
+        let elapsed = start.elapsed();
+        let doc_ids: Vec<u64> = events.iter().filter_map(|e| e.as_doc().map(|d| d.id)).collect();
+        assert_eq!(doc_ids, vec![1, 2], "pacing must not change the stream");
+        assert!(elapsed >= std::time::Duration::from_millis(9), "pacing too fast: {elapsed:?}");
+        assert!(elapsed < std::time::Duration::from_millis(500), "pacing too slow: {elapsed:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be positive")]
+    fn paced_rejects_zero_speedup() {
+        let _ = PacedSource::new(ReplaySource::new(vec![], TickSpec::hourly()), 0.0);
+    }
+}

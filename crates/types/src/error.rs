@@ -1,0 +1,69 @@
+//! Error type shared across the EnBlogue workspace.
+
+use std::fmt;
+
+/// Errors surfaced by EnBlogue components.
+///
+/// The system is a streaming engine: most conditions are handled inline
+/// (e.g. unknown tags are simply not tracked), so the error surface is
+/// deliberately small and covers configuration and wiring mistakes that a
+/// caller must fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnBlogueError {
+    /// A configuration value was out of its valid range.
+    InvalidConfig {
+        /// The offending parameter, e.g. `"window_ticks"`.
+        parameter: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// An operator graph was mis-wired (cycle, dangling edge, missing node).
+    PlanError(String),
+    /// A referenced entity/tag/user was not found.
+    NotFound(String),
+    /// A stream source failed to produce items.
+    SourceError(String),
+}
+
+impl EnBlogueError {
+    /// Convenience constructor for configuration errors.
+    pub fn invalid_config(parameter: &'static str, message: impl Into<String>) -> Self {
+        EnBlogueError::InvalidConfig { parameter, message: message.into() }
+    }
+}
+
+impl fmt::Display for EnBlogueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnBlogueError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for `{parameter}`: {message}")
+            }
+            EnBlogueError::PlanError(msg) => write!(f, "operator plan error: {msg}"),
+            EnBlogueError::NotFound(what) => write!(f, "not found: {what}"),
+            EnBlogueError::SourceError(msg) => write!(f, "stream source error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EnBlogueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = EnBlogueError::invalid_config("window_ticks", "must be >= 2");
+        assert_eq!(err.to_string(), "invalid configuration for `window_ticks`: must be >= 2");
+
+        let err = EnBlogueError::PlanError("cycle detected".into());
+        assert!(err.to_string().contains("cycle detected"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&EnBlogueError::NotFound("user".into()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Canonical unordered tag pairs — the candidate topics of EnBlogue.
+
+use crate::tag::TagId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An unordered pair of distinct tags, stored in canonical `(lo, hi)` order.
+///
+/// A candidate emergent topic is a pair of tags of which at least one is a
+/// seed (§3(i) of the paper). Canonical ordering guarantees that
+/// `(a, b)` and `(b, a)` address the same tracked state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TagPair {
+    lo: TagId,
+    hi: TagId,
+}
+
+impl TagPair {
+    /// Creates the canonical pair of `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if `a == b` — a tag's correlation with itself is always 1 and
+    /// never an emergent topic; forming such a pair is a logic error.
+    #[inline]
+    pub fn new(a: TagId, b: TagId) -> Self {
+        assert_ne!(a, b, "a TagPair requires two distinct tags");
+        if a < b {
+            TagPair { lo: a, hi: b }
+        } else {
+            TagPair { lo: b, hi: a }
+        }
+    }
+
+    /// Creates the canonical pair if the tags are distinct.
+    #[inline]
+    pub fn try_new(a: TagId, b: TagId) -> Option<Self> {
+        if a == b {
+            None
+        } else {
+            Some(TagPair::new(a, b))
+        }
+    }
+
+    /// The smaller tag id of the pair.
+    #[inline]
+    pub const fn lo(self) -> TagId {
+        self.lo
+    }
+
+    /// The larger tag id of the pair.
+    #[inline]
+    pub const fn hi(self) -> TagId {
+        self.hi
+    }
+
+    /// Whether `tag` is one of the two members.
+    #[inline]
+    pub fn contains(self, tag: TagId) -> bool {
+        self.lo == tag || self.hi == tag
+    }
+
+    /// Given one member, returns the other; `None` if `tag` is not a member.
+    #[inline]
+    pub fn other(self, tag: TagId) -> Option<TagId> {
+        if tag == self.lo {
+            Some(self.hi)
+        } else if tag == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Packs the pair into a single `u64` key (`lo` in the high bits).
+    ///
+    /// Hot maps key tracked pairs by this packed form; packing preserves the
+    /// canonical ordering, so packed keys sort like pairs.
+    #[inline]
+    pub const fn packed(self) -> u64 {
+        ((self.lo.0 as u64) << 32) | self.hi.0 as u64
+    }
+
+    /// Inverse of [`TagPair::packed`].
+    #[inline]
+    pub const fn from_packed(key: u64) -> Self {
+        TagPair { lo: TagId((key >> 32) as u32), hi: TagId(key as u32) }
+    }
+}
+
+impl fmt::Display for TagPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_canonical() {
+        let p1 = TagPair::new(TagId(5), TagId(2));
+        let p2 = TagPair::new(TagId(2), TagId(5));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.lo(), TagId(2));
+        assert_eq!(p1.hi(), TagId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct tags")]
+    fn self_pair_panics() {
+        let _ = TagPair::new(TagId(3), TagId(3));
+    }
+
+    #[test]
+    fn try_new_rejects_self_pair() {
+        assert!(TagPair::try_new(TagId(3), TagId(3)).is_none());
+        assert!(TagPair::try_new(TagId(3), TagId(4)).is_some());
+    }
+
+    #[test]
+    fn membership_queries() {
+        let p = TagPair::new(TagId(1), TagId(9));
+        assert!(p.contains(TagId(1)));
+        assert!(p.contains(TagId(9)));
+        assert!(!p.contains(TagId(5)));
+        assert_eq!(p.other(TagId(1)), Some(TagId(9)));
+        assert_eq!(p.other(TagId(9)), Some(TagId(1)));
+        assert_eq!(p.other(TagId(5)), None);
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        let p = TagPair::new(TagId(u32::MAX - 1), TagId(7));
+        assert_eq!(TagPair::from_packed(p.packed()), p);
+        let q = TagPair::new(TagId(0), TagId(1));
+        assert_eq!(TagPair::from_packed(q.packed()), q);
+    }
+
+    #[test]
+    fn packing_preserves_order() {
+        let small = TagPair::new(TagId(1), TagId(2));
+        let large = TagPair::new(TagId(1), TagId(3));
+        let larger = TagPair::new(TagId(2), TagId(3));
+        assert!(small.packed() < large.packed());
+        assert!(large.packed() < larger.packed());
+        assert!(small < large && large < larger);
+    }
+
+    #[test]
+    fn display_shows_both_ids() {
+        let p = TagPair::new(TagId(4), TagId(2));
+        assert_eq!(p.to_string(), "(#2, #4)");
+    }
+}

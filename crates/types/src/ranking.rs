@@ -1,0 +1,64 @@
+//! Engine output: emergent-topic rankings.
+
+use crate::pair::TagPair;
+use crate::time::{Tick, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One emitted ranking: the engine's top-k emergent topics at a tick close.
+///
+/// §3(iii): "These values are used to rank tag pairs and to report the
+/// top-k most interesting ones, thus presenting the user with emergent
+/// topics." Snapshots are what the ranking sink pushes to the front-end
+/// and what the evaluation harness scores against ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankingSnapshot {
+    /// The tick this ranking closes.
+    pub tick: Tick,
+    /// Stream time at the tick end.
+    pub time: Timestamp,
+    /// `(pair, score)`, best first.
+    pub ranked: Vec<(TagPair, f64)>,
+}
+
+impl RankingSnapshot {
+    /// Rank position (0-based) of `pair`, if present.
+    pub fn rank_of(&self, pair: TagPair) -> Option<usize> {
+        self.ranked.iter().position(|&(p, _)| p == pair)
+    }
+
+    /// Whether `pair` is in the top `k` of this snapshot.
+    pub fn contains_in_top(&self, pair: TagPair, k: usize) -> bool {
+        self.rank_of(pair).is_some_and(|r| r < k)
+    }
+
+    /// The score of `pair`, if ranked.
+    pub fn score_of(&self, pair: TagPair) -> Option<f64> {
+        self.ranked.iter().find(|&&(p, _)| p == pair).map(|&(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::TagId;
+
+    fn pair(a: u32, b: u32) -> TagPair {
+        TagPair::new(TagId(a), TagId(b))
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let snap = RankingSnapshot {
+            tick: Tick(3),
+            time: Timestamp::from_hours(3),
+            ranked: vec![(pair(1, 2), 0.9), (pair(3, 4), 0.4)],
+        };
+        assert_eq!(snap.rank_of(pair(1, 2)), Some(0));
+        assert_eq!(snap.rank_of(pair(3, 4)), Some(1));
+        assert_eq!(snap.rank_of(pair(5, 6)), None);
+        assert!(snap.contains_in_top(pair(1, 2), 1));
+        assert!(!snap.contains_in_top(pair(3, 4), 1));
+        assert_eq!(snap.score_of(pair(3, 4)), Some(0.4));
+        assert_eq!(snap.score_of(pair(5, 6)), None);
+    }
+}

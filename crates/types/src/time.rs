@@ -1,0 +1,254 @@
+//! Stream time and its discretisation into ticks.
+//!
+//! EnBlogue aggregates the document stream into fixed-width *ticks* (the
+//! paper uses sliding-window averages over the stream; tick-aligned windows
+//! make every derived series exact and reproducible — a window count is the
+//! sum of per-tick counts because each document falls into exactly one
+//! tick).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in stream time, in milliseconds since the stream epoch.
+///
+/// The epoch is workload-defined (e.g. the first day of a replayed archive).
+/// `Timestamp` is deliberately *not* wall-clock time: replayed archives and
+/// time-lapse simulations run much faster than real time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// One second of stream time, in milliseconds.
+    pub const SECOND: u64 = 1_000;
+    /// One minute of stream time, in milliseconds.
+    pub const MINUTE: u64 = 60 * Self::SECOND;
+    /// One hour of stream time, in milliseconds.
+    pub const HOUR: u64 = 60 * Self::MINUTE;
+    /// One day of stream time, in milliseconds.
+    pub const DAY: u64 = 24 * Self::HOUR;
+
+    /// The stream epoch (t = 0).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * Self::SECOND)
+    }
+
+    /// Builds a timestamp from whole minutes.
+    #[inline]
+    pub const fn from_minutes(minutes: u64) -> Self {
+        Timestamp(minutes * Self::MINUTE)
+    }
+
+    /// Builds a timestamp from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        Timestamp(hours * Self::HOUR)
+    }
+
+    /// Builds a timestamp from whole days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        Timestamp(days * Self::DAY)
+    }
+
+    /// Raw milliseconds since the stream epoch.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This timestamp advanced by `millis`.
+    #[inline]
+    #[must_use]
+    pub const fn plus(self, millis: u64) -> Self {
+        Timestamp(self.0 + millis)
+    }
+
+    /// Saturating difference `self - earlier` in milliseconds.
+    #[inline]
+    pub const fn since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// Formats as `d<days>+hh:mm:ss` for readable experiment output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / Self::SECOND;
+        let days = total_secs / 86_400;
+        let hours = (total_secs % 86_400) / 3_600;
+        let minutes = (total_secs % 3_600) / 60;
+        let secs = total_secs % 60;
+        write!(f, "d{days}+{hours:02}:{minutes:02}:{secs:02}")
+    }
+}
+
+/// A discrete tick index: the `n`-th tick of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// The first tick.
+    pub const ZERO: Tick = Tick(0);
+
+    /// The tick immediately after this one.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Tick {
+        Tick(self.0 + 1)
+    }
+
+    /// Saturating number of ticks elapsed since `earlier`.
+    #[inline]
+    pub const fn since(self, earlier: Tick) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Mapping between continuous stream time and discrete ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickSpec {
+    width_ms: u64,
+}
+
+impl TickSpec {
+    /// A tick spec with the given tick width in milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `width_ms == 0`.
+    pub fn new(width_ms: u64) -> Self {
+        assert!(width_ms > 0, "tick width must be positive");
+        TickSpec { width_ms }
+    }
+
+    /// Hourly ticks — the default granularity for archive replays.
+    pub fn hourly() -> Self {
+        TickSpec::new(Timestamp::HOUR)
+    }
+
+    /// Daily ticks — used for multi-year archive experiments.
+    pub fn daily() -> Self {
+        TickSpec::new(Timestamp::DAY)
+    }
+
+    /// Per-minute ticks — used for live/tweet simulations.
+    pub fn minutely() -> Self {
+        TickSpec::new(Timestamp::MINUTE)
+    }
+
+    /// The tick width in milliseconds.
+    #[inline]
+    pub const fn width_ms(&self) -> u64 {
+        self.width_ms
+    }
+
+    /// The tick containing `ts`.
+    #[inline]
+    pub const fn tick_of(&self, ts: Timestamp) -> Tick {
+        Tick(ts.0 / self.width_ms)
+    }
+
+    /// The inclusive start of `tick`.
+    #[inline]
+    pub const fn start_of(&self, tick: Tick) -> Timestamp {
+        Timestamp(tick.0 * self.width_ms)
+    }
+
+    /// The exclusive end of `tick`.
+    #[inline]
+    pub const fn end_of(&self, tick: Tick) -> Timestamp {
+        Timestamp((tick.0 + 1) * self.width_ms)
+    }
+
+    /// Number of whole ticks covering `duration_ms`, rounded up (at least 1).
+    ///
+    /// Used to convert window lengths such as "2 days" into tick counts.
+    #[inline]
+    pub const fn ticks_for(&self, duration_ms: u64) -> usize {
+        let t = duration_ms.div_ceil(self.width_ms);
+        if t == 0 {
+            1
+        } else {
+            t as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_constructors_agree() {
+        assert_eq!(Timestamp::from_secs(60), Timestamp::from_minutes(1));
+        assert_eq!(Timestamp::from_minutes(60), Timestamp::from_hours(1));
+        assert_eq!(Timestamp::from_hours(24), Timestamp::from_days(1));
+    }
+
+    #[test]
+    fn timestamp_since_saturates() {
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(25);
+        assert_eq!(b.since(a), 15_000);
+        assert_eq!(a.since(b), 0);
+    }
+
+    #[test]
+    fn timestamp_display_is_readable() {
+        let ts = Timestamp::from_days(2).plus(3 * Timestamp::HOUR + 4 * Timestamp::MINUTE + 5 * Timestamp::SECOND);
+        assert_eq!(ts.to_string(), "d2+03:04:05");
+        assert_eq!(Timestamp::ZERO.to_string(), "d0+00:00:00");
+    }
+
+    #[test]
+    fn tick_of_maps_boundaries_correctly() {
+        let spec = TickSpec::hourly();
+        assert_eq!(spec.tick_of(Timestamp::ZERO), Tick(0));
+        assert_eq!(spec.tick_of(Timestamp(Timestamp::HOUR - 1)), Tick(0));
+        assert_eq!(spec.tick_of(Timestamp(Timestamp::HOUR)), Tick(1));
+        assert_eq!(spec.tick_of(Timestamp::from_days(1)), Tick(24));
+    }
+
+    #[test]
+    fn tick_bounds_roundtrip() {
+        let spec = TickSpec::minutely();
+        let tick = Tick(42);
+        assert_eq!(spec.tick_of(spec.start_of(tick)), tick);
+        // End is exclusive: it belongs to the next tick.
+        assert_eq!(spec.tick_of(spec.end_of(tick)), tick.next());
+    }
+
+    #[test]
+    fn ticks_for_rounds_up_and_is_at_least_one() {
+        let spec = TickSpec::hourly();
+        assert_eq!(spec.ticks_for(0), 1);
+        assert_eq!(spec.ticks_for(1), 1);
+        assert_eq!(spec.ticks_for(Timestamp::HOUR), 1);
+        assert_eq!(spec.ticks_for(Timestamp::HOUR + 1), 2);
+        assert_eq!(spec.ticks_for(2 * Timestamp::DAY), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick width must be positive")]
+    fn zero_width_tick_spec_panics() {
+        let _ = TickSpec::new(0);
+    }
+
+    #[test]
+    fn tick_next_and_since() {
+        let t = Tick(5);
+        assert_eq!(t.next(), Tick(6));
+        assert_eq!(t.next().since(t), 1);
+        assert_eq!(t.since(t.next()), 0);
+        assert_eq!(format!("{t}"), "t5");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the core data model.
+
+use enblogue_types::{Document, TagId, TagPair, TickSpec, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pair construction is symmetric and canonical.
+    #[test]
+    fn pair_is_canonical(a in 0u32..10_000, b in 0u32..10_000) {
+        prop_assume!(a != b);
+        let p = TagPair::new(TagId(a), TagId(b));
+        let q = TagPair::new(TagId(b), TagId(a));
+        prop_assert_eq!(p, q);
+        prop_assert!(p.lo() < p.hi());
+        prop_assert!(p.contains(TagId(a)) && p.contains(TagId(b)));
+        prop_assert_eq!(p.other(TagId(a)), Some(TagId(b)));
+    }
+
+    /// Packing is a bijection on canonical pairs.
+    #[test]
+    fn pair_packing_roundtrips(a in 0u32.., b in 0u32..) {
+        prop_assume!(a != b);
+        let p = TagPair::new(TagId(a), TagId(b));
+        prop_assert_eq!(TagPair::from_packed(p.packed()), p);
+    }
+
+    /// Every timestamp lands in exactly the tick whose bounds contain it.
+    #[test]
+    fn tick_of_respects_bounds(ts in 0u64..u64::MAX / 2, width in 1u64..10_000_000) {
+        let spec = TickSpec::new(width);
+        let ts = Timestamp(ts);
+        let tick = spec.tick_of(ts);
+        prop_assert!(spec.start_of(tick) <= ts);
+        prop_assert!(ts < spec.end_of(tick));
+    }
+
+    /// ticks_for always covers the duration.
+    #[test]
+    fn ticks_for_covers_duration(duration in 0u64..1_000_000_000, width in 1u64..10_000_000) {
+        let spec = TickSpec::new(width);
+        let n = spec.ticks_for(duration) as u64;
+        prop_assert!(n >= 1);
+        prop_assert!(n * width >= duration);
+        // Minimality: one fewer tick would not cover (unless duration fits in 0 ticks).
+        if n > 1 {
+            prop_assert!((n - 1) * width < duration);
+        }
+    }
+
+    /// Document builder output is always sorted and deduplicated, and the
+    /// merged annotation view is sorted, deduplicated, and complete.
+    #[test]
+    fn document_invariants(
+        tags in proptest::collection::vec(0u32..500, 0..40),
+        entities in proptest::collection::vec(0u32..500, 0..40),
+    ) {
+        let doc = Document::builder(1, Timestamp::ZERO)
+            .tags(tags.iter().map(|&t| TagId(t)))
+            .entities(entities.iter().map(|&t| TagId(t)))
+            .build();
+
+        prop_assert!(doc.tags.windows(2).all(|w| w[0] < w[1]), "tags sorted+deduped");
+        prop_assert!(doc.entities.windows(2).all(|w| w[0] < w[1]), "entities sorted+deduped");
+
+        let merged: Vec<TagId> = doc.annotations().collect();
+        prop_assert!(merged.windows(2).all(|w| w[0] < w[1]), "merged sorted+deduped");
+
+        let mut expected: Vec<TagId> = tags.iter().chain(entities.iter()).map(|&t| TagId(t)).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(merged, expected);
+    }
+}

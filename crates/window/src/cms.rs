@@ -1,0 +1,192 @@
+//! Count-Min sketch: approximate frequencies in sub-linear space.
+
+use std::hash::{BuildHasher, Hash};
+
+use enblogue_types::FxBuildHasher;
+
+/// A Count-Min sketch over hashable keys.
+///
+/// One of the pluggable "sketching operators that map stream items into
+/// synopses" (§4.1). Estimates are upper-biased: `estimate(k) >= true(k)`,
+/// and with width `w = ⌈e/ε⌉`, depth `d = ⌈ln(1/δ)⌉`, the overestimate is
+/// at most `ε·N` with probability `1 − δ` (N = total count).
+///
+/// Rows derive per-row hash values from one 64-bit Fx hash via the Kirsch–
+/// Mitzenmacher double-hashing trick (`h_i = h1 + i·h2`), which avoids
+/// hashing the key `d` times.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    rows: Vec<u64>,
+    total: u64,
+    hasher: FxBuildHasher,
+}
+
+impl CountMinSketch {
+    /// A sketch with explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0, "sketch width must be positive");
+        assert!(depth > 0, "sketch depth must be positive");
+        CountMinSketch { width, depth, rows: vec![0; width * depth], total: 0, hasher: FxBuildHasher::default() }
+    }
+
+    /// A sketch sized for additive error `epsilon·N` with failure
+    /// probability `delta`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+    pub fn with_error_bounds(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth)
+    }
+
+    /// Sketch width (counters per row).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of rows).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total count of all insertions.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn index(&self, row: usize, h1: u64, h2: u64) -> usize {
+        let h = h1.wrapping_add((row as u64).wrapping_mul(h2));
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    #[inline]
+    fn hash_pair<K: Hash>(&self, key: &K) -> (u64, u64) {
+        let h = self.hasher.hash_one(key);
+        // Split into two independent-ish halves; force h2 odd so strides
+        // cover the row.
+        let h1 = h;
+        let h2 = (h >> 32) | 1;
+        (h1, h2)
+    }
+
+    /// Adds `by` occurrences of `key`.
+    pub fn add<K: Hash>(&mut self, key: &K, by: u64) {
+        let (h1, h2) = self.hash_pair(key);
+        for row in 0..self.depth {
+            let idx = self.index(row, h1, h2);
+            self.rows[idx] += by;
+        }
+        self.total += by;
+    }
+
+    /// Records one occurrence of `key`.
+    #[inline]
+    pub fn increment<K: Hash>(&mut self, key: &K) {
+        self.add(key, 1);
+    }
+
+    /// Upper-biased estimate of the count of `key`.
+    pub fn estimate<K: Hash>(&self, key: &K) -> u64 {
+        let (h1, h2) = self.hash_pair(key);
+        (0..self.depth).map(|row| self.rows[self.index(row, h1, h2)]).min().unwrap_or(0)
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.rows.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+
+    /// Memory footprint of the counter array in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(64, 4);
+        for i in 0u32..500 {
+            cms.add(&(i % 50), 1);
+        }
+        for key in 0u32..50 {
+            assert!(cms.estimate(&key) >= 10, "key {key} underestimated");
+        }
+        assert_eq!(cms.total(), 500);
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cms = CountMinSketch::new(1024, 4);
+        cms.add(&"volcano", 3);
+        cms.add(&"iceland", 7);
+        assert_eq!(cms.estimate(&"volcano"), 3);
+        assert_eq!(cms.estimate(&"iceland"), 7);
+        assert_eq!(cms.estimate(&"unrelated"), 0);
+    }
+
+    #[test]
+    fn error_bound_holds_on_zipfish_load() {
+        // ε = 0.01, δ = 0.01 ⇒ overestimate ≤ 0.01·N w.p. 0.99. We assert a
+        // loose deterministic version on a fixed workload.
+        let mut cms = CountMinSketch::with_error_bounds(0.01, 0.01);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0u64..10_000 {
+            let key = i % (1 + i % 97); // skewed repetition
+            cms.increment(&key);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        let n = cms.total();
+        let slack = (0.02 * n as f64) as u64; // double the nominal ε for determinism
+        for (key, &count) in &truth {
+            let est = cms.estimate(key);
+            assert!(est >= count);
+            assert!(est <= count + slack, "key {key}: est {est} vs true {count}");
+        }
+    }
+
+    #[test]
+    fn with_error_bounds_sizes_sensibly() {
+        let cms = CountMinSketch::with_error_bounds(0.001, 0.01);
+        assert!(cms.width() >= 2718);
+        assert!(cms.depth() >= 4);
+        assert!(cms.memory_bytes() >= cms.width() * cms.depth() * 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cms = CountMinSketch::new(16, 2);
+        cms.add(&1u32, 5);
+        cms.clear();
+        assert_eq!(cms.estimate(&1u32), 0);
+        assert_eq!(cms.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn bad_epsilon_panics() {
+        let _ = CountMinSketch::with_error_bounds(1.5, 0.1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Exact per-key counts over a sliding window of ticks.
+
+use enblogue_types::{FxHashMap, Tick};
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// Exact sliding-window counter: for each key, how many events occurred in
+/// the last `W` ticks.
+///
+/// This is the statistics operator behind seed selection (§3(i)): tag
+/// popularity is the sliding-window average of per-tick document counts.
+/// The structure keeps one small map per tick plus a running total per key;
+/// advancing the window subtracts the expiring tick's map, so totals stay
+/// exact without rescanning.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter<K: Eq + Hash + Copy> {
+    window_ticks: usize,
+    /// Per-tick counts, oldest first. `ticks.len() <= window_ticks`.
+    ticks: VecDeque<FxHashMap<K, u64>>,
+    /// Sum over all per-tick maps.
+    totals: FxHashMap<K, u64>,
+    /// The tick the newest map belongs to.
+    newest_tick: Option<Tick>,
+}
+
+impl<K: Eq + Hash + Copy> WindowedCounter<K> {
+    /// A counter windowed over `window_ticks` ticks.
+    ///
+    /// # Panics
+    /// Panics if `window_ticks == 0`.
+    pub fn new(window_ticks: usize) -> Self {
+        assert!(window_ticks > 0, "window must span at least one tick");
+        WindowedCounter {
+            window_ticks,
+            ticks: VecDeque::with_capacity(window_ticks),
+            totals: FxHashMap::default(),
+            newest_tick: None,
+        }
+    }
+
+    /// The window length in ticks.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window_ticks
+    }
+
+    /// Advances the window so its newest slot is `tick`, expiring old ticks.
+    ///
+    /// Must be called with non-decreasing ticks; calling with the current
+    /// tick is a no-op.
+    pub fn advance_to(&mut self, tick: Tick) {
+        let Some(newest) = self.newest_tick else {
+            self.ticks.push_back(FxHashMap::default());
+            self.newest_tick = Some(tick);
+            return;
+        };
+        if tick <= newest {
+            return;
+        }
+        let gap = tick.since(newest) as usize;
+        if gap >= self.window_ticks {
+            // Everything expires at once.
+            self.ticks.clear();
+            self.totals.clear();
+            self.ticks.push_back(FxHashMap::default());
+        } else {
+            for _ in 0..gap {
+                if self.ticks.len() == self.window_ticks {
+                    self.expire_oldest();
+                }
+                self.ticks.push_back(FxHashMap::default());
+            }
+        }
+        self.newest_tick = Some(tick);
+    }
+
+    fn expire_oldest(&mut self) {
+        let Some(expired) = self.ticks.pop_front() else { return };
+        for (key, count) in expired {
+            match self.totals.get_mut(&key) {
+                Some(total) => {
+                    *total -= count;
+                    if *total == 0 {
+                        self.totals.remove(&key);
+                    }
+                }
+                None => unreachable!("totals out of sync with per-tick maps"),
+            }
+        }
+    }
+
+    /// Adds `by` occurrences of `key` in `tick` (advancing the window).
+    pub fn add(&mut self, tick: Tick, key: K, by: u64) {
+        self.advance_to(tick);
+        debug_assert_eq!(self.newest_tick, Some(tick).max(self.newest_tick), "add into the past");
+        if by == 0 {
+            return;
+        }
+        let map = self.ticks.back_mut().expect("advance_to ensures a newest slot");
+        *map.entry(key).or_insert(0) += by;
+        *self.totals.entry(key).or_insert(0) += by;
+    }
+
+    /// Records one occurrence of `key` in `tick`.
+    #[inline]
+    pub fn increment(&mut self, tick: Tick, key: K) {
+        self.add(tick, key, 1);
+    }
+
+    /// The exact count of `key` over the current window.
+    #[inline]
+    pub fn count(&self, key: K) -> u64 {
+        self.totals.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The count of `key` in the newest tick only.
+    pub fn count_in_newest_tick(&self, key: K) -> u64 {
+        self.ticks.back().and_then(|m| m.get(&key)).copied().unwrap_or(0)
+    }
+
+    /// Sliding-window average: count / window length.
+    #[inline]
+    pub fn window_average(&self, key: K) -> f64 {
+        self.count(key) as f64 / self.window_ticks as f64
+    }
+
+    /// Number of keys with a non-zero count in the window.
+    #[inline]
+    pub fn distinct_keys(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Iterates over `(key, windowed count)` for all live keys.
+    pub fn iter(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        self.totals.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The `n` keys with the largest windowed counts, descending.
+    ///
+    /// Ties break on nothing in particular (keys are opaque); callers that
+    /// need determinism sort the result again by key.
+    pub fn top_n(&self, n: usize) -> Vec<(K, u64)>
+    where
+        K: Ord,
+    {
+        let mut all: Vec<(K, u64)> = self.iter().collect();
+        // Deterministic: count desc, then key asc.
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// The newest tick the counter has seen.
+    #[inline]
+    pub fn newest_tick(&self) -> Option<Tick> {
+        self.newest_tick
+    }
+
+    /// Total number of events in the window across all keys.
+    pub fn total_events(&self) -> u64 {
+        self.totals.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_within_window() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(3);
+        c.increment(Tick(0), 1);
+        c.increment(Tick(0), 1);
+        c.increment(Tick(1), 2);
+        assert_eq!(c.count(1), 2);
+        assert_eq!(c.count(2), 1);
+        assert_eq!(c.count(3), 0);
+        assert_eq!(c.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn expiry_subtracts_old_ticks() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(2);
+        c.increment(Tick(0), 7);
+        c.increment(Tick(1), 7);
+        assert_eq!(c.count(7), 2);
+        c.increment(Tick(2), 7); // tick 0 expires
+        assert_eq!(c.count(7), 2);
+        c.advance_to(Tick(3)); // tick 1 expires
+        assert_eq!(c.count(7), 1);
+        c.advance_to(Tick(4)); // tick 2 expires
+        assert_eq!(c.count(7), 0);
+        assert_eq!(c.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn large_gap_clears_everything() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(3);
+        c.increment(Tick(0), 5);
+        c.advance_to(Tick(100));
+        assert_eq!(c.count(5), 0);
+        assert_eq!(c.total_events(), 0);
+        assert_eq!(c.newest_tick(), Some(Tick(100)));
+    }
+
+    #[test]
+    fn window_average_divides_by_window_length() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(4);
+        c.add(Tick(0), 9, 6);
+        assert_eq!(c.window_average(9), 1.5);
+    }
+
+    #[test]
+    fn top_n_is_deterministic() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(2);
+        c.add(Tick(0), 1, 5);
+        c.add(Tick(0), 2, 9);
+        c.add(Tick(0), 3, 5);
+        c.add(Tick(0), 4, 1);
+        assert_eq!(c.top_n(3), vec![(2, 9), (1, 5), (3, 5)]);
+        assert_eq!(c.top_n(0), vec![]);
+        assert_eq!(c.top_n(10).len(), 4);
+    }
+
+    #[test]
+    fn count_in_newest_tick_is_tick_local() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(3);
+        c.add(Tick(0), 1, 4);
+        c.add(Tick(1), 1, 2);
+        assert_eq!(c.count_in_newest_tick(1), 2);
+        assert_eq!(c.count(1), 6);
+    }
+
+    #[test]
+    fn add_zero_is_noop_but_advances() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(2);
+        c.add(Tick(5), 1, 0);
+        assert_eq!(c.count(1), 0);
+        assert_eq!(c.newest_tick(), Some(Tick(5)));
+    }
+
+    #[test]
+    fn totals_match_brute_force_over_random_ops() {
+        // Deterministic pseudo-random walk compared against a brute-force
+        // recomputation from retained per-tick history.
+        let window = 5usize;
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(window);
+        let mut history: Vec<(u64, u32)> = Vec::new(); // (tick, key)
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut tick = 0u64;
+        for _ in 0..2_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = ((state >> 33) % 10) as u32;
+            if state % 7 == 0 {
+                tick += (state >> 60) % 3;
+            }
+            c.increment(Tick(tick), key);
+            history.push((tick, key));
+
+            if state % 13 == 0 {
+                let lo = tick.saturating_sub(window as u64 - 1);
+                for probe in 0..10u32 {
+                    let expected =
+                        history.iter().filter(|&&(t, k)| k == probe && t >= lo && t <= tick).count() as u64;
+                    assert_eq!(c.count(probe), expected, "key {probe} at tick {tick}");
+                }
+            }
+        }
+    }
+}

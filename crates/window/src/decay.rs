@@ -1,0 +1,145 @@
+//! Exponentially decaying values with configurable half-life.
+
+use enblogue_types::Timestamp;
+
+/// A score that halves every `half_life_ms` of stream time.
+///
+/// This implements the paper's scoring rule (§3(iii)): "the score of a topic
+/// is the maximum of the current prediction error and the prediction errors
+/// from the past, dampened appropriately using an exponential decline factor
+/// with a half life of approximately 2 days."
+///
+/// The value is stored lazily as `(value, last_update)`; reading at time `t`
+/// applies `value · 2^(-(t - last_update)/half_life)`.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayValue {
+    half_life_ms: f64,
+    value: f64,
+    last_update: Timestamp,
+}
+
+impl DecayValue {
+    /// The paper's default half-life: approximately two days.
+    pub const DEFAULT_HALF_LIFE_MS: u64 = 2 * Timestamp::DAY;
+
+    /// A zero score with the given half-life.
+    ///
+    /// # Panics
+    /// Panics if `half_life_ms == 0`.
+    pub fn new(half_life_ms: u64) -> Self {
+        assert!(half_life_ms > 0, "half-life must be positive");
+        DecayValue { half_life_ms: half_life_ms as f64, value: 0.0, last_update: Timestamp::ZERO }
+    }
+
+    /// A zero score with the paper's ≈2-day half-life.
+    pub fn with_default_half_life() -> Self {
+        DecayValue::new(Self::DEFAULT_HALF_LIFE_MS)
+    }
+
+    /// The configured half-life in milliseconds.
+    #[inline]
+    pub fn half_life_ms(&self) -> u64 {
+        self.half_life_ms as u64
+    }
+
+    /// The decayed value as of `now`.
+    ///
+    /// Reading at a time before the last update returns the undecayed value
+    /// (time never runs backwards in a stream; tolerating equal timestamps
+    /// keeps same-tick reads exact).
+    pub fn value_at(&self, now: Timestamp) -> f64 {
+        let elapsed = now.since(self.last_update) as f64;
+        if elapsed <= 0.0 || self.value == 0.0 {
+            return self.value;
+        }
+        self.value * (-std::f64::consts::LN_2 * elapsed / self.half_life_ms).exp()
+    }
+
+    /// Applies the paper's decayed-max update: the stored score becomes
+    /// `max(observation, decayed previous score)` as of `now`. Returns the
+    /// new score.
+    pub fn observe_max(&mut self, now: Timestamp, observation: f64) -> f64 {
+        let decayed = self.value_at(now);
+        self.value = decayed.max(observation);
+        self.last_update = now;
+        self.value
+    }
+
+    /// Overwrites the value at `now` (used by tests and resets).
+    pub fn set(&mut self, now: Timestamp, value: f64) {
+        self.value = value;
+        self.last_update = now;
+    }
+
+    /// The last time the value was updated.
+    #[inline]
+    pub fn last_update(&self) -> Timestamp {
+        self.last_update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn halves_after_one_half_life() {
+        let mut d = DecayValue::new(Timestamp::DAY);
+        d.set(Timestamp::ZERO, 8.0);
+        approx(d.value_at(Timestamp::from_days(1)), 4.0);
+        approx(d.value_at(Timestamp::from_days(2)), 2.0);
+        approx(d.value_at(Timestamp::from_days(3)), 1.0);
+    }
+
+    #[test]
+    fn default_half_life_is_two_days() {
+        let mut d = DecayValue::with_default_half_life();
+        d.set(Timestamp::ZERO, 1.0);
+        approx(d.value_at(Timestamp::from_days(2)), 0.5);
+    }
+
+    #[test]
+    fn observe_max_keeps_larger_decayed_past() {
+        let mut d = DecayValue::new(Timestamp::DAY);
+        d.observe_max(Timestamp::ZERO, 8.0);
+        // One day later the past score has decayed to 4; a smaller new
+        // observation must not displace it.
+        let score = d.observe_max(Timestamp::from_days(1), 1.0);
+        approx(score, 4.0);
+        // A larger observation takes over.
+        let score = d.observe_max(Timestamp::from_days(1), 10.0);
+        approx(score, 10.0);
+    }
+
+    #[test]
+    fn zero_stays_zero() {
+        let d = DecayValue::new(Timestamp::HOUR);
+        assert_eq!(d.value_at(Timestamp::from_days(100)), 0.0);
+    }
+
+    #[test]
+    fn reading_in_the_past_returns_undecayed() {
+        let mut d = DecayValue::new(Timestamp::DAY);
+        d.set(Timestamp::from_days(5), 2.0);
+        approx(d.value_at(Timestamp::from_days(3)), 2.0);
+        approx(d.value_at(Timestamp::from_days(5)), 2.0);
+    }
+
+    #[test]
+    fn decay_is_continuous_not_stepped() {
+        let mut d = DecayValue::new(Timestamp::DAY);
+        d.set(Timestamp::ZERO, 1.0);
+        let half_day = d.value_at(Timestamp::from_hours(12));
+        approx(half_day, 0.5f64.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life must be positive")]
+    fn zero_half_life_panics() {
+        let _ = DecayValue::new(0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Fixed-capacity circular buffer.
+
+/// A fixed-capacity ring buffer that evicts the oldest element on overflow.
+///
+/// The workhorse behind tick-aligned windows: pushing the value of the
+/// newest tick evicts the value that just left the window. Iteration order
+/// is oldest → newest.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: Vec<T>,
+    head: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates an empty ring with room for `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBuffer { buf: Vec::with_capacity(capacity), head: 0, len: 0, capacity }
+    }
+
+    /// Maximum number of elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the ring is at capacity (the next push evicts).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Pushes `value`, returning the evicted oldest element if full.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        if self.buf.len() < self.capacity {
+            // Still filling the backing storage.
+            self.buf.push(value);
+            self.len += 1;
+            None
+        } else {
+            let slot = (self.head + self.len) % self.capacity;
+            let evicted = std::mem::replace(&mut self.buf[slot], value);
+            if self.len == self.capacity {
+                self.head = (self.head + 1) % self.capacity;
+                Some(evicted)
+            } else {
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the oldest element.
+    pub fn pop_oldest(&mut self) -> Option<T>
+    where
+        T: Default,
+    {
+        if self.len == 0 {
+            return None;
+        }
+        let value = std::mem::take(&mut self.buf[self.head]);
+        self.head = (self.head + 1) % self.capacity;
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// The element `i` steps from the oldest (0 = oldest).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i < self.len {
+            Some(&self.buf[(self.head + i) % self.capacity])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the element `i` steps from the oldest.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i < self.len {
+            let idx = (self.head + i) % self.capacity;
+            Some(&mut self.buf[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the most recently pushed element.
+    #[inline]
+    pub fn newest_mut(&mut self) -> Option<&mut T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.get_mut(self.len - 1)
+        }
+    }
+
+    /// The most recently pushed element.
+    #[inline]
+    pub fn newest(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.get(self.len - 1)
+        }
+    }
+
+    /// The oldest element still in the ring.
+    #[inline]
+    pub fn oldest(&self) -> Option<&T> {
+        self.get(0)
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % self.capacity])
+    }
+
+    /// Clears the ring without releasing storage.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_in_fifo_order() {
+        let mut ring = RingBuffer::new(3);
+        assert_eq!(ring.push(1), None);
+        assert_eq!(ring.push(2), None);
+        assert_eq!(ring.push(3), None);
+        assert!(ring.is_full());
+        assert_eq!(ring.push(4), Some(1));
+        assert_eq!(ring.push(5), Some(2));
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn accessors_track_ends() {
+        let mut ring = RingBuffer::new(2);
+        assert_eq!(ring.newest(), None);
+        assert_eq!(ring.oldest(), None);
+        ring.push(10);
+        assert_eq!(ring.newest(), Some(&10));
+        assert_eq!(ring.oldest(), Some(&10));
+        ring.push(20);
+        ring.push(30);
+        assert_eq!(ring.oldest(), Some(&20));
+        assert_eq!(ring.newest(), Some(&30));
+        assert_eq!(ring.get(0), Some(&20));
+        assert_eq!(ring.get(1), Some(&30));
+        assert_eq!(ring.get(2), None);
+    }
+
+    #[test]
+    fn pop_oldest_drains_fifo() {
+        let mut ring = RingBuffer::new(3);
+        for i in 1..=5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.pop_oldest(), Some(3));
+        assert_eq!(ring.pop_oldest(), Some(4));
+        ring.push(6);
+        assert_eq!(ring.pop_oldest(), Some(5));
+        assert_eq!(ring.pop_oldest(), Some(6));
+        assert_eq!(ring.pop_oldest(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ring = RingBuffer::new(2);
+        ring.push("a");
+        ring.push("b");
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.push("c"), None);
+        assert_eq!(ring.newest(), Some(&"c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: RingBuffer<u8> = RingBuffer::new(0);
+    }
+
+    #[test]
+    fn capacity_one_always_replaces() {
+        let mut ring = RingBuffer::new(1);
+        assert_eq!(ring.push(1), None);
+        assert_eq!(ring.push(2), Some(1));
+        assert_eq!(ring.push(3), Some(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.newest(), Some(&3));
+    }
+}

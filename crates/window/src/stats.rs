@@ -1,0 +1,205 @@
+//! Windowed mean/variance statistics.
+
+use crate::ring::RingBuffer;
+
+/// Sliding mean and variance over the last `W` observations.
+///
+/// Used for the *volatility* seed-selection criterion (§3(i) lists
+/// "popularity and volatility") and by the burst-detection baseline, which
+/// gates on `rate > mean + γ·stddev`.
+///
+/// Maintains running Σx and Σx² so updates are O(1). Windows in this system
+/// are short (tens to hundreds of slots) and values are event counts, so
+/// catastrophic cancellation is not a practical concern; variance is clamped
+/// at zero to absorb rounding.
+#[derive(Debug, Clone)]
+pub struct SlidingStats {
+    ring: RingBuffer<f64>,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl SlidingStats {
+    /// Stats over a window of `capacity` observations.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        SlidingStats { ring: RingBuffer::new(capacity), sum: 0.0, sum_sq: 0.0 }
+    }
+
+    /// Records an observation, evicting the oldest when full.
+    pub fn push(&mut self, value: f64) {
+        if let Some(old) = self.ring.push(value) {
+            self.sum -= old;
+            self.sum_sq -= old * old;
+        }
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Number of observations currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no observation has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Window capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Mean of the held observations (0 if empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.ring.is_empty() {
+            0.0
+        } else {
+            self.sum / self.ring.len() as f64
+        }
+    }
+
+    /// Population variance of the held observations (0 if < 2 samples).
+    pub fn variance(&self) -> f64 {
+        let n = self.ring.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let n = n as f64;
+        let mean = self.sum / n;
+        (self.sum_sq / n - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    ///
+    /// This is the *volatility* measure: tags whose frequency swings widely
+    /// relative to their level score high.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let mean = self.mean();
+        if mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev() / mean
+        }
+    }
+
+    /// Z-score of `value` against the window (0 when stddev is 0).
+    pub fn zscore(&self, value: f64) -> f64 {
+        let sd = self.stddev();
+        if sd < f64::EPSILON {
+            0.0
+        } else {
+            (value - self.mean()) / sd
+        }
+    }
+
+    /// The most recent observation (0 if empty).
+    #[inline]
+    pub fn newest(&self) -> f64 {
+        self.ring.newest().copied().unwrap_or(0.0)
+    }
+
+    /// Observations oldest → newest.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.ring.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn mean_and_variance_match_definition() {
+        let mut s = SlidingStats::new(10);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(v);
+        }
+        approx(s.mean(), 5.0);
+        approx(s.variance(), 4.0);
+        approx(s.stddev(), 2.0);
+    }
+
+    #[test]
+    fn eviction_keeps_running_sums_exact() {
+        let mut s = SlidingStats::new(3);
+        for v in [100.0, 1.0, 2.0, 3.0] {
+            s.push(v);
+        }
+        // Window now holds 1, 2, 3.
+        approx(s.mean(), 2.0);
+        approx(s.variance(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut s = SlidingStats::new(4);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.zscore(5.0), 0.0);
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0, "single sample has zero variance");
+        assert_eq!(s.newest(), 3.0);
+    }
+
+    #[test]
+    fn zscore_is_standardised() {
+        let mut s = SlidingStats::new(10);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(v);
+        }
+        approx(s.zscore(7.0), 1.0);
+        approx(s.zscore(5.0), 0.0);
+        approx(s.zscore(1.0), -2.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_cv() {
+        let mut s = SlidingStats::new(5);
+        for _ in 0..5 {
+            s.push(4.0);
+        }
+        approx(s.coefficient_of_variation(), 0.0);
+        approx(s.zscore(10.0), 0.0);
+    }
+
+    #[test]
+    fn cv_scales_with_spread() {
+        let mut low = SlidingStats::new(4);
+        let mut high = SlidingStats::new(4);
+        for v in [9.0, 10.0, 11.0, 10.0] {
+            low.push(v);
+        }
+        for v in [1.0, 19.0, 2.0, 18.0] {
+            high.push(v);
+        }
+        assert!(high.coefficient_of_variation() > low.coefficient_of_variation());
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        let mut s = SlidingStats::new(3);
+        for v in [1e9, 1e9 + 1.0, 1e9 + 2.0, 1e9 + 1.0] {
+            s.push(v);
+        }
+        assert!(s.variance() >= 0.0);
+    }
+}

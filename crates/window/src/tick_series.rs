@@ -1,0 +1,223 @@
+//! Tick-aligned sliding window over scalar per-tick values.
+
+use crate::ring::RingBuffer;
+use enblogue_types::Tick;
+
+/// A sliding window of the last `W` per-tick values with O(1) sum.
+///
+/// `TickSeries` is gap-aware: advancing from tick 5 to tick 9 fills ticks
+/// 6–8 with zeros, so series derived from sparse streams stay aligned with
+/// stream time. The correlation tracker keeps one `TickSeries` per tracked
+/// quantity (|D(a)|, |D(b)|, |D(a)∩D(b)|).
+#[derive(Debug, Clone)]
+pub struct TickSeries {
+    ring: RingBuffer<f64>,
+    sum: f64,
+    /// The tick the *newest* slot belongs to; `None` before the first push.
+    newest_tick: Option<Tick>,
+}
+
+impl TickSeries {
+    /// Creates a series windowed over `window_ticks` ticks.
+    ///
+    /// # Panics
+    /// Panics if `window_ticks == 0`.
+    pub fn new(window_ticks: usize) -> Self {
+        TickSeries { ring: RingBuffer::new(window_ticks), sum: 0.0, newest_tick: None }
+    }
+
+    /// The window length in ticks.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Number of ticks currently held (≤ window).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no tick has been recorded yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records `value` as the total for `tick`.
+    ///
+    /// Ticks must be recorded in non-decreasing order. Recording the same
+    /// tick again *adds* to its slot (partial aggregation); skipping ticks
+    /// zero-fills the gap.
+    ///
+    /// # Panics
+    /// Panics if `tick` is older than the newest recorded tick.
+    pub fn record(&mut self, tick: Tick, value: f64) {
+        match self.newest_tick {
+            None => {
+                self.push_value(value);
+                self.newest_tick = Some(tick);
+            }
+            Some(newest) if tick == newest => {
+                // Accumulate into the current slot.
+                self.sum += value;
+                *self.ring.newest_mut().expect("newest slot exists") += value;
+            }
+            Some(newest) => {
+                assert!(tick > newest, "ticks must be recorded in non-decreasing order (got {tick} after {newest})");
+                let gap = tick.since(newest);
+                for _ in 1..gap {
+                    self.push_value(0.0);
+                }
+                self.push_value(value);
+                self.newest_tick = Some(tick);
+            }
+        }
+    }
+
+    /// Advances the window to `tick` without adding any count.
+    ///
+    /// Equivalent to `record(tick, 0.0)` when `tick` is newer; a no-op when
+    /// `tick` equals the newest recorded tick.
+    pub fn advance_to(&mut self, tick: Tick) {
+        match self.newest_tick {
+            Some(newest) if tick <= newest => {}
+            _ => self.record(tick, 0.0),
+        }
+    }
+
+    fn push_value(&mut self, value: f64) {
+        if let Some(evicted) = self.ring.push(value) {
+            self.sum -= evicted;
+        }
+        self.sum += value;
+    }
+
+    /// Sum of all values in the window.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean over the ticks currently held (0 if empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.ring.is_empty() {
+            0.0
+        } else {
+            self.sum / self.ring.len() as f64
+        }
+    }
+
+    /// Mean over the *full* window length, counting missing ticks as zero.
+    ///
+    /// This is the "sliding-window average on the document stream" of
+    /// §3(i): a tag seen once in a 24-tick window has popularity 1/24 even
+    /// while the stream is young.
+    #[inline]
+    pub fn window_mean(&self) -> f64 {
+        self.sum / self.ring.capacity() as f64
+    }
+
+    /// The newest value (0 if empty).
+    #[inline]
+    pub fn newest(&self) -> f64 {
+        self.ring.newest().copied().unwrap_or(0.0)
+    }
+
+    /// The tick of the newest slot.
+    #[inline]
+    pub fn newest_tick(&self) -> Option<Tick> {
+        self.newest_tick
+    }
+
+    /// Values oldest → newest.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.ring.iter().copied()
+    }
+
+    /// Collects the window into a `Vec` (oldest → newest).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums() {
+        let mut s = TickSeries::new(3);
+        s.record(Tick(0), 2.0);
+        s.record(Tick(1), 3.0);
+        assert_eq!(s.sum(), 5.0);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.window_mean(), 5.0 / 3.0);
+        s.record(Tick(2), 1.0);
+        s.record(Tick(3), 4.0); // evicts tick 0
+        assert_eq!(s.sum(), 8.0);
+        assert_eq!(s.to_vec(), vec![3.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn gap_fills_with_zeros() {
+        let mut s = TickSeries::new(4);
+        s.record(Tick(0), 5.0);
+        s.record(Tick(3), 7.0);
+        assert_eq!(s.to_vec(), vec![5.0, 0.0, 0.0, 7.0]);
+        assert_eq!(s.sum(), 12.0);
+    }
+
+    #[test]
+    fn gap_larger_than_window_clears_old_content() {
+        let mut s = TickSeries::new(3);
+        s.record(Tick(0), 9.0);
+        s.record(Tick(10), 1.0);
+        assert_eq!(s.to_vec(), vec![0.0, 0.0, 1.0]);
+        assert_eq!(s.sum(), 1.0);
+        assert_eq!(s.newest_tick(), Some(Tick(10)));
+    }
+
+    #[test]
+    fn same_tick_accumulates() {
+        let mut s = TickSeries::new(3);
+        s.record(Tick(2), 1.0);
+        s.record(Tick(2), 2.5);
+        assert_eq!(s.newest(), 3.5);
+        assert_eq!(s.sum(), 3.5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing order")]
+    fn out_of_order_tick_panics() {
+        let mut s = TickSeries::new(3);
+        s.record(Tick(5), 1.0);
+        s.record(Tick(4), 1.0);
+    }
+
+    #[test]
+    fn advance_to_is_idempotent() {
+        let mut s = TickSeries::new(3);
+        s.record(Tick(1), 2.0);
+        s.advance_to(Tick(1));
+        s.advance_to(Tick(1));
+        assert_eq!(s.sum(), 2.0);
+        s.advance_to(Tick(3));
+        assert_eq!(s.to_vec(), vec![2.0, 0.0, 0.0]);
+        // Advancing backwards is a no-op, not a panic.
+        s.advance_to(Tick(2));
+        assert_eq!(s.newest_tick(), Some(Tick(3)));
+    }
+
+    #[test]
+    fn eviction_keeps_sum_consistent() {
+        let mut s = TickSeries::new(2);
+        for t in 0..100 {
+            s.record(Tick(t), t as f64);
+        }
+        assert_eq!(s.to_vec(), vec![98.0, 99.0]);
+        assert_eq!(s.sum(), 197.0);
+    }
+}

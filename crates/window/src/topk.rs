@@ -1,0 +1,208 @@
+//! Bounded top-k ranking maintenance.
+
+use std::collections::BinaryHeap;
+
+/// An entry in a [`TopK`] ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ranked<K> {
+    /// The ranked key.
+    pub key: K,
+    /// Its score (higher = better ranked).
+    pub score: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry<K> {
+    key: K,
+    score: f64,
+}
+
+impl<K: Ord> PartialEq for HeapEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.key == other.key
+    }
+}
+impl<K: Ord> Eq for HeapEntry<K> {}
+
+impl<K: Ord> Ord for HeapEntry<K> {
+    /// "Greater" = worse ranked (lower score, then larger key), so that the
+    /// max-heap root is the worst retained entry and ties are deterministic.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores must not be NaN")
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+impl<K: Ord> PartialOrd for HeapEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Maintains the k highest-scored keys seen in one ranking round.
+///
+/// The final ranking operator of the engine: shift scores for all tracked
+/// pairs are offered each tick; `into_sorted` yields the emergent-topic
+/// ranking ("the topics that have bigger scores are considered more
+/// emergent and ranked higher", §3(iii)).
+///
+/// NaN scores are rejected; ties are broken by key for determinism.
+#[derive(Debug, Clone)]
+pub struct TopK<K: Ord + Copy> {
+    k: usize,
+    heap: BinaryHeap<HeapEntry<K>>,
+}
+
+impl<K: Ord + Copy> TopK<K> {
+    /// A collector keeping the `k` best entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// The configured k.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries currently held (≤ k).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entry has been offered yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers `(key, score)`; keeps it only if it ranks in the top k.
+    /// Returns `true` if the entry was retained.
+    ///
+    /// # Panics
+    /// Panics if `score` is NaN.
+    pub fn offer(&mut self, key: K, score: f64) -> bool {
+        assert!(!score.is_nan(), "NaN scores are not rankable");
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry { key, score });
+            return true;
+        }
+        // Heap root = current worst of the kept entries.
+        let worst = self.heap.peek().expect("heap non-empty at capacity");
+        let candidate = HeapEntry { key, score };
+        // `candidate < worst` in heap order means candidate ranks higher.
+        if candidate < *worst {
+            self.heap.pop();
+            self.heap.push(candidate);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The lowest retained score (the bar to beat), if at capacity.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the collector, returning entries best-first.
+    pub fn into_sorted(self) -> Vec<Ranked<K>> {
+        let mut entries: Vec<HeapEntry<K>> = self.heap.into_vec();
+        // In this Ord, "smaller" = better ranked, so ascending sort is
+        // already best-first.
+        entries.sort_unstable();
+        entries.into_iter().map(|e| Ranked { key: e.key, score: e.score }).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut topk: TopK<u32> = TopK::new(3);
+        for (key, score) in [(1, 0.5), (2, 0.9), (3, 0.1), (4, 0.7), (5, 0.3)] {
+            topk.offer(key, score);
+        }
+        let ranked = topk.into_sorted();
+        let keys: Vec<u32> = ranked.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![2, 4, 1]);
+        assert_eq!(ranked[0].score, 0.9);
+    }
+
+    #[test]
+    fn offer_reports_retention() {
+        let mut topk: TopK<u32> = TopK::new(2);
+        assert!(topk.offer(1, 0.1));
+        assert!(topk.offer(2, 0.2));
+        assert!(!topk.offer(3, 0.05), "worse than both kept entries");
+        assert!(topk.offer(4, 0.15));
+        let keys: Vec<u32> = topk.into_sorted().iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![2, 4]);
+    }
+
+    #[test]
+    fn threshold_only_at_capacity() {
+        let mut topk: TopK<u32> = TopK::new(2);
+        assert_eq!(topk.threshold(), None);
+        topk.offer(1, 0.4);
+        assert_eq!(topk.threshold(), None);
+        topk.offer(2, 0.6);
+        assert_eq!(topk.threshold(), Some(0.4));
+        topk.offer(3, 0.5);
+        assert_eq!(topk.threshold(), Some(0.5));
+    }
+
+    #[test]
+    fn ties_break_on_key_deterministically() {
+        let mut a: TopK<u32> = TopK::new(2);
+        a.offer(10, 0.5);
+        a.offer(20, 0.5);
+        a.offer(30, 0.5);
+        let keys_a: Vec<u32> = a.into_sorted().iter().map(|r| r.key).collect();
+
+        let mut b: TopK<u32> = TopK::new(2);
+        b.offer(30, 0.5);
+        b.offer(10, 0.5);
+        b.offer(20, 0.5);
+        let keys_b: Vec<u32> = b.into_sorted().iter().map(|r| r.key).collect();
+
+        assert_eq!(keys_a, keys_b, "insertion order must not matter");
+        assert_eq!(keys_a, vec![10, 20], "smaller keys win ties");
+    }
+
+    #[test]
+    fn fewer_offers_than_k() {
+        let mut topk: TopK<u32> = TopK::new(5);
+        topk.offer(1, 1.0);
+        topk.offer(2, 2.0);
+        let ranked = topk.into_sorted();
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].key, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected() {
+        let mut topk: TopK<u32> = TopK::new(2);
+        topk.offer(1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _: TopK<u32> = TopK::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The push path end-to-end: engine → broker → subscribed clients, with
+//! personalised deliveries (§4.2's APE front-end, in-process).
+
+use enblogue::prelude::*;
+use enblogue_datagen::nyt::{NytArchive, NytConfig};
+use std::sync::mpsc::Receiver;
+
+fn archive() -> NytArchive {
+    NytArchive::generate(&NytConfig {
+        seed: 2424,
+        days: 40,
+        docs_per_day: 100,
+        n_categories: 16,
+        n_descriptors: 100,
+        n_entities: 40,
+        n_terms: 200,
+        historic_events: 3,
+    })
+}
+
+fn engine_config() -> EnBlogueConfig {
+    EnBlogueConfig::builder()
+        .tick_spec(TickSpec::daily())
+        .window_ticks(7)
+        .seed_count(20)
+        .min_seed_count(3)
+        .top_k(10)
+        .min_pair_support(3)
+        .build()
+        .unwrap()
+}
+
+fn drain(rx: &Receiver<RankingUpdate>) -> Vec<RankingUpdate> {
+    let mut updates = Vec::new();
+    while let Ok(u) = rx.try_recv() {
+        updates.push(u);
+    }
+    updates
+}
+
+#[test]
+fn subscribers_receive_pushed_rankings_through_the_pipeline() {
+    let archive = archive();
+    let broker = PushBroker::new(archive.interner.clone());
+    let rx = broker.subscribe(Subscription::new(UserProfile::new("visitor"), 10));
+
+    let (_, handles) =
+        PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
+            .with_engine_and_broker("e1", engine_config(), broker.clone())
+            .run()
+            .unwrap();
+
+    let updates = drain(&rx);
+    assert!(!updates.is_empty(), "the events must trigger pushes");
+    // Every update corresponds to a published snapshot and carries its tick.
+    let snaps = handles[0].lock().unwrap();
+    assert_eq!(snaps.len(), 40);
+    for update in &updates {
+        assert!(snaps.iter().any(|s| s.tick == update.snapshot.tick));
+    }
+    // Updates arrive in tick order.
+    for w in updates.windows(2) {
+        assert!(w[0].snapshot.tick < w[1].snapshot.tick);
+    }
+    let (published, delivered) = broker.stats();
+    assert_eq!(published, 40, "every tick close publishes once");
+    assert!(delivered >= updates.len() as u64);
+}
+
+#[test]
+fn change_only_delivery_is_quieter_than_every_update() {
+    let archive = archive();
+
+    // A strict profile watching one event's category: its visible list is
+    // empty most of the time and stable during the event, so change-only
+    // delivery has something to skip. (An unfiltered top-10 over noisy
+    // background scores legitimately changes almost every tick.)
+    let watched_category = archive.script.events()[0].tag_a;
+    let quiet_profile = UserProfile::new("quiet").with_category(watched_category).filter_only();
+    let chatty_profile = UserProfile::new("chatty").with_category(watched_category).filter_only();
+
+    let broker = PushBroker::new(archive.interner.clone());
+    let on_change = broker.subscribe(Subscription::new(quiet_profile, 3));
+    let always = broker.subscribe(Subscription::new(chatty_profile, 3).every_update());
+
+    PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
+        .with_engine_and_broker("e1", engine_config(), broker.clone())
+        .run()
+        .unwrap();
+
+    let quiet = drain(&on_change).len();
+    let chatty = drain(&always).len();
+    assert_eq!(chatty, 40, "every-update mode gets one push per tick");
+    assert!(quiet < chatty, "change-only mode must skip unchanged rankings: {quiet} vs {chatty}");
+    assert!(quiet > 0);
+}
+
+#[test]
+fn personalised_subscribers_get_their_own_view() {
+    let archive = archive();
+    // Identify two event categories to build opposing profiles.
+    let events = archive.script.events();
+    let cat_a = events[0].tag_a;
+    let cat_b = events.iter().map(|e| e.tag_a).find(|&c| c != cat_a).unwrap_or(events[0].tag_b);
+
+    let broker = PushBroker::new(archive.interner.clone());
+    let rx_a = broker.subscribe(Subscription::new(
+        UserProfile::new("a").with_category(cat_a).with_alpha(5.0),
+        5,
+    ));
+    let rx_b = broker.subscribe(Subscription::new(
+        UserProfile::new("b").with_category(cat_b).with_alpha(5.0),
+        5,
+    ));
+
+    PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
+        .with_engine_and_broker("e1", engine_config(), broker)
+        .run()
+        .unwrap();
+
+    let a_updates = drain(&rx_a);
+    let b_updates = drain(&rx_b);
+    assert!(!a_updates.is_empty() && !b_updates.is_empty());
+    // At some point the two users' visible toplists differ.
+    let differs = a_updates.iter().any(|ua| {
+        b_updates.iter().any(|ub| {
+            ua.snapshot.tick == ub.snapshot.tick
+                && ua.ranking.ranked.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+                    != ub.ranking.ranked.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+        })
+    });
+    assert!(differs, "personalised subscribers must see different rankings at some tick");
+}

@@ -1,0 +1,144 @@
+//! Multi-plan sharing (§4.1): shared operator prefixes must save work
+//! without changing any plan's output.
+
+use enblogue::prelude::*;
+use enblogue_datagen::nyt::{NytArchive, NytConfig};
+use std::sync::Arc;
+
+fn archive() -> NytArchive {
+    NytArchive::generate(&NytConfig {
+        seed: 5005,
+        days: 15,
+        docs_per_day: 60,
+        n_categories: 12,
+        n_descriptors: 60,
+        n_entities: 60,
+        n_terms: 200,
+        historic_events: 2,
+    })
+}
+
+fn engine_config(k: usize) -> EnBlogueConfig {
+    EnBlogueConfig::builder()
+        .tick_spec(TickSpec::daily())
+        .window_ticks(5)
+        .seed_count(15)
+        .min_seed_count(2)
+        .top_k(k)
+        .build()
+        .unwrap()
+}
+
+fn entity_tagger(archive: &NytArchive) -> Arc<EntityTagger> {
+    Arc::new(EntityTagger::new(Arc::clone(&archive.universe.gazetteer)))
+}
+
+#[test]
+fn shared_prefix_processes_each_event_once() {
+    let archive = archive();
+    let tagger = entity_tagger(&archive);
+    let n_plans = 4;
+
+    let run = |share: bool| {
+        let mut builder =
+            PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
+                .with_entity_tagging(Arc::clone(&tagger));
+        for i in 0..n_plans {
+            // Different k per plan: genuinely different query plans whose
+            // *prefix* (source + tagging) is identical.
+            builder = builder.with_engine(format!("plan-{i}"), engine_config(5 + i));
+        }
+        if !share {
+            builder = builder.without_sharing();
+        }
+        builder.run().unwrap()
+    };
+
+    let (shared_stats, shared_handles) = run(true);
+    let (unshared_stats, unshared_handles) = run(false);
+
+    // The tagger runs once vs once-per-plan.
+    let shared_tagger_work: u64 = shared_stats
+        .nodes
+        .iter()
+        .filter(|n| n.name == "entity-tag")
+        .map(|n| n.processed)
+        .sum();
+    let unshared_tagger_work: u64 = unshared_stats
+        .nodes
+        .iter()
+        .filter(|n| n.name == "entity-tag")
+        .map(|n| n.processed)
+        .sum();
+    assert_eq!(unshared_tagger_work, n_plans as u64 * shared_tagger_work);
+
+    // Outputs are identical plan by plan.
+    for (a, b) in shared_handles.iter().zip(&unshared_handles) {
+        assert_eq!(*a.lock().unwrap(), *b.lock().unwrap(), "sharing must not change results");
+    }
+}
+
+#[test]
+fn sharing_scales_with_plan_count() {
+    let archive = archive();
+    let tagger = entity_tagger(&archive);
+    let work = |n_plans: usize, share: bool| {
+        let mut builder =
+            PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
+                .with_entity_tagging(Arc::clone(&tagger));
+        for i in 0..n_plans {
+            builder = builder.with_engine(format!("plan-{i}"), engine_config(10));
+        }
+        if !share {
+            builder = builder.without_sharing();
+        }
+        let (stats, _) = builder.run().unwrap();
+        stats.total_processed()
+    };
+    // Unshared total work grows ~linearly in plans; shared adds only the
+    // sink work per plan.
+    let shared_1 = work(1, true);
+    let shared_8 = work(8, true);
+    let unshared_8 = work(8, false);
+    assert!(unshared_8 > shared_8, "sharing saves work at 8 plans");
+    let tagger_cost = shared_1 / 2; // prefix ≈ half the single-plan work
+    assert!(
+        unshared_8 - shared_8 >= 6 * tagger_cost,
+        "≈7 duplicated prefixes must dominate the gap: gap={} tagger_cost={}",
+        unshared_8 - shared_8,
+        tagger_cost
+    );
+}
+
+#[test]
+fn different_configs_share_prefix_and_diverge_in_rankings() {
+    let archive = archive();
+    let tagger = entity_tagger(&archive);
+    // Two plans with different measures — the demo's "compare emergent
+    // topic rankings obtained from different parameter settings".
+    let jaccard = engine_config(10);
+    let mut overlap = engine_config(10);
+    overlap.measure = MeasureKind::Set(CorrelationMeasure::Overlap);
+
+    let (graph, handles) =
+        PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
+            .with_entity_tagging(tagger)
+            .with_engine("jaccard", jaccard)
+            .with_engine("overlap", overlap)
+            .build()
+            .unwrap();
+    assert_eq!(graph.shared_hits(), 1, "tagger shared across the two plans");
+
+    let mut graph = graph;
+    run_graph(&mut graph).unwrap();
+    let a = handles[0].lock().unwrap().clone();
+    let b = handles[1].lock().unwrap().clone();
+    assert_eq!(a.len(), b.len());
+    // Same tick structure, but (in general) different scores.
+    let any_difference = a
+        .iter()
+        .zip(&b)
+        .any(|(x, y)| x.ranked.iter().map(|(p, _)| p).ne(y.ranked.iter().map(|(p, _)| p))
+            || x.ranked.iter().zip(&y.ranked).any(|((_, s1), (_, s2))| (s1 - s2).abs() > 1e-12));
+    assert!(any_difference, "different measures must visibly differ somewhere");
+}

@@ -1,0 +1,217 @@
+//! Robustness and failure injection: the engine and substrates must
+//! degrade gracefully on malformed, degenerate or adversarial input.
+
+use enblogue::prelude::*;
+
+fn small_config() -> EnBlogueConfig {
+    EnBlogueConfig::builder()
+        .tick_spec(TickSpec::hourly())
+        .window_ticks(4)
+        .seed_count(4)
+        .min_seed_count(1)
+        .top_k(3)
+        .min_pair_support(1)
+        .build()
+        .unwrap()
+}
+
+fn doc(id: u64, hour: u64, tags: &[u32]) -> Document {
+    Document::builder(id, Timestamp::from_hours(hour)).tags(tags.iter().map(|&t| TagId(t))).build()
+}
+
+#[test]
+fn empty_stream_produces_empty_snapshot() {
+    let mut engine = EnBlogueEngine::new(small_config());
+    let snap = engine.close_tick(Tick(0));
+    assert!(snap.ranked.is_empty());
+    assert_eq!(engine.metrics().docs_processed, 0);
+    // Closing more empty ticks stays clean.
+    for t in 1..50u64 {
+        assert!(engine.close_tick(Tick(t)).ranked.is_empty());
+    }
+}
+
+#[test]
+fn documents_without_tags_are_harmless() {
+    let mut engine = EnBlogueEngine::new(small_config());
+    for t in 0..5u64 {
+        engine.process_doc(&doc(t + 1, t, &[]));
+        let snap = engine.close_tick(Tick(t));
+        assert!(snap.ranked.is_empty());
+    }
+    assert_eq!(engine.metrics().docs_processed, 5);
+    assert_eq!(engine.metrics().pairs_discovered, 0);
+}
+
+#[test]
+fn single_massive_document_does_not_explode_pair_state() {
+    // A document with many tags creates O(t²) candidate pairs; the cap
+    // must bound tracked state.
+    let mut config = small_config();
+    config.max_tracked_pairs = 50;
+    let mut engine = EnBlogueEngine::new(config);
+    let tags: Vec<u32> = (0..60).collect();
+    engine.process_doc(&doc(1, 0, &tags));
+    engine.close_tick(Tick(0));
+    assert!(engine.metrics().pairs_tracked <= 50, "{}", engine.metrics().pairs_tracked);
+}
+
+#[test]
+fn duplicate_document_ids_are_tolerated() {
+    // The engine treats ids as opaque; duplicate ids simply count twice
+    // (deduplication is the ingest pipeline's job, not the tracker's).
+    let mut engine = EnBlogueEngine::new(small_config());
+    engine.process_doc(&doc(7, 0, &[1, 2]));
+    engine.process_doc(&doc(7, 0, &[1, 2]));
+    engine.close_tick(Tick(0));
+    assert_eq!(engine.metrics().docs_processed, 2);
+}
+
+#[test]
+fn late_documents_within_closed_ticks_fold_into_open_tick() {
+    // A document whose timestamp belongs to an already-closed tick must
+    // not panic or corrupt windows; it is counted into the open tick.
+    let mut engine = EnBlogueEngine::new(small_config());
+    for t in 0..3u64 {
+        engine.process_doc(&doc(t + 1, t, &[1, 2]));
+        engine.close_tick(Tick(t));
+    }
+    // Tick 3 is open; this doc claims hour 0.
+    engine.process_doc(&doc(99, 0, &[1, 2]));
+    let snap = engine.close_tick(Tick(3));
+    assert_eq!(snap.tick, Tick(3));
+    assert_eq!(engine.metrics().docs_processed, 4);
+}
+
+#[test]
+fn huge_tick_gaps_reset_windows_cleanly() {
+    let mut engine = EnBlogueEngine::new(small_config());
+    for t in 0..4u64 {
+        engine.process_doc(&doc(t + 1, t, &[1, 2]));
+        engine.close_tick(Tick(t));
+    }
+    assert!(engine.metrics().pairs_tracked > 0);
+    // Jump 10 000 ticks into the future.
+    engine.process_doc(&doc(100, 10_000, &[3, 4]));
+    let snap = engine.close_tick(Tick(10_000));
+    assert_eq!(snap.tick, Tick(10_000));
+    // Old pair state has no window support across the gap and is evicted.
+    assert!(engine.pair_info(TagPair::new(TagId(1), TagId(2))).is_none());
+}
+
+#[test]
+fn extreme_configs_run() {
+    // Smallest legal window and k.
+    let config = EnBlogueConfig::builder()
+        .tick_spec(TickSpec::minutely())
+        .window_ticks(2)
+        .seed_count(1)
+        .min_seed_count(1)
+        .top_k(1)
+        .min_pair_support(1)
+        .build()
+        .unwrap();
+    let mut engine = EnBlogueEngine::new(config);
+    let docs: Vec<Document> = (0..100)
+        .map(|i| {
+            Document::builder(i, Timestamp::from_minutes(i))
+                .tags([TagId((i % 3) as u32), TagId(((i + 1) % 3) as u32)])
+                .build()
+        })
+        .collect();
+    let snapshots = engine.run_replay(&docs);
+    assert_eq!(snapshots.len(), 100);
+    for snap in &snapshots {
+        assert!(snap.ranked.len() <= 1);
+    }
+}
+
+#[test]
+fn personalization_with_unknown_tags_is_neutral() {
+    let interner = TagInterner::new();
+    let known = interner.intern("known", TagKind::Hashtag);
+    let snap = RankingSnapshot {
+        tick: Tick(1),
+        time: Timestamp::from_hours(1),
+        ranked: vec![(TagPair::new(known, TagId(9999)), 0.5)],
+    };
+    // TagId(9999) was never interned: keyword matching must not panic and
+    // must not match.
+    let profile = UserProfile::new("u").with_keyword("whatever").with_alpha(5.0);
+    let view = personalize(&snap, &profile, &interner);
+    assert_eq!(view.ranked.len(), 1);
+    assert_eq!(view.ranked[0].1, 0.5, "no spurious relevance for unknown tags");
+}
+
+#[test]
+fn broker_survives_subscriber_churn_mid_stream() {
+    let interner = TagInterner::new();
+    let broker = PushBroker::new(interner.clone());
+    let a = TagPair::new(TagId(1), TagId(2));
+    // Subscribe, receive, drop, re-subscribe, repeat.
+    for round in 0..5u64 {
+        let rx = broker.subscribe(Subscription::new(UserProfile::new(format!("u{round}")), 5));
+        broker.publish(&RankingSnapshot {
+            tick: Tick(round),
+            time: Timestamp::from_hours(round),
+            ranked: vec![(a, 0.5 + round as f64 * 0.01)],
+        });
+        assert!(rx.try_recv().is_ok());
+        drop(rx);
+    }
+    // One publish after all receivers dropped cleans the registry.
+    broker.publish(&RankingSnapshot { tick: Tick(99), time: Timestamp::from_hours(99), ranked: vec![] });
+    assert_eq!(broker.client_count(), 0);
+}
+
+#[test]
+fn graph_rejects_malformed_plans() {
+    let mut g = Graph::new(ReplaySource::new(vec![], TickSpec::hourly()));
+    let a = g.attach(None, enblogue::stream::ops::PassThrough::new("a"));
+    let b = g.attach(Some(a), enblogue::stream::ops::PassThrough::new("b"));
+    assert!(g.connect(b, a).is_err(), "cycle must be rejected");
+    assert!(g.connect(a, a).is_err(), "self-loop must be rejected");
+    // The graph is still usable afterwards.
+    assert!(enblogue::stream::exec::run_graph(&mut g).is_ok());
+}
+
+#[test]
+fn merge_source_with_wildly_skewed_feeds() {
+    // One feed with 1000 docs, one with 1: the merge must interleave by
+    // time and terminate.
+    let mut big: Vec<Document> = (0..1000).map(|i| doc(i, i / 100, &[1])).collect();
+    big.sort_by_key(|d| d.timestamp);
+    let small = vec![doc(5000, 5, &[2])];
+    let merged = MergeSource::new(
+        vec![
+            Box::new(ReplaySource::new(big, TickSpec::hourly())) as Box<dyn enblogue::stream::Source>,
+            Box::new(ReplaySource::new(small, TickSpec::hourly())),
+        ],
+        TickSpec::hourly(),
+    );
+    let mut g = Graph::new(merged);
+    let sink = enblogue::stream::ops::CountingOp::new("c");
+    let counts = sink.handle();
+    g.attach(None, sink);
+    enblogue::stream::exec::run_graph(&mut g).unwrap();
+    let c = counts.lock().unwrap();
+    assert_eq!(c.docs, 1001);
+    assert_eq!(c.flushes, 1);
+}
+
+#[test]
+fn interner_survives_adversarial_names() {
+    let interner = TagInterner::new();
+    let long_name = "a".repeat(10_000);
+    let weird = ["", "   ", "\u{0}", "名字", long_name.as_str(), "\n\t"];
+    for name in weird {
+        let id = interner.intern(name, TagKind::Hashtag);
+        assert_eq!(interner.get(name, TagKind::Hashtag), Some(id));
+    }
+    // Empty and whitespace-only names normalise to the same key.
+    assert_eq!(
+        interner.get("", TagKind::Hashtag),
+        interner.get("   ", TagKind::Hashtag),
+        "whitespace-only names collapse"
+    );
+}
