@@ -213,7 +213,13 @@ mod tests {
     }
 
     fn config() -> BaselineConfig {
-        BaselineConfig { history_ticks: 8, window_ticks: 4, gamma: 2.0, min_support: 3, group_jaccard: 0.2 }
+        BaselineConfig {
+            history_ticks: 8,
+            window_ticks: 4,
+            gamma: 2.0,
+            min_support: 3,
+            group_jaccard: 0.2,
+        }
     }
 
     #[test]
@@ -345,10 +351,7 @@ mod tests {
     #[test]
     fn entities_count_as_keywords() {
         let mut b = BurstBaseline::new(config());
-        let d = Document::builder(1, Timestamp::ZERO)
-            .tag(TagId(1))
-            .entity(TagId(100))
-            .build();
+        let d = Document::builder(1, Timestamp::ZERO).tag(TagId(1)).entity(TagId(100)).build();
         b.observe_doc(&d);
         b.close_tick(Tick(0));
         assert_eq!(b.tracked_tags(), 2);

@@ -138,12 +138,8 @@ mod tests {
     fn connected_tags_merge_transitively() {
         // 1–2 and 2–3 co-occur strongly; 1–3 never do, but the component
         // still merges all three (single-link clustering).
-        let (wc, wp) = counters(
-            &[(1, 10), (2, 10), (3, 10)],
-            &[((1, 2), 5), ((2, 3), 5)],
-        );
-        let trends =
-            group_bursty_tags(&[info(1, 1.0), info(2, 2.0), info(3, 3.0)], &wc, &wp, 0.2);
+        let (wc, wp) = counters(&[(1, 10), (2, 10), (3, 10)], &[((1, 2), 5), ((2, 3), 5)]);
+        let trends = group_bursty_tags(&[info(1, 1.0), info(2, 2.0), info(3, 3.0)], &wc, &wp, 0.2);
         assert_eq!(trends.len(), 1);
         assert_eq!(trends[0].tags, vec![TagId(1), TagId(2), TagId(3)]);
         assert!((trends[0].score - 6.0).abs() < 1e-12);

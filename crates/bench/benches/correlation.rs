@@ -11,9 +11,13 @@ fn bench_set_measures(c: &mut Criterion) {
     let counts = PairCounts::new(630, 105, 42, 5_000);
     let mut group = c.benchmark_group("correlation_measures");
     for measure in CorrelationMeasure::ALL {
-        group.bench_with_input(BenchmarkId::new("measure", measure.name()), &counts, |b, &counts| {
-            b.iter(|| black_box(measure.compute(black_box(counts))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("measure", measure.name()),
+            &counts,
+            |b, &counts| {
+                b.iter(|| black_box(measure.compute(black_box(counts))));
+            },
+        );
     }
     group.finish();
 }

@@ -10,7 +10,8 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 fn sample_text(universe: &EntityUniverse, words: usize, seed: u64) -> String {
-    let filler = ["the", "quick", "report", "says", "that", "today", "nothing", "new", "was", "found"];
+    let filler =
+        ["the", "quick", "report", "says", "that", "today", "nothing", "new", "was", "found"];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(words + 4);
     for i in 0..words {

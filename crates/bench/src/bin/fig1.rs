@@ -120,11 +120,24 @@ fn main() {
     println!("F1 — Figure 1: interesting shift in correlation of two tags");
     println!("t1 peaks at ticks 30/60 (solo); intersection shift at tick 90\n");
     let table = Table::new(&[6, 8, 8, 8, 10, 12, 10, 28]);
-    table.header(&["tick", "|D(t1)|", "|D(t2)|", "|D∩|", "jaccard", "shift score", "rank", "baseline trends"]);
+    table.header(&[
+        "tick",
+        "|D(t1)|",
+        "|D(t2)|",
+        "|D∩|",
+        "jaccard",
+        "shift score",
+        "rank",
+        "baseline trends",
+    ]);
     for (i, snap) in snapshots.iter().enumerate() {
         // Print the interesting region sparsely.
         let t = snap.tick.0;
-        if !(t % 10 == 9 || (28..=32).contains(&t) || (58..=62).contains(&t) || (88..=100).contains(&t)) {
+        if !(t % 10 == 9
+            || (28..=32).contains(&t)
+            || (58..=62).contains(&t)
+            || (88..=100).contains(&t))
+        {
             continue;
         }
         let (a, b, ab) = series[i];

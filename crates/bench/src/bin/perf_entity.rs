@@ -16,9 +16,15 @@ use std::sync::Arc;
 
 /// Builds `n_docs` texts of `words_per_doc` filler words with one planted
 /// mention each (canonical name or alias, 50/50).
-fn corpus(universe: &EntityUniverse, n_docs: usize, words_per_doc: usize, seed: u64) -> Vec<(String, enblogue::entity::gazetteer::EntityId)> {
+fn corpus(
+    universe: &EntityUniverse,
+    n_docs: usize,
+    words_per_doc: usize,
+    seed: u64,
+) -> Vec<(String, enblogue::entity::gazetteer::EntityId)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let filler = ["the", "quick", "report", "says", "that", "today", "nothing", "new", "was", "found"];
+    let filler =
+        ["the", "quick", "report", "says", "that", "today", "nothing", "new", "was", "found"];
     (0..n_docs)
         .map(|_| {
             let entity = universe.sample(&mut rng);

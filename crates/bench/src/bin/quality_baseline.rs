@@ -49,9 +49,9 @@ fn kleinberg_snapshots(archive: &NytArchive, days: usize, k: usize) -> Vec<Ranki
         .map(|(&tag, series)| (tag, detect_bursts(series, &totals, &config)))
         .collect();
     let weight_at = |tag: TagId, t: usize| -> Option<f64> {
-        bursts.get(&tag).and_then(|bs| {
-            bs.iter().find(|b| b.start <= t && t < b.end).map(|b| b.weight)
-        })
+        bursts
+            .get(&tag)
+            .and_then(|bs| bs.iter().find(|b| b.start <= t && t < b.end).map(|b| b.weight))
     };
     (0..days)
         .map(|t| {
@@ -75,7 +75,10 @@ fn kleinberg_snapshots(archive: &NytArchive, days: usize, k: usize) -> Vec<Ranki
 fn main() {
     println!("P7 — detection quality: EnBlogue vs single-tag burst baseline\n");
     let seeds = [0x11u64, 0x22, 0x33, 0x44];
-    println!("{} archives × 5 volume-preserving pair events each, top-10, 2-day grace\n", seeds.len());
+    println!(
+        "{} archives × 5 volume-preserving pair events each, top-10, 2-day grace\n",
+        seeds.len()
+    );
 
     let table = Table::new(&[22, 10, 14, 14]);
     table.header(&["system", "recall", "precision@10", "latency (d)"]);
@@ -127,7 +130,12 @@ fn main() {
         kl_precision += kl_report.precision_at_k;
     }
     let n = seeds.len() as f64;
-    table.row(&["enblogue (corr. shifts)", &f2(en_recall / n), &f2(en_precision / n), &f2(en_latency / n)]);
+    table.row(&[
+        "enblogue (corr. shifts)",
+        &f2(en_recall / n),
+        &f2(en_precision / n),
+        &f2(en_latency / n),
+    ]);
     table.row(&["mean+γσ burst baseline", &f2(bl_recall / n), &f2(bl_precision / n), "-"]);
     table.row(&["kleinberg burst baseline", &f2(kl_recall / n), &f2(kl_precision / n), "-"]);
 

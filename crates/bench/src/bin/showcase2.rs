@@ -31,7 +31,11 @@ fn main() {
         let mut engine = EnBlogueEngine::new(config);
         engine.run_replay(&stream.docs)
     });
-    println!("replayed at {} ({} half-hour ticks)\n", rate(stream.len() as u64, secs), snapshots.len());
+    println!(
+        "replayed at {} ({} half-hour ticks)\n",
+        rate(stream.len() as u64, secs),
+        snapshots.len()
+    );
 
     // Per-event outcome table.
     let report = evaluate(&snapshots, &stream.script, 10, 2 * Timestamp::HOUR);

@@ -31,27 +31,25 @@ fn main() {
             Some((s, first, second))
         })
         .expect("a tick ranking topics from two categories");
-    println!("SC3 — personalization on the ranking of {} ({} topics)\n", snap.tick, snap.ranked.len());
+    println!(
+        "SC3 — personalization on the ranking of {} ({} topics)\n",
+        snap.tick,
+        snap.ranked.len()
+    );
     let keyword = archive.interner.display(snap.ranked[snap.ranked.len() - 1].0.hi());
 
-    let profiles = [("visitor", UserProfile::new("visitor")),
-        (
-            "desk-a",
-            UserProfile::new("desk-a").with_category(cat_a).with_alpha(4.0),
-        ),
-        (
-            "desk-b",
-            UserProfile::new("desk-b").with_category(cat_b).with_alpha(4.0),
-        ),
+    let profiles = [
+        ("visitor", UserProfile::new("visitor")),
+        ("desk-a", UserProfile::new("desk-a").with_category(cat_a).with_alpha(4.0)),
+        ("desk-b", UserProfile::new("desk-b").with_category(cat_b).with_alpha(4.0)),
         (
             "searcher",
             UserProfile::new("searcher").with_keyword(&keyword).with_alpha(8.0).filter_only(),
-        )];
+        ),
+    ];
 
-    let views: Vec<(&str, PersonalizedRanking)> = profiles
-        .iter()
-        .map(|(name, p)| (*name, personalize(snap, p, &archive.interner)))
-        .collect();
+    let views: Vec<(&str, PersonalizedRanking)> =
+        profiles.iter().map(|(name, p)| (*name, personalize(snap, p, &archive.interner))).collect();
 
     for (name, view) in &views {
         println!(

@@ -1,0 +1,130 @@
+//! Offline stub for `proptest`.
+//!
+//! A deterministic mini property-testing harness implementing the subset of
+//! the proptest API this workspace's `tests/prop_*.rs` files use: the
+//! [`proptest!`] macro, `prop_assert*`/`prop_assume!`, range and tuple
+//! strategies, `prop_map`, `collection::{vec, hash_set}`, `sample::select`,
+//! and a loose interpretation of string-regex strategies. There is **no
+//! shrinking**: a failing case panics with its seed and case index so it
+//! can be replayed (`PROPTEST_CASES` overrides the case count).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{collection, sample, Just, Strategy};
+
+/// Module-path-compatible re-exports (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::strategy::collection;
+    pub use crate::strategy::sample;
+}
+
+/// The names tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{collection, sample, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// `#[test]` (the attribute is written inside the macro, as in real
+/// proptest) that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::__proptest_impl! { cases = ($cfg).cases; $($rest)+ }
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_impl! { cases = 0; $($rest)+ }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; `cases = 0` means "use the
+/// runner default".
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cases = $cases:expr; $($(#[$meta:meta])* fn $name:ident($($p:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), $cases, |__rng| {
+                    $(let $p = $crate::Strategy::generate(&$strat, __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Skips the current case when `cond` is false (does not count as a run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}

@@ -1,0 +1,163 @@
+//! The deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro.
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; try another input.
+    Reject,
+    /// A property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Deterministic xoshiro256** generator used for input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// [`run`] with an explicit case count (`0` = use the default).
+pub fn run_cases<F>(name: &str, cases: usize, property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    run_inner(name, if cases == 0 { case_count() } else { cases }, property)
+}
+
+/// Runs `property` over deterministically generated cases.
+///
+/// The per-test seed is derived from `name`, so every test has its own
+/// stable input stream; a failure reports the case index and seed for
+/// replay. Rejected cases (failed `prop_assume!`) are retried and do not
+/// count toward the case budget, up to a global rejection cap.
+pub fn run<F>(name: &str, property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    run_inner(name, case_count(), property)
+}
+
+fn run_inner<F>(name: &str, cases: usize, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
+    let mut rejected = 0usize;
+    let max_rejects = cases * 64;
+    let mut case = 0usize;
+    let mut stream = 0u64;
+    while case < cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ stream);
+        stream += 1;
+        match property(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!("proptest stub: `{name}` rejected {rejected} inputs; assumptions too strict");
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest stub: `{name}` failed at case {case} (seed {:#x}):\n{message}",
+                    seed ^ (stream - 1)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert!(a.unit_f64() < 1.0);
+    }
+
+    #[test]
+    fn runner_counts_only_accepted_cases() {
+        let mut accepted = 0;
+        let mut seen = 0;
+        run("runner_counts_only_accepted_cases", |rng| {
+            seen += 1;
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, case_count());
+        assert!(seen >= accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_context() {
+        run("failures_panic_with_context", |_| Err(TestCaseError::fail("boom".into())));
+    }
+}

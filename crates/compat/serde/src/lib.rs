@@ -1,0 +1,18 @@
+//! Offline stub for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and result
+//! types for downstream consumers, but never serialises anything in-tree
+//! (experiment output is hand-rendered text/JSON). With no crates.io
+//! access, this stub keeps those derives compiling: the traits are empty
+//! markers with blanket impls, and the derive macros (re-exported from the
+//! sibling `serde_derive` stub) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The build environment has no crates.io access; the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as inert markers (nothing is ever
+//! serialised at runtime), so the derives expand to nothing. The blanket
+//! impls in the sibling `serde` stub keep any `T: Serialize` bounds
+//! satisfied.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

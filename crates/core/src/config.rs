@@ -8,8 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// How seed tags are selected (§3(i): "Seed tags can be determined based on
 /// different criteria, such as popularity and volatility").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SeedStrategy {
     /// Top-S tags by windowed document count (the paper's default:
     /// "We choose seed tags to be popular tags").
@@ -30,7 +29,6 @@ pub enum SeedStrategy {
         capacity: usize,
     },
 }
-
 
 /// Which correlation measure the tracker computes per pair (§3(ii)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +88,16 @@ pub struct EnBlogueConfig {
     /// Hard cap on concurrently tracked pairs (memory bound); the lowest-
     /// scored pairs are evicted beyond it.
     pub max_tracked_pairs: usize,
+    /// Hash shards of pair state (routing:
+    /// [`enblogue_types::shard_of_packed`]). Sharding is pure state
+    /// partitioning — rankings are identical for any shard count — but it
+    /// lets tick close fan out shard-parallel and bounds per-shard map
+    /// sizes. 1 = the classic single-map registry.
+    pub shards: usize,
+    /// Fan tick close out over one scoped thread per shard. Only useful
+    /// with `shards > 1`; results are identical either way (workers own
+    /// disjoint shards and the scorer is shared read-only).
+    pub parallel_close: bool,
 }
 
 impl Default for EnBlogueConfig {
@@ -108,6 +116,8 @@ impl Default for EnBlogueConfig {
             min_pair_support: 2,
             use_entities: true,
             max_tracked_pairs: 100_000,
+            shards: 1,
+            parallel_close: false,
         }
     }
 }
@@ -127,16 +137,31 @@ impl EnBlogueConfig {
             ));
         }
         if self.seed_count == 0 {
-            return Err(EnBlogueError::invalid_config("seed_count", "must select at least one seed"));
+            return Err(EnBlogueError::invalid_config(
+                "seed_count",
+                "must select at least one seed",
+            ));
         }
         if self.k == 0 {
             return Err(EnBlogueError::invalid_config("k", "top-k must be positive"));
         }
         if self.half_life_ms == 0 {
-            return Err(EnBlogueError::invalid_config("half_life_ms", "half-life must be positive"));
+            return Err(EnBlogueError::invalid_config(
+                "half_life_ms",
+                "half-life must be positive",
+            ));
         }
         if self.max_tracked_pairs == 0 {
-            return Err(EnBlogueError::invalid_config("max_tracked_pairs", "pair cap must be positive"));
+            return Err(EnBlogueError::invalid_config(
+                "max_tracked_pairs",
+                "pair cap must be positive",
+            ));
+        }
+        if self.shards == 0 {
+            return Err(EnBlogueError::invalid_config(
+                "shards",
+                "at least one pair shard is required",
+            ));
         }
         if let SeedStrategy::Hybrid { popularity_weight } = self.seed_strategy {
             if !(0.0..=1.0).contains(&popularity_weight) {
@@ -261,6 +286,20 @@ impl EnBlogueConfigBuilder {
         self
     }
 
+    /// Sets the number of pair-state hash shards.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Enables/disables shard-parallel tick close.
+    #[must_use]
+    pub fn parallel_close(mut self, yes: bool) -> Self {
+        self.config.parallel_close = yes;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<EnBlogueConfig, EnBlogueError> {
         self.config.validate()?;
@@ -275,7 +314,11 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         assert!(EnBlogueConfig::default().validate().is_ok());
-        assert_eq!(EnBlogueConfig::default().half_life_ms, 2 * Timestamp::DAY, "paper's 2-day half-life");
+        assert_eq!(
+            EnBlogueConfig::default().half_life_ms,
+            2 * Timestamp::DAY,
+            "paper's 2-day half-life"
+        );
     }
 
     #[test]
@@ -297,12 +340,22 @@ mod tests {
     }
 
     #[test]
+    fn sharding_round_trips() {
+        let config = EnBlogueConfig::builder().shards(8).parallel_close(true).build().unwrap();
+        assert_eq!(config.shards, 8);
+        assert!(config.parallel_close);
+        assert_eq!(EnBlogueConfig::default().shards, 1, "unsharded by default");
+        assert!(!EnBlogueConfig::default().parallel_close);
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         assert!(EnBlogueConfig::builder().window_ticks(1).build().is_err());
         assert!(EnBlogueConfig::builder().seed_count(0).build().is_err());
         assert!(EnBlogueConfig::builder().top_k(0).build().is_err());
         assert!(EnBlogueConfig::builder().half_life_ms(0).build().is_err());
         assert!(EnBlogueConfig::builder().max_tracked_pairs(0).build().is_err());
+        assert!(EnBlogueConfig::builder().shards(0).build().is_err());
         assert!(EnBlogueConfig::builder()
             .seed_strategy(SeedStrategy::Hybrid { popularity_weight: 1.5 })
             .build()

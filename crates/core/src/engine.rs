@@ -1,61 +1,28 @@
-//! The stand-alone EnBlogue engine.
+//! The stand-alone EnBlogue engine — a thin adapter over the shared
+//! [`StagePipeline`].
 //!
-//! Wires the three stages together around tick-aligned windows: feed
-//! documents with [`EnBlogueEngine::process_doc`], close each tick with
+//! Feed documents with [`EnBlogueEngine::process_doc`] (or batched with
+//! [`EnBlogueEngine::process_docs`]), close each tick with
 //! [`EnBlogueEngine::close_tick`], and read the emergent-topic ranking
 //! from the returned [`RankingSnapshot`]. [`EnBlogueEngine::run_replay`]
 //! drives a whole archive in one call (the demo's "time lapse on archived
 //! data").
+//!
+//! All tick semantics live in [`crate::stages`]; this type only provides
+//! the classic engine-shaped API. The DAG operator
+//! ([`crate::ops::EngineOp`]) wraps the *same* pipeline, so both execution
+//! surfaces are a single implementation.
 
-use crate::config::{EnBlogueConfig, MeasureKind};
-use crate::pairs::{PairRegistry, TrackedPairInfo};
-use crate::seeds::SeedTracker;
-use crate::termwin::WindowedTermDists;
-use enblogue_stats::correlation::PairCounts;
-use enblogue_stats::shift::ShiftScorer;
-use enblogue_types::{Document, FxHashSet, RankingSnapshot, TagId, TagPair, Tick};
-use enblogue_window::{TickSeries, WindowedCounter};
+use crate::config::EnBlogueConfig;
+use crate::pairs::TrackedPairInfo;
+use crate::stages::StagePipeline;
+use enblogue_types::{Document, RankingSnapshot, TagId, TagPair, Tick};
 
-/// Engine run-time counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct EngineMetrics {
-    /// Documents processed.
-    pub docs_processed: u64,
-    /// Ticks closed.
-    pub ticks_closed: u64,
-    /// Currently tracked pairs.
-    pub pairs_tracked: usize,
-    /// Pairs ever discovered.
-    pub pairs_discovered: u64,
-    /// Pairs ever evicted.
-    pub pairs_evicted: u64,
-    /// Seeds selected at the last tick close.
-    pub seeds_current: usize,
-    /// Distinct tags alive in the window.
-    pub distinct_tags: usize,
-}
+pub use crate::stages::EngineMetrics;
 
 /// The EnBlogue emergent-topic detection engine.
 pub struct EnBlogueEngine {
-    config: EnBlogueConfig,
-    seed_tracker: SeedTracker,
-    registry: PairRegistry,
-    scorer: ShiftScorer,
-    /// Windowed per-pair co-occurrence counts (key: packed [`TagPair`]).
-    pair_counts: WindowedCounter<u64>,
-    /// Windowed total document volume.
-    doc_series: TickSeries,
-    /// Pairs that co-occurred in the open tick (discovery candidates).
-    current_pairs: FxHashSet<u64>,
-    /// Per-tag term distributions (JS-divergence measure only).
-    term_dists: Option<WindowedTermDists>,
-    /// Seeds of the last closed tick.
-    seeds: FxHashSet<TagId>,
-    latest: Option<RankingSnapshot>,
-    docs_processed: u64,
-    ticks_closed: u64,
-    /// Scratch buffer for per-document annotations.
-    annotation_buf: Vec<TagId>,
+    pipeline: StagePipeline,
 }
 
 impl EnBlogueEngine {
@@ -65,213 +32,84 @@ impl EnBlogueEngine {
     /// Panics if the configuration is invalid (use
     /// [`EnBlogueConfig::builder`] to get a validated one).
     pub fn new(config: EnBlogueConfig) -> Self {
-        config.validate().expect("invalid engine configuration");
-        let term_dists = match config.measure {
-            MeasureKind::JsDivergence => Some(WindowedTermDists::new(config.window_ticks)),
-            MeasureKind::Set(_) => None,
-        };
-        EnBlogueEngine {
-            seed_tracker: SeedTracker::new(
-                config.seed_strategy,
-                config.seed_count,
-                config.min_seed_count,
-                config.window_ticks,
-            ),
-            registry: PairRegistry::new(
-                config.window_ticks,
-                config.half_life_ms,
-                config.min_pair_support,
-                config.max_tracked_pairs,
-            ),
-            scorer: ShiftScorer::new(config.predictor, config.normalization),
-            pair_counts: WindowedCounter::new(config.window_ticks),
-            doc_series: TickSeries::new(config.window_ticks),
-            current_pairs: FxHashSet::default(),
-            term_dists,
-            seeds: FxHashSet::default(),
-            latest: None,
-            docs_processed: 0,
-            ticks_closed: 0,
-            annotation_buf: Vec::with_capacity(16),
-            config,
-        }
+        EnBlogueEngine { pipeline: StagePipeline::new(config) }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EnBlogueConfig {
-        &self.config
+        self.pipeline.config()
+    }
+
+    /// The underlying stage pipeline (read access).
+    pub fn pipeline(&self) -> &StagePipeline {
+        &self.pipeline
+    }
+
+    /// Unwraps the engine into its stage pipeline (the DAG operator mounts
+    /// engines this way).
+    pub fn into_pipeline(self) -> StagePipeline {
+        self.pipeline
     }
 
     /// Feeds one document (annotations counted into the open tick).
     ///
     /// Documents must arrive in non-decreasing timestamp order relative to
     /// closed ticks; feeding a document belonging to an already-closed
-    /// tick is rejected in debug builds and counted into the open tick's
-    /// slot otherwise (windowed counters never move backwards).
+    /// tick is counted into the open tick's slot (windowed counters never
+    /// move backwards).
     pub fn process_doc(&mut self, doc: &Document) {
-        let tick = self.config.tick_spec.tick_of(doc.timestamp);
-        self.docs_processed += 1;
-        self.doc_series.record(tick.max(self.doc_series.newest_tick().unwrap_or(tick)), 1.0);
+        self.pipeline.process_doc(doc);
+    }
 
-        // Gather the annotation set once (tags, optionally merged with
-        // entities), reusing the scratch buffer.
-        self.annotation_buf.clear();
-        if self.config.use_entities {
-            self.annotation_buf.extend(doc.annotations());
-        } else {
-            self.annotation_buf.extend(doc.tags.iter().copied());
-        }
-
-        for &tag in &self.annotation_buf {
-            self.seed_tracker.observe(tick, tag);
-        }
-        for i in 0..self.annotation_buf.len() {
-            for j in i + 1..self.annotation_buf.len() {
-                let packed = TagPair::new(self.annotation_buf[i], self.annotation_buf[j]).packed();
-                self.pair_counts.increment(tick, packed);
-                self.current_pairs.insert(packed);
-            }
-        }
-        if let Some(term_dists) = &mut self.term_dists {
-            term_dists.observe_doc(tick, doc, self.config.use_entities);
-        }
+    /// Batched ingestion of an open-tick document slice; semantically
+    /// identical to per-document feeding (see
+    /// [`StagePipeline::process_docs`] for the batching contract).
+    pub fn process_docs(&mut self, docs: &[Document]) {
+        self.pipeline.process_docs(docs);
     }
 
     /// Closes `tick`: selects seeds, discovers candidate pairs, updates
     /// correlations and shift scores, evicts stale pairs, and emits the
     /// top-k ranking.
     pub fn close_tick(&mut self, tick: Tick) -> RankingSnapshot {
-        let now = self.config.tick_spec.end_of(tick);
-        self.ticks_closed += 1;
-
-        // Stage (i): seed selection over the window ending at `tick`.
-        self.seeds = self.seed_tracker.close_tick(tick);
-        // Align all windows to the closing tick (gap ticks expire data).
-        self.pair_counts.advance_to(tick);
-        self.doc_series.advance_to(tick);
-        if let Some(term_dists) = &mut self.term_dists {
-            term_dists.close_tick(tick);
-        }
-
-        // Candidate discovery: pairs that co-occurred this tick and contain
-        // at least one seed. For set-overlap measures, histories are
-        // backfilled with the zero correlation the pair had before
-        // discovery (capped by stream age). The term-distribution measure
-        // gets no backfill: two tags' language similarity is generally far
-        // from zero even without co-occurrence, so pretending it was zero
-        // would turn every discovery into a spurious full-scale shift.
-        let backfill = match self.config.measure {
-            MeasureKind::Set(_) => tick.0.min(self.config.window_ticks as u64 - 1) as usize,
-            MeasureKind::JsDivergence => 0,
-        };
-        for packed in self.current_pairs.drain() {
-            let pair = TagPair::from_packed(packed);
-            if self.seeds.contains(&pair.lo()) || self.seeds.contains(&pair.hi()) {
-                self.registry.discover(pair, tick, backfill);
-            }
-        }
-
-        // Stages (ii)+(iii): correlation update and shift scoring for every
-        // tracked pair, in deterministic order.
-        let n = self.doc_series.sum().round() as u64;
-        for packed in self.registry.tracked_keys() {
-            let pair = TagPair::from_packed(packed);
-            let ab = self.pair_counts.count(packed);
-            let correlation = match self.config.measure {
-                MeasureKind::Set(measure) => {
-                    let a = self.seed_tracker.windowed_count(pair.lo());
-                    let b = self.seed_tracker.windowed_count(pair.hi());
-                    measure.compute(PairCounts::new(a, b, ab, n))
-                }
-                MeasureKind::JsDivergence => {
-                    // The similarity is computed regardless of current
-                    // co-occurrence: its *level* is background language
-                    // overlap, and only *rises* (convergence of term usage)
-                    // register as shifts. Pairs still need co-occurrence
-                    // support to stay tracked (eviction) and to be scored
-                    // (support gate in the registry), so two independently
-                    // similar tags never alarm without joint activity.
-                    self.term_dists
-                        .as_ref()
-                        .expect("term distributions allocated for JS measure")
-                        .js_similarity(pair.lo(), pair.hi())
-                }
-            };
-            self.registry.update_pair(pair, correlation, ab, tick, now, &self.scorer);
-        }
-        self.registry.evict(tick, now);
-
-        let snapshot =
-            RankingSnapshot { tick, time: now, ranked: self.registry.ranking(self.config.k, now) };
-        self.latest = Some(snapshot.clone());
-        snapshot
+        self.pipeline.close_tick(tick)
     }
 
     /// Replays a timestamp-sorted document slice, closing every tick in
     /// sequence (including empty gap ticks, so correlation histories stay
     /// tick-aligned). Returns one snapshot per closed tick.
     pub fn run_replay(&mut self, docs: &[Document]) -> Vec<RankingSnapshot> {
-        let mut snapshots = Vec::new();
-        let mut open: Option<Tick> = None;
-        for doc in docs {
-            let tick = self.config.tick_spec.tick_of(doc.timestamp);
-            if let Some(current) = open {
-                assert!(tick >= current, "run_replay requires timestamp-sorted documents");
-                let mut t = current;
-                while t < tick {
-                    snapshots.push(self.close_tick(t));
-                    t = t.next();
-                }
-            }
-            open = Some(tick);
-            self.process_doc(doc);
-        }
-        if let Some(current) = open {
-            snapshots.push(self.close_tick(current));
-        }
-        snapshots
+        self.pipeline.run_replay(docs)
     }
 
     /// The most recent ranking, if any tick has been closed.
     pub fn latest_snapshot(&self) -> Option<&RankingSnapshot> {
-        self.latest.as_ref()
+        self.pipeline.latest_snapshot()
     }
 
     /// The seeds selected at the last tick close, sorted.
     pub fn current_seeds(&self) -> Vec<TagId> {
-        let mut seeds: Vec<TagId> = self.seeds.iter().copied().collect();
-        seeds.sort_unstable();
-        seeds
+        self.pipeline.current_seeds()
     }
 
     /// Whether `tag` is currently a seed.
     pub fn is_seed(&self, tag: TagId) -> bool {
-        self.seeds.contains(&tag)
+        self.pipeline.is_seed(tag)
     }
 
     /// Rich info on a tracked pair.
     pub fn pair_info(&self, pair: TagPair) -> Option<TrackedPairInfo> {
-        let tick = self.latest.as_ref().map_or(Tick::ZERO, |s| s.tick);
-        let now = self.latest.as_ref().map_or(enblogue_types::Timestamp::ZERO, |s| s.time);
-        self.registry.info(pair, tick, now)
+        self.pipeline.pair_info(pair)
     }
 
     /// The correlation history of a tracked pair (oldest → newest).
     pub fn pair_history(&self, pair: TagPair) -> Option<Vec<f64>> {
-        self.registry.history_of(pair)
+        self.pipeline.pair_history(pair)
     }
 
     /// Run-time counters.
     pub fn metrics(&self) -> EngineMetrics {
-        EngineMetrics {
-            docs_processed: self.docs_processed,
-            ticks_closed: self.ticks_closed,
-            pairs_tracked: self.registry.len(),
-            pairs_discovered: self.registry.discovered_total,
-            pairs_evicted: self.registry.evicted_total,
-            seeds_current: self.seeds.len(),
-            distinct_tags: self.seed_tracker.distinct_tags(),
-        }
+        self.pipeline.metrics()
     }
 }
 
@@ -294,11 +132,18 @@ mod tests {
     }
 
     fn doc(id: u64, hour: u64, tags: &[u32]) -> Document {
-        Document::builder(id, Timestamp::from_hours(hour)).tags(tags.iter().map(|&t| TagId(t))).build()
+        Document::builder(id, Timestamp::from_hours(hour))
+            .tags(tags.iter().map(|&t| TagId(t)))
+            .build()
     }
 
     /// Streams `per_tick` copies of each tag set per tick over `ticks`.
-    fn stream(engine: &mut EnBlogueEngine, ticks: std::ops::Range<u64>, per_tick: usize, sets: &[&[u32]]) {
+    fn stream(
+        engine: &mut EnBlogueEngine,
+        ticks: std::ops::Range<u64>,
+        per_tick: usize,
+        sets: &[&[u32]],
+    ) {
         let mut id = 1_000_000;
         for t in ticks {
             for _ in 0..per_tick {
@@ -349,8 +194,7 @@ mod tests {
         // Tags 10, 11 co-occur but are far too rare to be seeds (1/tick
         // against seeds at 5/tick, with the 8 seed slots filled by tags
         // 1-8). Tags 1 and 2 also co-occur, and 1 is a seed.
-        let sets: &[&[u32]] =
-            &[&[1], &[2], &[3], &[4], &[5], &[6], &[7], &[8], &[1, 2], &[10, 11]];
+        let sets: &[&[u32]] = &[&[1], &[2], &[3], &[4], &[5], &[6], &[7], &[8], &[1, 2], &[10, 11]];
         stream(&mut engine, 0..6, 5, sets);
         assert!(!engine.is_seed(TagId(10)));
         let pair = TagPair::new(TagId(10), TagId(11));
@@ -369,6 +213,24 @@ mod tests {
         assert_eq!(snapshots[0].tick, Tick(0));
         assert_eq!(snapshots[4].tick, Tick(4));
         assert_eq!(engine.metrics().docs_processed, 3);
+    }
+
+    #[test]
+    fn process_docs_batches_match_single_feeding() {
+        let docs: Vec<Document> =
+            (0..30).map(|i| doc(i, i / 10, &[1, 2, (i % 3) as u32 + 3])).collect();
+        let mut batched = EnBlogueEngine::new(config());
+        batched.process_docs(&docs[..10]);
+        batched.close_tick(Tick(0));
+        batched.process_docs(&docs[10..20]);
+        batched.close_tick(Tick(1));
+        batched.process_docs(&docs[20..]);
+        let last_batched = batched.close_tick(Tick(2));
+
+        let mut single = EnBlogueEngine::new(config());
+        let snapshots = single.run_replay(&docs);
+        assert_eq!(last_batched, *snapshots.last().unwrap());
+        assert_eq!(batched.metrics(), single.metrics());
     }
 
     #[test]
@@ -442,6 +304,33 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engines_match_the_unsharded_baseline() {
+        let run = |shards: usize, parallel: bool| {
+            let cfg = EnBlogueConfig::builder()
+                .tick_spec(TickSpec::hourly())
+                .window_ticks(6)
+                .seed_count(8)
+                .min_seed_count(2)
+                .top_k(5)
+                .min_pair_support(1)
+                .shards(shards)
+                .parallel_close(parallel)
+                .build()
+                .unwrap();
+            let mut engine = EnBlogueEngine::new(cfg);
+            stream(&mut engine, 0..8, 4, &[&[1], &[2], &[3], &[1, 3]]);
+            stream(&mut engine, 8..10, 4, &[&[1, 2], &[3]]);
+            engine.latest_snapshot().unwrap().clone()
+        };
+        let baseline = run(1, false);
+        assert!(!baseline.ranked.is_empty());
+        for shards in [4usize, 16] {
+            assert_eq!(run(shards, false), baseline, "{shards} shards");
+            assert_eq!(run(shards, true), baseline, "{shards} shards, parallel close");
+        }
+    }
+
+    #[test]
     fn metrics_reflect_processing() {
         let mut engine = EnBlogueEngine::new(config());
         stream(&mut engine, 0..3, 2, &[&[1, 2]]);
@@ -449,6 +338,7 @@ mod tests {
         assert_eq!(m.docs_processed, 6);
         assert_eq!(m.ticks_closed, 3);
         assert_eq!(m.distinct_tags, 2);
+        assert_eq!(m.shards, 1, "default configuration is unsharded");
         assert!(m.seeds_current > 0);
     }
 }

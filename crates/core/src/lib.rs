@@ -13,11 +13,16 @@
 //!    prediction errors scored through the decayed-max rule with the
 //!    paper's ≈2-day half-life; topics ranked, top-k reported.
 //!
-//! Around the core loop:
+//! All tick semantics live in **one** place — the [`stages`] module's
+//! [`stages::TickStage`] pipeline — and every execution surface is a thin
+//! adapter over it:
 //!
+//! * [`stages`] — the five-phase [`stages::StagePipeline`] with
+//!   hash-sharded pair state ([`pairs::ShardedPairRegistry`]) and
+//!   optional shard-parallel tick close,
 //! * [`engine::EnBlogueEngine`] — the stand-alone engine (feed documents,
 //!   close ticks, collect [`RankingSnapshot`]s),
-//! * [`ops`] — the engine and entity tagger wrapped as stream operators,
+//! * [`ops`] — the pipeline and entity tagger wrapped as stream operators,
 //! * [`pipeline`] — full query plans on the push-based DAG with multi-plan
 //!   sharing (§4.1),
 //! * [`personalization`] — per-user continuous keyword queries and category
@@ -75,11 +80,14 @@ pub mod personalization;
 pub mod pipeline;
 pub mod rankdiff;
 pub mod seeds;
+pub mod stages;
 pub mod termwin;
 
 pub use config::{EnBlogueConfig, MeasureKind, SeedStrategy};
-pub use engine::EnBlogueEngine;
 pub use enblogue_types::RankingSnapshot;
+pub use engine::EnBlogueEngine;
 pub use notify::{PushBroker, RankingUpdate, Subscription};
+pub use pairs::ShardedPairRegistry;
 pub use personalization::{PersonalizedRanking, UserProfile};
 pub use rankdiff::{diff as ranking_diff, kendall_tau, RankChange, RankingHistory};
+pub use stages::{EngineMetrics, StagePipeline, TickStage};

@@ -7,12 +7,14 @@
 //! final rankings of emergent topics and sends them to our Web server for
 //! visualization."
 
+use crate::config::EnBlogueConfig;
 use crate::engine::EnBlogueEngine;
 use crate::notify::PushBroker;
+use crate::stages::StagePipeline;
 use enblogue_entity::tagger::EntityTagger;
 use enblogue_stream::event::Event;
 use enblogue_stream::operator::{EventSink, Operator};
-use enblogue_types::{RankingSnapshot, TagInterner, TagKind, Tick};
+use enblogue_types::{RankingSnapshot, TagInterner, TagKind};
 use std::sync::{Arc, Mutex};
 
 /// Shared handle to the snapshots emitted by an [`EngineOp`].
@@ -84,29 +86,43 @@ impl Operator for EntityTagOp {
     }
 }
 
-/// The ranking sink: feeds an [`EnBlogueEngine`], closes ticks on
-/// boundaries, stores every snapshot in a shared handle and (optionally)
-/// publishes through a [`PushBroker`].
+/// The ranking sink: a thin DAG adapter over the shared
+/// [`StagePipeline`].
+///
+/// Documents feed the pipeline, tick boundaries close it through the
+/// shared gap-closing path, every snapshot lands in a shared handle and
+/// (optionally) a [`PushBroker`]. All EnBlogue semantics live in
+/// [`crate::stages`] — this operator only translates stream events, so the
+/// DAG executor and the stand-alone engine are guaranteed to agree.
 pub struct EngineOp {
     name: String,
-    engine: EnBlogueEngine,
+    pipeline: StagePipeline,
     snapshots: SnapshotHandle,
     broker: Option<PushBroker>,
-    last_closed: Option<Tick>,
 }
 
 impl EngineOp {
     /// A sink named `name` around `engine`.
     ///
     /// Names must be unique per plan — the signature embeds the handle, so
-    /// two `EngineOp`s are never shared (each owns engine state).
+    /// two `EngineOp`s are never shared (each owns pipeline state).
     pub fn new(name: impl Into<String>, engine: EnBlogueEngine) -> Self {
+        Self::from_pipeline(name, engine.into_pipeline())
+    }
+
+    /// A sink named `name` running a fresh standard pipeline for `config`.
+    pub fn from_config(name: impl Into<String>, config: EnBlogueConfig) -> Self {
+        Self::from_pipeline(name, StagePipeline::new(config))
+    }
+
+    /// A sink named `name` around an explicit (possibly extended)
+    /// pipeline.
+    pub fn from_pipeline(name: impl Into<String>, pipeline: StagePipeline) -> Self {
         EngineOp {
             name: name.into(),
-            engine,
+            pipeline,
             snapshots: Arc::new(Mutex::new(Vec::new())),
             broker: None,
-            last_closed: None,
         }
     }
 
@@ -122,26 +138,9 @@ impl EngineOp {
         Arc::clone(&self.snapshots)
     }
 
-    fn close_through(&mut self, tick: Tick) {
-        // Close every tick up to and including `tick`, so gap ticks keep
-        // the correlation histories tick-aligned.
-        let mut t = match self.last_closed {
-            Some(last) if last >= tick => return,
-            Some(last) => last.next(),
-            None => tick,
-        };
-        loop {
-            let snapshot = self.engine.close_tick(t);
-            if let Some(broker) = &self.broker {
-                broker.publish(&snapshot);
-            }
-            self.snapshots.lock().unwrap().push(snapshot);
-            if t == tick {
-                break;
-            }
-            t = t.next();
-        }
-        self.last_closed = Some(tick);
+    /// The wrapped pipeline (read access).
+    pub fn pipeline(&self) -> &StagePipeline {
+        &self.pipeline
     }
 }
 
@@ -156,8 +155,19 @@ impl Operator for EngineOp {
 
     fn process(&mut self, event: Event, out: &mut dyn EventSink) {
         match &event {
-            Event::Doc(doc) => self.engine.process_doc(doc),
-            Event::TickBoundary(tick) => self.close_through(*tick),
+            Event::Doc(doc) => self.pipeline.process_doc(doc),
+            Event::TickBoundary(tick) => {
+                // Close every tick up to and including the boundary, so gap
+                // ticks keep the correlation histories tick-aligned.
+                let broker = self.broker.as_ref();
+                let snapshots = &self.snapshots;
+                self.pipeline.close_through(*tick, |snapshot| {
+                    if let Some(broker) = broker {
+                        broker.publish(&snapshot);
+                    }
+                    snapshots.lock().unwrap().push(snapshot);
+                });
+            }
             Event::Flush => {}
         }
         // Forward everything: downstream sinks (e.g. meters) may follow.
@@ -168,9 +178,8 @@ impl Operator for EngineOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EnBlogueConfig;
     use enblogue_entity::gazetteer::GazetteerBuilder;
-    use enblogue_types::{Document, TickSpec, Timestamp};
+    use enblogue_types::{Document, Tick, TickSpec, Timestamp};
 
     fn tagger() -> Arc<EntityTagger> {
         let mut b = GazetteerBuilder::default();

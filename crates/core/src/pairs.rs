@@ -1,14 +1,24 @@
 //! Stages (ii) and (iii): candidate-pair tracking, correlation series and
-//! decayed-max shift scores.
+//! decayed-max shift scores — hash-sharded for parallel tick close.
 //!
 //! "We use seed tags to generate candidate topics, i.e., pairs of tags that
 //! contain at least one seed tag. … For each such pair, we continuously
 //! monitor the amount of documents that are annotated with both tags."
 //! (§3(i)–(ii))
+//!
+//! The registry splits per-pair state into `N` hash shards (routing:
+//! [`enblogue_types::shard_of_packed`], storage:
+//! [`enblogue_window::ShardedWindowedCounter`]). Every pair's state is
+//! fully contained in its shard, so discovery, scoring and support-based
+//! eviction fan out shard-parallel through
+//! [`enblogue_stream::exec::fanout`] while the cap-based eviction and the
+//! final ranking merge stay global. Rankings are **identical for any shard
+//! count** — sharding is pure state partitioning, never a semantic knob.
 
 use enblogue_stats::shift::ShiftScorer;
-use enblogue_types::{FxHashMap, TagPair, Tick, Timestamp};
-use enblogue_window::{DecayValue, RingBuffer, TopK};
+use enblogue_stream::exec::fanout;
+use enblogue_types::{shard_of_packed, FxHashMap, FxHashSet, TagId, TagPair, Tick, Timestamp};
+use enblogue_window::{DecayValue, RingBuffer, ShardedWindowedCounter, TopK};
 
 /// Per-pair tracked state.
 pub struct PairState {
@@ -36,47 +46,183 @@ pub struct TrackedPairInfo {
     pub tracked_ticks: u64,
 }
 
-/// The candidate-pair registry: discovery, scoring, eviction, ranking.
-pub struct PairRegistry {
+/// One hash shard of tracked-pair state.
+///
+/// A shard owns every tracked pair routed to it plus the open-tick
+/// co-occurrence candidates; its windowed co-occurrence counts live in the
+/// registry's [`ShardedWindowedCounter`] under the same index.
+pub struct PairShard {
     states: FxHashMap<u64, PairState>,
+    /// Pairs that co-occurred in the open tick (discovery candidates).
+    current: FxHashSet<u64>,
+    /// Copy of the registry's scalar parameters (shards are handed to
+    /// workers detached from the registry during fan-out).
+    params: PairParams,
+    discovered: u64,
+    evicted: u64,
+}
+
+impl PairShard {
+    fn new(params: PairParams) -> Self {
+        PairShard {
+            states: FxHashMap::default(),
+            current: FxHashSet::default(),
+            params,
+            discovered: 0,
+            evicted: 0,
+        }
+    }
+
+    fn discover(&mut self, packed: u64, tick: Tick, backfill_zeros: usize) {
+        let params = self.params;
+        self.states.entry(packed).or_insert_with(|| {
+            self.discovered += 1;
+            let mut history = RingBuffer::new(params.history_len);
+            for _ in 0..backfill_zeros.min(params.history_len - 1) {
+                history.push(0.0);
+            }
+            PairState {
+                history,
+                score: DecayValue::new(params.half_life_ms),
+                last_support: tick,
+                since: tick,
+            }
+        });
+    }
+
+    fn update_pair(
+        &mut self,
+        packed: u64,
+        correlation: f64,
+        support: u64,
+        tick: Tick,
+        now: Timestamp,
+        scorer: &ShiftScorer,
+    ) -> f64 {
+        let state = self.states.get_mut(&packed).expect("update_pair on untracked pair");
+        let history: Vec<f64> = state.history.iter().copied().collect();
+        // Scoring is gated on window support: measures like overlap or NPMI
+        // saturate to 1.0 on a single co-occurrence of two rare tags, and
+        // without the gate such one-off pairs would flood the ranking.
+        // (The correlation still enters the history, so the pair's series
+        // stays tick-aligned either way.)
+        let shift = if support >= self.params.min_pair_support {
+            scorer.score(&history, correlation).map(|(s, _)| s).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        let score = state.score.observe_max(now, shift);
+        state.history.push(correlation);
+        if support >= self.params.min_pair_support {
+            state.last_support = tick;
+        }
+        score
+    }
+
+    /// Sorted packed keys (deterministic per-shard iteration order).
+    fn sorted_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.states.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// Scalar tracking parameters shared by all shards.
+#[derive(Debug, Clone, Copy)]
+struct PairParams {
     history_len: usize,
     half_life_ms: u64,
     min_pair_support: u64,
     max_tracked_pairs: usize,
-    /// Total pairs ever discovered (metrics).
-    pub discovered_total: u64,
-    /// Total pairs evicted (metrics).
-    pub evicted_total: u64,
 }
 
-impl PairRegistry {
-    /// A registry whose correlation histories hold `history_len` ticks.
-    pub fn new(history_len: usize, half_life_ms: u64, min_pair_support: u64, max_tracked_pairs: usize) -> Self {
+/// The candidate-pair registry: discovery, scoring, eviction, ranking —
+/// over `N` hash shards.
+pub struct ShardedPairRegistry {
+    shards: Vec<PairShard>,
+    /// Windowed per-pair co-occurrence counts, sharded alongside `shards`.
+    counts: ShardedWindowedCounter<u64>,
+    params: PairParams,
+}
+
+impl ShardedPairRegistry {
+    /// A registry with `shards` hash shards whose correlation histories
+    /// hold `history_len` ticks.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or `history_len < 2` (predictors need at
+    /// least two history slots).
+    pub fn new(
+        shards: usize,
+        history_len: usize,
+        half_life_ms: u64,
+        min_pair_support: u64,
+        max_tracked_pairs: usize,
+    ) -> Self {
+        assert!(shards > 0, "shard count must be positive");
         assert!(history_len >= 2, "predictors need at least two history slots");
-        PairRegistry {
-            states: FxHashMap::default(),
-            history_len,
-            half_life_ms,
-            min_pair_support,
-            max_tracked_pairs,
-            discovered_total: 0,
-            evicted_total: 0,
+        let params = PairParams { history_len, half_life_ms, min_pair_support, max_tracked_pairs };
+        ShardedPairRegistry {
+            shards: (0..shards).map(|_| PairShard::new(params)).collect(),
+            counts: ShardedWindowedCounter::new(shards, history_len),
+            params,
         }
+    }
+
+    /// Number of hash shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn route(&self, packed: u64) -> usize {
+        shard_of_packed(packed, self.shards.len())
     }
 
     /// Number of currently tracked pairs.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.shards.iter().map(|s| s.states.len()).sum()
     }
 
     /// Whether no pair is tracked.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.shards.iter().all(|s| s.states.is_empty())
     }
 
     /// Whether `pair` is currently tracked.
     pub fn is_tracked(&self, pair: TagPair) -> bool {
-        self.states.contains_key(&pair.packed())
+        let packed = pair.packed();
+        self.shards[self.route(packed)].states.contains_key(&packed)
+    }
+
+    /// Total pairs ever discovered (metrics).
+    pub fn discovered_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.discovered).sum()
+    }
+
+    /// Total pairs evicted (metrics).
+    pub fn evicted_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted).sum()
+    }
+
+    /// Records one co-occurrence of `packed` in the open tick: counts it
+    /// into the pair's windowed series and marks it a discovery candidate.
+    pub fn observe_pair(&mut self, tick: Tick, packed: u64) {
+        let shard = self.route(packed);
+        self.counts.increment(shard, tick, packed);
+        self.shards[shard].current.insert(packed);
+    }
+
+    /// The windowed co-occurrence count of `pair`.
+    pub fn pair_count(&self, pair: TagPair) -> u64 {
+        let packed = pair.packed();
+        self.counts.count(self.route(packed), packed)
+    }
+
+    /// Aligns every shard's count window to the closing `tick` (gap ticks
+    /// expire data).
+    pub fn advance_to(&mut self, tick: Tick) {
+        self.counts.advance_to(tick);
     }
 
     /// Starts tracking `pair` at `tick` if it is not yet tracked.
@@ -90,17 +236,27 @@ impl PairRegistry {
     /// engine caps the backfill by stream age so a cold start does not make
     /// every initial pair look emergent.
     pub fn discover(&mut self, pair: TagPair, tick: Tick, backfill_zeros: usize) {
-        self.states.entry(pair.packed()).or_insert_with(|| {
-            self.discovered_total += 1;
-            let mut history = RingBuffer::new(self.history_len);
-            for _ in 0..backfill_zeros.min(self.history_len - 1) {
-                history.push(0.0);
-            }
-            PairState {
-                history,
-                score: DecayValue::new(self.half_life_ms),
-                last_support: tick,
-                since: tick,
+        let packed = pair.packed();
+        let shard = self.route(packed);
+        self.shards[shard].discover(packed, tick, backfill_zeros);
+    }
+
+    /// Promotes this tick's co-occurrence candidates that contain a seed
+    /// into tracked pairs, shard-parallel when `parallel` is set.
+    pub fn discover_seeded(
+        &mut self,
+        seeds: &FxHashSet<TagId>,
+        tick: Tick,
+        backfill_zeros: usize,
+        parallel: bool,
+    ) {
+        fanout(&mut self.shards, parallel, |_, shard| {
+            let candidates: Vec<u64> = shard.current.drain().collect();
+            for packed in candidates {
+                let pair = TagPair::from_packed(packed);
+                if seeds.contains(&pair.lo()) || seeds.contains(&pair.hi()) {
+                    shard.discover(packed, tick, backfill_zeros);
+                }
             }
         });
     }
@@ -122,62 +278,95 @@ impl PairRegistry {
         now: Timestamp,
         scorer: &ShiftScorer,
     ) -> f64 {
-        let state = self.states.get_mut(&pair.packed()).expect("update_pair on untracked pair");
-        let history: Vec<f64> = state.history.iter().copied().collect();
-        // Scoring is gated on window support: measures like overlap or NPMI
-        // saturate to 1.0 on a single co-occurrence of two rare tags, and
-        // without the gate such one-off pairs would flood the ranking.
-        // (The correlation still enters the history, so the pair's series
-        // stays tick-aligned either way.)
-        let shift = if support >= self.min_pair_support {
-            scorer.score(&history, correlation).map(|(s, _)| s).unwrap_or(0.0)
-        } else {
-            0.0
-        };
-        let score = state.score.observe_max(now, shift);
-        state.history.push(correlation);
-        if support >= self.min_pair_support {
-            state.last_support = tick;
-        }
-        score
+        let packed = pair.packed();
+        let shard = self.route(packed);
+        self.shards[shard].update_pair(packed, correlation, support, tick, now, scorer)
     }
 
-    /// Evicts pairs without support for a full history window and enforces
-    /// the tracked-pair cap (lowest current scores go first). Returns the
-    /// number evicted.
-    pub fn evict(&mut self, tick: Tick, now: Timestamp) -> usize {
-        let horizon = self.history_len as u64;
-        let before = self.states.len();
-        self.states.retain(|_, state| tick.since(state.last_support) < horizon);
-        let mut evicted = before - self.states.len();
+    /// Runs the correlation + shift-scoring update over every tracked
+    /// pair, shard-parallel when `parallel` is set.
+    ///
+    /// `correlate` maps `(pair, windowed co-occurrence count)` to this
+    /// tick's correlation value; it must be a pure function of its inputs
+    /// and shared immutable state (it is called concurrently from shard
+    /// workers). Per-shard iteration is in sorted key order, and pairs are
+    /// independent, so the outcome is identical for any shard count and
+    /// either execution mode.
+    pub fn score_all<C>(
+        &mut self,
+        tick: Tick,
+        now: Timestamp,
+        scorer: &ShiftScorer,
+        parallel: bool,
+        correlate: C,
+    ) where
+        C: Fn(TagPair, u64) -> f64 + Sync,
+    {
+        let counts = &self.counts;
+        fanout(&mut self.shards, parallel, |index, shard| {
+            for packed in shard.sorted_keys() {
+                let pair = TagPair::from_packed(packed);
+                let ab = counts.count(index, packed);
+                let correlation = correlate(pair, ab);
+                shard.update_pair(packed, correlation, ab, tick, now, scorer);
+            }
+        });
+    }
 
-        if self.states.len() > self.max_tracked_pairs {
-            let excess = self.states.len() - self.max_tracked_pairs;
-            // Collect (score, packed) and drop the weakest `excess`.
-            let mut scored: Vec<(f64, u64)> =
-                self.states.iter().map(|(&packed, s)| (s.score.value_at(now), packed)).collect();
+    /// Evicts pairs without support for a full history window (per shard,
+    /// optionally parallel) and enforces the global tracked-pair cap
+    /// (lowest current scores go first). Returns the number evicted.
+    pub fn evict(&mut self, tick: Tick, now: Timestamp) -> usize {
+        self.evict_parallel(tick, now, false)
+    }
+
+    /// [`ShardedPairRegistry::evict`] with explicit shard fan-out control.
+    pub fn evict_parallel(&mut self, tick: Tick, now: Timestamp, parallel: bool) -> usize {
+        let evicted_before = self.evicted_total();
+        let horizon = self.params.history_len as u64;
+        fanout(&mut self.shards, parallel, |_, shard| {
+            let before = shard.states.len();
+            shard.states.retain(|_, state| tick.since(state.last_support) < horizon);
+            shard.evicted += (before - shard.states.len()) as u64;
+        });
+
+        // The cap is a global memory bound, so it cannot be enforced
+        // shard-locally: collect (score, key) across shards and drop the
+        // globally weakest — the same order the unsharded registry used.
+        let live = self.len();
+        if live > self.params.max_tracked_pairs {
+            let excess = live - self.params.max_tracked_pairs;
+            let mut scored: Vec<(f64, u64)> = Vec::with_capacity(live);
+            for shard in &self.shards {
+                scored.extend(
+                    shard.states.iter().map(|(&packed, s)| (s.score.value_at(now), packed)),
+                );
+            }
             scored.sort_unstable_by(|a, b| {
                 a.0.partial_cmp(&b.0).expect("finite scores").then(a.1.cmp(&b.1))
             });
             for &(_, packed) in scored.iter().take(excess) {
-                self.states.remove(&packed);
+                let shard = self.route(packed);
+                self.shards[shard].states.remove(&packed);
+                self.shards[shard].evicted += 1;
             }
-            evicted += excess;
         }
-        self.evicted_total += evicted as u64;
-        evicted
+        (self.evicted_total() - evicted_before) as usize
     }
 
-    /// The current top-k ranking by decayed score at `now`.
+    /// The current top-k ranking by decayed score at `now`, merged across
+    /// shards (identical for any shard count).
     pub fn ranking(&self, k: usize, now: Timestamp) -> Vec<(TagPair, f64)> {
-        if self.states.is_empty() {
+        if self.is_empty() {
             return Vec::new();
         }
         let mut topk: TopK<u64> = TopK::new(k);
-        for (&packed, state) in &self.states {
-            let score = state.score.value_at(now);
-            if score > 0.0 {
-                topk.offer(packed, score);
+        for shard in &self.shards {
+            for (&packed, state) in &shard.states {
+                let score = state.score.value_at(now);
+                if score > 0.0 {
+                    topk.offer(packed, score);
+                }
             }
         }
         topk.into_sorted().into_iter().map(|r| (TagPair::from_packed(r.key), r.score)).collect()
@@ -185,7 +374,8 @@ impl PairRegistry {
 
     /// Rich info for `pair`, if tracked.
     pub fn info(&self, pair: TagPair, tick: Tick, now: Timestamp) -> Option<TrackedPairInfo> {
-        self.states.get(&pair.packed()).map(|state| TrackedPairInfo {
+        let packed = pair.packed();
+        self.shards[self.route(packed)].states.get(&packed).map(|state| TrackedPairInfo {
             pair,
             score: state.score.value_at(now),
             correlation: state.history.newest().copied().unwrap_or(0.0),
@@ -195,13 +385,18 @@ impl PairRegistry {
 
     /// The correlation history of `pair` (oldest → newest), if tracked.
     pub fn history_of(&self, pair: TagPair) -> Option<Vec<f64>> {
-        self.states.get(&pair.packed()).map(|s| s.history.iter().copied().collect())
+        let packed = pair.packed();
+        self.shards[self.route(packed)]
+            .states
+            .get(&packed)
+            .map(|s| s.history.iter().copied().collect())
     }
 
-    /// Packed keys of all tracked pairs, sorted (deterministic iteration
-    /// order for the engine's per-tick update loop).
+    /// Packed keys of all tracked pairs, globally sorted (deterministic
+    /// iteration order for tests and inspection).
     pub fn tracked_keys(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self.states.keys().copied().collect();
+        let mut keys: Vec<u64> =
+            self.shards.iter().flat_map(|s| s.states.keys().copied()).collect();
         keys.sort_unstable();
         keys
     }
@@ -222,8 +417,8 @@ mod tests {
         ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Absolute)
     }
 
-    fn registry() -> PairRegistry {
-        PairRegistry::new(8, Timestamp::DAY, 1, 1000)
+    fn registry() -> ShardedPairRegistry {
+        ShardedPairRegistry::new(1, 8, Timestamp::DAY, 1, 1000)
     }
 
     fn hour(h: u64) -> Timestamp {
@@ -236,7 +431,7 @@ mod tests {
         r.discover(pair(1, 2), Tick(0), 0);
         r.discover(pair(2, 1), Tick(5), 0);
         assert_eq!(r.len(), 1);
-        assert_eq!(r.discovered_total, 1);
+        assert_eq!(r.discovered_total(), 1);
         assert!(r.is_tracked(pair(1, 2)));
     }
 
@@ -297,7 +492,7 @@ mod tests {
         let evicted = r.evict(Tick(9), hour(9));
         assert_eq!(evicted, 1);
         assert!(r.is_empty());
-        assert_eq!(r.evicted_total, 1);
+        assert_eq!(r.evicted_total(), 1);
     }
 
     #[test]
@@ -314,7 +509,7 @@ mod tests {
 
     #[test]
     fn cap_evicts_lowest_scores() {
-        let mut r = PairRegistry::new(4, Timestamp::DAY, 1, 2);
+        let mut r = ShardedPairRegistry::new(1, 4, Timestamp::DAY, 1, 2);
         let s = scorer();
         for (i, p) in [pair(1, 2), pair(3, 4), pair(5, 6)].into_iter().enumerate() {
             r.discover(p, Tick(0), 0);
@@ -372,5 +567,73 @@ mod tests {
         assert_eq!(info.tracked_ticks, 2);
         assert!(r.info(pair(7, 8), Tick(5), hour(5)).is_none());
         assert_eq!(r.history_of(pair(1, 2)), Some(vec![0.25]));
+    }
+
+    /// Drives the full sharded close path (observe → discover → score →
+    /// evict → rank) for one shard/parallelism configuration.
+    fn sharded_run(shards: usize, parallel: bool) -> (Vec<u64>, Vec<(TagPair, f64)>, u64, u64) {
+        let mut r = ShardedPairRegistry::new(shards, 6, Timestamp::DAY, 1, 100);
+        let s = scorer();
+        let seeds: FxHashSet<TagId> = (0..6u32).map(TagId).collect();
+        for t in 0..10u64 {
+            // A rotating set of co-occurring pairs; pair (0,1) jumps late.
+            for a in 0..6u32 {
+                for b in (a + 1)..6u32 {
+                    let packed = pair(a, b).packed();
+                    let active =
+                        (a + b + t as u32).is_multiple_of(3) || (a == 0 && b == 1 && t >= 7);
+                    if active {
+                        r.observe_pair(Tick(t), packed);
+                        r.observe_pair(Tick(t), packed);
+                    }
+                }
+            }
+            r.advance_to(Tick(t));
+            r.discover_seeded(&seeds, Tick(t), t.min(5) as usize, parallel);
+            r.score_all(Tick(t), hour(t), &s, parallel, |p, ab| {
+                // A synthetic but deterministic correlation: co-occurrence
+                // count scaled by the pair's identity.
+                ab as f64 / (4.0 + (p.lo().0 + p.hi().0) as f64)
+            });
+            r.evict_parallel(Tick(t), hour(t), parallel);
+        }
+        (r.tracked_keys(), r.ranking(10, hour(9)), r.discovered_total(), r.evicted_total())
+    }
+
+    #[test]
+    fn sharding_is_invisible_in_results() {
+        let baseline = sharded_run(1, false);
+        for shards in [2usize, 4, 16] {
+            assert_eq!(sharded_run(shards, false), baseline, "{shards} shards, serial");
+            assert_eq!(sharded_run(shards, true), baseline, "{shards} shards, parallel");
+        }
+        assert_eq!(sharded_run(1, true), baseline, "parallel flag alone");
+        assert!(!baseline.0.is_empty(), "the workload must actually track pairs");
+        assert!(!baseline.1.is_empty(), "the workload must actually rank pairs");
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let mut r = ShardedPairRegistry::new(4, 4, Timestamp::DAY, 1, 1000);
+        for a in 0..20u32 {
+            r.discover(pair(a, a + 100), Tick(0), 0);
+        }
+        assert_eq!(r.len(), 20);
+        assert_eq!(r.shard_count(), 4);
+        assert_eq!(r.tracked_keys().len(), 20, "every pair lands in exactly one shard");
+        for a in 0..20u32 {
+            assert!(r.is_tracked(pair(a, a + 100)), "routed lookup finds pair {a}");
+        }
+    }
+
+    #[test]
+    fn observe_pair_feeds_windowed_counts() {
+        let mut r = ShardedPairRegistry::new(4, 3, Timestamp::DAY, 1, 1000);
+        let p = pair(1, 2);
+        r.observe_pair(Tick(0), p.packed());
+        r.observe_pair(Tick(1), p.packed());
+        assert_eq!(r.pair_count(p), 2);
+        r.advance_to(Tick(3)); // tick 0 falls out of the 3-tick window
+        assert_eq!(r.pair_count(p), 1);
     }
 }

@@ -10,6 +10,15 @@
 //! its *relevance* — keyword matches against the pair's tag names and
 //! membership in preferred categories. With `filter_only`, non-matching
 //! topics are removed instead of down-ranked (a strict continuous query).
+//!
+//! Personalization deliberately sits *behind* the shared stage pipeline:
+//! `N` subscriptions are `N` cheap re-rankings of the **same**
+//! [`RankingSnapshot`], applied by [`crate::notify::PushBroker::publish`]
+//! at delivery time. Windowing, pair tracking and shift scoring — the
+//! expensive part — run exactly once per tick in the shared
+//! [`crate::stages::StagePipeline`] regardless of subscriber count; this
+//! is the paper's "shared shift computation" carried to the user-facing
+//! layer.
 
 use enblogue_types::{RankingSnapshot, TagId, TagInterner, TagPair};
 use serde::{Deserialize, Serialize};

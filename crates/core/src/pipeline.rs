@@ -12,11 +12,10 @@
 //! the saved work.
 
 use crate::config::EnBlogueConfig;
-use crate::engine::EnBlogueEngine;
 use crate::notify::PushBroker;
 use crate::ops::{EngineOp, EntityTagOp, SnapshotHandle};
 use enblogue_entity::tagger::EntityTagger;
-use enblogue_stream::exec::{run_graph, ExecutionStats};
+use enblogue_stream::exec::{run_graph, run_graph_threaded, ExecutionStats};
 use enblogue_stream::graph::Graph;
 use enblogue_stream::source::ReplaySource;
 use enblogue_types::{Document, EnBlogueError, TagInterner, TickSpec};
@@ -36,7 +35,14 @@ impl PipelineBuilder {
     /// A pipeline replaying `docs` under `tick_spec`, interning into
     /// `interner` (must be the same interner the workload used).
     pub fn new(docs: Vec<Document>, tick_spec: TickSpec, interner: TagInterner) -> Self {
-        PipelineBuilder { docs, tick_spec, interner, tagger: None, engines: Vec::new(), share_plans: true }
+        PipelineBuilder {
+            docs,
+            tick_spec,
+            interner,
+            tagger: None,
+            engines: Vec::new(),
+            share_plans: true,
+        }
     }
 
     /// Inserts a shared entity-tagging stage before the engines.
@@ -98,7 +104,10 @@ impl PipelineBuilder {
                     graph.attach_unshared(None, op)
                 }
             });
-            let mut engine_op = EngineOp::new(name, EnBlogueEngine::new(config));
+            // The engine sink is a thin adapter over the shared stage
+            // pipeline — the same implementation the stand-alone
+            // `EnBlogueEngine` runs.
+            let mut engine_op = EngineOp::from_config(name, config);
             if let Some(broker) = broker {
                 engine_op = engine_op.with_broker(broker);
             }
@@ -113,6 +122,19 @@ impl PipelineBuilder {
     pub fn run(self) -> Result<(ExecutionStats, Vec<SnapshotHandle>), EnBlogueError> {
         let (mut graph, handles) = self.build()?;
         let stats = run_graph(&mut graph)?;
+        Ok((stats, handles))
+    }
+
+    /// Builds and runs the pipeline on the threaded executor (one worker
+    /// thread per operator; within each engine sink, tick close can
+    /// additionally fan out shard-parallel when its configuration sets
+    /// `shards` and `parallel_close`).
+    pub fn run_threaded(
+        self,
+        channel_capacity: usize,
+    ) -> Result<(ExecutionStats, Vec<SnapshotHandle>), EnBlogueError> {
+        let (graph, handles) = self.build()?;
+        let stats = run_graph_threaded(graph, channel_capacity)?;
         Ok((stats, handles))
     }
 }
@@ -163,8 +185,10 @@ mod tests {
     fn single_engine_pipeline_produces_snapshots() {
         let interner = TagInterner::new();
         let docs = workload(&interner);
-        let (stats, handles) =
-            PipelineBuilder::new(docs, TickSpec::hourly(), interner).with_engine("e1", config()).run().unwrap();
+        let (stats, handles) = PipelineBuilder::new(docs, TickSpec::hourly(), interner)
+            .with_engine("e1", config())
+            .run()
+            .unwrap();
         assert_eq!(stats.source_docs, 50);
         let snaps = handles[0].lock().unwrap();
         assert_eq!(snaps.len(), 10, "one snapshot per tick");
@@ -176,12 +200,13 @@ mod tests {
         let interner = TagInterner::new();
         let docs = workload(&interner);
         let shared_tagger = tagger();
-        let (graph, _handles) = PipelineBuilder::new(docs.clone(), TickSpec::hourly(), interner.clone())
-            .with_entity_tagging(Arc::clone(&shared_tagger))
-            .with_engine("e1", config())
-            .with_engine("e2", config())
-            .build()
-            .unwrap();
+        let (graph, _handles) =
+            PipelineBuilder::new(docs.clone(), TickSpec::hourly(), interner.clone())
+                .with_entity_tagging(Arc::clone(&shared_tagger))
+                .with_engine("e1", config())
+                .with_engine("e2", config())
+                .build()
+                .unwrap();
         assert_eq!(graph.node_count(), 3, "1 shared tagger + 2 engines");
         assert_eq!(graph.shared_hits(), 1);
 
@@ -237,5 +262,56 @@ mod tests {
         let interner = TagInterner::new();
         let err = PipelineBuilder::new(vec![], TickSpec::hourly(), interner).build().unwrap_err();
         assert!(err.to_string().contains("at least one engine"));
+    }
+
+    #[test]
+    fn threaded_executor_matches_sync_snapshots() {
+        let interner = TagInterner::new();
+        let docs = workload(&interner);
+        let sync_out = {
+            let (_, handles) =
+                PipelineBuilder::new(docs.clone(), TickSpec::hourly(), interner.clone())
+                    .with_engine("e1", config())
+                    .run()
+                    .unwrap();
+            let out = handles[0].lock().unwrap().clone();
+            out
+        };
+        let threaded_out = {
+            let (_, handles) = PipelineBuilder::new(docs, TickSpec::hourly(), interner)
+                .with_engine("e1", config())
+                .run_threaded(64)
+                .unwrap();
+            let out = handles[0].lock().unwrap().clone();
+            out
+        };
+        assert_eq!(sync_out, threaded_out, "executor choice must not change rankings");
+    }
+
+    #[test]
+    fn sharded_plans_match_unsharded_plans() {
+        let interner = TagInterner::new();
+        let docs = workload(&interner);
+        let run = |shards: usize, parallel: bool| {
+            let cfg = EnBlogueConfig::builder()
+                .window_ticks(4)
+                .seed_count(4)
+                .min_seed_count(1)
+                .top_k(3)
+                .shards(shards)
+                .parallel_close(parallel)
+                .build()
+                .unwrap();
+            let (_, handles) =
+                PipelineBuilder::new(docs.clone(), TickSpec::hourly(), interner.clone())
+                    .with_engine("e1", cfg)
+                    .run()
+                    .unwrap();
+            let out = handles[0].lock().unwrap().clone();
+            out
+        };
+        let baseline = run(1, false);
+        assert_eq!(run(4, false), baseline);
+        assert_eq!(run(16, true), baseline);
     }
 }

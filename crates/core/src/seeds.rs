@@ -28,7 +28,12 @@ pub struct SeedTracker {
 
 impl SeedTracker {
     /// A tracker windowed over `window_ticks`.
-    pub fn new(strategy: SeedStrategy, seed_count: usize, min_seed_count: u64, window_ticks: usize) -> Self {
+    pub fn new(
+        strategy: SeedStrategy,
+        seed_count: usize,
+        min_seed_count: u64,
+        window_ticks: usize,
+    ) -> Self {
         let sketch = match strategy {
             SeedStrategy::SketchPopularity { capacity } => Some(SpaceSaving::new(capacity)),
             _ => None,
@@ -111,7 +116,10 @@ impl SeedTracker {
             SeedStrategy::Volatility => {
                 let mut all: Vec<(TagId, f64)> = qualifying()
                     .map(|(t, _)| {
-                        let cv = self.volatility.get(&t).map_or(0.0, SlidingStats::coefficient_of_variation);
+                        let cv = self
+                            .volatility
+                            .get(&t)
+                            .map_or(0.0, SlidingStats::coefficient_of_variation);
                         (t, cv)
                     })
                     .collect();
@@ -134,7 +142,12 @@ impl SeedTracker {
                 let mut by_vol: Vec<(TagId, f64)> = by_pop
                     .iter()
                     .map(|&(t, _)| {
-                        (t, self.volatility.get(&t).map_or(0.0, SlidingStats::coefficient_of_variation))
+                        (
+                            t,
+                            self.volatility
+                                .get(&t)
+                                .map_or(0.0, SlidingStats::coefficient_of_variation),
+                        )
                     })
                     .collect();
                 by_vol.sort_unstable_by(|a, b| {
@@ -145,7 +158,9 @@ impl SeedTracker {
                     *blended.entry(tag).or_insert(0.0) += (1.0 - popularity_weight) * vol_score;
                 }
                 let mut all: Vec<(TagId, f64)> = blended.into_iter().collect();
-                all.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite blend").then(a.0.cmp(&b.0)));
+                all.sort_unstable_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("finite blend").then(a.0.cmp(&b.0))
+                });
                 all.truncate(self.seed_count);
                 all.into_iter().map(|(t, _)| t).collect()
             }

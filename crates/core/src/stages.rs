@@ -1,0 +1,652 @@
+//! The shared tick-stage pipeline: one implementation of the EnBlogue loop
+//! for every execution surface.
+//!
+//! Historically the stand-alone engine and the stream DAG each carried
+//! their own copy of the tick-close logic; every improvement (sharding,
+//! batching, parallel close) had to land twice. This module is the single
+//! home of that logic now. The paper's five phases are factored into
+//! [`TickStage`]s driven by a [`StagePipeline`]:
+//!
+//! 1. [`SeedSelectStage`] — seed tags over the closing window (§3(i)),
+//! 2. [`TermWindowStage`] — per-tag/term window bookkeeping,
+//! 3. [`PairCountStage`] — candidate discovery + windowed pair counting
+//!    over the sharded registry (§3(i)–(ii)),
+//! 4. [`ShiftScoreStage`] — correlation + prediction-error scoring,
+//!    shard-parallel when configured (§3(ii)–(iii)),
+//! 5. [`RankEmitStage`] — top-k ranking emission.
+//!
+//! Consumers are thin adapters: [`crate::engine::EnBlogueEngine`] wraps one
+//! pipeline behind the classic `process_doc`/`close_tick` API, and
+//! [`crate::ops::EngineOp`] mounts the same pipeline as a DAG sink, so `N`
+//! query plans / personalization subscriptions share one pass of shift
+//! computation ("shared shift computation", §4.1). Shared state lives in
+//! [`PipelineState`]; stages hold logic, not data, which is what lets both
+//! hosts and all shards observe one consistent world.
+
+use crate::config::{EnBlogueConfig, MeasureKind};
+use crate::pairs::{ShardedPairRegistry, TrackedPairInfo};
+use crate::seeds::SeedTracker;
+use crate::termwin::WindowedTermDists;
+use enblogue_stats::correlation::PairCounts;
+use enblogue_stats::shift::ShiftScorer;
+use enblogue_types::{Document, FxHashSet, RankingSnapshot, TagId, TagPair, Tick, Timestamp};
+use enblogue_window::TickSeries;
+
+/// Pipeline run-time counters (the engine's public metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineMetrics {
+    /// Documents processed.
+    pub docs_processed: u64,
+    /// Ticks closed.
+    pub ticks_closed: u64,
+    /// Currently tracked pairs.
+    pub pairs_tracked: usize,
+    /// Pairs ever discovered.
+    pub pairs_discovered: u64,
+    /// Pairs ever evicted.
+    pub pairs_evicted: u64,
+    /// Seeds selected at the last tick close.
+    pub seeds_current: usize,
+    /// Distinct tags alive in the window.
+    pub distinct_tags: usize,
+    /// Hash shards of pair state.
+    pub shards: usize,
+}
+
+/// The state shared by all stages of one pipeline.
+///
+/// Stages mutate this through their hooks; hosts read it through the
+/// accessor methods. Keeping state here (rather than inside stages) is
+/// what makes the stages reorderable, testable and shareable between the
+/// engine facade and the DAG operator.
+pub struct PipelineState {
+    pub(crate) config: EnBlogueConfig,
+    pub(crate) seed_tracker: SeedTracker,
+    pub(crate) registry: ShardedPairRegistry,
+    pub(crate) scorer: ShiftScorer,
+    /// Windowed total document volume.
+    pub(crate) doc_series: TickSeries,
+    /// Per-tag term distributions (JS-divergence measure only).
+    pub(crate) term_dists: Option<WindowedTermDists>,
+    /// Seeds of the last closed tick.
+    pub(crate) seeds: FxHashSet<TagId>,
+    pub(crate) latest: Option<RankingSnapshot>,
+    pub(crate) docs_processed: u64,
+    pub(crate) ticks_closed: u64,
+}
+
+impl PipelineState {
+    fn new(config: EnBlogueConfig) -> Self {
+        config.validate().expect("invalid engine configuration");
+        let term_dists = match config.measure {
+            MeasureKind::JsDivergence => Some(WindowedTermDists::new(config.window_ticks)),
+            MeasureKind::Set(_) => None,
+        };
+        PipelineState {
+            seed_tracker: SeedTracker::new(
+                config.seed_strategy,
+                config.seed_count,
+                config.min_seed_count,
+                config.window_ticks,
+            ),
+            registry: ShardedPairRegistry::new(
+                config.shards,
+                config.window_ticks,
+                config.half_life_ms,
+                config.min_pair_support,
+                config.max_tracked_pairs,
+            ),
+            scorer: ShiftScorer::new(config.predictor, config.normalization),
+            doc_series: TickSeries::new(config.window_ticks),
+            term_dists,
+            seeds: FxHashSet::default(),
+            latest: None,
+            docs_processed: 0,
+            ticks_closed: 0,
+            config,
+        }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &EnBlogueConfig {
+        &self.config
+    }
+
+    /// The seeds selected at the last tick close.
+    pub fn seeds(&self) -> &FxHashSet<TagId> {
+        &self.seeds
+    }
+
+    /// The most recent ranking, if any tick has been closed.
+    pub fn latest_snapshot(&self) -> Option<&RankingSnapshot> {
+        self.latest.as_ref()
+    }
+
+    /// The sharded pair registry (read access for inspection stages).
+    pub fn registry(&self) -> &ShardedPairRegistry {
+        &self.registry
+    }
+
+    /// Current run-time counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            docs_processed: self.docs_processed,
+            ticks_closed: self.ticks_closed,
+            pairs_tracked: self.registry.len(),
+            pairs_discovered: self.registry.discovered_total(),
+            pairs_evicted: self.registry.evicted_total(),
+            seeds_current: self.seeds.len(),
+            distinct_tags: self.seed_tracker.distinct_tags(),
+            shards: self.registry.shard_count(),
+        }
+    }
+}
+
+/// One phase of the per-tick computation.
+///
+/// Stages receive every document of the open tick through
+/// [`TickStage::on_doc`] and run their close-phase work in pipeline order
+/// through [`TickStage::on_close`]. Both hooks default to no-ops so a
+/// stage can be doc-only or close-only.
+pub trait TickStage: Send {
+    /// Stage name, for introspection and tracing.
+    fn name(&self) -> &'static str;
+
+    /// Observes one document of the open `tick`. `annotations` is the
+    /// document's effective annotation set (tags, merged with entities when
+    /// the configuration says so), computed once by the driver.
+    fn on_doc(
+        &mut self,
+        _state: &mut PipelineState,
+        _tick: Tick,
+        _doc: &Document,
+        _annotations: &[TagId],
+    ) {
+    }
+
+    /// Runs this stage's share of the close of `tick` (`now` = stream time
+    /// of the tick end).
+    fn on_close(&mut self, _state: &mut PipelineState, _tick: Tick, _now: Timestamp) {}
+}
+
+/// Stage (i): selects the seed set over the window ending at the closing
+/// tick.
+pub struct SeedSelectStage;
+
+impl TickStage for SeedSelectStage {
+    fn name(&self) -> &'static str {
+        "seed-select"
+    }
+
+    fn on_close(&mut self, state: &mut PipelineState, tick: Tick, _now: Timestamp) {
+        state.seeds = state.seed_tracker.close_tick(tick);
+    }
+}
+
+/// Window bookkeeping: per-tag counts, document volume and (for the
+/// JS-divergence measure) per-tag term distributions.
+pub struct TermWindowStage;
+
+impl TickStage for TermWindowStage {
+    fn name(&self) -> &'static str {
+        "term-window"
+    }
+
+    fn on_doc(
+        &mut self,
+        state: &mut PipelineState,
+        tick: Tick,
+        doc: &Document,
+        annotations: &[TagId],
+    ) {
+        // Windowed counters never move backwards: a late document counts
+        // into the open tick's slot.
+        state.doc_series.record(tick.max(state.doc_series.newest_tick().unwrap_or(tick)), 1.0);
+        for &tag in annotations {
+            state.seed_tracker.observe(tick, tag);
+        }
+        if let Some(term_dists) = state.term_dists.as_mut() {
+            term_dists.observe_doc(tick, doc, state.config.use_entities);
+        }
+    }
+
+    fn on_close(&mut self, state: &mut PipelineState, tick: Tick, _now: Timestamp) {
+        // Align the windows to the closing tick (gap ticks expire data).
+        state.doc_series.advance_to(tick);
+        if let Some(term_dists) = state.term_dists.as_mut() {
+            term_dists.close_tick(tick);
+        }
+    }
+}
+
+/// Stages (i)–(ii): windowed pair counting per document, and promotion of
+/// this tick's seeded co-occurrences into tracked candidates on close.
+pub struct PairCountStage;
+
+impl TickStage for PairCountStage {
+    fn name(&self) -> &'static str {
+        "pair-count"
+    }
+
+    fn on_doc(
+        &mut self,
+        state: &mut PipelineState,
+        tick: Tick,
+        _doc: &Document,
+        annotations: &[TagId],
+    ) {
+        for i in 0..annotations.len() {
+            for j in i + 1..annotations.len() {
+                let packed = TagPair::new(annotations[i], annotations[j]).packed();
+                state.registry.observe_pair(tick, packed);
+            }
+        }
+    }
+
+    fn on_close(&mut self, state: &mut PipelineState, tick: Tick, _now: Timestamp) {
+        state.registry.advance_to(tick);
+        // Candidate discovery: pairs that co-occurred this tick and contain
+        // at least one seed. For set-overlap measures, histories are
+        // backfilled with the zero correlation the pair had before
+        // discovery (capped by stream age). The term-distribution measure
+        // gets no backfill: two tags' language similarity is generally far
+        // from zero even without co-occurrence, so pretending it was zero
+        // would turn every discovery into a spurious full-scale shift.
+        let backfill = match state.config.measure {
+            MeasureKind::Set(_) => tick.0.min(state.config.window_ticks as u64 - 1) as usize,
+            MeasureKind::JsDivergence => 0,
+        };
+        let parallel = state.config.parallel_close;
+        state.registry.discover_seeded(&state.seeds, tick, backfill, parallel);
+    }
+}
+
+/// Stages (ii)–(iii): correlation update and shift scoring for every
+/// tracked pair, fanned out over the registry shards, followed by
+/// eviction.
+pub struct ShiftScoreStage;
+
+impl TickStage for ShiftScoreStage {
+    fn name(&self) -> &'static str {
+        "shift-score"
+    }
+
+    fn on_close(&mut self, state: &mut PipelineState, tick: Tick, now: Timestamp) {
+        let n = state.doc_series.sum().round() as u64;
+        let measure = state.config.measure;
+        let parallel = state.config.parallel_close;
+        // Split borrows: the registry mutates shard-locally while the
+        // correlation closure reads the (frozen) window statistics.
+        let PipelineState { registry, seed_tracker, term_dists, scorer, .. } = state;
+        let seed_tracker = &*seed_tracker;
+        let term_dists = &*term_dists;
+        registry.score_all(tick, now, scorer, parallel, move |pair, ab| match measure {
+            MeasureKind::Set(measure) => {
+                let a = seed_tracker.windowed_count(pair.lo());
+                let b = seed_tracker.windowed_count(pair.hi());
+                measure.compute(PairCounts::new(a, b, ab, n))
+            }
+            MeasureKind::JsDivergence => {
+                // The similarity is computed regardless of current
+                // co-occurrence: its *level* is background language
+                // overlap, and only *rises* (convergence of term usage)
+                // register as shifts. Pairs still need co-occurrence
+                // support to stay tracked (eviction) and to be scored
+                // (support gate in the registry), so two independently
+                // similar tags never alarm without joint activity.
+                term_dists
+                    .as_ref()
+                    .expect("term distributions allocated for JS measure")
+                    .js_similarity(pair.lo(), pair.hi())
+            }
+        });
+        registry.evict_parallel(tick, now, parallel);
+    }
+}
+
+/// The sink stage: merges the shard rankings into the tick's
+/// [`RankingSnapshot`].
+pub struct RankEmitStage;
+
+impl TickStage for RankEmitStage {
+    fn name(&self) -> &'static str {
+        "rank-emit"
+    }
+
+    fn on_close(&mut self, state: &mut PipelineState, tick: Tick, now: Timestamp) {
+        let snapshot = RankingSnapshot {
+            tick,
+            time: now,
+            ranked: state.registry.ranking(state.config.k, now),
+        };
+        state.latest = Some(snapshot);
+    }
+}
+
+/// The shared driver: feeds documents to every stage and closes ticks
+/// through the ordered stage list.
+pub struct StagePipeline {
+    state: PipelineState,
+    stages: Vec<Box<dyn TickStage>>,
+    /// Scratch buffer for per-document annotation sets.
+    annotation_buf: Vec<TagId>,
+    last_closed: Option<Tick>,
+    /// Tick of the first processed document — where gap closing starts
+    /// when no tick has been closed yet.
+    first_open: Option<Tick>,
+}
+
+impl StagePipeline {
+    /// A pipeline running the five standard EnBlogue stages.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (use
+    /// [`EnBlogueConfig::builder`] to get a validated one).
+    pub fn new(config: EnBlogueConfig) -> Self {
+        StagePipeline {
+            state: PipelineState::new(config),
+            stages: Self::standard_stages(),
+            annotation_buf: Vec::with_capacity(16),
+            last_closed: None,
+            first_open: None,
+        }
+    }
+
+    /// The standard stage list, in close order.
+    pub fn standard_stages() -> Vec<Box<dyn TickStage>> {
+        vec![
+            Box::new(SeedSelectStage),
+            Box::new(TermWindowStage),
+            Box::new(PairCountStage),
+            Box::new(ShiftScoreStage),
+            Box::new(RankEmitStage),
+        ]
+    }
+
+    /// Appends a custom stage behind the standard ones (runs after
+    /// `rank-emit`, so it sees the tick's finished snapshot).
+    pub fn push_stage(&mut self, stage: Box<dyn TickStage>) {
+        self.stages.push(stage);
+    }
+
+    /// Stage names in close order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// The shared pipeline state.
+    pub fn state(&self) -> &PipelineState {
+        &self.state
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &EnBlogueConfig {
+        &self.state.config
+    }
+
+    /// Feeds one document (annotations counted into the open tick).
+    ///
+    /// Documents must arrive in non-decreasing timestamp order relative to
+    /// closed ticks; a document belonging to an already-closed tick is
+    /// counted into the open tick's slot (windowed counters never move
+    /// backwards).
+    pub fn process_doc(&mut self, doc: &Document) {
+        let tick = self.state.config.tick_spec.tick_of(doc.timestamp);
+        self.state.docs_processed += 1;
+        if self.first_open.is_none() {
+            self.first_open = Some(tick);
+        }
+
+        // Gather the annotation set once (tags, optionally merged with
+        // entities), reusing the scratch buffer; every stage sees the same
+        // slice.
+        self.annotation_buf.clear();
+        if self.state.config.use_entities {
+            self.annotation_buf.extend(doc.annotations());
+        } else {
+            self.annotation_buf.extend(doc.tags.iter().copied());
+        }
+        for stage in &mut self.stages {
+            stage.on_doc(&mut self.state, tick, doc, &self.annotation_buf);
+        }
+    }
+
+    /// Batched ingestion: feeds a whole document slice in one call.
+    ///
+    /// Semantically identical to calling [`StagePipeline::process_doc`] per
+    /// document — no tick is closed. Today this is a convenience wrapper
+    /// (same per-document stage dispatch underneath); it exists so hosts
+    /// hand over tick slices through one entry point that a future batch
+    /// fast path can optimise without touching callers (ROADMAP:
+    /// `Event::DocBatch`).
+    pub fn process_docs(&mut self, docs: &[Document]) {
+        for doc in docs {
+            self.process_doc(doc);
+        }
+    }
+
+    /// Closes `tick` by running every stage's close phase in order and
+    /// returns the tick's ranking.
+    pub fn close_tick(&mut self, tick: Tick) -> RankingSnapshot {
+        let now = self.state.config.tick_spec.end_of(tick);
+        self.state.ticks_closed += 1;
+        for stage in &mut self.stages {
+            stage.on_close(&mut self.state, tick, now);
+        }
+        self.last_closed = Some(self.last_closed.map_or(tick, |last| last.max(tick)));
+        self.state.latest.clone().expect("the rank-emit stage produces a snapshot")
+    }
+
+    /// Closes every tick from the first unclosed one up to and including
+    /// `tick` (gap ticks keep correlation histories tick-aligned), calling
+    /// `emit` per snapshot. Already-closed ticks are skipped.
+    ///
+    /// This is the single gap-closing implementation shared by the DAG
+    /// operator (tick boundaries may jump) and the replay driver.
+    pub fn close_through(&mut self, tick: Tick, mut emit: impl FnMut(RankingSnapshot)) {
+        let mut t = match self.last_closed {
+            Some(last) if last >= tick => return,
+            Some(last) => last.next(),
+            // Nothing closed yet: start where the stream started (the
+            // first document's tick), so leading gap ticks are closed too.
+            None => self.first_open.map_or(tick, |first| first.min(tick)),
+        };
+        loop {
+            emit(self.close_tick(t));
+            if t == tick {
+                break;
+            }
+            t = t.next();
+        }
+    }
+
+    /// Replays a timestamp-sorted document slice, closing every tick in
+    /// sequence (including empty gap ticks). Returns one snapshot per
+    /// closed tick.
+    pub fn run_replay(&mut self, docs: &[Document]) -> Vec<RankingSnapshot> {
+        let mut snapshots = Vec::new();
+        let mut open: Option<Tick> = None;
+        for doc in docs {
+            let tick = self.state.config.tick_spec.tick_of(doc.timestamp);
+            if let Some(current) = open {
+                assert!(tick >= current, "run_replay requires timestamp-sorted documents");
+                if tick > current {
+                    self.close_through(tick.prev(), |snapshot| snapshots.push(snapshot));
+                }
+            }
+            open = Some(tick);
+            self.process_doc(doc);
+        }
+        if let Some(current) = open {
+            self.close_through(current, |snapshot| snapshots.push(snapshot));
+        }
+        snapshots
+    }
+
+    /// The most recent ranking, if any tick has been closed.
+    pub fn latest_snapshot(&self) -> Option<&RankingSnapshot> {
+        self.state.latest.as_ref()
+    }
+
+    /// The seeds selected at the last tick close, sorted.
+    pub fn current_seeds(&self) -> Vec<TagId> {
+        let mut seeds: Vec<TagId> = self.state.seeds.iter().copied().collect();
+        seeds.sort_unstable();
+        seeds
+    }
+
+    /// Whether `tag` is currently a seed.
+    pub fn is_seed(&self, tag: TagId) -> bool {
+        self.state.seeds.contains(&tag)
+    }
+
+    /// Rich info on a tracked pair.
+    pub fn pair_info(&self, pair: TagPair) -> Option<TrackedPairInfo> {
+        let tick = self.state.latest.as_ref().map_or(Tick::ZERO, |s| s.tick);
+        let now = self.state.latest.as_ref().map_or(Timestamp::ZERO, |s| s.time);
+        self.state.registry.info(pair, tick, now)
+    }
+
+    /// The correlation history of a tracked pair (oldest → newest).
+    pub fn pair_history(&self, pair: TagPair) -> Option<Vec<f64>> {
+        self.state.registry.history_of(pair)
+    }
+
+    /// Run-time counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.state.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::{TickSpec, Timestamp};
+
+    fn config(shards: usize, parallel: bool) -> EnBlogueConfig {
+        EnBlogueConfig::builder()
+            .tick_spec(TickSpec::hourly())
+            .window_ticks(6)
+            .seed_count(8)
+            .min_seed_count(2)
+            .top_k(5)
+            .min_pair_support(1)
+            .shards(shards)
+            .parallel_close(parallel)
+            .build()
+            .unwrap()
+    }
+
+    fn doc(id: u64, hour: u64, tags: &[u32]) -> Document {
+        Document::builder(id, Timestamp::from_hours(hour))
+            .tags(tags.iter().map(|&t| TagId(t)))
+            .build()
+    }
+
+    fn burst_workload() -> Vec<Document> {
+        let mut docs = Vec::new();
+        let mut id = 0;
+        for hour in 0..12u64 {
+            for _ in 0..5 {
+                for set in [&[1u32][..], &[2], &[3]] {
+                    id += 1;
+                    docs.push(doc(id, hour, set));
+                }
+                if hour >= 9 {
+                    id += 1;
+                    docs.push(doc(id, hour, &[1, 2]));
+                }
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn standard_pipeline_names_the_five_phases() {
+        let pipeline = StagePipeline::new(config(1, false));
+        assert_eq!(
+            pipeline.stage_names(),
+            vec!["seed-select", "term-window", "pair-count", "shift-score", "rank-emit"]
+        );
+    }
+
+    #[test]
+    fn pipeline_detects_the_emergent_pair() {
+        let mut pipeline = StagePipeline::new(config(1, false));
+        let snapshots = pipeline.run_replay(&burst_workload());
+        assert_eq!(snapshots.len(), 12);
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.ranked[0].0, TagPair::new(TagId(1), TagId(2)));
+        assert!(pipeline.is_seed(TagId(1)));
+        assert_eq!(pipeline.metrics().ticks_closed, 12);
+    }
+
+    #[test]
+    fn shard_count_and_parallelism_do_not_change_results() {
+        let docs = burst_workload();
+        let baseline = StagePipeline::new(config(1, false)).run_replay(&docs);
+        for (shards, parallel) in [(4, false), (16, false), (4, true), (16, true)] {
+            let snapshots = StagePipeline::new(config(shards, parallel)).run_replay(&docs);
+            assert_eq!(snapshots, baseline, "shards={shards} parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn process_docs_matches_per_doc_feeding() {
+        let docs = burst_workload();
+        // Batched: feed each tick's slice at once.
+        let mut batched = StagePipeline::new(config(4, false));
+        let mut start = 0;
+        let mut out_batched = Vec::new();
+        for hour in 0..12u64 {
+            let end = docs
+                .iter()
+                .position(|d| d.timestamp >= Timestamp::from_hours(hour + 1))
+                .unwrap_or(docs.len());
+            batched.process_docs(&docs[start..end]);
+            out_batched.push(batched.close_tick(Tick(hour)));
+            start = end;
+        }
+        let mut single = StagePipeline::new(config(4, false));
+        let out_single = single.run_replay(&docs);
+        assert_eq!(out_batched, out_single);
+        assert_eq!(batched.metrics(), single.metrics());
+    }
+
+    #[test]
+    fn close_through_fills_gaps_once() {
+        let mut pipeline = StagePipeline::new(config(1, false));
+        pipeline.process_doc(&doc(1, 0, &[1, 2]));
+        let mut ticks = Vec::new();
+        pipeline.close_through(Tick(3), |s| ticks.push(s.tick));
+        assert_eq!(ticks, vec![Tick(0), Tick(1), Tick(2), Tick(3)]);
+        // Re-closing through an older tick is a no-op.
+        pipeline.close_through(Tick(2), |_| panic!("tick 2 already closed"));
+        assert_eq!(pipeline.metrics().ticks_closed, 4);
+    }
+
+    #[test]
+    fn custom_stages_see_the_emitted_snapshot() {
+        struct SnapshotProbe {
+            seen: std::sync::Arc<std::sync::Mutex<Vec<Tick>>>,
+        }
+        impl TickStage for SnapshotProbe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn on_close(&mut self, state: &mut PipelineState, tick: Tick, _now: Timestamp) {
+                let snapshot = state.latest_snapshot().expect("runs after rank-emit");
+                assert_eq!(snapshot.tick, tick);
+                self.seen.lock().unwrap().push(tick);
+            }
+        }
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut pipeline = StagePipeline::new(config(1, false));
+        pipeline.push_stage(Box::new(SnapshotProbe { seen: std::sync::Arc::clone(&seen) }));
+        assert_eq!(pipeline.stage_names().len(), 6);
+        pipeline.process_doc(&doc(1, 0, &[1, 2]));
+        pipeline.close_tick(Tick(0));
+        pipeline.close_tick(Tick(1));
+        assert_eq!(*seen.lock().unwrap(), vec![Tick(0), Tick(1)]);
+    }
+}

@@ -97,13 +97,16 @@ impl WindowedTermDists {
             *self.scratch.entry(term).or_insert(0) += 1;
         }
         let log = self.ticks.back_mut().expect("advance_to ensures a slot");
-        let mut record = |tag: TagId, scratch: &FxHashMap<TagId, u32>, totals: &mut FxHashMap<TagId, TermDistribution>| {
-            let dist = totals.entry(tag).or_default();
-            for (&term, &count) in scratch {
-                dist.add(term, count as u64);
-                log.push((tag, term, count));
-            }
-        };
+        let mut record =
+            |tag: TagId,
+             scratch: &FxHashMap<TagId, u32>,
+             totals: &mut FxHashMap<TagId, TermDistribution>| {
+                let dist = totals.entry(tag).or_default();
+                for (&term, &count) in scratch {
+                    dist.add(term, count as u64);
+                    log.push((tag, term, count));
+                }
+            };
         for &tag in &doc.tags {
             record(tag, &self.scratch, &mut self.totals);
         }
@@ -193,10 +196,7 @@ mod tests {
 
     #[test]
     fn entities_respected_per_flag() {
-        let d = Document::builder(1, Timestamp::ZERO)
-            .entity(TagId(9))
-            .terms([TagId(100)])
-            .build();
+        let d = Document::builder(1, Timestamp::ZERO).entity(TagId(9)).terms([TagId(100)]).build();
         let mut with = WindowedTermDists::new(2);
         with.observe_doc(Tick(0), &d, true);
         assert!(with.distribution(TagId(9)).is_some());

@@ -23,7 +23,8 @@ pub enum EntityClass {
 }
 
 impl EntityClass {
-    const ALL: [EntityClass; 3] = [EntityClass::Person, EntityClass::Organization, EntityClass::Place];
+    const ALL: [EntityClass; 3] =
+        [EntityClass::Person, EntityClass::Organization, EntityClass::Place];
 
     /// The ontology leaf type name for the class.
     pub const fn type_name(self) -> &'static str {
@@ -127,8 +128,11 @@ impl EntityUniverse {
                         })
                         .collect();
                     let name = parts.join(" ");
-                    let alias =
-                        if rng.gen_bool(0.3) { vec![format!("city of {}", parts[0])] } else { vec![] };
+                    let alias = if rng.gen_bool(0.3) {
+                        vec![format!("city of {}", parts[0])]
+                    } else {
+                        vec![]
+                    };
                     (name, alias)
                 }
             };
@@ -230,10 +234,14 @@ mod tests {
     fn aliases_resolve_in_tagger() {
         let u = EntityUniverse::generate(300, 7);
         let tagger = EntityTagger::new(Arc::clone(&u.gazetteer));
-        let with_alias = u.entities.iter().find(|e| !e.aliases.is_empty()).expect("some alias exists");
+        let with_alias =
+            u.entities.iter().find(|e| !e.aliases.is_empty()).expect("some alias exists");
         let text = format!("report about {} yesterday", with_alias.aliases[0]);
         let mentions = tagger.tag_text(&text);
-        assert!(mentions.iter().any(|m| m.entity == with_alias.id), "alias must tag the canonical entity");
+        assert!(
+            mentions.iter().any(|m| m.entity == with_alias.id),
+            "alias must tag the canonical entity"
+        );
     }
 
     #[test]

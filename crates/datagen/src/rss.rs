@@ -33,7 +33,14 @@ pub struct RssConfig {
 
 impl Default for RssConfig {
     fn default() -> Self {
-        RssConfig { seed: 0x0_55, feeds: 4, hours: 72, items_per_hour: 12, n_tags: 300, theme_bias: 0.7 }
+        RssConfig {
+            seed: 0x0_55,
+            feeds: 4,
+            hours: 72,
+            items_per_hour: 12,
+            n_tags: 300,
+            theme_bias: 0.7,
+        }
     }
 }
 
@@ -56,7 +63,8 @@ pub fn generate_feeds(config: &RssConfig) -> (Vec<RssFeed>, TagInterner, Vocabul
     assert!((0.0..=1.0).contains(&config.theme_bias), "bias must be a fraction");
     assert!(config.n_tags >= config.feeds * 4, "vocabulary too small to slice into themes");
     let interner = TagInterner::new();
-    let vocab = Vocabulary::generate(&interner, TagKind::Category, config.n_tags, config.seed ^ 0x2555);
+    let vocab =
+        Vocabulary::generate(&interner, TagKind::Category, config.n_tags, config.seed ^ 0x2555);
     let slice = config.n_tags / config.feeds;
 
     let global_zipf = Zipf::new(config.n_tags, 1.0);

@@ -68,9 +68,14 @@ impl TweetStream {
         assert!(config.hours > 0 && config.tweets_per_minute > 0, "stream must be non-empty");
         assert!(config.n_hashtags >= 16, "hashtag vocabulary too small");
         let interner = TagInterner::new();
-        let hashtags =
-            Vocabulary::generate(&interner, TagKind::Hashtag, config.n_hashtags, config.seed ^ 0x4A58);
-        let terms = Vocabulary::generate(&interner, TagKind::Term, config.n_terms, config.seed ^ 0x7E12);
+        let hashtags = Vocabulary::generate(
+            &interner,
+            TagKind::Hashtag,
+            config.n_hashtags,
+            config.seed ^ 0x4A58,
+        );
+        let terms =
+            Vocabulary::generate(&interner, TagKind::Term, config.n_terms, config.seed ^ 0x7E12);
 
         let mut script = EventScript::new();
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5C17);
@@ -121,7 +126,15 @@ impl TweetStream {
             let minute_start = Timestamp::from_minutes(minute);
             for _ in 0..config.tweets_per_minute {
                 let ts = minute_start.plus(gen_rng.gen_range(0..Timestamp::MINUTE));
-                docs.push(background_tweet(next_id, ts, &mut gen_rng, &hashtags, &terms, &tag_zipf, &term_zipf));
+                docs.push(background_tweet(
+                    next_id,
+                    ts,
+                    &mut gen_rng,
+                    &hashtags,
+                    &terms,
+                    &tag_zipf,
+                    &term_zipf,
+                ));
                 next_id += 1;
             }
             for (i, event) in script.events().iter().enumerate() {
@@ -130,8 +143,15 @@ impl TweetStream {
                 carry[i] = rate - emit as f64;
                 for _ in 0..emit {
                     let ts = minute_start.plus(gen_rng.gen_range(0..Timestamp::MINUTE));
-                    let mut doc =
-                        background_tweet(next_id, ts, &mut gen_rng, &hashtags, &terms, &tag_zipf, &term_zipf);
+                    let mut doc = background_tweet(
+                        next_id,
+                        ts,
+                        &mut gen_rng,
+                        &hashtags,
+                        &terms,
+                        &tag_zipf,
+                        &term_zipf,
+                    );
                     doc.tags.push(event.tag_a);
                     doc.tags.push(event.tag_b);
                     doc.normalize();

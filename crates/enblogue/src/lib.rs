@@ -23,6 +23,57 @@
 //! the `examples/` directory for runnable end-to-end scenarios
 //! (`quickstart`, `historic_events`, `live_stream`, `personalization`,
 //! `entity_tagging`, `engine_tuning`).
+//!
+//! # Architecture: one stage pipeline, many surfaces
+//!
+//! EnBlogue's systems contribution is *shared shift computation*: however
+//! many query plans or personalization subscriptions are registered, the
+//! expensive per-tick loop runs once. The workspace enforces that with a
+//! single implementation of the tick semantics and thin adapters above it:
+//!
+//! ```text
+//!                  EnBlogueEngine        EngineOp (DAG sink)
+//!                  (process_doc /        (Event::Doc / TickBoundary,
+//!                   close_tick)           sync or threaded executor)
+//!                        │                      │
+//!                        └──────────┬───────────┘
+//!                                   ▼
+//!                 enblogue_core::stages::StagePipeline
+//!        seed-select → term-window → pair-count → shift-score → rank-emit
+//!                                   │
+//!                                   ▼
+//!                 ShardedPairRegistry (N hash shards)
+//!          shard 0 … shard N−1: pair states + windowed pair counts
+//!                 close fans out via enblogue_stream::exec::fanout
+//! ```
+//!
+//! **Which layer owns what:**
+//!
+//! * `enblogue-types` owns the shard *routing* contract
+//!   ([`types::shard_of_packed`], [`types::TagPair::shard`]): every layer
+//!   that partitions pair state agrees on the same assignment.
+//! * `enblogue-window` owns sharded *storage*
+//!   ([`window::ShardedWindowedCounter`]): per-shard windowed pair counts,
+//!   exact because each key lives in exactly one shard.
+//! * `enblogue-stats` owns the scoring math; `stats::ShiftScorer` is
+//!   statically asserted `Send + Sync` so one instance is shared by
+//!   reference across shard workers.
+//! * `enblogue-stream` owns *execution*: the operator DAG with structural
+//!   plan sharing, the synchronous and threaded executors, and the
+//!   [`stream::exec::fanout`] primitive that drives shard-parallel close.
+//! * `enblogue-core` owns the *semantics*: the five
+//!   [`core::stages::TickStage`]s, the
+//!   [`core::pairs::ShardedPairRegistry`], and the two adapters
+//!   ([`core::engine::EnBlogueEngine`], [`core::ops::EngineOp`]).
+//!   Personalization re-ranks the shared snapshot at delivery time — it
+//!   never re-runs the pipeline.
+//!
+//! Sharding (`EnBlogueConfig::shards`) and shard-parallel close
+//! (`EnBlogueConfig::parallel_close`) are pure execution knobs: rankings
+//! are byte-identical for any shard count and either close mode (enforced
+//! by `tests/stage_parity.rs`). Batched ingestion
+//! ([`core::engine::EnBlogueEngine::process_docs`]) is the hot entry point
+//! for replay drivers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,11 +93,15 @@ pub mod prelude {
     pub use enblogue_core::engine::{EnBlogueEngine, EngineMetrics};
     pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
     pub use enblogue_core::ops::{EngineOp, EntityTagOp};
+    pub use enblogue_core::pairs::ShardedPairRegistry;
     pub use enblogue_core::personalization::{
         jaccard_at_k, personalize, PersonalizedRanking, UserProfile,
     };
     pub use enblogue_core::pipeline::PipelineBuilder;
-    pub use enblogue_core::rankdiff::{diff as ranking_diff, kendall_tau, RankChange, RankingHistory};
+    pub use enblogue_core::rankdiff::{
+        diff as ranking_diff, kendall_tau, RankChange, RankingHistory,
+    };
+    pub use enblogue_core::stages::{StagePipeline, TickStage};
     pub use enblogue_entity::gazetteer::{Gazetteer, GazetteerBuilder};
     pub use enblogue_entity::ontology::{Ontology, OntologyBuilder};
     pub use enblogue_entity::tagger::EntityTagger;

@@ -190,7 +190,12 @@ impl OntologyBuilder {
         for i in 0..n {
             visit(i, &self.types, &mut state, &mut closure);
         }
-        Ontology { types: self.types, by_name: self.by_name, entity_types: self.entity_types, closure }
+        Ontology {
+            types: self.types,
+            by_name: self.by_name,
+            entity_types: self.entity_types,
+            closure,
+        }
     }
 }
 
@@ -246,7 +251,10 @@ mod tests {
         assert!(!ont.passes_filter(EntityId(1), &[person]));
         assert!(ont.passes_filter(EntityId(1), &[location, person]));
         assert!(ont.passes_filter(EntityId(99), &[]), "empty filter admits untyped entities");
-        assert!(!ont.passes_filter(EntityId(99), &[person]), "typed filter rejects untyped entities");
+        assert!(
+            !ont.passes_filter(EntityId(99), &[person]),
+            "typed filter rejects untyped entities"
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl EntityTagger {
         match (&self.ontology, self.type_filter.is_empty()) {
             (_, true) => true,
             (Some(ont), false) => ont.passes_filter(entity, &self.type_filter),
-            (None, false) => unreachable!("type filter without ontology is rejected at construction"),
+            (None, false) => {
+                unreachable!("type filter without ontology is rejected at construction")
+            }
         }
     }
 
@@ -104,7 +106,8 @@ impl EntityTagger {
                 }
                 if let Some(entity) = self.gazetteer.lookup_normalized(&phrase) {
                     if self.admits(entity) {
-                        let name = self.gazetteer.canonical_name(entity).expect("id from this gazetteer");
+                        let name =
+                            self.gazetteer.canonical_name(entity).expect("id from this gazetteer");
                         mentions.push(Mention { entity, name, token_start: i, token_len: window });
                         matched = window;
                         break;
@@ -217,8 +220,9 @@ mod tests {
         ob.assign(iceland, location);
         let ont = Arc::new(ob.build());
 
-        let people_only =
-            EntityTagger::new(Arc::clone(&g)).with_ontology(Arc::clone(&ont)).with_type_filter(vec![person]);
+        let people_only = EntityTagger::new(Arc::clone(&g))
+            .with_ontology(Arc::clone(&ont))
+            .with_type_filter(vec![person]);
         let ids = people_only.distinct_entities("Obama visited Iceland");
         assert_eq!(ids, vec![obama]);
 

@@ -231,7 +231,8 @@ mod tests {
         // the measure much. Doubling |A| with constant intersection:
         let before = PairCounts::new(100, 10, 5, 1000);
         let after = PairCounts::new(200, 10, 5, 1000);
-        let jac_drop = CorrelationMeasure::Jaccard.compute(before) - CorrelationMeasure::Jaccard.compute(after);
+        let jac_drop = CorrelationMeasure::Jaccard.compute(before)
+            - CorrelationMeasure::Jaccard.compute(after);
         assert!(jac_drop > 0.0, "jaccard decreases when only popularity grows");
         // Overlap is completely insensitive to the popular side:
         approx(
@@ -249,7 +250,8 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> = CorrelationMeasure::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> =
+            CorrelationMeasure::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), CorrelationMeasure::ALL.len());
     }
 }

@@ -99,7 +99,8 @@ impl TermDistribution {
         }
         // Union vocabulary.
         let vocab: Vec<TagId> = {
-            let mut v: Vec<TagId> = self.counts.keys().chain(other.counts.keys()).copied().collect();
+            let mut v: Vec<TagId> =
+                self.counts.keys().chain(other.counts.keys()).copied().collect();
             v.sort_unstable();
             v.dedup();
             v
@@ -122,7 +123,8 @@ impl TermDistribution {
             return 0.0;
         }
         let vocab: Vec<TagId> = {
-            let mut v: Vec<TagId> = self.counts.keys().chain(other.counts.keys()).copied().collect();
+            let mut v: Vec<TagId> =
+                self.counts.keys().chain(other.counts.keys()).copied().collect();
             v.sort_unstable();
             v.dedup();
             v

@@ -402,7 +402,8 @@ mod tests {
 
     #[test]
     fn kind_builds_expected_names() {
-        let names: Vec<&str> = PredictorKind::ablation_set().iter().map(|k| k.build().name()).collect();
+        let names: Vec<&str> =
+            PredictorKind::ablation_set().iter().map(|k| k.build().name()).collect();
         assert_eq!(names, vec!["last", "ma", "ewma", "holt", "ols", "seasonal"]);
     }
 

@@ -59,6 +59,16 @@ pub struct ShiftScorer {
     min_error: f64,
 }
 
+// The scorer is stateless per call and `Predictor` requires `Send + Sync`,
+// so one scorer instance is shared by reference across shard workers during
+// parallel tick close. This assertion keeps that contract load-bearing: a
+// future `Cell`/`RefCell` inside a predictor fails compilation here, not as
+// a data race.
+const _: fn() = || {
+    fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<ShiftScorer>();
+};
+
 impl ShiftScorer {
     /// Default noise floor: correlation wobbles below this are ignored.
     pub const DEFAULT_MIN_ERROR: f64 = 1e-3;
@@ -120,9 +130,7 @@ impl ShiftScorer {
     /// where history was insufficient). Useful for offline analysis and
     /// the Figure-1 harness.
     pub fn score_series(&self, series: &[f64]) -> Vec<Option<f64>> {
-        (0..series.len())
-            .map(|i| self.score(&series[..i], series[i]).map(|(s, _)| s))
-            .collect()
+        (0..series.len()).map(|i| self.score(&series[..i], series[i]).map(|(s, _)| s)).collect()
     }
 }
 
@@ -202,7 +210,8 @@ mod tests {
 
     #[test]
     fn score_series_aligns_with_pointwise() {
-        let scorer = ShiftScorer::new(PredictorKind::MovingAverage(3), ErrorNormalization::Absolute);
+        let scorer =
+            ShiftScorer::new(PredictorKind::MovingAverage(3), ErrorNormalization::Absolute);
         let series = vec![0.1, 0.1, 0.1, 0.4, 0.1];
         let scores = scorer.score_series(&series);
         assert_eq!(scores.len(), 5);

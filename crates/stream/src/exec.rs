@@ -1,4 +1,5 @@
-//! Executors: deterministic synchronous push, and threaded pipeline.
+//! Executors: deterministic synchronous push, threaded pipeline, and the
+//! shard fan-out primitive used for parallel tick close.
 
 use crate::event::Event;
 use crate::graph::{Graph, NodeId};
@@ -140,6 +141,51 @@ pub fn run_graph(graph: &mut Graph) -> Result<ExecutionStats, EnBlogueError> {
     Ok(stats)
 }
 
+/// Runs `work` once per item, optionally fanned out over scoped threads.
+///
+/// This is the executor primitive behind shard-parallel tick close: the
+/// sharded pair registry hands one mutable shard to each worker, so the
+/// threaded execution mode drives *shards* instead of whole plans. The
+/// work function must be deterministic per item — results may be produced
+/// in any order, but each item sees exactly one call with its own index,
+/// so serial (`parallel = false`) and threaded runs are observationally
+/// identical. Panics in workers propagate to the caller.
+///
+/// Worker count is capped at the machine's available parallelism: with
+/// more items than cores, items are processed in contiguous chunks, one
+/// thread per chunk, so 16 shards on a 4-core box spawn 4 threads, not 16.
+pub fn fanout<T, F>(items: &mut [T], parallel: bool, work: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if !parallel || items.len() < 2 {
+        for (index, item) in items.iter_mut().enumerate() {
+            work(index, item);
+        }
+        return;
+    }
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len());
+    let chunk_len = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let mut handles = Vec::with_capacity(workers);
+        for (chunk_index, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let base = chunk_index * chunk_len;
+            handles.push(scope.spawn(move || {
+                for (offset, item) in chunk.iter_mut().enumerate() {
+                    work(base + offset, item);
+                }
+            }));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
 struct ChannelSink {
     senders: Vec<crossbeam::channel::Sender<Event>>,
     emitted: u64,
@@ -165,7 +211,10 @@ impl EventSink for ChannelSink {
 /// Event order is preserved along every edge; nodes with multiple parents
 /// see an interleaving, with duplicate punctuation removed. The graph is
 /// consumed: operators move into their threads.
-pub fn run_graph_threaded(graph: Graph, channel_capacity: usize) -> Result<ExecutionStats, EnBlogueError> {
+pub fn run_graph_threaded(
+    graph: Graph,
+    channel_capacity: usize,
+) -> Result<ExecutionStats, EnBlogueError> {
     graph.topological_order()?;
     let (mut source, roots, nodes) = graph.into_parts();
     let n = nodes.len();
@@ -302,7 +351,8 @@ mod tests {
     #[test]
     fn filters_drop_documents() {
         let mut g = Graph::new(ReplaySource::new(sample_docs(), TickSpec::hourly()));
-        let filter = g.attach(None, FilterDocs::new("has-tag-1", |d: &Document| d.has_tag(TagId(1))));
+        let filter =
+            g.attach(None, FilterDocs::new("has-tag-1", |d: &Document| d.has_tag(TagId(1))));
         let sink = CollectSink::new("s1");
         let handle = sink.handle();
         g.attach(Some(filter), sink);
@@ -350,7 +400,10 @@ mod tests {
             let f = if shared {
                 g.attach(None, FilterDocs::new("has-tag-2", |d: &Document| d.has_tag(TagId(2))))
             } else {
-                g.attach_unshared(None, FilterDocs::new("has-tag-2", |d: &Document| d.has_tag(TagId(2))))
+                g.attach_unshared(
+                    None,
+                    FilterDocs::new("has-tag-2", |d: &Document| d.has_tag(TagId(2))),
+                )
             };
             let sink = CollectSink::new("s1");
             let handle = sink.handle();
@@ -407,5 +460,42 @@ mod tests {
         g.attach(None, counter);
         run_graph(&mut g).unwrap();
         assert_eq!(counts.lock().unwrap().flushes, 1);
+    }
+
+    #[test]
+    fn fanout_serial_and_parallel_agree() {
+        let run = |parallel: bool| {
+            let mut items: Vec<(usize, u64)> = (0..8).map(|i| (0usize, i as u64)).collect();
+            fanout(&mut items, parallel, |index, item| {
+                item.0 = index;
+                item.1 = item.1 * 10 + 1;
+            });
+            items
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert_eq!(serial, parallel);
+        for (i, &(index, value)) in serial.iter().enumerate() {
+            assert_eq!(index, i, "each item sees its own index");
+            assert_eq!(value, i as u64 * 10 + 1, "work applied exactly once");
+        }
+    }
+
+    #[test]
+    fn fanout_single_item_stays_serial() {
+        let mut items = [5u64];
+        fanout(&mut items, true, |_, item| *item += 1);
+        assert_eq!(items, [6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn fanout_propagates_worker_panics() {
+        let mut items = [0u64, 1];
+        fanout(&mut items, true, |index, _| {
+            if index == 1 {
+                panic!("worker boom");
+            }
+        });
     }
 }

@@ -74,7 +74,8 @@ impl Graph {
             Some(p) => &self.nodes[p.0].children,
             None => &self.roots,
         };
-        if let Some(&existing) = siblings.iter().find(|&&c| self.nodes[c.0].signature == signature) {
+        if let Some(&existing) = siblings.iter().find(|&&c| self.nodes[c.0].signature == signature)
+        {
             self.shared_hits += 1;
             return existing;
         }
@@ -88,7 +89,11 @@ impl Graph {
 
     /// Attaches `op` below `parent` *without* sharing, even if an equal
     /// sibling exists (the unshared baseline of experiment P2).
-    pub fn attach_unshared(&mut self, parent: Option<NodeId>, op: impl Operator + 'static) -> NodeId {
+    pub fn attach_unshared(
+        &mut self,
+        parent: Option<NodeId>,
+        op: impl Operator + 'static,
+    ) -> NodeId {
         let id = self.push_node(Box::new(op));
         match parent {
             Some(p) => self.nodes[p.0].children.push(id),
@@ -266,8 +271,14 @@ mod tests {
     #[test]
     fn chains_share_prefixes() {
         let mut g = empty_graph();
-        let end1 = g.attach_chain(None, vec![Box::new(Named("a")), Box::new(Named("b")), Box::new(Named("c"))]);
-        let end2 = g.attach_chain(None, vec![Box::new(Named("a")), Box::new(Named("b")), Box::new(Named("d"))]);
+        let end1 = g.attach_chain(
+            None,
+            vec![Box::new(Named("a")), Box::new(Named("b")), Box::new(Named("c"))],
+        );
+        let end2 = g.attach_chain(
+            None,
+            vec![Box::new(Named("a")), Box::new(Named("b")), Box::new(Named("d"))],
+        );
         assert_ne!(end1, end2);
         assert_eq!(g.node_count(), 4, "a and b shared; c and d distinct");
         assert_eq!(g.shared_hits(), 2);

@@ -251,7 +251,9 @@ mod tests {
     use enblogue_types::{TagId, Timestamp};
 
     fn doc(id: u64, tags: &[u32]) -> Document {
-        Document::builder(id, Timestamp::from_hours(id)).tags(tags.iter().map(|&t| TagId(t))).build()
+        Document::builder(id, Timestamp::from_hours(id))
+            .tags(tags.iter().map(|&t| TagId(t)))
+            .build()
     }
 
     #[test]

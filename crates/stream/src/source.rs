@@ -280,7 +280,8 @@ mod tests {
 
     #[test]
     fn replay_inserts_boundaries_between_ticks() {
-        let source = ReplaySource::new(vec![doc(1, 0), doc(2, 0), doc(3, 1), doc(4, 3)], TickSpec::hourly());
+        let source =
+            ReplaySource::new(vec![doc(1, 0), doc(2, 0), doc(3, 1), doc(4, 3)], TickSpec::hourly());
         let events = drain(source);
         let labels: Vec<String> = events
             .iter()

@@ -37,7 +37,14 @@ impl Document {
     /// Starts building a document.
     pub fn builder(id: DocId, timestamp: Timestamp) -> DocumentBuilder {
         DocumentBuilder {
-            doc: Document { id, timestamp, tags: Vec::new(), entities: Vec::new(), terms: Vec::new(), text: None },
+            doc: Document {
+                id,
+                timestamp,
+                tags: Vec::new(),
+                entities: Vec::new(),
+                terms: Vec::new(),
+                text: None,
+            },
         }
     }
 

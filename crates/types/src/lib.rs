@@ -50,7 +50,7 @@ pub mod time;
 pub use doc::{Document, DocumentBuilder};
 pub use error::EnBlogueError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use pair::TagPair;
+pub use pair::{shard_of_packed, TagPair};
 pub use ranking::RankingSnapshot;
 pub use tag::{DocId, TagId, TagInterner, TagKind};
 pub use time::{Tick, TickSpec, Timestamp};

@@ -85,6 +85,46 @@ impl TagPair {
     pub const fn from_packed(key: u64) -> Self {
         TagPair { lo: TagId((key >> 32) as u32), hi: TagId(key as u32) }
     }
+
+    /// The shard this pair belongs to when pair state is split into
+    /// `shards` hash shards.
+    ///
+    /// Same contract as [`shard_of_packed`]; see there for why the
+    /// assignment is mix-based rather than `packed % shards`.
+    #[inline]
+    pub fn shard(self, shards: usize) -> usize {
+        shard_of_packed(self.packed(), shards)
+    }
+}
+
+/// Maps a [packed](TagPair::packed) pair key to one of `shards` shards.
+///
+/// This is the single routing function shared by every layer that
+/// partitions pair state (windowed pair counters, the sharded registry,
+/// shard-parallel tick close): all of them **must** agree on the
+/// assignment, so it lives here in the vocabulary crate.
+///
+/// The key is finalised with a SplitMix64-style mix before the modulo:
+/// packed keys share low bits whenever pairs share their `hi` member, and
+/// a plain `packed % shards` would route all pairs of one popular tag to
+/// few shards. The mix is fixed — shard assignment is part of the
+/// deterministic replay contract (same stream + same shard count ⇒ same
+/// per-shard state), and rankings are required to be identical for *any*
+/// shard count.
+///
+/// # Panics
+/// Panics if `shards` is zero.
+#[inline]
+pub fn shard_of_packed(packed: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    if shards == 1 {
+        return 0;
+    }
+    let mut z = packed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
 }
 
 impl fmt::Display for TagPair {
@@ -151,5 +191,35 @@ mod tests {
     fn display_shows_both_ids() {
         let p = TagPair::new(TagId(4), TagId(2));
         assert_eq!(p.to_string(), "(#2, #4)");
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let p = TagPair::new(TagId(17), TagId(90210));
+        for shards in [1usize, 2, 4, 16, 31] {
+            let s = p.shard(shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_of_packed(p.packed(), shards), "method and free fn agree");
+            assert_eq!(s, p.shard(shards), "assignment is deterministic");
+        }
+        assert_eq!(p.shard(1), 0);
+    }
+
+    #[test]
+    fn shard_routing_spreads_shared_hi_members() {
+        // All pairs (x, hi) share low packed bits; the mix must still
+        // spread them across shards instead of collapsing onto one.
+        let shards = 8;
+        let mut seen = std::collections::HashSet::new();
+        for lo in 0u32..64 {
+            seen.insert(TagPair::new(TagId(lo), TagId(1_000_000)).shard(shards));
+        }
+        assert!(seen.len() >= shards / 2, "only {} of {shards} shards hit", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_panics() {
+        let _ = shard_of_packed(7, 0);
     }
 }

@@ -257,7 +257,9 @@ mod tests {
             .map(|_| {
                 let interner = interner.clone();
                 std::thread::spawn(move || {
-                    (0..100).map(|i| interner.intern(&format!("tag{i}"), TagKind::Hashtag)).collect::<Vec<_>>()
+                    (0..100)
+                        .map(|i| interner.intern(&format!("tag{i}"), TagKind::Hashtag))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

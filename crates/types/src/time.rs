@@ -14,7 +14,9 @@ use std::fmt;
 /// The epoch is workload-defined (e.g. the first day of a replayed archive).
 /// `Timestamp` is deliberately *not* wall-clock time: replayed archives and
 /// time-lapse simulations run much faster than real time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -87,7 +89,9 @@ impl fmt::Display for Timestamp {
 }
 
 /// A discrete tick index: the `n`-th tick of the stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Tick(pub u64);
 
 impl Tick {
@@ -99,6 +103,14 @@ impl Tick {
     #[must_use]
     pub const fn next(self) -> Tick {
         Tick(self.0 + 1)
+    }
+
+    /// The tick immediately before this one (saturating at
+    /// [`Tick::ZERO`]).
+    #[inline]
+    #[must_use]
+    pub const fn prev(self) -> Tick {
+        Tick(self.0.saturating_sub(1))
     }
 
     /// Saturating number of ticks elapsed since `earlier`.
@@ -204,7 +216,8 @@ mod tests {
 
     #[test]
     fn timestamp_display_is_readable() {
-        let ts = Timestamp::from_days(2).plus(3 * Timestamp::HOUR + 4 * Timestamp::MINUTE + 5 * Timestamp::SECOND);
+        let ts = Timestamp::from_days(2)
+            .plus(3 * Timestamp::HOUR + 4 * Timestamp::MINUTE + 5 * Timestamp::SECOND);
         assert_eq!(ts.to_string(), "d2+03:04:05");
         assert_eq!(Timestamp::ZERO.to_string(), "d0+00:00:00");
     }

@@ -31,7 +31,13 @@ impl CountMinSketch {
     pub fn new(width: usize, depth: usize) -> Self {
         assert!(width > 0, "sketch width must be positive");
         assert!(depth > 0, "sketch depth must be positive");
-        CountMinSketch { width, depth, rows: vec![0; width * depth], total: 0, hasher: FxBuildHasher::default() }
+        CountMinSketch {
+            width,
+            depth,
+            rows: vec![0; width * depth],
+            total: 0,
+            hasher: FxBuildHasher::default(),
+        }
     }
 
     /// A sketch sized for additive error `epsilon·N` with failure

@@ -251,17 +251,19 @@ mod tests {
         for _ in 0..2_000 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let key = ((state >> 33) % 10) as u32;
-            if state % 7 == 0 {
+            if state.is_multiple_of(7) {
                 tick += (state >> 60) % 3;
             }
             c.increment(Tick(tick), key);
             history.push((tick, key));
 
-            if state % 13 == 0 {
+            if state.is_multiple_of(13) {
                 let lo = tick.saturating_sub(window as u64 - 1);
                 for probe in 0..10u32 {
-                    let expected =
-                        history.iter().filter(|&&(t, k)| k == probe && t >= lo && t <= tick).count() as u64;
+                    let expected = history
+                        .iter()
+                        .filter(|&&(t, k)| k == probe && t >= lo && t <= tick)
+                        .count() as u64;
                     assert_eq!(c.count(probe), expected, "key {probe} at tick {tick}");
                 }
             }

@@ -218,7 +218,10 @@ mod tests {
             if ts % 997 == 0 {
                 let sizes: Vec<u64> = eh.buckets.iter().map(|b| b.size).collect();
                 for w in sizes.windows(2) {
-                    assert!(w[0] <= w[1], "bucket sizes must be non-decreasing oldest-ward: {sizes:?}");
+                    assert!(
+                        w[0] <= w[1],
+                        "bucket sizes must be non-decreasing oldest-ward: {sizes:?}"
+                    );
                 }
             }
         }

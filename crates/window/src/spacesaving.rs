@@ -65,8 +65,11 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
         }
         // Evict the minimum counter; the newcomer inherits its count as
         // error bound (classic Space-Saving replacement).
-        let (&min_key, &(min_count, _)) =
-            self.counters.iter().min_by_key(|(_, (count, _))| *count).expect("non-empty at capacity");
+        let (&min_key, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, (count, _))| *count)
+            .expect("non-empty at capacity");
         self.counters.remove(&min_key);
         self.counters.insert(key, (min_count + by, min_count));
     }
@@ -110,7 +113,8 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
     where
         K: Ord,
     {
-        let mut all: Vec<(K, u64)> = self.counters.iter().map(|(&k, &(count, _))| (k, count)).collect();
+        let mut all: Vec<(K, u64)> =
+            self.counters.iter().map(|(&k, &(count, _))| (k, count)).collect();
         all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all

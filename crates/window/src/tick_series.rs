@@ -64,7 +64,10 @@ impl TickSeries {
                 *self.ring.newest_mut().expect("newest slot exists") += value;
             }
             Some(newest) => {
-                assert!(tick > newest, "ticks must be recorded in non-decreasing order (got {tick} after {newest})");
+                assert!(
+                    tick > newest,
+                    "ticks must be recorded in non-decreasing order (got {tick} after {newest})"
+                );
                 let gap = tick.since(newest);
                 for _ in 1..gap {
                     self.push_value(0.0);

@@ -75,7 +75,8 @@ fn main() {
 
     // Agreement matrix at k=5 across variants, averaged over all ticks.
     println!("\nmean top-5 agreement (jaccard) across all ticks:");
-    let all: Vec<Vec<RankingSnapshot>> = handles.iter().map(|h| h.lock().unwrap().clone()).collect();
+    let all: Vec<Vec<RankingSnapshot>> =
+        handles.iter().map(|h| h.lock().unwrap().clone()).collect();
     print!("{:<16}", "");
     for (name, _) in &variants {
         print!("{name:>16}");

@@ -25,7 +25,10 @@ fn main() {
 
     // 1. Plain tagging with redirect resolution.
     let tagger = Arc::new(EntityTagger::new(Arc::clone(&universe.gazetteer)));
-    let person = universe.of_class(EntityClass::Person).find(|e| !e.aliases.is_empty()).expect("aliased person");
+    let person = universe
+        .of_class(EntityClass::Person)
+        .find(|e| !e.aliases.is_empty())
+        .expect("aliased person");
     let place = universe.of_class(EntityClass::Place).next().expect("a place");
     let text = format!(
         "breaking: {} was seen near {} yesterday — {} declined to comment",
@@ -107,9 +110,6 @@ fn main() {
     }
     let person_entity = interner.get(&person.name, TagKind::Entity).expect("entity was interned");
     let mixture = TagPair::new(protest, person_entity);
-    assert!(
-        last.rank_of(mixture).is_some(),
-        "the protest/person mixture must rank: {last:?}"
-    );
+    assert!(last.rank_of(mixture).is_some(), "the protest/person mixture must rank: {last:?}");
     println!("\nThe hashtag–person pair ranked — a topic no single-tag view could name.");
 }

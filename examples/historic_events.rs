@@ -22,7 +22,10 @@ fn main() {
         n_terms: 600,
         historic_events: 6,
     };
-    println!("Generating NYT-style archive: {} days × {} docs/day …", config.days, config.docs_per_day);
+    println!(
+        "Generating NYT-style archive: {} days × {} docs/day …",
+        config.days, config.docs_per_day
+    );
     let archive = NytArchive::generate(&config);
     println!("{} documents, {} scripted historic events\n", archive.len(), archive.script.len());
 
@@ -38,7 +41,10 @@ fn main() {
     let snapshots = engine.run_replay(&archive.docs);
 
     // Per-event report: what did the ranking look like mid-event?
-    println!("{:<16} {:<28} {:>10} {:>12} {:>10}", "event", "pair", "start", "peak rank", "latency");
+    println!(
+        "{:<16} {:<28} {:>10} {:>12} {:>10}",
+        "event", "pair", "start", "peak rank", "latency"
+    );
     println!("{}", "-".repeat(80));
     let report = evaluate(&snapshots, &archive.script, 10, 2 * Timestamp::DAY);
     for (event, outcome) in archive.script.events().iter().zip(&report.outcomes) {
@@ -70,7 +76,10 @@ fn main() {
     let detection_day = event.start.as_millis() / Timestamp::DAY
         + report.outcomes[0].latency_ms.unwrap_or(0) / Timestamp::DAY;
     if let Some(snap) = snapshots.iter().find(|s| s.tick.0 == detection_day) {
-        println!("\nTop emergent topics the day `{}` was detected (day {detection_day}):", event.name);
+        println!(
+            "\nTop emergent topics the day `{}` was detected (day {detection_day}):",
+            event.name
+        );
         for (rank, &(pair, score)) in snap.ranked.iter().take(5).enumerate() {
             println!(
                 "  #{} [{} + {}]  score {:.3}",

@@ -21,11 +21,18 @@ fn main() {
         planted_events: 3,
         sigmod_stunt: true,
     };
-    println!("Generating {}h tweet stream at {} tweets/min …", config.hours, config.tweets_per_minute);
+    println!(
+        "Generating {}h tweet stream at {} tweets/min …",
+        config.hours, config.tweets_per_minute
+    );
     let stream = TweetStream::generate(&config);
     let (sigmod, athens) = stream.stunt_pair.expect("stunt enabled");
     let stunt_pair = TagPair::new(sigmod, athens);
-    println!("{} tweets; stunt: #sigmod + #athens rising from hour {}\n", stream.len(), config.hours / 2);
+    println!(
+        "{} tweets; stunt: #sigmod + #athens rising from hour {}\n",
+        stream.len(),
+        config.hours / 2
+    );
 
     // The demo's "time lapse view over a sliding window of the past couple
     // of days": half-hour ticks, 12h correlation window.

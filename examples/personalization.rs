@@ -75,8 +75,16 @@ fn main() {
     let desk_b = UserProfile::new("desk-b").with_category(cat_b).with_alpha(4.0);
     let view_a = personalize(snap, &desk_a, &archive.interner);
     let view_b = personalize(snap, &desk_b, &archive.interner);
-    show(&view_a, &archive.interner, &format!("desk A (prefers `{}`)", archive.interner.display(cat_a)));
-    show(&view_b, &archive.interner, &format!("desk B (prefers `{}`)", archive.interner.display(cat_b)));
+    show(
+        &view_a,
+        &archive.interner,
+        &format!("desk A (prefers `{}`)", archive.interner.display(cat_a)),
+    );
+    show(
+        &view_b,
+        &archive.interner,
+        &format!("desk B (prefers `{}`)", archive.interner.display(cat_b)),
+    );
     println!(
         "overlap of the two desks' top-3: jaccard = {:.2}\n",
         jaccard_at_k(&view_a, &view_b, 3)
@@ -85,7 +93,8 @@ fn main() {
     // A continuous keyword query ("term based descriptions of their field
     // of interest"), strict: only matching topics are shown.
     let keyword = archive.interner.display(snap.ranked[snap.ranked.len() - 1].0.hi());
-    let searcher = UserProfile::new("searcher").with_keyword(&keyword).with_alpha(8.0).filter_only();
+    let searcher =
+        UserProfile::new("searcher").with_keyword(&keyword).with_alpha(8.0).filter_only();
     let view_s = personalize(snap, &searcher, &archive.interner);
     show(&view_s, &archive.interner, &format!("continuous query `{keyword}` (strict)"));
 

@@ -74,5 +74,7 @@ fn main() {
         top.1
     );
     assert_eq!(top.0, TagPair::new(volcano, air_traffic));
-    println!("As expected: the volcano/air-traffic correlation shift, not any popular tag by itself.");
+    println!(
+        "As expected: the volcano/air-traffic correlation shift, not any popular tag by itself."
+    );
 }

@@ -63,7 +63,8 @@ fn tweet_and_rss_generators_are_reproducible() {
     assert_eq!(t1.docs, t2.docs);
     assert_eq!(t1.script.truth_pairs(), t2.script.truth_pairs());
 
-    let rss_cfg = RssConfig { seed: 8, feeds: 3, hours: 5, items_per_hour: 6, n_tags: 60, theme_bias: 0.7 };
+    let rss_cfg =
+        RssConfig { seed: 8, feeds: 3, hours: 5, items_per_hour: 6, n_tags: 60, theme_bias: 0.7 };
     let (f1, _, _) = generate_feeds(&rss_cfg);
     let (f2, _, _) = generate_feeds(&rss_cfg);
     for (a, b) in f1.iter().zip(&f2) {
@@ -73,13 +74,15 @@ fn tweet_and_rss_generators_are_reproducible() {
 
 #[test]
 fn merged_multi_feed_stream_is_deterministic() {
-    let rss_cfg = RssConfig { seed: 9, feeds: 3, hours: 8, items_per_hour: 8, n_tags: 60, theme_bias: 0.7 };
+    let rss_cfg =
+        RssConfig { seed: 9, feeds: 3, hours: 8, items_per_hour: 8, n_tags: 60, theme_bias: 0.7 };
     let run = || {
         let (feeds, interner, _) = generate_feeds(&rss_cfg);
         let sources: Vec<Box<dyn enblogue::stream::Source>> = feeds
             .into_iter()
             .map(|f| {
-                Box::new(ReplaySource::new(f.docs, TickSpec::hourly())) as Box<dyn enblogue::stream::Source>
+                Box::new(ReplaySource::new(f.docs, TickSpec::hourly()))
+                    as Box<dyn enblogue::stream::Source>
             })
             .collect();
         let merged = MergeSource::new(sources, TickSpec::hourly());

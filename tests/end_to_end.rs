@@ -85,11 +85,10 @@ fn tweet_stream_stunt_reaches_top_k() {
     assert!(detected, "the SIGMOD-Athens stunt must reach the top-10");
 
     // And it must not appear before the stunt begins.
-    let stunt_start = stream.script.events().iter().find(|e| e.name == "sigmod-athens").unwrap().start;
-    let early_hit = snapshots
-        .iter()
-        .filter(|s| s.time < stunt_start)
-        .any(|s| s.contains_in_top(pair, 10));
+    let stunt_start =
+        stream.script.events().iter().find(|e| e.name == "sigmod-athens").unwrap().start;
+    let early_hit =
+        snapshots.iter().filter(|s| s.time < stunt_start).any(|s| s.contains_in_top(pair, 10));
     assert!(!early_hit, "stunt pair must not rank before it exists");
 }
 

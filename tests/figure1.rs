@@ -122,7 +122,9 @@ fn baseline_sees_peaks_but_misses_the_shift() {
     // topics in the paper's sense.
     let peak_trends: Vec<&Tick> = trends_by_tick
         .iter()
-        .filter(|(t, trends)| (t.0 == 30 || t.0 == 60) && trends.iter().any(|tr| tr.tags.contains(&t1)))
+        .filter(|(t, trends)| {
+            (t.0 == 30 || t.0 == 60) && trends.iter().any(|tr| tr.tags.contains(&t1))
+        })
         .map(|(t, _)| t)
         .collect();
     assert_eq!(peak_trends.len(), 2, "baseline must flag both solo peaks of t1");

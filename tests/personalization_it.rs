@@ -63,7 +63,10 @@ fn profiles_see_different_rankings_on_same_stream() {
     let view_b = personalize(snap, &user_b, &archive.interner);
 
     assert_ne!(view_a.ranked[0].0, view_b.ranked[0].0, "different top topic per user");
-    assert!(view_b.rank_of(view_b.ranked[0].0) < view_a.rank_of(view_b.ranked[0].0).or(Some(usize::MAX)));
+    assert!(
+        view_b.rank_of(view_b.ranked[0].0)
+            < view_a.rank_of(view_b.ranked[0].0).or(Some(usize::MAX))
+    );
 
     // The overlap metric reports the difference (same topics, new order,
     // or disjoint sets — either way below 1 at k=1).
@@ -90,10 +93,7 @@ fn keyword_query_pulls_matching_topics_up() {
     let neutral = personalize(snap, &UserProfile::new("neutral"), &archive.interner);
     let before = neutral.rank_of(last).expect("topic is ranked");
     let after = view.rank_of(last).expect("topic stays ranked");
-    assert!(
-        after < before,
-        "keyword match must improve the topic's rank: {before} -> {after}"
-    );
+    assert!(after < before, "keyword match must improve the topic's rank: {before} -> {after}");
     assert!(view.ranked[0].1 > neutral.ranked[0].1 || after == 0, "boost must be visible");
 }
 

@@ -58,18 +58,10 @@ fn shared_prefix_processes_each_event_once() {
     let (unshared_stats, unshared_handles) = run(false);
 
     // The tagger runs once vs once-per-plan.
-    let shared_tagger_work: u64 = shared_stats
-        .nodes
-        .iter()
-        .filter(|n| n.name == "entity-tag")
-        .map(|n| n.processed)
-        .sum();
-    let unshared_tagger_work: u64 = unshared_stats
-        .nodes
-        .iter()
-        .filter(|n| n.name == "entity-tag")
-        .map(|n| n.processed)
-        .sum();
+    let shared_tagger_work: u64 =
+        shared_stats.nodes.iter().filter(|n| n.name == "entity-tag").map(|n| n.processed).sum();
+    let unshared_tagger_work: u64 =
+        unshared_stats.nodes.iter().filter(|n| n.name == "entity-tag").map(|n| n.processed).sum();
     assert_eq!(unshared_tagger_work, n_plans as u64 * shared_tagger_work);
 
     // Outputs are identical plan by plan.
@@ -135,10 +127,9 @@ fn different_configs_share_prefix_and_diverge_in_rankings() {
     let b = handles[1].lock().unwrap().clone();
     assert_eq!(a.len(), b.len());
     // Same tick structure, but (in general) different scores.
-    let any_difference = a
-        .iter()
-        .zip(&b)
-        .any(|(x, y)| x.ranked.iter().map(|(p, _)| p).ne(y.ranked.iter().map(|(p, _)| p))
-            || x.ranked.iter().zip(&y.ranked).any(|((_, s1), (_, s2))| (s1 - s2).abs() > 1e-12));
+    let any_difference = a.iter().zip(&b).any(|(x, y)| {
+        x.ranked.iter().map(|(p, _)| p).ne(y.ranked.iter().map(|(p, _)| p))
+            || x.ranked.iter().zip(&y.ranked).any(|((_, s1), (_, s2))| (s1 - s2).abs() > 1e-12)
+    });
     assert!(any_difference, "different measures must visibly differ somewhere");
 }

@@ -160,7 +160,11 @@ fn broker_survives_subscriber_churn_mid_stream() {
         drop(rx);
     }
     // One publish after all receivers dropped cleans the registry.
-    broker.publish(&RankingSnapshot { tick: Tick(99), time: Timestamp::from_hours(99), ranked: vec![] });
+    broker.publish(&RankingSnapshot {
+        tick: Tick(99),
+        time: Timestamp::from_hours(99),
+        ranked: vec![],
+    });
     assert_eq!(broker.client_count(), 0);
 }
 
@@ -184,7 +188,8 @@ fn merge_source_with_wildly_skewed_feeds() {
     let small = vec![doc(5000, 5, &[2])];
     let merged = MergeSource::new(
         vec![
-            Box::new(ReplaySource::new(big, TickSpec::hourly())) as Box<dyn enblogue::stream::Source>,
+            Box::new(ReplaySource::new(big, TickSpec::hourly()))
+                as Box<dyn enblogue::stream::Source>,
             Box::new(ReplaySource::new(small, TickSpec::hourly())),
         ],
         TickSpec::hourly(),

@@ -1,0 +1,125 @@
+//! The unification contract of the shared stage pipeline: the stand-alone
+//! engine, the synchronous DAG executor and the threaded DAG executor are
+//! all thin adapters over the same `TickStage` implementation, so on one
+//! replay they must produce **identical** snapshot sequences — and the
+//! sharded pair registry must make shard count and shard-parallel close
+//! invisible in every ranking.
+
+use enblogue::prelude::*;
+use enblogue_datagen::nyt::{NytArchive, NytConfig};
+
+fn archive() -> NytArchive {
+    NytArchive::generate(&NytConfig {
+        seed: 0x57A6E,
+        days: 45,
+        docs_per_day: 80,
+        n_categories: 12,
+        n_descriptors: 90,
+        n_entities: 60,
+        n_terms: 250,
+        historic_events: 4,
+    })
+}
+
+fn config(shards: usize, parallel: bool) -> EnBlogueConfig {
+    EnBlogueConfig::builder()
+        .tick_spec(TickSpec::daily())
+        .window_ticks(7)
+        .seed_count(25)
+        .min_seed_count(3)
+        .top_k(10)
+        .shards(shards)
+        .parallel_close(parallel)
+        .build()
+        .unwrap()
+}
+
+/// One snapshot sequence via the stand-alone engine's replay driver.
+fn engine_snapshots(config: EnBlogueConfig, docs: &[Document]) -> Vec<RankingSnapshot> {
+    EnBlogueEngine::new(config).run_replay(docs)
+}
+
+/// One snapshot sequence via the DAG (`PipelineBuilder` → `EngineOp` sink).
+fn dag_snapshots(
+    config: EnBlogueConfig,
+    archive: &NytArchive,
+    threaded: bool,
+) -> Vec<RankingSnapshot> {
+    let builder =
+        PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
+            .with_engine("parity", config);
+    let (_, handles) = if threaded { builder.run_threaded(256) } else { builder.run() }.unwrap();
+    let out = handles[0].lock().unwrap().clone();
+    out
+}
+
+#[test]
+fn engine_and_dag_agree_on_an_nyt_replay() {
+    let archive = archive();
+    let from_engine = engine_snapshots(config(1, false), &archive.docs);
+    let from_sync_dag = dag_snapshots(config(1, false), &archive, false);
+    let from_threaded_dag = dag_snapshots(config(1, false), &archive, true);
+
+    assert!(!from_engine.is_empty(), "the replay must close ticks");
+    assert!(
+        from_engine.iter().any(|s| !s.ranked.is_empty()),
+        "the planted events must produce rankings"
+    );
+    assert_eq!(from_engine, from_sync_dag, "engine vs synchronous DAG");
+    assert_eq!(from_engine, from_threaded_dag, "engine vs threaded DAG");
+}
+
+#[test]
+fn shard_count_is_invisible_in_rankings() {
+    let archive = archive();
+    let baseline = engine_snapshots(config(1, false), &archive.docs);
+    for shards in [4usize, 16] {
+        let serial = engine_snapshots(config(shards, false), &archive.docs);
+        assert_eq!(serial, baseline, "{shards} shards, serial close");
+        let parallel = engine_snapshots(config(shards, true), &archive.docs);
+        assert_eq!(parallel, baseline, "{shards} shards, parallel close");
+    }
+}
+
+#[test]
+fn sharded_dag_matches_unsharded_engine() {
+    // The full cross product of the two axes: sharded state under the DAG
+    // executors against the classic single-map engine.
+    let archive = archive();
+    let baseline = engine_snapshots(config(1, false), &archive.docs);
+    assert_eq!(dag_snapshots(config(16, true), &archive, false), baseline, "sync DAG, 16 shards");
+    assert_eq!(dag_snapshots(config(4, true), &archive, true), baseline, "threaded DAG, 4 shards");
+}
+
+#[test]
+fn batched_ingestion_matches_streamed_ingestion() {
+    let archive = archive();
+    let cfg = config(4, false);
+    let spec = cfg.tick_spec;
+
+    // Batched: hand each tick's slice to `process_docs`, then close —
+    // including empty gap ticks, exactly like the streamed replay does,
+    // so correlation histories stay tick-aligned in both runs.
+    let mut engine = EnBlogueEngine::new(cfg.clone());
+    let mut batched = Vec::new();
+    let mut next_to_close = spec.tick_of(archive.docs[0].timestamp);
+    let mut start = 0;
+    while start < archive.docs.len() {
+        let tick = spec.tick_of(archive.docs[start].timestamp);
+        while next_to_close < tick {
+            batched.push(engine.close_tick(next_to_close));
+            next_to_close = next_to_close.next();
+        }
+        let end = archive.docs[start..]
+            .iter()
+            .position(|d| spec.tick_of(d.timestamp) > tick)
+            .map_or(archive.docs.len(), |offset| start + offset);
+        engine.process_docs(&archive.docs[start..end]);
+        batched.push(engine.close_tick(tick));
+        next_to_close = tick.next();
+        start = end;
+    }
+
+    let streamed = engine_snapshots(cfg, &archive.docs);
+    assert_eq!(batched, streamed);
+}
