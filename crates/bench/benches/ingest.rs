@@ -1,0 +1,82 @@
+//! Ingestion throughput through the shard-partitioned `IngestPipeline`.
+//!
+//! Two sweeps over one NYT replay: worker count (1/2/4/8 at batch 256)
+//! and batch size (1/64/512 at the machine's worker default). Rankings
+//! are identical in every configuration (pinned by
+//! `tests/stage_parity.rs`), so the rows differ only in docs/sec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use enblogue::datagen::nyt::{NytArchive, NytConfig};
+use enblogue::prelude::*;
+use std::hint::black_box;
+
+fn archive() -> NytArchive {
+    NytArchive::generate(&NytConfig {
+        seed: 0x1_E657,
+        days: 30,
+        docs_per_day: 150,
+        n_categories: 16,
+        n_descriptors: 120,
+        n_entities: 80,
+        n_terms: 400,
+        historic_events: 3,
+    })
+}
+
+fn config() -> EnBlogueConfig {
+    EnBlogueConfig::builder()
+        .tick_spec(TickSpec::daily())
+        .window_ticks(7)
+        .seed_count(25)
+        .min_seed_count(3)
+        .top_k(10)
+        .build()
+        .unwrap()
+}
+
+fn bench_ingest_workers(c: &mut Criterion) {
+    let archive = archive();
+    let mut group = c.benchmark_group("ingest_workers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(archive.docs.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("batch256", workers), &workers, |b, &workers| {
+            b.iter_batched(
+                || EnBlogueEngine::new(config()),
+                |mut engine| {
+                    let ingest = IngestConfig { batch_size: 256, queue_depth: 8, workers };
+                    black_box(engine.run_replay_ingest(&archive.docs, &ingest))
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest_batch_size(c: &mut Criterion) {
+    let archive = archive();
+    let mut group = c.benchmark_group("ingest_batch_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(archive.docs.len() as u64));
+    for batch_size in [1usize, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("auto_workers", batch_size),
+            &batch_size,
+            |b, &batch_size| {
+                b.iter_batched(
+                    || EnBlogueEngine::new(config()),
+                    |mut engine| {
+                        let ingest = IngestConfig { batch_size, queue_depth: 8, workers: 0 };
+                        black_box(engine.run_replay_ingest(&archive.docs, &ingest))
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_workers, bench_ingest_batch_size);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Ingestion throughput sweep — the `enblogue-ingest` subsystem under
+//! worker count × batch size, against the sequential feeding baseline.
+//!
+//! Every configuration replays the same NYT archive; rankings are
+//! verified byte-identical to sequential feeding (parallel ingestion is a
+//! pure execution knob), so the rows differ only in docs/sec. Each
+//! configuration is measured `repeats` times and the best run is kept
+//! (throughput benches report capability, not scheduler noise).
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin perf_ingest`
+//! Smoke mode (CI): append `-- --test` for a small workload + 1 repeat.
+//!
+//! Besides the printed table, rows are recorded to `BENCH_ingest.json`
+//! (flat JSON, written by hand — no serializer in the offline build),
+//! including a single-vs-multi-worker summary.
+
+use enblogue::datagen::nyt::{NytArchive, NytConfig};
+use enblogue::prelude::*;
+use enblogue_bench::{rate, timed, Table};
+
+struct Row {
+    workers: usize,
+    batch_size: usize,
+    docs: u64,
+    secs: f64,
+    docs_per_sec: f64,
+    queue_full_stalls: u64,
+}
+
+fn write_json(rows: &[Row], sequential_dps: f64, path: &str) {
+    let single_best =
+        rows.iter().filter(|r| r.workers == 1).map(|r| r.docs_per_sec).fold(0.0f64, f64::max);
+    let multi_best =
+        rows.iter().filter(|r| r.workers > 1).map(|r| r.docs_per_sec).fold(0.0f64, f64::max);
+    let mut out = String::from("{\n  \"experiment\": \"ingest_throughput\",\n");
+    out.push_str(&format!("  \"sequential_docs_per_sec\": {sequential_dps:.0},\n"));
+    out.push_str(&format!("  \"single_worker_docs_per_sec\": {single_best:.0},\n"));
+    out.push_str(&format!("  \"multi_worker_docs_per_sec\": {multi_best:.0},\n"));
+    out.push_str(&format!(
+        "  \"multi_worker_speedup\": {:.3},\n",
+        multi_best / single_best.max(1e-9)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"batch_size\": {}, \"docs\": {}, \"secs\": {:.4}, \
+             \"docs_per_sec\": {:.0}, \"queue_full_stalls\": {}}}{}\n",
+            row.workers,
+            row.batch_size,
+            row.docs,
+            row.secs,
+            row.docs_per_sec,
+            row.queue_full_stalls,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {err}");
+    } else {
+        println!("\nrows recorded to {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let (days, docs_per_day, repeats) = if smoke { (10, 60, 1) } else { (60, 250, 3) };
+    let archive = NytArchive::generate(&NytConfig {
+        seed: 0x1_E657,
+        days,
+        docs_per_day,
+        n_categories: 20,
+        n_descriptors: 160,
+        n_entities: 120,
+        n_terms: 500,
+        historic_events: 4,
+    });
+    let config = || {
+        EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(30)
+            .min_seed_count(3)
+            .top_k(10)
+            .build()
+            .unwrap()
+    };
+    println!(
+        "ingest throughput — {} docs, {} repeats per config (best kept){}\n",
+        archive.docs.len(),
+        repeats,
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    // Sequential baseline (also the parity reference).
+    let (baseline, seq_secs) = {
+        let mut engine = EnBlogueEngine::new(config());
+        let (snapshots, secs) = timed(|| engine.run_replay(&archive.docs));
+        (snapshots, secs)
+    };
+    let sequential_dps = archive.docs.len() as f64 / seq_secs.max(1e-9);
+    println!("sequential feeding: {}\n", rate(archive.docs.len() as u64, seq_secs));
+
+    let table = Table::new(&[8, 8, 12, 10, 12, 8]);
+    table.header(&["workers", "batch", "docs/s", "secs", "stalls", "vs seq"]);
+    let mut rows: Vec<Row> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        for batch_size in [1usize, 64, 512] {
+            let mut best: Option<Row> = None;
+            for _ in 0..repeats {
+                let mut engine = EnBlogueEngine::new(config());
+                let ingest = IngestConfig { batch_size, queue_depth: 8, workers };
+                let (snapshots, stats) = engine.run_replay_ingest(&archive.docs, &ingest);
+                assert_eq!(snapshots, baseline, "parallel ingestion changed the rankings!");
+                let row = Row {
+                    workers,
+                    batch_size,
+                    docs: stats.docs,
+                    secs: stats.elapsed_secs,
+                    docs_per_sec: stats.docs_per_sec(),
+                    queue_full_stalls: stats.queue_full_stalls,
+                };
+                if best.as_ref().is_none_or(|b| row.docs_per_sec > b.docs_per_sec) {
+                    best = Some(row);
+                }
+            }
+            let row = best.expect("at least one repeat");
+            table.row(&[
+                &format!("{workers}"),
+                &format!("{batch_size}"),
+                &rate(row.docs, row.secs),
+                &format!("{:.2}", row.secs),
+                &format!("{}", row.queue_full_stalls),
+                &format!("{:.2}x", row.docs_per_sec / sequential_dps.max(1e-9)),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!("\noutputs verified byte-identical to sequential feeding in every configuration");
+    write_json(&rows, sequential_dps, "BENCH_ingest.json");
+}

@@ -3,6 +3,7 @@
 use enblogue_stats::correlation::CorrelationMeasure;
 use enblogue_stats::predict::PredictorKind;
 use enblogue_stats::shift::ErrorNormalization;
+use enblogue_stream::exec::default_parallelism;
 use enblogue_types::{EnBlogueError, TickSpec, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,11 @@ pub struct EnBlogueConfig {
     /// with `shards > 1`; results are identical either way (workers own
     /// disjoint shards and the scorer is shared read-only).
     pub parallel_close: bool,
+    /// Partitioning worker threads for batched ingestion
+    /// (`enblogue-ingest`). Results are identical for any count; this only
+    /// sets the default pool size of ingestion pipelines driven off this
+    /// engine.
+    pub ingest_workers: usize,
 }
 
 impl Default for EnBlogueConfig {
@@ -116,8 +122,16 @@ impl Default for EnBlogueConfig {
             min_pair_support: 2,
             use_entities: true,
             max_tracked_pairs: 100_000,
-            shards: 1,
-            parallel_close: false,
+            // Execution defaults are derived from the machine rather than
+            // hard-coded: the BENCH_tick_close rows show shard-parallel
+            // close winning from 2 cores up, and sharding/parallelism are
+            // pure execution knobs (rankings identical either way, pinned
+            // by tests/stage_parity.rs), so the defaults can follow the
+            // hardware. Shards are capped at 16 — beyond the benched range
+            // the per-shard maps get too small to amortise fan-out.
+            shards: default_parallelism().min(16),
+            parallel_close: default_parallelism() > 1,
+            ingest_workers: default_parallelism(),
         }
     }
 }
@@ -161,6 +175,12 @@ impl EnBlogueConfig {
             return Err(EnBlogueError::invalid_config(
                 "shards",
                 "at least one pair shard is required",
+            ));
+        }
+        if self.ingest_workers == 0 {
+            return Err(EnBlogueError::invalid_config(
+                "ingest_workers",
+                "at least one ingest worker is required",
             ));
         }
         if let SeedStrategy::Hybrid { popularity_weight } = self.seed_strategy {
@@ -300,6 +320,13 @@ impl EnBlogueConfigBuilder {
         self
     }
 
+    /// Sets the ingestion partitioning worker count.
+    #[must_use]
+    pub fn ingest_workers(mut self, workers: usize) -> Self {
+        self.config.ingest_workers = workers;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<EnBlogueConfig, EnBlogueError> {
         self.config.validate()?;
@@ -341,11 +368,25 @@ mod tests {
 
     #[test]
     fn sharding_round_trips() {
-        let config = EnBlogueConfig::builder().shards(8).parallel_close(true).build().unwrap();
+        let config = EnBlogueConfig::builder()
+            .shards(8)
+            .parallel_close(true)
+            .ingest_workers(3)
+            .build()
+            .unwrap();
         assert_eq!(config.shards, 8);
         assert!(config.parallel_close);
-        assert_eq!(EnBlogueConfig::default().shards, 1, "unsharded by default");
-        assert!(!EnBlogueConfig::default().parallel_close);
+        assert_eq!(config.ingest_workers, 3);
+    }
+
+    #[test]
+    fn execution_defaults_follow_the_hardware() {
+        let par = default_parallelism();
+        let config = EnBlogueConfig::default();
+        assert_eq!(config.shards, par.min(16), "shards picked from available parallelism");
+        assert_eq!(config.parallel_close, par > 1, "parallel close on for multi-core machines");
+        assert_eq!(config.ingest_workers, par);
+        assert!(config.shards >= 1);
     }
 
     #[test]
@@ -356,6 +397,7 @@ mod tests {
         assert!(EnBlogueConfig::builder().half_life_ms(0).build().is_err());
         assert!(EnBlogueConfig::builder().max_tracked_pairs(0).build().is_err());
         assert!(EnBlogueConfig::builder().shards(0).build().is_err());
+        assert!(EnBlogueConfig::builder().ingest_workers(0).build().is_err());
         assert!(EnBlogueConfig::builder()
             .seed_strategy(SeedStrategy::Hybrid { popularity_weight: 1.5 })
             .build()

@@ -14,8 +14,10 @@
 //! surfaces are a single implementation.
 
 use crate::config::EnBlogueConfig;
+use crate::ingest::ReplayIngest;
 use crate::pairs::TrackedPairInfo;
 use crate::stages::StagePipeline;
+use enblogue_ingest::pipeline::{IngestConfig, IngestPipeline, IngestStats};
 use enblogue_types::{Document, RankingSnapshot, TagId, TagPair, Tick};
 
 pub use crate::stages::EngineMetrics;
@@ -80,6 +82,32 @@ impl EnBlogueEngine {
     /// tick-aligned). Returns one snapshot per closed tick.
     pub fn run_replay(&mut self, docs: &[Document]) -> Vec<RankingSnapshot> {
         self.pipeline.run_replay(docs)
+    }
+
+    /// [`EnBlogueEngine::run_replay`] through the shard-partitioned
+    /// parallel ingestion subsystem (`enblogue-ingest`): documents are
+    /// batched per tick, tokenized/pair-partitioned on a worker pool
+    /// behind a bounded queue, and applied to the sharded pair state one
+    /// worker per shard. Snapshots are byte-identical to the sequential
+    /// replay for any batch size, queue depth, or worker count; a worker
+    /// count of `0` uses the configuration's `ingest_workers`.
+    ///
+    /// # Panics
+    /// Panics if `ingest` is invalid (check with
+    /// [`IngestConfig::validate`] first to handle the error instead) or if
+    /// `docs` is not timestamp-sorted.
+    pub fn run_replay_ingest(
+        &mut self,
+        docs: &[Document],
+        ingest: &IngestConfig,
+    ) -> (Vec<RankingSnapshot>, IngestStats) {
+        let mut resolved = ingest.clone();
+        if resolved.workers == 0 {
+            resolved.workers = self.pipeline.config().ingest_workers;
+        }
+        let mut sink = ReplayIngest::new(&mut self.pipeline);
+        let stats = IngestPipeline::new(resolved).run(&mut sink, docs);
+        (sink.into_snapshots(), stats)
     }
 
     /// The most recent ranking, if any tick has been closed.
@@ -304,6 +332,29 @@ mod tests {
     }
 
     #[test]
+    fn run_replay_ingest_matches_run_replay() {
+        let docs: Vec<Document> =
+            (0..120).map(|i| doc(i, i / 20, &[(i % 5) as u32, (i % 3) as u32 + 5])).collect();
+        let mut sequential = EnBlogueEngine::new(config());
+        let baseline = sequential.run_replay(&docs);
+        for (batch_size, workers) in [(1usize, 2usize), (32, 0), (512, 4)] {
+            let mut engine = EnBlogueEngine::new(config());
+            let ingest = enblogue_ingest::IngestConfig { batch_size, queue_depth: 4, workers };
+            let (snapshots, stats) = engine.run_replay_ingest(&docs, &ingest);
+            assert_eq!(snapshots, baseline, "batch={batch_size} workers={workers}");
+            assert_eq!(stats.docs, 120);
+            if workers == 0 {
+                assert_eq!(
+                    stats.workers,
+                    engine.config().ingest_workers,
+                    "auto worker count comes from the engine configuration"
+                );
+            }
+            assert_eq!(engine.metrics(), sequential.metrics());
+        }
+    }
+
+    #[test]
     fn sharded_engines_match_the_unsharded_baseline() {
         let run = |shards: usize, parallel: bool| {
             let cfg = EnBlogueConfig::builder()
@@ -338,7 +389,11 @@ mod tests {
         assert_eq!(m.docs_processed, 6);
         assert_eq!(m.ticks_closed, 3);
         assert_eq!(m.distinct_tags, 2);
-        assert_eq!(m.shards, 1, "default configuration is unsharded");
+        assert_eq!(
+            m.shards,
+            enblogue_stream::exec::default_parallelism().min(16),
+            "shard count defaults to the machine's parallelism"
+        );
         assert!(m.seeds_current > 0);
     }
 }

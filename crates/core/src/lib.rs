@@ -73,6 +73,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod ingest;
 pub mod notify;
 pub mod ops;
 pub mod pairs;
@@ -86,6 +87,7 @@ pub mod termwin;
 pub use config::{EnBlogueConfig, MeasureKind, SeedStrategy};
 pub use enblogue_types::RankingSnapshot;
 pub use engine::EnBlogueEngine;
+pub use ingest::ReplayIngest;
 pub use notify::{PushBroker, RankingUpdate, Subscription};
 pub use pairs::ShardedPairRegistry;
 pub use personalization::{PersonalizedRanking, UserProfile};

@@ -14,7 +14,7 @@ use crate::stages::StagePipeline;
 use enblogue_entity::tagger::EntityTagger;
 use enblogue_stream::event::Event;
 use enblogue_stream::operator::{EventSink, Operator};
-use enblogue_types::{RankingSnapshot, TagInterner, TagKind};
+use enblogue_types::{Document, RankingSnapshot, TagInterner, TagKind};
 use std::sync::{Arc, Mutex};
 
 /// Shared handle to the snapshots emitted by an [`EngineOp`].
@@ -52,6 +52,21 @@ impl EntityTagOp {
         self.keep_text = true;
         self
     }
+
+    fn tag_doc(&mut self, doc: &mut Document) {
+        if let Some(text) = doc.text.as_deref() {
+            self.tagged_docs += 1;
+            for mention in self.tagger.tag_text(text) {
+                self.mentions += 1;
+                let id = self.interner.intern(&mention.name, TagKind::Entity);
+                doc.entities.push(id);
+            }
+            doc.normalize();
+            if !self.keep_text {
+                doc.clear_text();
+            }
+        }
+    }
 }
 
 impl Operator for EntityTagOp {
@@ -67,19 +82,14 @@ impl Operator for EntityTagOp {
     fn process(&mut self, event: Event, out: &mut dyn EventSink) {
         match event {
             Event::Doc(mut doc) => {
-                if let Some(text) = doc.text.as_deref() {
-                    self.tagged_docs += 1;
-                    for mention in self.tagger.tag_text(text) {
-                        self.mentions += 1;
-                        let id = self.interner.intern(&mention.name, TagKind::Entity);
-                        doc.entities.push(id);
-                    }
-                    doc.normalize();
-                    if !self.keep_text {
-                        doc.clear_text();
-                    }
-                }
+                self.tag_doc(&mut doc);
                 out.emit(Event::Doc(doc));
+            }
+            Event::DocBatch(mut docs) => {
+                for doc in &mut docs {
+                    self.tag_doc(doc);
+                }
+                out.emit(Event::DocBatch(docs));
             }
             other => out.emit(other),
         }
@@ -156,6 +166,9 @@ impl Operator for EngineOp {
     fn process(&mut self, event: Event, out: &mut dyn EventSink) {
         match &event {
             Event::Doc(doc) => self.pipeline.process_doc(doc),
+            // Whole tick slices take the batch fast path: one partitioning
+            // pre-pass, shard-bucketed pair application.
+            Event::DocBatch(docs) => self.pipeline.process_docs(docs),
             Event::TickBoundary(tick) => {
                 // Close every tick up to and including the boundary, so gap
                 // ticks keep the correlation histories tick-aligned.
@@ -259,6 +272,58 @@ mod tests {
         assert_eq!(snaps[0].tick, Tick(0));
         assert_eq!(snaps[3].tick, Tick(3));
         assert_eq!(out.len(), 4, "engine op forwards all events");
+    }
+
+    #[test]
+    fn engine_op_doc_batches_match_per_doc_feeding() {
+        let docs: Vec<Document> = (0..40)
+            .map(|i| {
+                Document::builder(i, Timestamp::from_hours(i / 10))
+                    .tags([enblogue_types::TagId((i % 3) as u32), enblogue_types::TagId(7)])
+                    .build()
+            })
+            .collect();
+        let run = |batched: bool| {
+            let mut op = EngineOp::new("e1", engine());
+            let handle = op.handle();
+            let mut out: Vec<Event> = Vec::new();
+            for t in 0..4u64 {
+                let slice: Vec<Document> = docs
+                    .iter()
+                    .filter(|d| d.timestamp.as_millis() / Timestamp::HOUR == t)
+                    .cloned()
+                    .collect();
+                if batched {
+                    op.process(Event::DocBatch(slice), &mut out);
+                } else {
+                    for d in slice {
+                        op.process(Event::Doc(d), &mut out);
+                    }
+                }
+                op.process(Event::TickBoundary(Tick(t)), &mut out);
+            }
+            op.process(Event::Flush, &mut out);
+            let snaps = handle.lock().unwrap().clone();
+            snaps
+        };
+        assert_eq!(run(true), run(false), "batching is invisible in snapshots");
+    }
+
+    #[test]
+    fn entity_op_tags_batches() {
+        let interner = TagInterner::new();
+        let mut op = EntityTagOp::new(tagger(), interner.clone());
+        let batch = vec![
+            Document::builder(1, Timestamp::ZERO).text("Obama speaks").build(),
+            Document::builder(2, Timestamp::ZERO).build(),
+        ];
+        let mut out: Vec<Event> = Vec::new();
+        op.process(Event::DocBatch(batch), &mut out);
+        let docs = out[0].docs();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].entities.len(), 1);
+        assert!(docs[0].text.is_none());
+        assert!(docs[1].entities.is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_stream::exec::fanout;
 use enblogue_types::{shard_of_packed, FxHashMap, FxHashSet, TagId, TagPair, Tick, Timestamp};
-use enblogue_window::{DecayValue, RingBuffer, ShardedWindowedCounter, TopK};
+use enblogue_window::{DecayValue, RingBuffer, ShardedWindowedCounter, TopK, WindowedCounter};
 
 /// Per-pair tracked state.
 pub struct PairState {
@@ -211,6 +211,39 @@ impl ShardedPairRegistry {
         let shard = self.route(packed);
         self.counts.increment(shard, tick, packed);
         self.shards[shard].current.insert(packed);
+    }
+
+    /// Applies a shard-partitioned batch of co-occurrence observations,
+    /// fanning out one scoped worker per shard when `parallel` is set.
+    ///
+    /// `buckets[i]` must hold exactly the observations routed to shard `i`
+    /// (see `enblogue_ingest::partition`), in stream order — then each
+    /// worker performs the same writes, in the same order, that a
+    /// sequential [`ShardedPairRegistry::observe_pair`] loop would have
+    /// sent to its shard, so results are identical in either mode.
+    ///
+    /// # Panics
+    /// Panics if `buckets` does not match the shard count.
+    pub fn ingest_partitioned(&mut self, buckets: &[Vec<(Tick, u64)>], parallel: bool) {
+        /// One shard's slice of an ingest fan-out: its pair states, its
+        /// windowed counter, and the observations routed to it.
+        type ShardWork<'a> = (&'a mut PairShard, &'a mut WindowedCounter<u64>, &'a [(Tick, u64)]);
+        assert_eq!(buckets.len(), self.shards.len(), "bucket count must match shard count");
+        // Zip each pair shard with its windowed counter so one worker owns
+        // both halves of a shard's state.
+        let mut work: Vec<ShardWork<'_>> = self
+            .shards
+            .iter_mut()
+            .zip(self.counts.shards_mut().iter_mut())
+            .zip(buckets.iter())
+            .map(|((shard, counter), bucket)| (shard, counter, bucket.as_slice()))
+            .collect();
+        fanout(&mut work, parallel, |_, (shard, counter, bucket)| {
+            for &(tick, packed) in bucket.iter() {
+                counter.increment(tick, packed);
+                shard.current.insert(packed);
+            }
+        });
     }
 
     /// The windowed co-occurrence count of `pair`.
@@ -624,6 +657,46 @@ mod tests {
         for a in 0..20u32 {
             assert!(r.is_tracked(pair(a, a + 100)), "routed lookup finds pair {a}");
         }
+    }
+
+    #[test]
+    fn ingest_partitioned_matches_observe_pair() {
+        let shards = 4usize;
+        let observations: Vec<(Tick, u64)> = (0..60u64)
+            .map(|i| (Tick(i / 20), pair((i % 7) as u32, (i % 5) as u32 + 10).packed()))
+            .collect();
+        let run = |partitioned: bool, parallel: bool| {
+            let mut r = ShardedPairRegistry::new(shards, 6, Timestamp::DAY, 1, 1000);
+            if partitioned {
+                let mut buckets: Vec<Vec<(Tick, u64)>> = vec![Vec::new(); shards];
+                for &(tick, packed) in &observations {
+                    buckets[shard_of_packed(packed, shards)].push((tick, packed));
+                }
+                r.ingest_partitioned(&buckets, parallel);
+            } else {
+                for &(tick, packed) in &observations {
+                    r.observe_pair(tick, packed);
+                }
+            }
+            // Promote everything so the counted state becomes observable.
+            let seeds: FxHashSet<TagId> = (0..20u32).map(TagId).collect();
+            r.discover_seeded(&seeds, Tick(2), 0, false);
+            let counts: Vec<u64> =
+                r.tracked_keys().iter().map(|&k| r.pair_count(TagPair::from_packed(k))).collect();
+            (r.tracked_keys(), counts)
+        };
+        let sequential = run(false, false);
+        assert!(!sequential.0.is_empty());
+        assert_eq!(run(true, false), sequential, "partitioned serial");
+        assert_eq!(run(true, true), sequential, "partitioned shard-parallel");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count")]
+    fn ingest_partitioned_rejects_wrong_bucket_count() {
+        let mut r = ShardedPairRegistry::new(4, 4, Timestamp::DAY, 1, 1000);
+        let buckets: Vec<Vec<(Tick, u64)>> = vec![Vec::new(); 3];
+        r.ingest_partitioned(&buckets, false);
     }
 
     #[test]

@@ -27,6 +27,9 @@ use crate::config::{EnBlogueConfig, MeasureKind};
 use crate::pairs::{ShardedPairRegistry, TrackedPairInfo};
 use crate::seeds::SeedTracker;
 use crate::termwin::WindowedTermDists;
+use enblogue_ingest::partition::{
+    annotations_of, for_each_pair, partition_docs, PartitionSpec, PartitionedBatch,
+};
 use enblogue_stats::correlation::PairCounts;
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_types::{Document, FxHashSet, RankingSnapshot, TagId, TagPair, Tick, Timestamp};
@@ -164,6 +167,22 @@ pub trait TickStage: Send {
     ) {
     }
 
+    /// [`TickStage::on_doc`] for batched ingestion, where the document's
+    /// pair observations have already been extracted into a shard-
+    /// partitioned batch that the driver applies to the registry
+    /// separately. Stages whose per-document work *is* pair observation
+    /// override this with a no-op; everything else keeps the default
+    /// (identical to the unbatched hook).
+    fn on_doc_partitioned(
+        &mut self,
+        state: &mut PipelineState,
+        tick: Tick,
+        doc: &Document,
+        annotations: &[TagId],
+    ) {
+        self.on_doc(state, tick, doc, annotations);
+    }
+
     /// Runs this stage's share of the close of `tick` (`now` = stream time
     /// of the tick end).
     fn on_close(&mut self, _state: &mut PipelineState, _tick: Tick, _now: Timestamp) {}
@@ -235,12 +254,21 @@ impl TickStage for PairCountStage {
         _doc: &Document,
         annotations: &[TagId],
     ) {
-        for i in 0..annotations.len() {
-            for j in i + 1..annotations.len() {
-                let packed = TagPair::new(annotations[i], annotations[j]).packed();
-                state.registry.observe_pair(tick, packed);
-            }
-        }
+        // Same pair enumeration the partitioner uses — one definition of
+        // the pair space for both feed paths.
+        for_each_pair(annotations, |packed| state.registry.observe_pair(tick, packed));
+    }
+
+    /// In partitioned batches the pair observations arrive pre-bucketed
+    /// and are applied by the driver in one shard-parallel pass — nothing
+    /// left to do per document.
+    fn on_doc_partitioned(
+        &mut self,
+        _state: &mut PipelineState,
+        _tick: Tick,
+        _doc: &Document,
+        _annotations: &[TagId],
+    ) {
     }
 
     fn on_close(&mut self, state: &mut PipelineState, tick: Tick, _now: Timestamp) {
@@ -391,38 +419,89 @@ impl StagePipeline {
     /// counted into the open tick's slot (windowed counters never move
     /// backwards).
     pub fn process_doc(&mut self, doc: &Document) {
+        self.ingest_doc(doc, false);
+    }
+
+    /// The shared per-document prologue of both feeding modes: assign the
+    /// tick, bump counters, gather the annotation set once (tags,
+    /// optionally merged with entities — the same
+    /// [`enblogue_ingest::partition::annotations_of`] the partitioner
+    /// uses, so both paths see byte-identical slices), then dispatch to
+    /// every stage's per-doc hook — the partitioned variant when the pair
+    /// observations travel separately.
+    fn ingest_doc(&mut self, doc: &Document, partitioned: bool) {
         let tick = self.state.config.tick_spec.tick_of(doc.timestamp);
         self.state.docs_processed += 1;
         if self.first_open.is_none() {
             self.first_open = Some(tick);
         }
-
-        // Gather the annotation set once (tags, optionally merged with
-        // entities), reusing the scratch buffer; every stage sees the same
-        // slice.
-        self.annotation_buf.clear();
-        if self.state.config.use_entities {
-            self.annotation_buf.extend(doc.annotations());
-        } else {
-            self.annotation_buf.extend(doc.tags.iter().copied());
-        }
+        annotations_of(doc, self.state.config.use_entities, &mut self.annotation_buf);
         for stage in &mut self.stages {
-            stage.on_doc(&mut self.state, tick, doc, &self.annotation_buf);
+            if partitioned {
+                stage.on_doc_partitioned(&mut self.state, tick, doc, &self.annotation_buf);
+            } else {
+                stage.on_doc(&mut self.state, tick, doc, &self.annotation_buf);
+            }
+        }
+    }
+
+    /// The partitioning parameters batched feeders need (the pair-space
+    /// slice of the engine configuration).
+    pub fn partition_spec(&self) -> PartitionSpec {
+        PartitionSpec {
+            tick_spec: self.state.config.tick_spec,
+            use_entities: self.state.config.use_entities,
+            shards: self.state.config.shards,
         }
     }
 
     /// Batched ingestion: feeds a whole document slice in one call.
     ///
     /// Semantically identical to calling [`StagePipeline::process_doc`] per
-    /// document — no tick is closed. Today this is a convenience wrapper
-    /// (same per-document stage dispatch underneath); it exists so hosts
-    /// hand over tick slices through one entry point that a future batch
-    /// fast path can optimise without touching callers (ROADMAP:
-    /// `Event::DocBatch`).
+    /// document — no tick is closed, and rankings are byte-identical for
+    /// any batch split. Internally this is the batch fast path: the slice
+    /// is tokenized and pair-partitioned once
+    /// ([`enblogue_ingest::partition::partition_docs`]) and the
+    /// observations are applied to the sharded registry in one pass —
+    /// shard-parallel when the configuration enables `parallel_close`.
     pub fn process_docs(&mut self, docs: &[Document]) {
-        for doc in docs {
-            self.process_doc(doc);
+        match docs {
+            [] => {}
+            [doc] => self.process_doc(doc),
+            _ => {
+                let partitioned = partition_docs(docs, &self.partition_spec());
+                self.process_partitioned(docs, &partitioned);
+            }
         }
+    }
+
+    /// Applies a batch whose pair observations were already partitioned by
+    /// shard (the entry point of `enblogue_ingest`'s pipeline, where the
+    /// partitioning ran on a worker thread).
+    ///
+    /// Window bookkeeping (seeds, document volume, term distributions)
+    /// runs per document in stream order; the pre-bucketed pair
+    /// observations are applied to the registry in one fan-out, one worker
+    /// per shard when `parallel_close` is set. Equivalent to per-document
+    /// feeding for any shard count and either mode: per-shard write order
+    /// is exactly the sequential subsequence, and no close-phase reader
+    /// runs until the tick closes.
+    ///
+    /// # Panics
+    /// Panics if `partitioned` was built for a different document slice or
+    /// shard count.
+    pub fn process_partitioned(&mut self, docs: &[Document], partitioned: &PartitionedBatch) {
+        /// Below this many observations a thread scope costs more than the
+        /// serial apply loop it replaces; small batches stay on the caller
+        /// thread. A pure execution threshold — results are identical.
+        const PARALLEL_APPLY_MIN_OBSERVATIONS: usize = 512;
+        assert_eq!(partitioned.docs, docs.len(), "partitioned batch does not match the slice");
+        for doc in docs {
+            self.ingest_doc(doc, true);
+        }
+        let parallel = self.state.config.parallel_close
+            && partitioned.observations >= PARALLEL_APPLY_MIN_OBSERVATIONS;
+        self.state.registry.ingest_partitioned(partitioned.buckets(), parallel);
     }
 
     /// Closes `tick` by running every stage's close phase in order and

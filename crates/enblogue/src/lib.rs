@@ -14,6 +14,7 @@
 //! | [`window`] | `enblogue-window` | sliding windows, sketches, decay, top-k |
 //! | [`stats`] | `enblogue-stats` | correlation measures, divergences, predictors |
 //! | [`stream`] | `enblogue-stream` | push-based operator DAG + executors |
+//! | [`ingest`] | `enblogue-ingest` | shard-partitioned, batched, backpressured ingestion |
 //! | [`entity`] | `enblogue-entity` | gazetteer + ontology entity tagging |
 //! | [`core`] | `enblogue-core` | the EnBlogue engine, personalization, push broker |
 //! | [`datagen`] | `enblogue-datagen` | synthetic NYT / Twitter / RSS workloads |
@@ -32,19 +33,20 @@
 //! single implementation of the tick semantics and thin adapters above it:
 //!
 //! ```text
-//!                  EnBlogueEngine        EngineOp (DAG sink)
-//!                  (process_doc /        (Event::Doc / TickBoundary,
-//!                   close_tick)           sync or threaded executor)
-//!                        │                      │
-//!                        └──────────┬───────────┘
-//!                                   ▼
-//!                 enblogue_core::stages::StagePipeline
-//!        seed-select → term-window → pair-count → shift-score → rank-emit
-//!                                   │
-//!                                   ▼
-//!                 ShardedPairRegistry (N hash shards)
-//!          shard 0 … shard N−1: pair states + windowed pair counts
-//!                 close fans out via enblogue_stream::exec::fanout
+//!     EnBlogueEngine          EngineOp (DAG sink)        IngestPipeline
+//!     (process_doc[s] /       (Event::Doc / DocBatch /   (bounded queue →
+//!      close_tick)             TickBoundary, sync or      partition workers →
+//!           │                  threaded executor)         re-sequenced apply)
+//!           │                        │                          │
+//!           └────────────┬──────────┴──────────────────────────┘
+//!                        ▼
+//!        enblogue_core::stages::StagePipeline
+//!   seed-select → term-window → pair-count → shift-score → rank-emit
+//!                        │
+//!                        ▼
+//!        ShardedPairRegistry (N hash shards)
+//!   shard 0 … shard N−1: pair states + windowed pair counts
+//!   ingest and close fan out via enblogue_stream::exec::fanout
 //! ```
 //!
 //! **Which layer owns what:**
@@ -61,6 +63,13 @@
 //! * `enblogue-stream` owns *execution*: the operator DAG with structural
 //!   plan sharing, the synchronous and threaded executors, and the
 //!   [`stream::exec::fanout`] primitive that drives shard-parallel close.
+//! * `enblogue-ingest` owns the *feed path*: the pure partitioning
+//!   pre-pass ([`ingest::partition_docs`] buckets each batch's pair
+//!   observations by shard) and the backpressured
+//!   [`ingest::IngestPipeline`] (bounded work queue, partitioning worker
+//!   pool, deterministic re-sequencing). `enblogue-core` implements the
+//!   sink side over the stage pipeline, so both surfaces ingest in
+//!   shard-partitioned batches.
 //! * `enblogue-core` owns the *semantics*: the five
 //!   [`core::stages::TickStage`]s, the
 //!   [`core::pairs::ShardedPairRegistry`], and the two adapters
@@ -68,12 +77,15 @@
 //!   Personalization re-ranks the shared snapshot at delivery time — it
 //!   never re-runs the pipeline.
 //!
-//! Sharding (`EnBlogueConfig::shards`) and shard-parallel close
-//! (`EnBlogueConfig::parallel_close`) are pure execution knobs: rankings
-//! are byte-identical for any shard count and either close mode (enforced
-//! by `tests/stage_parity.rs`). Batched ingestion
-//! ([`core::engine::EnBlogueEngine::process_docs`]) is the hot entry point
-//! for replay drivers.
+//! Sharding (`EnBlogueConfig::shards`), shard-parallel close
+//! (`EnBlogueConfig::parallel_close`) and the entire ingestion subsystem
+//! (batch size, queue depth, worker count) are pure execution knobs:
+//! rankings are byte-identical for any setting (enforced by
+//! `tests/stage_parity.rs`). Batched ingestion
+//! ([`core::engine::EnBlogueEngine::process_docs`], or
+//! [`core::engine::EnBlogueEngine::run_replay_ingest`] for the fully
+//! parallel path) is the hot entry point for replay drivers; defaults for
+//! the execution knobs are derived from `available_parallelism`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,6 +94,7 @@ pub use enblogue_baseline as baseline;
 pub use enblogue_core as core;
 pub use enblogue_datagen as datagen;
 pub use enblogue_entity as entity;
+pub use enblogue_ingest as ingest;
 pub use enblogue_stats as stats;
 pub use enblogue_stream as stream;
 pub use enblogue_types as types;
@@ -91,6 +104,7 @@ pub use enblogue_window as window;
 pub mod prelude {
     pub use enblogue_core::config::{EnBlogueConfig, MeasureKind, SeedStrategy};
     pub use enblogue_core::engine::{EnBlogueEngine, EngineMetrics};
+    pub use enblogue_core::ingest::ReplayIngest;
     pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
     pub use enblogue_core::ops::{EngineOp, EntityTagOp};
     pub use enblogue_core::pairs::ShardedPairRegistry;
@@ -105,6 +119,8 @@ pub mod prelude {
     pub use enblogue_entity::gazetteer::{Gazetteer, GazetteerBuilder};
     pub use enblogue_entity::ontology::{Ontology, OntologyBuilder};
     pub use enblogue_entity::tagger::EntityTagger;
+    pub use enblogue_ingest::partition::{partition_docs, PartitionSpec, PartitionedBatch};
+    pub use enblogue_ingest::pipeline::{IngestConfig, IngestPipeline, IngestSink, IngestStats};
     pub use enblogue_stats::correlation::CorrelationMeasure;
     pub use enblogue_stats::predict::PredictorKind;
     pub use enblogue_stats::shift::ErrorNormalization;

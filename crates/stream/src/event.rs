@@ -4,15 +4,22 @@ use enblogue_types::{Document, Tick};
 
 /// The unit of data pushed through the operator DAG.
 ///
-/// Besides documents, the stream carries *punctuations*: a
-/// [`Event::TickBoundary`] guarantees that every document of the closed
-/// tick has been delivered (operators aggregate per tick and emit derived
-/// state on the boundary), and [`Event::Flush`] marks end-of-stream so
-/// sinks can finalise.
+/// Documents travel either one at a time ([`Event::Doc`]) or as whole
+/// slices of one tick ([`Event::DocBatch`]) — sources that know tick
+/// extents up front (replays, merges) emit batches so every edge hop and
+/// sink call amortises over the slice. Besides documents, the stream
+/// carries *punctuations*: a [`Event::TickBoundary`] guarantees that every
+/// document of the closed tick has been delivered (operators aggregate per
+/// tick and emit derived state on the boundary), and [`Event::Flush`]
+/// marks end-of-stream so sinks can finalise.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A document tuple `(timestamp, docId, tags, entities)`.
     Doc(Document),
+    /// A timestamp-ordered run of documents from a single tick, delivered
+    /// in one hop. Semantically identical to the same documents as
+    /// individual [`Event::Doc`]s; batching is a pure execution knob.
+    DocBatch(Vec<Document>),
     /// All documents belonging to `tick` (and earlier) have been delivered.
     TickBoundary(Tick),
     /// End of stream; no further events will arrive.
@@ -20,12 +27,28 @@ pub enum Event {
 }
 
 impl Event {
-    /// The contained document, if any.
+    /// The contained single document, if any (batches return `None`; use
+    /// [`Event::docs`] to view both shapes uniformly).
     pub fn as_doc(&self) -> Option<&Document> {
         match self {
             Event::Doc(doc) => Some(doc),
             _ => None,
         }
+    }
+
+    /// The carried documents as a slice: one for [`Event::Doc`], the whole
+    /// run for [`Event::DocBatch`], empty for punctuation.
+    pub fn docs(&self) -> &[Document] {
+        match self {
+            Event::Doc(doc) => std::slice::from_ref(doc),
+            Event::DocBatch(docs) => docs,
+            _ => &[],
+        }
+    }
+
+    /// Number of documents this event carries.
+    pub fn doc_count(&self) -> u64 {
+        self.docs().len() as u64
     }
 
     /// Whether this is a tick-boundary punctuation.
@@ -42,6 +65,7 @@ impl Event {
     pub fn label(&self) -> &'static str {
         match self {
             Event::Doc(_) => "doc",
+            Event::DocBatch(_) => "doc-batch",
             Event::TickBoundary(_) => "tick",
             Event::Flush => "flush",
         }
@@ -69,5 +93,24 @@ mod tests {
 
         assert!(Event::Flush.is_flush());
         assert_eq!(Event::Flush.label(), "flush");
+    }
+
+    #[test]
+    fn docs_view_unifies_singletons_and_batches() {
+        let a = Document::builder(1, Timestamp::ZERO).build();
+        let b = Document::builder(2, Timestamp::ZERO).build();
+
+        let single = Event::Doc(a.clone());
+        assert_eq!(single.docs(), std::slice::from_ref(&a));
+        assert_eq!(single.doc_count(), 1);
+
+        let batch = Event::DocBatch(vec![a, b]);
+        assert_eq!(batch.docs().len(), 2);
+        assert_eq!(batch.doc_count(), 2);
+        assert_eq!(batch.as_doc(), None, "batches are not single docs");
+        assert_eq!(batch.label(), "doc-batch");
+
+        assert_eq!(Event::Flush.doc_count(), 0);
+        assert!(Event::Flush.docs().is_empty());
     }
 }

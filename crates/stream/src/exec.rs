@@ -66,9 +66,16 @@ impl PunctState {
                 }
             }
             Event::Flush => !std::mem::replace(&mut self.flushed, true),
-            Event::Doc(_) => !self.flushed,
+            Event::Doc(_) | Event::DocBatch(_) => !self.flushed,
         }
     }
+}
+
+/// The machine's available parallelism (≥ 1) — the benched default for
+/// execution knobs like shard counts, shard-parallel close and ingest
+/// worker pools.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Runs the graph to completion on the calling thread.
@@ -94,9 +101,7 @@ pub fn run_graph(graph: &mut Graph) -> Result<ExecutionStats, EnBlogueError> {
             None => Event::Flush, // source ended without explicit flush
         };
         stats.source_events += 1;
-        if event.as_doc().is_some() {
-            stats.source_docs += 1;
-        }
+        stats.source_docs += event.doc_count();
         if event.is_flush() {
             saw_flush = true;
         }
@@ -165,7 +170,7 @@ where
         }
         return;
     }
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len());
+    let workers = default_parallelism().min(items.len());
     let chunk_len = items.len().div_ceil(workers);
     std::thread::scope(|scope| {
         let work = &work;
@@ -290,9 +295,7 @@ pub fn run_graph_threaded(
             None => Event::Flush,
         };
         stats.source_events += 1;
-        if event.as_doc().is_some() {
-            stats.source_docs += 1;
-        }
+        stats.source_docs += event.doc_count();
         if event.is_flush() {
             saw_flush = true;
         }
@@ -384,13 +387,14 @@ mod tests {
         let a = g.attach(None, PassThrough::new("a"));
         g.attach(Some(a), FilterDocs::new("none", |_| false));
         let stats = run_graph(&mut g).unwrap();
-        // 4 docs + 3 boundaries + 1 flush = 8 events into each node.
-        assert_eq!(stats.nodes[0].processed, 8);
-        assert_eq!(stats.nodes[0].emitted, 8);
-        assert_eq!(stats.nodes[1].processed, 8);
-        // Filter forwards punctuation but drops all docs.
+        // 3 tick batches + 3 boundaries + 1 flush = 7 events into each node.
+        assert_eq!(stats.source_docs, 4, "batching does not change doc counts");
+        assert_eq!(stats.nodes[0].processed, 7);
+        assert_eq!(stats.nodes[0].emitted, 7);
+        assert_eq!(stats.nodes[1].processed, 7);
+        // Filter forwards punctuation but drops all doc batches.
         assert_eq!(stats.nodes[1].emitted, 4);
-        assert_eq!(stats.total_processed(), 16);
+        assert_eq!(stats.total_processed(), 14);
     }
 
     #[test]
@@ -429,8 +433,8 @@ mod tests {
         g.attach(Some(a), PassThrough::new("b"));
         let stats = run_graph_threaded(g, 8).unwrap();
         assert_eq!(stats.source_docs, 4);
-        assert_eq!(stats.nodes[0].processed, 8);
-        assert_eq!(stats.nodes[1].processed, 8);
+        assert_eq!(stats.nodes[0].processed, 7);
+        assert_eq!(stats.nodes[1].processed, 7);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod ops;
 pub mod source;
 
 pub use event::Event;
-pub use exec::{fanout, run_graph, run_graph_threaded, ExecutionStats};
+pub use exec::{default_parallelism, fanout, run_graph, run_graph_threaded, ExecutionStats};
 pub use graph::{Graph, NodeId};
 pub use operator::{EventSink, Operator};
 pub use source::{GeneratorSource, MergeSource, PacedSource, ReplaySource, Source};

@@ -69,6 +69,15 @@ impl<F: Fn(&Document) -> bool + Send> Operator for FilterDocs<F> {
                     out.emit(Event::Doc(doc));
                 }
             }
+            Event::DocBatch(docs) => {
+                let kept: Vec<Document> =
+                    docs.into_iter().filter(|d| (self.predicate)(d)).collect();
+                // A fully filtered batch carries nothing — emit no event,
+                // matching the per-doc behaviour.
+                if !kept.is_empty() {
+                    out.emit(Event::DocBatch(kept));
+                }
+            }
             other => out.emit(other),
         }
     }
@@ -99,6 +108,9 @@ impl<F: FnMut(Document) -> Document + Send> Operator for MapDocs<F> {
     fn process(&mut self, event: Event, out: &mut dyn EventSink) {
         match event {
             Event::Doc(doc) => out.emit(Event::Doc((self.f)(doc))),
+            Event::DocBatch(docs) => {
+                out.emit(Event::DocBatch(docs.into_iter().map(&mut self.f).collect()))
+            }
             other => out.emit(other),
         }
     }
@@ -146,7 +158,7 @@ impl Operator for RateMeter {
 
     fn process(&mut self, event: Event, out: &mut dyn EventSink) {
         match &event {
-            Event::Doc(_) => self.current_count += 1,
+            Event::Doc(_) | Event::DocBatch(_) => self.current_count += event.doc_count(),
             Event::TickBoundary(tick) => {
                 self.rates.lock().unwrap().push((*tick, self.current_count));
                 self.current_tick = Some(*tick);
@@ -191,8 +203,10 @@ impl Operator for CollectSink {
     }
 
     fn process(&mut self, event: Event, _out: &mut dyn EventSink) {
-        if let Event::Doc(doc) = event {
-            self.docs.lock().unwrap().push(doc);
+        match event {
+            Event::Doc(doc) => self.docs.lock().unwrap().push(doc),
+            Event::DocBatch(docs) => self.docs.lock().unwrap().extend(docs),
+            _ => {}
         }
     }
 }
@@ -238,7 +252,7 @@ impl Operator for CountingOp {
     fn process(&mut self, event: Event, _out: &mut dyn EventSink) {
         let mut counts = self.counts.lock().unwrap();
         match event {
-            Event::Doc(_) => counts.docs += 1,
+            Event::Doc(_) | Event::DocBatch(_) => counts.docs += event.doc_count(),
             Event::TickBoundary(_) => counts.boundaries += 1,
             Event::Flush => counts.flushes += 1,
         }
@@ -306,6 +320,45 @@ mod tests {
         meter.process(Event::Doc(doc(1, &[1])), &mut out);
         meter.process(Event::Flush, &mut out);
         assert_eq!(*handle.lock().unwrap(), vec![(Tick(0), 1)]);
+    }
+
+    #[test]
+    fn operators_handle_doc_batches() {
+        // Filter: keeps the matching subset, drops fully filtered batches.
+        let mut f = FilterDocs::new("t1", |d: &Document| d.has_tag(TagId(1)));
+        let mut out: Vec<Event> = Vec::new();
+        f.process(Event::DocBatch(vec![doc(1, &[1]), doc(2, &[2]), doc(3, &[1])]), &mut out);
+        f.process(Event::DocBatch(vec![doc(4, &[2])]), &mut out);
+        assert_eq!(out.len(), 1, "the all-filtered batch vanishes");
+        let ids: Vec<u64> = out[0].docs().iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+
+        // Map: applies to every member.
+        let mut m = MapDocs::new("strip-text", |mut d: Document| {
+            d.clear_text();
+            d
+        });
+        let mut d1 = doc(1, &[1]);
+        d1.text = Some("body".into());
+        let mut out: Vec<Event> = Vec::new();
+        m.process(Event::DocBatch(vec![d1, doc(2, &[1])]), &mut out);
+        assert!(out[0].docs().iter().all(|d| d.text.is_none()));
+
+        // Meter, collector and counter all see batch cardinality.
+        let mut meter = RateMeter::new("m");
+        let rates = meter.handle();
+        let mut collect = CollectSink::new("s");
+        let collected = collect.handle();
+        let mut count = CountingOp::new("c");
+        let counts = count.handle();
+        let mut out: Vec<Event> = Vec::new();
+        for op in [&mut meter as &mut dyn Operator, &mut collect, &mut count] {
+            op.process(Event::DocBatch(vec![doc(1, &[1]), doc(2, &[1])]), &mut out);
+            op.process(Event::TickBoundary(Tick(0)), &mut out);
+        }
+        assert_eq!(*rates.lock().unwrap(), vec![(Tick(0), 2)]);
+        assert_eq!(collected.lock().unwrap().len(), 2);
+        assert_eq!(counts.lock().unwrap().docs, 2);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! existing datasets for experiments" (§4.1).
 
 use crate::event::Event;
-use enblogue_types::{Document, Tick, TickSpec};
+use enblogue_types::{Document, Tick, TickSpec, Timestamp};
+use std::collections::VecDeque;
 
 /// A pull-based event producer driven by the executor.
 ///
@@ -19,18 +20,22 @@ pub trait Source: Send {
     }
 }
 
-/// Replays a dataset of documents, inserting tick boundaries.
+/// Replays a dataset of documents, batching each tick into one
+/// [`Event::DocBatch`] followed by its [`Event::TickBoundary`].
 ///
-/// Documents must be supplied in timestamp order. A time-lapse replay is
-/// simply a replay under a different [`TickSpec`]: stream time is data
-/// time, so no wall-clock pacing is involved.
+/// Documents must be supplied in timestamp order. Tick extents are found
+/// in a single forward scan (O(n) over the whole replay — no per-event
+/// re-scanning), and each tick's slice is drained out of the backing
+/// buffer without copying the remainder. A time-lapse replay is simply a
+/// replay under a different [`TickSpec`]: stream time is data time, so no
+/// wall-clock pacing is involved.
 pub struct ReplaySource {
-    docs: std::vec::IntoIter<Document>,
+    docs: VecDeque<Document>,
     tick_spec: TickSpec,
-    pending: Option<Document>,
-    current_tick: Option<Tick>,
+    /// Boundary owed for the tick whose batch was just delivered.
+    pending_boundary: Option<Tick>,
     flushed: bool,
-    last_ts: u64,
+    last_ts: Timestamp,
 }
 
 impl ReplaySource {
@@ -40,58 +45,49 @@ impl ReplaySource {
     /// Panics at iteration time if documents are out of order.
     pub fn new(docs: Vec<Document>, tick_spec: TickSpec) -> Self {
         ReplaySource {
-            docs: docs.into_iter(),
+            docs: docs.into(),
             tick_spec,
-            pending: None,
-            current_tick: None,
+            pending_boundary: None,
             flushed: false,
-            last_ts: 0,
+            last_ts: Timestamp::ZERO,
         }
     }
 }
 
 impl Source for ReplaySource {
     fn next_event(&mut self) -> Option<Event> {
-        // Deliver a buffered document (held back to emit a boundary first).
-        if let Some(doc) = self.pending.take() {
-            self.current_tick = Some(self.tick_spec.tick_of(doc.timestamp));
-            return Some(Event::Doc(doc));
+        // A delivered batch is always followed by its tick's boundary.
+        if let Some(tick) = self.pending_boundary.take() {
+            return Some(Event::TickBoundary(tick));
         }
-        match self.docs.next() {
-            Some(doc) => {
-                assert!(
-                    doc.timestamp.as_millis() >= self.last_ts,
-                    "replay documents must be sorted by timestamp"
-                );
-                self.last_ts = doc.timestamp.as_millis();
-                let tick = self.tick_spec.tick_of(doc.timestamp);
-                match self.current_tick {
-                    Some(current) if tick > current => {
-                        // Close the current tick before the next document.
-                        self.pending = Some(doc);
-                        self.current_tick = Some(current.next());
-                        Some(Event::TickBoundary(current))
-                    }
-                    None => {
-                        self.current_tick = Some(tick);
-                        Some(Event::Doc(doc))
-                    }
-                    _ => Some(Event::Doc(doc)),
-                }
+        if self.docs.is_empty() {
+            if self.flushed {
+                return None;
             }
-            None => {
-                // Close the last tick, then flush exactly once.
-                if let Some(current) = self.current_tick.take() {
-                    return Some(Event::TickBoundary(current));
-                }
-                if self.flushed {
-                    None
-                } else {
-                    self.flushed = true;
-                    Some(Event::Flush)
-                }
-            }
+            self.flushed = true;
+            return Some(Event::Flush);
         }
+        // One forward scan to the end of the current tick's run.
+        let tick = self.tick_spec.tick_of(self.docs[0].timestamp);
+        let mut len = 0;
+        while len < self.docs.len() {
+            let ts = self.docs[len].timestamp;
+            if self.tick_spec.tick_of(ts) != tick {
+                break;
+            }
+            assert!(ts >= self.last_ts, "replay documents must be sorted by timestamp");
+            self.last_ts = ts;
+            len += 1;
+        }
+        let batch: Vec<Document> = self.docs.drain(..len).collect();
+        // Out-of-order documents across tick boundaries would produce an
+        // *earlier* tick next; the assertion above only sees docs inside a
+        // run, so check the successor explicitly.
+        if let Some(next) = self.docs.front() {
+            assert!(next.timestamp >= self.last_ts, "replay documents must be sorted by timestamp");
+        }
+        self.pending_boundary = Some(tick);
+        Some(Event::DocBatch(batch))
     }
 
     fn name(&self) -> &str {
@@ -123,87 +119,77 @@ impl<F: FnMut() -> Option<Event> + Send> Source for GeneratorSource<F> {
 }
 
 /// Merges several timestamp-sorted document sources into one ordered
-/// stream, re-deriving tick boundaries.
+/// stream, re-deriving tick boundaries and re-batching per tick.
 ///
 /// Models the demo's multi-feed setting (Twitter + several RSS feeds feeding
 /// one engine). Inner sources' own boundaries/flushes are discarded; the
-/// merge emits its own.
+/// merge emits its own [`Event::DocBatch`] per tick (ties broken by source
+/// index, so the merged order is deterministic).
 pub struct MergeSource {
-    /// Per-source lookahead document.
-    heads: Vec<Option<Document>>,
+    /// Per-source lookahead documents (inner batches are buffered here).
+    heads: Vec<VecDeque<Document>>,
     sources: Vec<Box<dyn Source>>,
     tick_spec: TickSpec,
-    pending: Option<Document>,
-    current_tick: Option<Tick>,
+    pending_boundary: Option<Tick>,
     flushed: bool,
 }
 
 impl MergeSource {
     /// Merges `sources` under `tick_spec`.
     pub fn new(sources: Vec<Box<dyn Source>>, tick_spec: TickSpec) -> Self {
-        let heads = vec![None; sources.len()];
-        MergeSource { heads, sources, tick_spec, pending: None, current_tick: None, flushed: false }
+        let heads = sources.iter().map(|_| VecDeque::new()).collect();
+        MergeSource { heads, sources, tick_spec, pending_boundary: None, flushed: false }
     }
 
     fn refill(&mut self, i: usize) {
-        while self.heads[i].is_none() {
+        while self.heads[i].is_empty() {
             match self.sources[i].next_event() {
-                Some(Event::Doc(doc)) => self.heads[i] = Some(doc),
+                Some(Event::Doc(doc)) => self.heads[i].push_back(doc),
+                Some(Event::DocBatch(docs)) => self.heads[i].extend(docs),
                 Some(_) => continue, // skip inner punctuation
                 None => break,
             }
         }
     }
 
-    fn pop_min(&mut self) -> Option<Document> {
+    /// Index of the source whose next document is earliest, if any.
+    fn min_source(&mut self) -> Option<usize> {
         for i in 0..self.sources.len() {
             self.refill(i);
         }
-        let min_idx = self
-            .heads
+        self.heads
             .iter()
             .enumerate()
-            .filter_map(|(i, head)| head.as_ref().map(|d| (i, d.timestamp)))
+            .filter_map(|(i, head)| head.front().map(|d| (i, d.timestamp)))
             .min_by_key(|&(_, ts)| ts)
-            .map(|(i, _)| i)?;
-        self.heads[min_idx].take()
+            .map(|(i, _)| i)
     }
 }
 
 impl Source for MergeSource {
     fn next_event(&mut self) -> Option<Event> {
-        if let Some(doc) = self.pending.take() {
-            self.current_tick = Some(self.tick_spec.tick_of(doc.timestamp));
-            return Some(Event::Doc(doc));
+        if let Some(tick) = self.pending_boundary.take() {
+            return Some(Event::TickBoundary(tick));
         }
-        match self.pop_min() {
-            Some(doc) => {
-                let tick = self.tick_spec.tick_of(doc.timestamp);
-                match self.current_tick {
-                    Some(current) if tick > current => {
-                        self.pending = Some(doc);
-                        self.current_tick = Some(current.next());
-                        Some(Event::TickBoundary(current))
-                    }
-                    None => {
-                        self.current_tick = Some(tick);
-                        Some(Event::Doc(doc))
-                    }
-                    _ => Some(Event::Doc(doc)),
-                }
+        let Some(first) = self.min_source() else {
+            if self.flushed {
+                return None;
             }
-            None => {
-                if let Some(current) = self.current_tick.take() {
-                    return Some(Event::TickBoundary(current));
-                }
-                if self.flushed {
-                    None
-                } else {
-                    self.flushed = true;
-                    Some(Event::Flush)
-                }
+            self.flushed = true;
+            return Some(Event::Flush);
+        };
+        // Pop timestamp-ordered documents while they stay in this tick.
+        let tick = self.tick_spec.tick_of(self.heads[first].front().expect("refilled").timestamp);
+        let mut batch = vec![self.heads[first].pop_front().expect("refilled")];
+        while let Some(i) = self.min_source() {
+            let head = self.heads[i].front().expect("min_source saw a head");
+            if self.tick_spec.tick_of(head.timestamp) != tick {
+                break;
             }
+            batch.push(self.heads[i].pop_front().expect("checked non-empty"));
         }
+        self.pending_boundary = Some(tick);
+        Some(Event::DocBatch(batch))
     }
 
     fn name(&self) -> &str {
@@ -217,14 +203,20 @@ impl Source for MergeSource {
 /// The demo's "time lapse view over a sliding window of the past couple of
 /// days" replays archived data accelerated; live demos replay at 1×. The
 /// executor blocks in `next_event` until each document's scaled due time,
-/// so downstream operators experience realistic arrival pacing. Benches
-/// and tests use the unpaced sources; this wrapper exists for interactive
-/// replays.
+/// so downstream operators experience realistic per-arrival pacing:
+/// incoming [`Event::DocBatch`]es are unbundled and delivered as
+/// individual [`Event::Doc`]s, each at its own due time — delivering a
+/// whole tick at its end would replace the arrival process with one burst
+/// per tick. Benches and tests use the unpaced (batched) sources; this
+/// wrapper exists for interactive replays, where per-document latency is
+/// the point and batch throughput is not.
 pub struct PacedSource<S: Source> {
     inner: S,
     speedup: f64,
     started: Option<std::time::Instant>,
     stream_epoch: Option<u64>,
+    /// Unbundled batch members awaiting their due times.
+    pending: VecDeque<Document>,
 }
 
 impl<S: Source> PacedSource<S> {
@@ -235,25 +227,36 @@ impl<S: Source> PacedSource<S> {
     /// Panics if `speedup` is not finite and positive.
     pub fn new(inner: S, speedup: f64) -> Self {
         assert!(speedup.is_finite() && speedup > 0.0, "speedup must be positive");
-        PacedSource { inner, speedup, started: None, stream_epoch: None }
+        PacedSource { inner, speedup, started: None, stream_epoch: None, pending: VecDeque::new() }
+    }
+
+    /// Sleeps until `doc`'s scaled due time, then hands it out.
+    fn pace(&mut self, doc: Document) -> Event {
+        let now = std::time::Instant::now();
+        let started = *self.started.get_or_insert(now);
+        let epoch = *self.stream_epoch.get_or_insert(doc.timestamp.as_millis());
+        let stream_elapsed = doc.timestamp.as_millis().saturating_sub(epoch) as f64;
+        let due = std::time::Duration::from_secs_f64(stream_elapsed / self.speedup / 1_000.0);
+        let elapsed = now.duration_since(started);
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        Event::Doc(doc)
     }
 }
 
 impl<S: Source> Source for PacedSource<S> {
     fn next_event(&mut self) -> Option<Event> {
-        let event = self.inner.next_event()?;
-        if let Event::Doc(doc) = &event {
-            let now = std::time::Instant::now();
-            let started = *self.started.get_or_insert(now);
-            let epoch = *self.stream_epoch.get_or_insert(doc.timestamp.as_millis());
-            let stream_elapsed = doc.timestamp.as_millis().saturating_sub(epoch) as f64;
-            let due = std::time::Duration::from_secs_f64(stream_elapsed / self.speedup / 1_000.0);
-            let elapsed = now.duration_since(started);
-            if due > elapsed {
-                std::thread::sleep(due - elapsed);
+        loop {
+            if let Some(doc) = self.pending.pop_front() {
+                return Some(self.pace(doc));
+            }
+            match self.inner.next_event()? {
+                Event::Doc(doc) => return Some(self.pace(doc)),
+                Event::DocBatch(docs) => self.pending.extend(docs), // re-loop (may be empty)
+                other => return Some(other),
             }
         }
-        Some(event)
     }
 
     fn name(&self) -> &str {
@@ -278,20 +281,31 @@ mod tests {
         events
     }
 
-    #[test]
-    fn replay_inserts_boundaries_between_ticks() {
-        let source =
-            ReplaySource::new(vec![doc(1, 0), doc(2, 0), doc(3, 1), doc(4, 3)], TickSpec::hourly());
-        let events = drain(source);
-        let labels: Vec<String> = events
+    fn labels(events: &[Event]) -> Vec<String> {
+        events
             .iter()
             .map(|e| match e {
                 Event::Doc(d) => format!("d{}", d.id),
+                Event::DocBatch(docs) => {
+                    let ids: Vec<String> = docs.iter().map(|d| d.id.to_string()).collect();
+                    format!("B[{}]", ids.join(","))
+                }
                 Event::TickBoundary(t) => format!("b{}", t.0),
                 Event::Flush => "f".into(),
             })
-            .collect();
-        assert_eq!(labels, vec!["d1", "d2", "b0", "d3", "b1", "d4", "b3", "f"]);
+            .collect()
+    }
+
+    fn doc_ids(events: &[Event]) -> Vec<u64> {
+        events.iter().flat_map(|e| e.docs().iter().map(|d| d.id)).collect()
+    }
+
+    #[test]
+    fn replay_batches_ticks_and_inserts_boundaries() {
+        let source =
+            ReplaySource::new(vec![doc(1, 0), doc(2, 0), doc(3, 1), doc(4, 3)], TickSpec::hourly());
+        let events = drain(source);
+        assert_eq!(labels(&events), vec!["B[1,2]", "b0", "B[3]", "b1", "B[4]", "b3", "f"]);
     }
 
     #[test]
@@ -304,6 +318,7 @@ mod tests {
     fn replay_single_tick_closes_it() {
         let events = drain(ReplaySource::new(vec![doc(1, 5)], TickSpec::hourly()));
         assert_eq!(events.len(), 3);
+        assert_eq!(events[0].doc_count(), 1);
         assert!(matches!(events[1], Event::TickBoundary(Tick(5))));
         assert!(events[2].is_flush());
     }
@@ -312,6 +327,15 @@ mod tests {
     #[should_panic(expected = "sorted by timestamp")]
     fn replay_rejects_unsorted_input() {
         let source = ReplaySource::new(vec![doc(1, 5), doc(2, 3)], TickSpec::hourly());
+        let _ = drain(source);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by timestamp")]
+    fn replay_rejects_unsorted_input_within_a_tick() {
+        // Both docs land in tick 0 of a daily spec but are out of order.
+        let docs = vec![doc(1, 5), doc(2, 3)];
+        let source = ReplaySource::new(docs, TickSpec::daily());
         let _ = drain(source);
     }
 
@@ -335,12 +359,20 @@ mod tests {
         let b = ReplaySource::new(vec![doc(2, 1), doc(4, 2)], TickSpec::hourly());
         let merged = MergeSource::new(vec![Box::new(a), Box::new(b)], TickSpec::hourly());
         let events = drain(merged);
-        let doc_ids: Vec<u64> = events.iter().filter_map(|e| e.as_doc().map(|d| d.id)).collect();
-        assert_eq!(doc_ids, vec![1, 2, 3, 4]);
-        // Boundaries for ticks 0, 1, 2 plus one flush.
-        let boundaries = events.iter().filter(|e| e.is_tick_boundary()).count();
-        assert_eq!(boundaries, 3);
-        assert!(events.last().unwrap().is_flush());
+        assert_eq!(doc_ids(&events), vec![1, 2, 3, 4]);
+        // One batch + boundary per tick 0, 1, 2, plus one flush.
+        assert_eq!(labels(&events), vec!["B[1]", "b0", "B[2]", "b1", "B[3,4]", "b2", "f"]);
+    }
+
+    #[test]
+    fn merge_rebatches_one_tick_across_sources() {
+        // Docs of the same tick from different feeds coalesce into one
+        // batch, ordered by timestamp with ties broken by source index.
+        let a = ReplaySource::new(vec![doc(1, 0), doc(3, 0)], TickSpec::hourly());
+        let b = ReplaySource::new(vec![doc(2, 0)], TickSpec::hourly());
+        let merged = MergeSource::new(vec![Box::new(a), Box::new(b)], TickSpec::hourly());
+        let events = drain(merged);
+        assert_eq!(labels(&events), vec!["B[1,3,2]", "b0", "f"]);
     }
 
     #[test]
@@ -349,13 +381,14 @@ mod tests {
         let b = ReplaySource::new(vec![], TickSpec::hourly());
         let merged = MergeSource::new(vec![Box::new(a), Box::new(b)], TickSpec::hourly());
         let events = drain(merged);
-        let doc_ids: Vec<u64> = events.iter().filter_map(|e| e.as_doc().map(|d| d.id)).collect();
-        assert_eq!(doc_ids, vec![1]);
+        assert_eq!(doc_ids(&events), vec![1]);
     }
 
     #[test]
-    fn paced_source_preserves_content_and_paces() {
-        // Two docs 100 stream-ms apart at 10x speedup: ≥10ms wall time.
+    fn paced_source_unbundles_batches_and_paces_per_doc() {
+        // Two docs 100 stream-ms apart at 10x speedup arrive in one hourly
+        // batch from the replay; the paced wrapper must deliver them one
+        // at a time, the second ≥10ms of wall time after the first.
         let docs = vec![
             Document::builder(1, Timestamp(0)).build(),
             Document::builder(2, Timestamp(100)).build(),
@@ -365,8 +398,12 @@ mod tests {
         let start = std::time::Instant::now();
         let events = drain(paced);
         let elapsed = start.elapsed();
-        let doc_ids: Vec<u64> = events.iter().filter_map(|e| e.as_doc().map(|d| d.id)).collect();
-        assert_eq!(doc_ids, vec![1, 2], "pacing must not change the stream");
+        assert_eq!(doc_ids(&events), vec![1, 2], "pacing must not change the stream");
+        assert!(
+            events.iter().all(|e| !matches!(e, Event::DocBatch(_))),
+            "paced delivery is per document, not per batch"
+        );
+        assert!(events[2].is_tick_boundary(), "punctuation follows the unbundled docs: {events:?}");
         assert!(elapsed >= std::time::Duration::from_millis(9), "pacing too fast: {elapsed:?}");
         assert!(elapsed < std::time::Duration::from_millis(500), "pacing too slow: {elapsed:?}");
     }

@@ -42,6 +42,14 @@ impl<K: Eq + Hash + Copy> ShardedWindowedCounter<K> {
         self.shards[shard_index].increment(tick, key);
     }
 
+    /// Mutable access to the per-shard counters (index = shard), so
+    /// callers can hand one shard to each worker of a parallel ingest
+    /// fan-out. The routing contract of
+    /// [`ShardedWindowedCounter::increment`] applies unchanged.
+    pub fn shards_mut(&mut self) -> &mut [WindowedCounter<K>] {
+        &mut self.shards
+    }
+
     /// The windowed count of `key`, which must be routed to `shard_index`.
     pub fn count(&self, shard_index: usize, key: K) -> u64 {
         self.shards[shard_index].count(key)

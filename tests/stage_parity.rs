@@ -92,6 +92,41 @@ fn sharded_dag_matches_unsharded_engine() {
 }
 
 #[test]
+fn ingestion_mode_is_invisible_in_rankings() {
+    // The ingestion-parity contract of `enblogue-ingest`: for one NYT
+    // replay, rankings are byte-identical across (a) sequential
+    // per-document feeding, (b) `Event::DocBatch` tick slices through the
+    // DAG, and (c) the shard-parallel `IngestPipeline`, for several
+    // (batch size × worker count) combinations and shard counts.
+    let archive = archive();
+
+    // (a) Sequential per-document feeding — the semantic reference.
+    let baseline = engine_snapshots(config(1, false), &archive.docs);
+    assert!(!baseline.is_empty());
+    assert!(baseline.iter().any(|s| !s.ranked.is_empty()));
+
+    // (b) DocBatch DAG feeding: the replay source emits whole tick
+    // slices, `EngineOp` takes the partitioned batch fast path.
+    assert_eq!(dag_snapshots(config(4, true), &archive, false), baseline, "DocBatch DAG");
+
+    // (c) The parallel ingestion pipeline across the knob grid.
+    for (batch_size, workers) in [(1usize, 1usize), (64, 2), (64, 8), (512, 4), (97, 3)] {
+        let mut engine = EnBlogueEngine::new(config(4, false));
+        let ingest = IngestConfig { batch_size, queue_depth: 4, workers };
+        let (snapshots, stats) = engine.run_replay_ingest(&archive.docs, &ingest);
+        assert_eq!(snapshots, baseline, "ingest batch={batch_size} workers={workers}");
+        assert_eq!(stats.docs, archive.docs.len() as u64);
+        assert_eq!(stats.workers, workers);
+    }
+
+    // Shard-parallel application on top of multi-worker partitioning.
+    let mut engine = EnBlogueEngine::new(config(16, true));
+    let ingest = IngestConfig { batch_size: 128, queue_depth: 8, workers: 4 };
+    let (snapshots, _) = engine.run_replay_ingest(&archive.docs, &ingest);
+    assert_eq!(snapshots, baseline, "16 shards, parallel close, 4 ingest workers");
+}
+
+#[test]
 fn batched_ingestion_matches_streamed_ingestion() {
     let archive = archive();
     let cfg = config(4, false);
