@@ -1,0 +1,366 @@
+//! Shard rebalancing under a Zipf-skewed workload — dynamic routing
+//! against static sharding on the full per-tick cycle (batched
+//! observation apply + tick close).
+//!
+//! Real streams concentrate on few hot tags, so pair observations
+//! concentrate on few hot *slots* of the routing grid. Static hashing
+//! spreads distinct pairs evenly but cannot split or separate hot slots
+//! once they land together; the load-aware rebalancer can. This bench
+//! replays one skewed stream through three registries:
+//!
+//! * `static-1` — one shard, the machine-derived default of a 1-core box
+//!   (the configuration a user gets out of the box there),
+//! * `static-N` — an N-store pool on the frozen uniform table (classic
+//!   static hash sharding; load accounting on so skew is measured),
+//! * `dynamic-N` — the same pool with the rebalancer active.
+//!
+//! Rankings are verified byte-identical across all three (rebalancing is
+//! an execution knob), so rows differ only in where state lives and how
+//! fast the cycle runs. Each configuration is measured `repeats` times
+//! and the best run kept. Two headline numbers land in
+//! `BENCH_rebalance.json`:
+//!
+//! * `tick_close_speedup_vs_default_static` — wall-clock cycle throughput
+//!   of `dynamic-N` over `static-1`. On a single core this is the
+//!   cache-blocking win of right-sized shard stores (each store's maps
+//!   stay small and are walked store-by-store); add cores and the
+//!   parallel fan-out compounds it.
+//! * `load_balance_ratio` — max-store load share of `static-N` over
+//!   `dynamic-N` (from the measured load counters). This is the factor by
+//!   which the slowest store's work shrinks, i.e. the tick-close speedup
+//!   bound that shard-parallel close converts into wall-clock on
+//!   multi-core hardware.
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin perf_rebalance`
+//! Smoke mode (CI): append `-- --test` for a small workload + 1 repeat.
+
+use enblogue::core::pairs::PAIR_LOAD_WEIGHT;
+use enblogue::datagen::zipf::Zipf;
+use enblogue::prelude::*;
+use enblogue_bench::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Workload {
+    ticks: u64,
+    docs_per_tick: usize,
+    tags: usize,
+    zipf_s: f64,
+    tags_per_doc: usize,
+    /// Tick at which the event cluster starts bursting.
+    burst_start: u64,
+    /// Fraction of post-burst documents that belong to the event.
+    burst_share: f64,
+    /// Size of the bursting tag cluster.
+    burst_tags: u32,
+}
+
+/// Zipf-skewed background chatter plus one bursting event cluster — the
+/// paper's own scenario (few entities suddenly dominating the stream).
+///
+/// Background documents draw distinct tags from a heavy-tailed popularity
+/// law. From `burst_start` on, `burst_share` of the documents are event
+/// documents whose tags all come from one small cluster, so the cluster's
+/// `C(n, 2)` pairs concentrate a large share of all observations on a
+/// handful of routing slots — the load shape static hashing cannot
+/// un-collide but the rebalancer can spread.
+fn generate(w: &Workload) -> Vec<Document> {
+    let zipf = Zipf::new(w.tags, w.zipf_s);
+    let mut rng = StdRng::seed_from_u64(0x5EED_BA1A_4CE5);
+    let mut docs = Vec::with_capacity(w.ticks as usize * w.docs_per_tick);
+    let mut id = 0u64;
+    // The cluster sits just outside the Zipf head so the burst, not the
+    // background, is what makes it hot.
+    let cluster: Vec<TagId> = (0..w.burst_tags).map(|i| TagId(w.tags as u32 + i)).collect();
+    for tick in 0..w.ticks {
+        for _ in 0..w.docs_per_tick {
+            id += 1;
+            let burst = tick >= w.burst_start && rng.gen_bool(w.burst_share);
+            let mut tags: Vec<TagId> = Vec::with_capacity(w.tags_per_doc);
+            let mut guard = 0;
+            while tags.len() < w.tags_per_doc && guard < 32 {
+                guard += 1;
+                let tag = if burst {
+                    cluster[rng.gen_range(0..cluster.len())]
+                } else {
+                    TagId(zipf.sample(&mut rng) as u32)
+                };
+                if !tags.contains(&tag) {
+                    tags.push(tag);
+                }
+            }
+            docs.push(Document::builder(id, Timestamp::from_hours(tick)).tags(tags).build());
+        }
+    }
+    docs
+}
+
+struct Row {
+    name: &'static str,
+    shards: usize,
+    secs: f64,
+    apply_secs: f64,
+    close_secs: f64,
+    ticks_per_sec: f64,
+    max_load_share: f64,
+    active_shards: usize,
+    rebalances: u64,
+    migrated_pairs: u64,
+    pairs_tracked: usize,
+    snapshots: Vec<RankingSnapshot>,
+}
+
+/// One full replay: per tick, batch-apply the slice then close — the
+/// cycle whose throughput the rebalancer targets. `max_load_share` is the
+/// hottest store's share of the total measured load, averaged over the
+/// second half of the run (after warm-up), from the registry's own load
+/// counters.
+fn run(name: &'static str, config: EnBlogueConfig, docs: &[Document], ticks: u64) -> Row {
+    let shards = config.shards;
+    let mut engine = EnBlogueEngine::new(config);
+    let mut apply_secs = 0.0;
+    let mut close_secs = 0.0;
+    let mut snapshots = Vec::new();
+    let mut load_share_sum = 0.0;
+    let mut load_share_samples = 0u64;
+    let spec = TickSpec::hourly();
+    let mut start = 0;
+    let started = Instant::now();
+    for tick in 0..ticks {
+        let end = docs[start..]
+            .iter()
+            .position(|d| spec.tick_of(d.timestamp) > Tick(tick))
+            .map_or(docs.len(), |offset| start + offset);
+        let t0 = Instant::now();
+        engine.process_docs(&docs[start..end]);
+        apply_secs += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        snapshots.push(engine.close_tick(Tick(tick)));
+        close_secs += t1.elapsed().as_secs_f64();
+        start = end;
+        if std::env::var_os("ENBLOGUE_REBALANCE_DEBUG").is_some() {
+            let stats = engine.pipeline().state().registry().stats();
+            eprintln!(
+                "[{name} t{tick}] live={} active={} skew={:.3} epoch={} migrated={}",
+                stats.tracked_pairs,
+                stats.active_shards,
+                stats.skew,
+                stats.routing_epoch,
+                stats.migrated_pairs
+            );
+        }
+        if tick >= ticks / 2 {
+            let stats = engine.pipeline().state().registry().stats();
+            let loads: Vec<u64> = stats
+                .per_shard_obs
+                .iter()
+                .zip(&stats.per_shard_pairs)
+                .map(|(&obs, &pairs)| obs + PAIR_LOAD_WEIGHT * pairs as u64)
+                .collect();
+            let total: u64 = loads.iter().sum();
+            if total > 0 {
+                let max = loads.iter().copied().max().unwrap_or(0);
+                load_share_sum += max as f64 / total as f64;
+                load_share_samples += 1;
+            }
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let metrics = engine.pipeline().metrics();
+    let stats = engine.pipeline().state().registry().stats();
+    Row {
+        name,
+        shards,
+        secs,
+        apply_secs,
+        close_secs,
+        ticks_per_sec: ticks as f64 / secs.max(1e-9),
+        max_load_share: load_share_sum / load_share_samples.max(1) as f64,
+        active_shards: stats.active_shards,
+        rebalances: metrics.rebalances,
+        migrated_pairs: metrics.pairs_migrated,
+        pairs_tracked: metrics.pairs_tracked,
+        snapshots,
+    }
+}
+
+fn write_json(w: &Workload, pool: usize, rows: &[Row], path: &str) {
+    let get = |name: &str| rows.iter().find(|r| r.name == name).expect("row recorded");
+    let static1 = get("static-1");
+    let staticn = get("static-N");
+    let dynamic = get("dynamic-N");
+    let speedup_default = dynamic.ticks_per_sec / static1.ticks_per_sec.max(1e-9);
+    let speedup_pool = dynamic.ticks_per_sec / staticn.ticks_per_sec.max(1e-9);
+    let load_ratio = staticn.max_load_share / dynamic.max_load_share.max(1e-9);
+    let mut out = String::from("{\n  \"experiment\": \"shard_rebalance\",\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"ticks\": {}, \"docs_per_tick\": {}, \"tags\": {}, \
+         \"zipf_s\": {}, \"tags_per_doc\": {}, \"burst_start\": {}, \"burst_share\": {}, \
+         \"burst_tags\": {}}},\n",
+        w.ticks,
+        w.docs_per_tick,
+        w.tags,
+        w.zipf_s,
+        w.tags_per_doc,
+        w.burst_start,
+        w.burst_share,
+        w.burst_tags
+    ));
+    out.push_str(&format!("  \"pool_shards\": {pool},\n"));
+    out.push_str(&format!(
+        "  \"machine_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"shards\": {}, \"secs\": {:.4}, \
+             \"apply_secs\": {:.4}, \"close_secs\": {:.4}, \"ticks_per_sec\": {:.2}, \
+             \"max_load_share\": {:.4}, \"active_shards\": {}, \"rebalances\": {}, \
+             \"migrated_pairs\": {}, \"pairs_tracked\": {}}}{}\n",
+            row.name,
+            row.shards,
+            row.secs,
+            row.apply_secs,
+            row.close_secs,
+            row.ticks_per_sec,
+            row.max_load_share,
+            row.active_shards,
+            row.rebalances,
+            row.migrated_pairs,
+            row.pairs_tracked,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"tick_close_speedup_vs_default_static\": {speedup_default:.3},\n"));
+    out.push_str(&format!("  \"tick_close_speedup_vs_pool_static\": {speedup_pool:.3},\n"));
+    out.push_str(&format!("  \"load_balance_ratio\": {load_ratio:.3},\n"));
+    out.push_str("  \"rankings_identical\": true\n}\n");
+    if let Err(err) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {err}");
+    } else {
+        println!("\nrows recorded to {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let workload = if smoke {
+        Workload {
+            ticks: 8,
+            docs_per_tick: 400,
+            tags: 600,
+            zipf_s: 1.1,
+            tags_per_doc: 4,
+            burst_start: 3,
+            burst_share: 0.3,
+            burst_tags: 6,
+        }
+    } else {
+        Workload {
+            ticks: 40,
+            docs_per_tick: 30_000,
+            tags: 3000,
+            zipf_s: 1.1,
+            tags_per_doc: 4,
+            burst_start: 10,
+            burst_share: 0.4,
+            burst_tags: 5,
+        }
+    };
+    let pool = 8usize;
+    let repeats = if smoke { 1 } else { 5 };
+    let docs = generate(&workload);
+    println!(
+        "shard rebalancing — {} docs over {} ticks, Zipf(s={}) tags, pool of {pool}{}\n",
+        docs.len(),
+        workload.ticks,
+        workload.zipf_s,
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    let base = |shards: usize| {
+        EnBlogueConfig::builder()
+            .tick_spec(TickSpec::hourly())
+            .window_ticks(6)
+            .seed_count(30)
+            .min_seed_count(3)
+            .min_pair_support(1)
+            .top_k(20)
+            .max_tracked_pairs(200_000)
+            .shards(shards)
+            .parallel_close(false)
+    };
+    // The frozen policy keeps the uniform table but still accounts load,
+    // so the static row reports a measured skew.
+    let frozen = RebalanceConfig {
+        enabled: true,
+        min_tracked_pairs: usize::MAX,
+        ..RebalanceConfig::default()
+    };
+    // Policy thresholds scale with the workload so smoke mode still
+    // exercises an actual migration.
+    let active = RebalanceConfig {
+        enabled: true,
+        target_pairs_per_shard: if smoke { 1024 } else { 4096 },
+        min_skew: 1.08,
+        min_tracked_pairs: if smoke { 64 } else { 4096 },
+        cooldown_ticks: 2,
+        min_active_shards: 1,
+        ..RebalanceConfig::default()
+    };
+    let configs: Vec<(&'static str, EnBlogueConfig)> = vec![
+        ("static-1", base(1).rebalance_enabled(false).build().unwrap()),
+        ("static-N", base(pool).rebalance(frozen).build().unwrap()),
+        ("dynamic-N", base(pool).rebalance(active).build().unwrap()),
+    ];
+
+    let table = Table::new(&[10, 7, 8, 9, 9, 10, 8, 7, 9]);
+    table.header(&[
+        "config", "shards", "secs", "apply", "close", "ticks/s", "maxload", "active", "migrated",
+    ]);
+    // Repeats are interleaved round-robin across configurations so a
+    // noisy patch of the machine hits every configuration in the same
+    // round rather than consuming one configuration's whole budget; the
+    // best round per configuration is kept.
+    let mut best: Vec<Option<Row>> = configs.iter().map(|_| None).collect();
+    for _ in 0..repeats {
+        for (index, &(name, ref config)) in configs.iter().enumerate() {
+            let row = run(name, config.clone(), &docs, workload.ticks);
+            if best[index].as_ref().is_none_or(|b| row.ticks_per_sec > b.ticks_per_sec) {
+                best[index] = Some(row);
+            }
+        }
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for row in best {
+        let row = row.expect("at least one repeat");
+        table.row(&[
+            row.name,
+            &format!("{}", row.shards),
+            &format!("{:.2}", row.secs),
+            &format!("{:.2}", row.apply_secs),
+            &format!("{:.2}", row.close_secs),
+            &format!("{:.2}", row.ticks_per_sec),
+            &format!("{:.3}", row.max_load_share),
+            &format!("{}", row.active_shards),
+            &format!("{}", row.migrated_pairs),
+        ]);
+        rows.push(row);
+    }
+
+    // The rebalancing contract: identical rankings in every configuration.
+    for row in &rows[1..] {
+        assert_eq!(
+            row.snapshots, rows[0].snapshots,
+            "{} changed the rankings — rebalancing must be a pure execution knob",
+            row.name
+        );
+    }
+    println!("\nrankings verified byte-identical across all configurations");
+    let dynamic = rows.iter().find(|r| r.name == "dynamic-N").expect("dynamic row");
+    assert!(dynamic.rebalances > 0, "the dynamic policy must engage on this workload");
+    write_json(&workload, pool, &rows, "BENCH_rebalance.json");
+}

@@ -52,8 +52,14 @@ pub struct EngineMetrics {
     pub seeds_current: usize,
     /// Distinct tags alive in the window.
     pub distinct_tags: usize,
-    /// Hash shards of pair state.
+    /// Shard-store pool size of the pair registry.
     pub shards: usize,
+    /// Current routing epoch (0 until the first rebalance migrates).
+    pub routing_epoch: u64,
+    /// Shard rebalances applied.
+    pub rebalances: u64,
+    /// Pair states migrated between shard stores.
+    pub pairs_migrated: u64,
 }
 
 /// The state shared by all stages of one pipeline.
@@ -92,12 +98,16 @@ impl PipelineState {
                 config.min_seed_count,
                 config.window_ticks,
             ),
-            registry: ShardedPairRegistry::new(
+            registry: ShardedPairRegistry::with_rebalance(
                 config.shards,
                 config.window_ticks,
                 config.half_life_ms,
                 config.min_pair_support,
                 config.max_tracked_pairs,
+                // The automatic active-store floor resolves against the
+                // close mode: a parallel close keeps the whole pool busy,
+                // a serial close may consolidate for locality.
+                config.rebalance.resolved(config.shards, config.parallel_close),
             ),
             scorer: ShiftScorer::new(config.predictor, config.normalization),
             doc_series: TickSeries::new(config.window_ticks),
@@ -132,6 +142,7 @@ impl PipelineState {
 
     /// Current run-time counters.
     pub fn metrics(&self) -> EngineMetrics {
+        let registry_stats = self.registry.stats();
         EngineMetrics {
             docs_processed: self.docs_processed,
             ticks_closed: self.ticks_closed,
@@ -141,6 +152,9 @@ impl PipelineState {
             seeds_current: self.seeds.len(),
             distinct_tags: self.seed_tracker.distinct_tags(),
             shards: self.registry.shard_count(),
+            routing_epoch: registry_stats.routing_epoch,
+            rebalances: registry_stats.rebalances,
+            pairs_migrated: registry_stats.migrated_pairs,
         }
     }
 }
@@ -329,6 +343,11 @@ impl TickStage for ShiftScoreStage {
             }
         });
         registry.evict_parallel(tick, now, parallel);
+        // Tick-aligned rebalance decision, after eviction so the policy
+        // sees the post-eviction population. Migration preserves every
+        // pair's state bit-for-bit, so rankings are unaffected — pinned
+        // by `tests/stage_parity.rs` across rebalance on/off grids.
+        registry.maybe_rebalance(tick);
     }
 }
 
@@ -353,6 +372,16 @@ impl TickStage for RankEmitStage {
 
 /// The shared driver: feeds documents to every stage and closes ticks
 /// through the ordered stage list.
+///
+/// This is the single implementation of EnBlogue's tick semantics; every
+/// execution surface wraps it. Feed with [`StagePipeline::process_doc`]
+/// (or batched via [`StagePipeline::process_docs`] /
+/// [`StagePipeline::process_partitioned`]), close with
+/// [`StagePipeline::close_tick`] or the gap-filling
+/// [`StagePipeline::close_through`], or drive a whole archive with
+/// [`StagePipeline::run_replay`]. Custom stages appended with
+/// [`StagePipeline::push_stage`] run after `rank-emit` and see each
+/// tick's finished snapshot.
 pub struct StagePipeline {
     state: PipelineState,
     stages: Vec<Box<dyn TickStage>>,
@@ -362,6 +391,10 @@ pub struct StagePipeline {
     /// Tick of the first processed document — where gap closing starts
     /// when no tick has been closed yet.
     first_open: Option<Tick>,
+    /// Batches that arrived bucketed under a superseded routing epoch and
+    /// had to be re-partitioned (timing-dependent, so deliberately *not*
+    /// part of [`EngineMetrics`], which tests compare across feed modes).
+    stale_repartitions: u64,
 }
 
 impl StagePipeline {
@@ -377,6 +410,7 @@ impl StagePipeline {
             annotation_buf: Vec::with_capacity(16),
             last_closed: None,
             first_open: None,
+            stale_repartitions: 0,
         }
     }
 
@@ -446,12 +480,14 @@ impl StagePipeline {
     }
 
     /// The partitioning parameters batched feeders need (the pair-space
-    /// slice of the engine configuration).
+    /// slice of the engine configuration, plus the registry's live
+    /// routing handle — partitioning workers snapshot it per batch and
+    /// follow rebalances as they are published).
     pub fn partition_spec(&self) -> PartitionSpec {
         PartitionSpec {
             tick_spec: self.state.config.tick_spec,
             use_entities: self.state.config.use_entities,
-            shards: self.state.config.shards,
+            routing: self.state.registry.routing_handle(),
         }
     }
 
@@ -495,6 +531,21 @@ impl StagePipeline {
         /// serial apply loop it replaces; small batches stay on the caller
         /// thread. A pure execution threshold — results are identical.
         const PARALLEL_APPLY_MIN_OBSERVATIONS: usize = 512;
+        if partitioned.routing_epoch != self.state.registry.routing_epoch() {
+            // A rebalance migrated shard ownership between partitioning
+            // (on a worker thread) and application: the buckets route to
+            // the wrong stores now. Re-partition under the current table.
+            // This re-pays the batch's full partitioning cost (including
+            // tokenization — the batch does not retain the flat
+            // observation stream), but only for the handful of batches in
+            // flight across a rebalance, and rebalances are cooldown-
+            // spaced. The fresh batch carries the current epoch, so the
+            // recursion terminates after one step (no close can
+            // interleave on this thread).
+            self.stale_repartitions += 1;
+            let fresh = partition_docs(docs, &self.partition_spec());
+            return self.process_partitioned(docs, &fresh);
+        }
         assert_eq!(partitioned.docs, docs.len(), "partitioned batch does not match the slice");
         for doc in docs {
             self.ingest_doc(doc, true);
@@ -594,6 +645,14 @@ impl StagePipeline {
     /// Run-time counters.
     pub fn metrics(&self) -> EngineMetrics {
         self.state.metrics()
+    }
+
+    /// Batches re-partitioned because a rebalance superseded their
+    /// routing epoch while they were in flight (see
+    /// [`StagePipeline::process_partitioned`]). Timing-dependent; for
+    /// observability, not for replay comparison.
+    pub fn stale_repartitions(&self) -> u64 {
+        self.stale_repartitions
     }
 }
 

@@ -1,0 +1,147 @@
+//! Property tests for routing-table migration: moving slot ownership
+//! between shard stores — at any point, to any assignment — must preserve
+//! every pair's windowed counts, correlation history, and the ranking
+//! bit-for-bit. Rebalancing is an execution knob, never a semantic one.
+
+use enblogue_core::pairs::{RebalanceConfig, ShardedPairRegistry};
+use enblogue_stats::predict::PredictorKind;
+use enblogue_stats::shift::{ErrorNormalization, ShiftScorer};
+use enblogue_types::{FxHashSet, TagId, TagPair, Tick, Timestamp};
+use proptest::prelude::*;
+
+const POOL: usize = 4;
+const SLOTS_PER_SHARD: usize = 4;
+const SLOTS: usize = POOL * SLOTS_PER_SHARD;
+
+fn registry() -> ShardedPairRegistry {
+    ShardedPairRegistry::with_rebalance(
+        POOL,
+        5,
+        Timestamp::DAY,
+        1,
+        10_000,
+        RebalanceConfig {
+            enabled: true,
+            slots_per_shard: SLOTS_PER_SHARD,
+            // The policy itself stays quiet; migrations in this test are
+            // driven explicitly through `migrate_to`.
+            min_tracked_pairs: usize::MAX,
+            ..RebalanceConfig::default()
+        },
+    )
+}
+
+/// Replays the observation stream tick by tick, applying the scripted
+/// migration after each tick close when `migrate` is set, and returns
+/// every observable surface of the registry.
+type Observables = (Vec<u64>, Vec<u64>, Vec<Option<Vec<f64>>>, Vec<(TagPair, f64)>);
+
+fn run(obs: &[(u64, u32, u32)], migrations: &[Vec<u16>], migrate: bool) -> Observables {
+    let mut r = registry();
+    let scorer = ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Absolute);
+    // Only even tags are seeds: pairs with an odd low member accumulate
+    // windowed counts *without* being promoted to tracked state —
+    // migrations must carry those orphan counts along too.
+    let seeds: FxHashSet<TagId> = (0..24u32).filter(|a| a % 2 == 0).map(TagId).collect();
+    let last_tick = obs.iter().map(|&(t, _, _)| t).max().unwrap_or(0);
+    let mut observed: Vec<u64> = Vec::new();
+    for tick in 0..=last_tick {
+        for &(t, a, b) in obs {
+            if t == tick {
+                let pair = TagPair::new(TagId(a), TagId(b + 100));
+                r.observe_pair(Tick(tick), pair.packed());
+                observed.push(pair.packed());
+            }
+        }
+        r.advance_to(Tick(tick));
+        r.discover_seeded(&seeds, Tick(tick), 0, false);
+        r.score_all(Tick(tick), Timestamp::from_hours(tick), &scorer, false, |p, ab| {
+            ab as f64 / (3.0 + (p.lo().0 % 7) as f64)
+        });
+        r.evict_parallel(Tick(tick), Timestamp::from_hours(tick), false);
+        if migrate {
+            if let Some(assignment) = migrations.get(tick as usize) {
+                r.migrate_to(assignment.clone());
+            }
+        }
+    }
+    observed.sort_unstable();
+    observed.dedup();
+    // Windowed counts of *every* observed pair, tracked or not.
+    let counts = observed.iter().map(|&k| r.pair_count(TagPair::from_packed(k))).collect();
+    let keys = r.tracked_keys();
+    let histories = keys.iter().map(|&k| r.history_of(TagPair::from_packed(k))).collect();
+    let now = Timestamp::from_hours(last_tick);
+    (keys, counts, histories, r.ranking(16, now))
+}
+
+proptest! {
+    /// Scripted migrations to arbitrary assignments between ticks leave
+    /// every windowed count, history and ranking untouched.
+    #[test]
+    fn migration_preserves_every_pairs_windowed_state(
+        obs in proptest::collection::vec((0u64..6, 0u32..24, 0u32..24), 1..250),
+        migrations in proptest::collection::vec(
+            proptest::collection::vec(0u16..POOL as u16, SLOTS),
+            0..6,
+        ),
+    ) {
+        // Self-pairs are invalid; shift the second member's tag space.
+        let baseline = run(&obs, &[], false);
+        let migrated = run(&obs, &migrations, true);
+        prop_assert_eq!(&migrated.0, &baseline.0, "tracked keys diverged");
+        prop_assert_eq!(&migrated.1, &baseline.1, "windowed counts diverged");
+        prop_assert_eq!(&migrated.2, &baseline.2, "histories diverged");
+        prop_assert_eq!(&migrated.3, &baseline.3, "ranking diverged");
+    }
+
+    /// The autonomous policy (maybe_rebalance every tick) is equally
+    /// invisible, whatever it decides.
+    #[test]
+    fn autonomous_rebalancing_is_invisible(
+        obs in proptest::collection::vec((0u64..6, 0u32..24, 0u32..24), 1..250),
+    ) {
+        let scorer = ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Absolute);
+        let seeds: FxHashSet<TagId> = (0..64u32).map(TagId).collect();
+        let last_tick = obs.iter().map(|&(t, _, _)| t).max().unwrap_or(0);
+        let run_policy = |enabled: bool| {
+            let mut r = ShardedPairRegistry::with_rebalance(
+                POOL,
+                5,
+                Timestamp::DAY,
+                1,
+                10_000,
+                RebalanceConfig {
+                    enabled,
+                    slots_per_shard: SLOTS_PER_SHARD,
+                    target_pairs_per_shard: 4,
+                    min_skew: 1.01,
+                    min_tracked_pairs: 1,
+                    cooldown_ticks: 0,
+                    min_active_shards: 1,
+                    ..RebalanceConfig::default()
+                },
+            );
+            for tick in 0..=last_tick {
+                for &(t, a, b) in &obs {
+                    if t == tick {
+                        let pair = TagPair::new(TagId(a), TagId(b + 100));
+                        r.observe_pair(Tick(tick), pair.packed());
+                    }
+                }
+                r.advance_to(Tick(tick));
+                r.discover_seeded(&seeds, Tick(tick), 0, false);
+                r.score_all(Tick(tick), Timestamp::from_hours(tick), &scorer, false, |p, ab| {
+                    ab as f64 / (3.0 + (p.lo().0 % 7) as f64)
+                });
+                r.evict_parallel(Tick(tick), Timestamp::from_hours(tick), false);
+                r.maybe_rebalance(Tick(tick));
+            }
+            let keys = r.tracked_keys();
+            let counts: Vec<u64> =
+                keys.iter().map(|&k| r.pair_count(TagPair::from_packed(k))).collect();
+            (keys, counts, r.ranking(16, Timestamp::from_hours(last_tick)))
+        };
+        prop_assert_eq!(run_policy(true), run_policy(false));
+    }
+}

@@ -23,7 +23,8 @@ pub enum EntityClass {
 }
 
 impl EntityClass {
-    const ALL: [EntityClass; 3] =
+    /// Every class, in the canonical generator order.
+    pub const ALL: [EntityClass; 3] =
         [EntityClass::Person, EntityClass::Organization, EntityClass::Place];
 
     /// The ontology leaf type name for the class.

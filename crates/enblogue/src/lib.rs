@@ -44,16 +44,20 @@
 //!   seed-select → term-window → pair-count → shift-score → rank-emit
 //!                        │
 //!                        ▼
-//!        ShardedPairRegistry (N hash shards)
-//!   shard 0 … shard N−1: pair states + windowed pair counts
-//!   ingest and close fan out via enblogue_stream::exec::fanout
+//!        ShardedPairRegistry (pool of hash-shard stores)
+//!   versioned RoutingTable: key ──mix──► slot ──assignment──► store
+//!   store 0 … store N−1: pair states + windowed pair counts
+//!   ingest and close fan out via enblogue_stream::exec::fanout;
+//!   a load-aware rebalancer may re-target slots at tick close
 //! ```
 //!
 //! **Which layer owns what:**
 //!
-//! * `enblogue-types` owns the shard *routing* contract
-//!   ([`types::shard_of_packed`], [`types::TagPair::shard`]): every layer
-//!   that partitions pair state agrees on the same assignment.
+//! * `enblogue-types` owns the shard *routing* contract: the versioned
+//!   slot → shard [`types::RoutingTable`] behind a [`types::SharedRouting`]
+//!   handle (keys hash onto the fixed slot grid with
+//!   [`types::shard_of_packed`]); every layer that partitions pair state
+//!   consults the same table, and rebalances are published as new epochs.
 //! * `enblogue-window` owns sharded *storage*
 //!   ([`window::ShardedWindowedCounter`]): per-shard windowed pair counts,
 //!   exact because each key lives in exactly one shard.
@@ -78,7 +82,8 @@
 //!   never re-runs the pipeline.
 //!
 //! Sharding (`EnBlogueConfig::shards`), shard-parallel close
-//! (`EnBlogueConfig::parallel_close`) and the entire ingestion subsystem
+//! (`EnBlogueConfig::parallel_close`), load-aware rebalancing
+//! (`EnBlogueConfig::rebalance`) and the entire ingestion subsystem
 //! (batch size, queue depth, worker count) are pure execution knobs:
 //! rankings are byte-identical for any setting (enforced by
 //! `tests/stage_parity.rs`). Batched ingestion
@@ -107,7 +112,7 @@ pub mod prelude {
     pub use enblogue_core::ingest::ReplayIngest;
     pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
     pub use enblogue_core::ops::{EngineOp, EntityTagOp};
-    pub use enblogue_core::pairs::ShardedPairRegistry;
+    pub use enblogue_core::pairs::{RebalanceConfig, RegistryStats, ShardedPairRegistry};
     pub use enblogue_core::personalization::{
         jaccard_at_k, personalize, PersonalizedRanking, UserProfile,
     };

@@ -8,7 +8,7 @@
 //! a second filter consisting of lookups in an ontology (e.g., YAGO), which
 //! allows us to focus on particular entity types."
 //!
-//! * [`tokenize`] — text → normalised term sequence,
+//! * [`mod@tokenize`] — text → normalised term sequence,
 //! * [`gazetteer`] — the title dictionary with redirect canonicalisation
 //!   (the Wikipedia substitute; populated synthetically by
 //!   `enblogue-datagen`),

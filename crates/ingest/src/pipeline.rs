@@ -199,9 +199,6 @@ impl IngestPipeline {
     pub fn run<S: IngestSink>(&self, sink: &mut S, docs: &[Document]) -> IngestStats {
         let started = Instant::now();
         let spec = sink.partition_spec();
-        // Validated up front so a bad spec fails on the caller thread
-        // instead of panicking a partition worker.
-        assert!(spec.shards > 0, "shard count must be positive");
         let plan = self.plan(docs, &spec);
         let total = plan.len() as u64;
         let workers = self.config.effective_workers();
@@ -344,7 +341,7 @@ mod tests {
     impl RecordingSink {
         fn new(shards: usize) -> Self {
             RecordingSink {
-                spec: PartitionSpec { tick_spec: TickSpec::hourly(), use_entities: true, shards },
+                spec: PartitionSpec::with_static_shards(TickSpec::hourly(), true, shards),
                 ops: Vec::new(),
                 observations: 0,
             }
@@ -353,12 +350,12 @@ mod tests {
 
     impl IngestSink for RecordingSink {
         fn partition_spec(&self) -> PartitionSpec {
-            self.spec
+            self.spec.clone()
         }
 
         fn apply_batch(&mut self, docs: &[Document], partitioned: &PartitionedBatch) {
             assert_eq!(partitioned.docs, docs.len());
-            assert_eq!(partitioned.shard_count(), self.spec.shards);
+            assert_eq!(partitioned.shard_count(), self.spec.shards());
             self.observations += partitioned.observations;
             let ids: Vec<String> = docs.iter().map(|d| d.id.to_string()).collect();
             self.ops.push(format!("apply[{}]", ids.join(",")));

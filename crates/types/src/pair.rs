@@ -86,11 +86,14 @@ impl TagPair {
         TagPair { lo: TagId((key >> 32) as u32), hi: TagId(key as u32) }
     }
 
-    /// The shard this pair belongs to when pair state is split into
-    /// `shards` hash shards.
+    /// The *static* hash assignment of this pair over `shards` buckets —
+    /// convenience for [`shard_of_packed`] on the packed key.
     ///
-    /// Same contract as [`shard_of_packed`]; see there for why the
-    /// assignment is mix-based rather than `packed % shards`.
+    /// This is plain hashing, **not** registry routing: the pair registry
+    /// routes through its versioned [`crate::RoutingTable`] (keys hash
+    /// onto a slot grid whose slots a rebalancer may re-target), so after
+    /// any rebalance this method does not name the store that owns the
+    /// pair's state. Consult the registry's routing handle for that.
     #[inline]
     pub fn shard(self, shards: usize) -> usize {
         shard_of_packed(self.packed(), shards)

@@ -1,0 +1,290 @@
+//! Versioned slot-based routing of packed pair keys to shards.
+//!
+//! [`shard_of_packed`] is a *pure function* — good enough while shard
+//! assignment never changes, but dynamic rebalancing needs routing that is
+//! **state**: migratable, versioned, and shareable between the pair
+//! registry (which owns it) and partitioning workers (which consult a
+//! snapshot far from the registry). This module provides that state in two
+//! layers:
+//!
+//! * [`RoutingTable`] — an immutable epoch of the assignment. Keys hash
+//!   onto a fixed grid of *slots* (`slot = shard_of_packed(packed,
+//!   slot_count)`, so the placement of keys on slots is still the fixed
+//!   SplitMix64 mix and part of the deterministic replay contract) and a
+//!   `slot → shard` vector maps each slot to its owning shard. Rebalancing
+//!   re-targets whole slots, never individual keys, so a migration pass
+//!   moves contiguous key *ranges* of the hash space between shard stores.
+//! * [`SharedRouting`] — the handle connecting the single writer (the
+//!   registry, which publishes a new epoch after every migration) to any
+//!   of readers (ingest partitioning workers snapshot the current table
+//!   per batch). A consumer that partitioned a batch under an old epoch can
+//!   detect the mismatch from [`RoutingTable::epoch`] and re-partition.
+//!
+//! Routing never changes *what* is computed — rankings are identical for
+//! any table (pinned by `tests/stage_parity.rs`) — only *where* per-pair
+//! state lives and therefore how evenly work spreads over shard stores.
+
+use crate::pair::shard_of_packed;
+use std::sync::{Arc, RwLock};
+
+/// Default number of slots allocated per shard store.
+///
+/// Slots are the granularity of migration: more slots per shard mean finer
+/// rebalancing (a hot slot moves alone) at the price of a longer
+/// assignment vector. 32 keeps the table a few hundred entries for typical
+/// shard pools while still isolating individual hot slots.
+pub const DEFAULT_SLOTS_PER_SHARD: usize = 32;
+
+/// One immutable epoch of the slot → shard assignment.
+///
+/// Tables are cheap to clone-and-modify and are shared behind `Arc`; the
+/// registry replaces the whole table on every rebalance (epochs only move
+/// forward).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    /// `assignment[slot]` = index of the shard store owning that slot.
+    assignment: Vec<u16>,
+    /// Size of the shard-store pool the assignment targets.
+    shards: usize,
+    /// Monotonic version; bumped by every published reassignment.
+    epoch: u64,
+}
+
+impl RoutingTable {
+    /// The epoch-0 uniform table: `slots` slots spread round-robin over a
+    /// pool of `shards` stores.
+    ///
+    /// This is what "static sharding" means after the routing refactor:
+    /// the uniform table is never republished, so the assignment a key
+    /// hashes to is fixed for the whole run.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, exceeds `u16::MAX` stores, or `slots <
+    /// shards` (every store needs at least one slot to ever own keys).
+    pub fn uniform(shards: usize, slots: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(shards <= u16::MAX as usize, "shard pool exceeds u16 indices");
+        assert!(slots >= shards, "need at least one slot per shard");
+        RoutingTable {
+            assignment: (0..slots).map(|slot| (slot % shards) as u16).collect(),
+            shards,
+            epoch: 0,
+        }
+    }
+
+    /// [`RoutingTable::uniform`] with [`DEFAULT_SLOTS_PER_SHARD`] slots
+    /// per shard.
+    pub fn uniform_default(shards: usize) -> Self {
+        RoutingTable::uniform(shards, shards * DEFAULT_SLOTS_PER_SHARD)
+    }
+
+    /// The successor epoch carrying a new slot → shard assignment.
+    ///
+    /// # Panics
+    /// Panics if the assignment length differs from the current slot count
+    /// or names a shard outside the pool — rebalancing may re-target slots
+    /// but never resize the slot grid or the store pool.
+    pub fn reassigned(&self, assignment: Vec<u16>) -> Self {
+        assert_eq!(assignment.len(), self.assignment.len(), "slot grid is fixed per registry");
+        assert!(
+            assignment.iter().all(|&s| (s as usize) < self.shards),
+            "assignment targets a shard outside the pool"
+        );
+        RoutingTable { assignment, shards: self.shards, epoch: self.epoch + 1 }
+    }
+
+    /// Number of slots in the grid.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Size of the shard-store pool (assignments target `0..shard_count`).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The table's version (0 = the uniform table).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The slot a packed pair key hashes to — a pure function of the key
+    /// and the slot count, independent of the epoch.
+    #[inline]
+    pub fn slot_of(&self, packed: u64) -> usize {
+        shard_of_packed(packed, self.assignment.len())
+    }
+
+    /// The shard store owning `slot` in this epoch.
+    #[inline]
+    pub fn shard_of_slot(&self, slot: usize) -> usize {
+        self.assignment[slot] as usize
+    }
+
+    /// Routes a packed pair key to its shard store in this epoch.
+    #[inline]
+    pub fn route(&self, packed: u64) -> usize {
+        self.shard_of_slot(self.slot_of(packed))
+    }
+
+    /// The raw slot → shard assignment (index = slot).
+    pub fn assignment(&self) -> &[u16] {
+        &self.assignment
+    }
+
+    /// Number of distinct shard stores the assignment actually uses (the
+    /// *active* shard count of a dynamically-sized registry; ≤
+    /// [`RoutingTable::shard_count`]).
+    pub fn active_shards(&self) -> usize {
+        let mut used = vec![false; self.shards];
+        for &s in &self.assignment {
+            used[s as usize] = true;
+        }
+        used.iter().filter(|&&u| u).count()
+    }
+}
+
+/// The shared, versioned routing handle: one writer (the pair registry),
+/// many snapshot readers (partitioning workers, inspection).
+///
+/// Readers take an [`Arc`] snapshot of the current epoch and keep using it
+/// lock-free; the writer publishes a replacement table atomically. A
+/// reader can always tell whether its snapshot is stale by comparing
+/// epochs.
+#[derive(Debug, Clone)]
+pub struct SharedRouting {
+    current: Arc<RwLock<Arc<RoutingTable>>>,
+}
+
+impl SharedRouting {
+    /// Wraps a starting table.
+    pub fn new(table: RoutingTable) -> Self {
+        SharedRouting { current: Arc::new(RwLock::new(Arc::new(table))) }
+    }
+
+    /// A static handle over the uniform table with default granularity —
+    /// what consumers use when no rebalancer is attached.
+    pub fn uniform(shards: usize) -> Self {
+        SharedRouting::new(RoutingTable::uniform_default(shards))
+    }
+
+    /// The current epoch's table (lock held only for the `Arc` clone).
+    pub fn snapshot(&self) -> Arc<RoutingTable> {
+        Arc::clone(&self.current.read().expect("routing lock poisoned"))
+    }
+
+    /// Atomically replaces the table.
+    ///
+    /// # Panics
+    /// Panics if the new table does not move the epoch forward or changes
+    /// the slot grid / pool size — republishing is reassignment only.
+    pub fn publish(&self, table: RoutingTable) {
+        let mut current = self.current.write().expect("routing lock poisoned");
+        assert!(table.epoch() > current.epoch(), "published epochs must move forward");
+        assert_eq!(table.slot_count(), current.slot_count(), "slot grid is fixed");
+        assert_eq!(table.shard_count(), current.shard_count(), "shard pool is fixed");
+        *current = Arc::new(table);
+    }
+}
+
+impl PartialEq for SharedRouting {
+    /// Handles compare by the *content* of their current tables (used by
+    /// spec equality in tests; two handles over identical epochs are
+    /// interchangeable for partitioning).
+    fn eq(&self, other: &Self) -> bool {
+        self.snapshot() == other.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_table_spreads_slots_round_robin() {
+        let table = RoutingTable::uniform(4, 8);
+        assert_eq!(table.assignment(), &[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(table.shard_count(), 4);
+        assert_eq!(table.slot_count(), 8);
+        assert_eq!(table.epoch(), 0);
+        assert_eq!(table.active_shards(), 4);
+    }
+
+    #[test]
+    fn routing_agrees_with_slot_hashing() {
+        let table = RoutingTable::uniform_default(8);
+        for packed in [0u64, 7, 1 << 40, u64::MAX] {
+            let slot = table.slot_of(packed);
+            assert_eq!(slot, shard_of_packed(packed, table.slot_count()));
+            assert_eq!(table.route(packed), table.shard_of_slot(slot));
+            assert!(table.route(packed) < table.shard_count());
+        }
+    }
+
+    #[test]
+    fn reassignment_bumps_the_epoch_and_moves_keys() {
+        let table = RoutingTable::uniform(2, 4);
+        let moved = table.reassigned(vec![0, 0, 0, 1]);
+        assert_eq!(moved.epoch(), 1);
+        assert_eq!(moved.shard_of_slot(1), 0, "slot 1 re-targeted");
+        assert_eq!(moved.active_shards(), 2);
+        let collapsed = moved.reassigned(vec![0, 0, 0, 0]);
+        assert_eq!(collapsed.active_shards(), 1, "dynamic shrink to one active store");
+        assert_eq!(collapsed.shard_count(), 2, "pool size unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "slot grid is fixed")]
+    fn reassignment_rejects_resizing_the_grid() {
+        let _ = RoutingTable::uniform(2, 4).reassigned(vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the pool")]
+    fn reassignment_rejects_unknown_shards() {
+        let _ = RoutingTable::uniform(2, 4).reassigned(vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn shared_routing_publishes_new_epochs_to_snapshots() {
+        let shared = SharedRouting::new(RoutingTable::uniform(2, 4));
+        let before = shared.snapshot();
+        let rebalanced = before.reassigned(vec![1, 1, 0, 0]);
+        shared.publish(rebalanced.clone());
+        assert_eq!(before.epoch(), 0, "old snapshots are immutable");
+        let after = shared.snapshot();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(*after, rebalanced);
+        // Stale-batch detection is an epoch comparison.
+        assert_ne!(before.epoch(), after.epoch());
+    }
+
+    #[test]
+    #[should_panic(expected = "move forward")]
+    fn republishing_an_old_epoch_is_rejected() {
+        let shared = SharedRouting::new(RoutingTable::uniform(2, 4));
+        let epoch1 = shared.snapshot().reassigned(vec![1, 0, 1, 0]);
+        shared.publish(epoch1.clone());
+        shared.publish(epoch1); // same epoch again
+    }
+
+    #[test]
+    fn uniform_handle_matches_uniform_table() {
+        let shared = SharedRouting::uniform(3);
+        let table = shared.snapshot();
+        assert_eq!(*table, RoutingTable::uniform_default(3));
+        assert_eq!(table.slot_count(), 3 * DEFAULT_SLOTS_PER_SHARD);
+        // Content equality of handles.
+        assert_eq!(shared, SharedRouting::uniform(3));
+        assert_ne!(shared, SharedRouting::uniform(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot per shard")]
+    fn too_few_slots_panic() {
+        let _ = RoutingTable::uniform(4, 3);
+    }
+}

@@ -160,6 +160,86 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
     pub fn total_events(&self) -> u64 {
         self.totals.values().sum()
     }
+
+    /// Removes `key` from the counter, returning its per-tick window
+    /// series — the donor half of a shard migration.
+    ///
+    /// Returns `None` if the key has no live counts (nothing to move).
+    pub fn extract_key(&mut self, key: K) -> Option<KeyWindow> {
+        let total = self.totals.remove(&key)?;
+        let counts: Vec<u64> =
+            self.ticks.iter_mut().map(|map| map.remove(&key).unwrap_or(0)).collect();
+        debug_assert_eq!(counts.iter().sum::<u64>(), total, "totals out of sync");
+        Some(KeyWindow {
+            newest_tick: self.newest_tick.expect("live counts imply an open window"),
+            counts,
+        })
+    }
+
+    /// Releases excess capacity of the per-tick and total maps. Call
+    /// after bulk [`WindowedCounter::extract_key`] removals (a shard
+    /// migration): iteration and expiry walk map *capacity*, so a donor
+    /// that keeps the capacity of its departed keys pays for them on
+    /// every subsequent tick.
+    pub fn shrink_to_fit(&mut self) {
+        self.totals.shrink_to_fit();
+        for map in &mut self.ticks {
+            map.shrink_to_fit();
+        }
+    }
+
+    /// Merges an extracted window series into this counter — the receiver
+    /// half of a shard migration. Counts land in the tick slots they came
+    /// from (series entries older than this counter's window expire).
+    ///
+    /// Adding is exact: if `key` already has counts here, the series adds
+    /// on top, so `extract_key` → `merge_key` between two counters of the
+    /// same window length preserves every windowed count bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if the series is longer than the window (it cannot have come
+    /// from a counter of the same length).
+    pub fn merge_key(&mut self, key: K, series: &KeyWindow) {
+        assert!(series.counts.len() <= self.window_ticks, "series exceeds the window");
+        // Align: the receiver must cover at least the series' newest tick.
+        self.advance_to(series.newest_tick);
+        let newest = self.newest_tick.expect("advance_to opened the window");
+        // The receiver may already be *ahead* of the donor (the donor saw
+        // no events recently); entries then sit deeper in the past and may
+        // have expired entirely.
+        let lag = newest.since(series.newest_tick) as usize;
+        let mut merged_total = 0u64;
+        for (i, &count) in series.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            // Position from the back of the receiver's deque.
+            let back_offset = (series.counts.len() - 1 - i) + lag;
+            if back_offset >= self.window_ticks {
+                continue; // expired relative to the receiver's window
+            }
+            // Materialise empty slots for ticks the receiver never saw.
+            while self.ticks.len() <= back_offset {
+                self.ticks.push_front(FxHashMap::default());
+            }
+            let index = self.ticks.len() - 1 - back_offset;
+            *self.ticks[index].entry(key).or_insert(0) += count;
+            merged_total += count;
+        }
+        if merged_total > 0 {
+            *self.totals.entry(key).or_insert(0) += merged_total;
+        }
+    }
+}
+
+/// A key's windowed per-tick counts, detached from its counter (see
+/// [`WindowedCounter::extract_key`] / [`WindowedCounter::merge_key`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyWindow {
+    /// The tick the last entry of `counts` belongs to.
+    pub newest_tick: Tick,
+    /// Per-tick counts, oldest → newest (length ≤ the donor's window).
+    pub counts: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -237,6 +317,54 @@ mod tests {
         c.add(Tick(5), 1, 0);
         assert_eq!(c.count(1), 0);
         assert_eq!(c.newest_tick(), Some(Tick(5)));
+    }
+
+    #[test]
+    fn extract_then_merge_preserves_counts_and_expiry() {
+        let mut donor: WindowedCounter<u32> = WindowedCounter::new(4);
+        donor.add(Tick(0), 7, 2);
+        donor.add(Tick(1), 7, 3);
+        donor.add(Tick(3), 7, 5);
+        let mut receiver: WindowedCounter<u32> = WindowedCounter::new(4);
+        receiver.advance_to(Tick(3));
+        receiver.add(Tick(3), 7, 1); // pre-existing counts add up exactly
+
+        let series = donor.extract_key(7).expect("live key");
+        assert_eq!(series.newest_tick, Tick(3));
+        assert_eq!(donor.count(7), 0, "donor forgets the key");
+        assert_eq!(donor.total_events(), 0);
+
+        receiver.merge_key(7, &series);
+        assert_eq!(receiver.count(7), 11);
+        // Expiry must behave as if the counts had always lived here.
+        receiver.advance_to(Tick(4)); // window is now ticks 1..=4
+        assert_eq!(receiver.count(7), 9, "tick 0 expired");
+        receiver.advance_to(Tick(6)); // window is now ticks 3..=6
+        assert_eq!(receiver.count(7), 6, "only the merged tick-3 counts remain");
+        receiver.advance_to(Tick(7));
+        assert_eq!(receiver.count(7), 0);
+    }
+
+    #[test]
+    fn merge_into_a_counter_that_ran_ahead_expires_old_ticks() {
+        let mut donor: WindowedCounter<u32> = WindowedCounter::new(3);
+        donor.add(Tick(0), 9, 4);
+        donor.add(Tick(2), 9, 1);
+        let series = donor.extract_key(9).unwrap();
+        let mut receiver: WindowedCounter<u32> = WindowedCounter::new(3);
+        receiver.advance_to(Tick(3)); // one tick ahead of the donor
+        receiver.merge_key(9, &series);
+        assert_eq!(receiver.count(9), 1, "tick-0 counts are already out of window");
+        receiver.advance_to(Tick(5));
+        assert_eq!(receiver.count(9), 0);
+    }
+
+    #[test]
+    fn extract_missing_key_is_none() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(2);
+        c.increment(Tick(0), 1);
+        assert!(c.extract_key(2).is_none());
+        assert_eq!(c.count(1), 1, "other keys untouched");
     }
 
     #[test]

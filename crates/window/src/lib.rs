@@ -40,7 +40,7 @@ pub mod tick_series;
 pub mod topk;
 
 pub use cms::CountMinSketch;
-pub use counter::WindowedCounter;
+pub use counter::{KeyWindow, WindowedCounter};
 pub use decay::DecayValue;
 pub use exphist::ExponentialHistogram;
 pub use hll::HyperLogLog;

@@ -127,6 +127,67 @@ fn ingestion_mode_is_invisible_in_rankings() {
 }
 
 #[test]
+fn rebalancing_is_invisible_in_rankings() {
+    // The rebalancing contract: dynamic shard count + hot-slot migration
+    // are pure execution knobs. One replay, rankings byte-identical with
+    // rebalancing off (the static uniform table) and with an aggressive
+    // policy that rebalances every close — across shard pools, close
+    // modes, and ingest worker grids.
+    let archive = archive();
+    let baseline = engine_snapshots(config(1, false), &archive.docs);
+    assert!(!baseline.is_empty());
+    assert!(baseline.iter().any(|s| !s.ranked.is_empty()));
+
+    let aggressive = RebalanceConfig {
+        enabled: true,
+        slots_per_shard: 8,
+        target_pairs_per_shard: 64,
+        min_skew: 1.01,
+        cap_pressure: 0.5,
+        min_tracked_pairs: 1,
+        cooldown_ticks: 0,
+        min_active_shards: 1,
+    };
+    let rebalanced = |shards: usize, parallel: bool| {
+        EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(25)
+            .min_seed_count(3)
+            .top_k(10)
+            .shards(shards)
+            .parallel_close(parallel)
+            .rebalance(aggressive)
+            .build()
+            .unwrap()
+    };
+
+    for (shards, parallel) in [(4usize, false), (4, true), (16, false), (16, true)] {
+        let mut engine = EnBlogueEngine::new(rebalanced(shards, parallel));
+        let snapshots = engine.run_replay(&archive.docs);
+        assert_eq!(snapshots, baseline, "rebalancing on, shards={shards} parallel={parallel}");
+        let metrics = engine.pipeline().metrics();
+        assert!(
+            metrics.rebalances > 0,
+            "the aggressive policy must actually migrate (shards={shards})"
+        );
+        assert!(metrics.routing_epoch > 0);
+    }
+
+    // Rebalancing under the parallel ingestion pipeline: partition
+    // workers snapshot the routing table per batch, stale batches are
+    // re-partitioned — rankings still byte-identical.
+    for (batch_size, workers) in [(64usize, 2usize), (256, 4)] {
+        let mut engine = EnBlogueEngine::new(rebalanced(8, true));
+        let ingest = IngestConfig { batch_size, queue_depth: 4, workers };
+        let (snapshots, stats) = engine.run_replay_ingest(&archive.docs, &ingest);
+        assert_eq!(snapshots, baseline, "ingest batch={batch_size} workers={workers}");
+        assert_eq!(stats.docs, archive.docs.len() as u64);
+        assert!(engine.pipeline().metrics().rebalances > 0);
+    }
+}
+
+#[test]
 fn batched_ingestion_matches_streamed_ingestion() {
     let archive = archive();
     let cfg = config(4, false);
