@@ -59,6 +59,52 @@ impl MeasureKind {
     }
 }
 
+/// Periodic checkpointing policy (see [`crate::snapshot`]).
+///
+/// Disabled by default (`interval_ticks == 0`). When enabled, a
+/// `checkpoint` stage runs at every tick close and, every
+/// `interval_ticks` closed ticks, serializes the full engine state into
+/// `directory/checkpoint-<tick>.snap` (atomic temp-file + rename), then
+/// prunes all but the newest `retention` files. Checkpointing never
+/// changes what is computed — rankings are byte-identical with any
+/// policy, pinned by `tests/stage_parity.rs` — and a failed write is
+/// counted in [`crate::stages::EngineMetrics::snapshot_failures`] rather
+/// than crashing the stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotConfig {
+    /// Checkpoint every this many closed ticks; `0` disables the stage.
+    pub interval_ticks: u64,
+    /// Directory receiving `checkpoint-<tick>.snap` files (created on
+    /// first write). Must be non-empty when the interval is set.
+    pub directory: String,
+    /// Number of newest checkpoint files kept after each write (≥ 1).
+    pub retention: usize,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig { interval_ticks: 0, directory: String::new(), retention: 2 }
+    }
+}
+
+impl SnapshotConfig {
+    /// The disabled policy (no checkpoint stage is mounted).
+    pub fn disabled() -> Self {
+        SnapshotConfig::default()
+    }
+
+    /// Checkpoint every `interval_ticks` closed ticks into `directory`,
+    /// with the default retention of 2.
+    pub fn every(interval_ticks: u64, directory: impl Into<String>) -> Self {
+        SnapshotConfig { interval_ticks, directory: directory.into(), retention: 2 }
+    }
+
+    /// Whether periodic checkpointing is on.
+    pub fn enabled(&self) -> bool {
+        self.interval_ticks > 0
+    }
+}
+
 /// Full engine configuration. Build with [`EnBlogueConfig::builder`].
 ///
 /// Two kinds of knobs live here. *Semantic* knobs (tick width, window
@@ -137,6 +183,10 @@ pub struct EnBlogueConfig {
     /// pure execution knob: rankings are byte-identical with any policy,
     /// including disabled.
     pub rebalance: RebalanceConfig,
+    /// Periodic checkpointing of the full engine state for failover (see
+    /// [`crate::snapshot`]). Off by default; also a pure execution knob —
+    /// rankings are byte-identical with any policy.
+    pub snapshot: SnapshotConfig,
 }
 
 impl Default for EnBlogueConfig {
@@ -172,6 +222,7 @@ impl Default for EnBlogueConfig {
             // resolves against `parallel_close` when the registry is
             // built.
             rebalance: RebalanceConfig::default(),
+            snapshot: SnapshotConfig::default(),
         }
     }
 }
@@ -251,6 +302,18 @@ impl EnBlogueConfig {
             return Err(EnBlogueError::invalid_config(
                 "rebalance.min_active_shards",
                 "the active-store floor cannot exceed the shard pool",
+            ));
+        }
+        if self.snapshot.enabled() && self.snapshot.directory.is_empty() {
+            return Err(EnBlogueError::invalid_config(
+                "snapshot.directory",
+                "periodic checkpointing needs a target directory",
+            ));
+        }
+        if self.snapshot.retention == 0 {
+            return Err(EnBlogueError::invalid_config(
+                "snapshot.retention",
+                "at least the newest checkpoint must be retained",
             ));
         }
         if let SeedStrategy::Hybrid { popularity_weight } = self.seed_strategy {
@@ -412,6 +475,21 @@ impl EnBlogueConfigBuilder {
         self
     }
 
+    /// Sets the full checkpointing policy.
+    #[must_use]
+    pub fn snapshot(mut self, snapshot: SnapshotConfig) -> Self {
+        self.config.snapshot = snapshot;
+        self
+    }
+
+    /// Checkpoint every `interval_ticks` closed ticks into `directory`
+    /// (shorthand for [`SnapshotConfig::every`]).
+    #[must_use]
+    pub fn snapshot_every(mut self, interval_ticks: u64, directory: impl Into<String>) -> Self {
+        self.config.snapshot = SnapshotConfig::every(interval_ticks, directory);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<EnBlogueConfig, EnBlogueError> {
         self.config.validate()?;
@@ -492,6 +570,30 @@ mod tests {
             .seed_strategy(SeedStrategy::SketchPopularity { capacity: 10 })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn snapshot_config_round_trips_and_validates() {
+        let config =
+            EnBlogueConfig::builder().snapshot_every(50, "/var/lib/enblogue").build().unwrap();
+        assert!(config.snapshot.enabled());
+        assert_eq!(config.snapshot.interval_ticks, 50);
+        assert_eq!(config.snapshot.directory, "/var/lib/enblogue");
+        assert_eq!(config.snapshot.retention, 2, "default retention");
+        assert!(!SnapshotConfig::disabled().enabled());
+
+        // An interval without a directory is a configuration error.
+        let err = EnBlogueConfig::builder()
+            .snapshot(SnapshotConfig { interval_ticks: 5, directory: String::new(), retention: 2 })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("snapshot.directory"));
+        // Retaining zero checkpoints would delete the one just written.
+        let err = EnBlogueConfig::builder()
+            .snapshot(SnapshotConfig { interval_ticks: 5, directory: "x".into(), retention: 0 })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("snapshot.retention"));
     }
 
     #[test]

@@ -16,9 +16,11 @@
 use crate::config::EnBlogueConfig;
 use crate::ingest::ReplayIngest;
 use crate::pairs::TrackedPairInfo;
+use crate::snapshot::SnapshotStats;
 use crate::stages::StagePipeline;
 use enblogue_ingest::pipeline::{IngestConfig, IngestPipeline, IngestStats};
-use enblogue_types::{Document, RankingSnapshot, TagId, TagPair, Tick};
+use enblogue_types::{Document, EnBlogueError, RankingSnapshot, TagId, TagPair, Tick};
+use std::path::Path;
 
 pub use crate::stages::EngineMetrics;
 
@@ -108,6 +110,76 @@ impl EnBlogueEngine {
         let mut sink = ReplayIngest::new(&mut self.pipeline);
         let stats = IngestPipeline::new(resolved).run(&mut sink, docs);
         (sink.into_snapshots(), stats)
+    }
+
+    /// Serializes the complete engine state to `path` — a length-prefixed,
+    /// checksummed binary snapshot, written atomically (temp file +
+    /// rename). See [`crate::snapshot`] for the format and
+    /// [`EnBlogueEngine::resume`] for the other half.
+    ///
+    /// Valid at any point in the stream; for periodic tick-aligned
+    /// checkpoints configure [`crate::config::SnapshotConfig`] instead and
+    /// the pipeline writes them itself at tick close.
+    ///
+    /// # Errors
+    /// Filesystem failures surface as [`EnBlogueError::SnapshotIo`].
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<SnapshotStats, EnBlogueError> {
+        self.pipeline.checkpoint_to(path.as_ref())
+    }
+
+    /// Restores an engine from a snapshot file taken under the same
+    /// configuration (`config` is fingerprint-checked against the
+    /// snapshot; only the snapshot section itself may differ). The
+    /// restored engine continues exactly where the checkpoint left off:
+    /// replay the tail of the stream — documents after the checkpoint
+    /// tick — through [`EnBlogueEngine::run_replay`] or
+    /// [`EnBlogueEngine::run_replay_ingest`] and rankings are
+    /// byte-identical to an uninterrupted run (pinned by
+    /// `tests/stage_parity.rs`).
+    ///
+    /// # Errors
+    /// Truncated or corrupted files surface as
+    /// [`EnBlogueError::SnapshotCorrupt`], incompatible format versions as
+    /// [`EnBlogueError::SnapshotVersionMismatch`], configuration drift as
+    /// [`EnBlogueError::SnapshotConfigMismatch`], and filesystem failures
+    /// as [`EnBlogueError::SnapshotIo`] — never a panic.
+    pub fn resume(config: EnBlogueConfig, path: impl AsRef<Path>) -> Result<Self, EnBlogueError> {
+        Ok(EnBlogueEngine { pipeline: StagePipeline::resume_from(config, path.as_ref())? })
+    }
+
+    /// Crash recovery: [`EnBlogueEngine::resume`] from the newest
+    /// *readable* `checkpoint-<tick>.snap` in `dir` (as written by the
+    /// periodic checkpoint stage). An unreadable newest file — bit rot, a
+    /// torn write from a power loss — falls back to the next-older
+    /// checkpoint: surviving exactly that failure is why the retention
+    /// policy keeps more than one.
+    ///
+    /// # Errors
+    /// [`EnBlogueError::NotFound`] if the directory holds no checkpoint;
+    /// otherwise, when every checkpoint fails to restore, the error of
+    /// the newest one (see [`EnBlogueEngine::resume`] for the kinds).
+    pub fn resume_latest(
+        config: EnBlogueConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, EnBlogueError> {
+        let dir = dir.as_ref();
+        let files = crate::snapshot::list_checkpoints(dir)?;
+        if files.is_empty() {
+            return Err(EnBlogueError::NotFound(format!(
+                "no checkpoint files in {}",
+                dir.display()
+            )));
+        }
+        let mut newest_error = None;
+        for path in files.iter().rev() {
+            match EnBlogueEngine::resume(config.clone(), path) {
+                Ok(engine) => return Ok(engine),
+                Err(err) => {
+                    newest_error.get_or_insert(err);
+                }
+            }
+        }
+        Err(newest_error.expect("at least one resume attempt"))
     }
 
     /// The most recent ranking, if any tick has been closed.
@@ -379,6 +451,258 @@ mod tests {
             assert_eq!(run(shards, false), baseline, "{shards} shards");
             assert_eq!(run(shards, true), baseline, "{shards} shards, parallel close");
         }
+    }
+
+    /// Snapshot activity counters are process-local; zero them so
+    /// checkpointing/restored engines compare equal to uninterrupted ones
+    /// on the semantic counters.
+    fn scrub_snapshot_counters(mut m: EngineMetrics) -> EngineMetrics {
+        m.snapshots_taken = 0;
+        m.snapshot_bytes_written = 0;
+        m.snapshot_failures = 0;
+        m.restores = 0;
+        m.restore_micros = 0;
+        m
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("enblogue-engine-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_byte_identically() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("mid.snap");
+        let sets: &[&[u32]] = &[&[1], &[2], &[3], &[1, 3]];
+
+        // Uninterrupted reference.
+        let mut uninterrupted = EnBlogueEngine::new(config());
+        stream(&mut uninterrupted, 0..6, 4, sets);
+        stream(&mut uninterrupted, 6..10, 4, &[&[1, 2], &[3]]);
+
+        // Checkpoint at tick 5, "crash", resume, replay the tail.
+        let mut crashed = EnBlogueEngine::new(config());
+        stream(&mut crashed, 0..6, 4, sets);
+        let stats = crashed.checkpoint(&path).unwrap();
+        assert_eq!(stats.tick, Some(Tick(5)));
+        assert!(stats.bytes > 0 && stats.tracked_pairs > 0);
+        drop(crashed);
+
+        let mut resumed = EnBlogueEngine::resume(config(), &path).unwrap();
+        assert_eq!(resumed.metrics().restores, 1);
+        stream(&mut resumed, 6..10, 4, &[&[1, 2], &[3]]);
+
+        assert_eq!(resumed.latest_snapshot(), uninterrupted.latest_snapshot());
+        assert_eq!(
+            scrub_snapshot_counters(resumed.metrics()),
+            scrub_snapshot_counters(uninterrupted.metrics()),
+            "every semantic counter must survive the round trip"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_run_replay_closes_leading_gap_ticks() {
+        // Tail docs that skip ticks after the checkpoint: the resumed
+        // replay must close the gap ticks first, like an uninterrupted
+        // run would have.
+        let docs: Vec<Document> =
+            (0..20).map(|i| doc(i, if i < 10 { i / 5 } else { 6 + i / 10 }, &[1, 2])).collect();
+        let mut uninterrupted = EnBlogueEngine::new(config());
+        let baseline = uninterrupted.run_replay(&docs);
+
+        let dir = tmp_dir("gap");
+        let path = dir.join("tick1.snap");
+        let mut first = EnBlogueEngine::new(config());
+        let head = first.run_replay(&docs[..10]); // closes ticks 0..=1
+        assert_eq!(head.last().unwrap().tick, Tick(1));
+        first.checkpoint(&path).unwrap();
+
+        let mut resumed = EnBlogueEngine::resume(config(), &path).unwrap();
+        let tail = resumed.run_replay(&docs[10..]); // docs resume at tick 7
+        let mut all = head;
+        all.extend(tail);
+        assert_eq!(all, baseline, "gap ticks 2..=6 must close in the resumed run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_open_tick_checkpoint_resumes_byte_identically() {
+        // Checkpoint *between* closes: documents of tick 0 are in the
+        // open tick, nothing is closed yet. The resumed pipeline must
+        // close that open tick (and the gap) exactly where the
+        // uninterrupted run would, before any tail document counts.
+        let head: Vec<Document> = (0..6).map(|i| doc(i, 0, &[1, 2, 3])).collect();
+        let tail: Vec<Document> = (10..16).map(|i| doc(i, 2 + i / 13, &[1, 2])).collect();
+
+        let mut uninterrupted = EnBlogueEngine::new(config());
+        for d in &head {
+            uninterrupted.process_doc(d);
+        }
+        let expected = uninterrupted.run_replay(&tail);
+        assert_eq!(expected.first().map(|s| s.tick), Some(Tick(0)), "open tick 0 closes first");
+        // Sanity: mid-tick feeding + replay equals one uninterrupted
+        // replay over the whole stream.
+        let mut whole = head.clone();
+        whole.extend(tail.iter().cloned());
+        assert_eq!(EnBlogueEngine::new(config()).run_replay(&whole), expected);
+
+        let dir = tmp_dir("midtick");
+        let path = dir.join("open.snap");
+        let mut fed = EnBlogueEngine::new(config());
+        for d in &head {
+            fed.process_doc(d);
+        }
+        fed.checkpoint(&path).unwrap();
+        assert_eq!(fed.metrics().ticks_closed, 0, "nothing closed at checkpoint time");
+        drop(fed);
+
+        let mut resumed = EnBlogueEngine::resume(config(), &path).unwrap();
+        assert_eq!(resumed.run_replay(&tail), expected, "run_replay tail");
+
+        // Same through the parallel ingestion pipeline.
+        let mut resumed = EnBlogueEngine::resume(config(), &path).unwrap();
+        let ingest = enblogue_ingest::IngestConfig { batch_size: 2, queue_depth: 2, workers: 2 };
+        let (snapshots, _) = resumed.run_replay_ingest(&tail, &ingest);
+        assert_eq!(snapshots, expected, "ingest tail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_latest_falls_back_past_an_unreadable_newest_checkpoint() {
+        let dir = tmp_dir("fallback");
+        let mut cfg = config();
+        cfg.snapshot = crate::config::SnapshotConfig {
+            interval_ticks: 2,
+            directory: dir.to_str().unwrap().to_owned(),
+            retention: 3,
+        };
+        let mut engine = EnBlogueEngine::new(cfg.clone());
+        stream(&mut engine, 0..8, 4, &[&[1], &[2], &[1, 2]]);
+        let files = crate::snapshot::list_checkpoints(&dir).unwrap();
+        assert!(files.len() >= 2);
+
+        // Torn newest file (power loss truncation): fall back to the
+        // next-older checkpoint instead of failing the failover.
+        let newest = files.last().unwrap();
+        let raw = std::fs::read(newest).unwrap();
+        std::fs::write(newest, &raw[..raw.len() / 2]).unwrap();
+        let recovered = EnBlogueEngine::resume_latest(cfg.clone(), &dir).unwrap();
+        assert_eq!(recovered.metrics().restores, 1);
+        assert!(recovered.metrics().ticks_closed < engine.metrics().ticks_closed);
+
+        // Every file unreadable: the newest file's error surfaces.
+        for file in &files {
+            std::fs::write(file, b"garbage").unwrap();
+        }
+        assert!(matches!(
+            EnBlogueEngine::resume_latest(cfg, &dir),
+            Err(enblogue_types::EnBlogueError::SnapshotCorrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_config_drift_and_corruption() {
+        let dir = tmp_dir("reject");
+        let path = dir.join("state.snap");
+        let mut engine = EnBlogueEngine::new(config());
+        stream(&mut engine, 0..4, 3, &[&[1, 2]]);
+        engine.checkpoint(&path).unwrap();
+
+        // Config drift: a different window length must be refused.
+        let mut drifted = config();
+        drifted.window_ticks += 1;
+        assert!(matches!(
+            EnBlogueEngine::resume(drifted, &path),
+            Err(enblogue_types::EnBlogueError::SnapshotConfigMismatch(_))
+        ));
+
+        // Corruption: flip a payload byte — typed error, no panic.
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            EnBlogueEngine::resume(config(), &path),
+            Err(enblogue_types::EnBlogueError::SnapshotCorrupt(_))
+        ));
+
+        // Truncation mid-payload: also typed.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 3]).unwrap();
+        assert!(matches!(
+            EnBlogueEngine::resume(config(), &path),
+            Err(enblogue_types::EnBlogueError::SnapshotCorrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_checkpoint_stage_writes_prunes_and_recovers() {
+        let dir = tmp_dir("periodic");
+        let mut cfg = config();
+        cfg.snapshot = crate::config::SnapshotConfig {
+            interval_ticks: 3,
+            directory: dir.to_str().unwrap().to_owned(),
+            retention: 2,
+        };
+
+        let mut engine = EnBlogueEngine::new(cfg.clone());
+        stream(&mut engine, 0..10, 4, &[&[1], &[2], &[1, 2]]);
+        // Checkpoints at the 3rd/6th/9th closes (ticks 2, 5, 8);
+        // retention keeps the newest two.
+        let files = crate::snapshot::list_checkpoints(&dir).unwrap();
+        let names: Vec<String> =
+            files.iter().map(|p| p.file_name().unwrap().to_str().unwrap().to_owned()).collect();
+        assert_eq!(names, vec!["checkpoint-000000000005.snap", "checkpoint-000000000008.snap"]);
+        let m = engine.metrics();
+        assert_eq!(m.snapshots_taken, 3);
+        assert!(m.snapshot_bytes_written > 0);
+        assert_eq!(m.snapshot_failures, 0);
+
+        // The checkpointing run itself is semantically invisible.
+        let mut plain = EnBlogueEngine::new(config());
+        stream(&mut plain, 0..10, 4, &[&[1], &[2], &[1, 2]]);
+        assert_eq!(engine.latest_snapshot(), plain.latest_snapshot());
+
+        // Crash recovery from the newest file continues the stream.
+        let mut recovered = EnBlogueEngine::resume_latest(cfg, &dir).unwrap();
+        stream(&mut recovered, 9..12, 4, &[&[1], &[2], &[1, 2]]);
+        stream(&mut plain, 10..12, 4, &[&[1], &[2], &[1, 2]]);
+        // (`stream` re-feeds tick 9 to the recovered engine — it resumed
+        // at tick 8, so tick 9 is its next open tick.)
+        assert_eq!(recovered.latest_snapshot(), plain.latest_snapshot());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_latest_without_checkpoints_is_not_found() {
+        let dir = tmp_dir("empty");
+        assert!(matches!(
+            EnBlogueEngine::resume_latest(config(), &dir),
+            Err(enblogue_types::EnBlogueError::NotFound(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start after the already-closed tick")]
+    fn resumed_replay_rejects_pre_checkpoint_documents() {
+        let dir = tmp_dir("stale");
+        let path = dir.join("state.snap");
+        let mut engine = EnBlogueEngine::new(config());
+        stream(&mut engine, 0..4, 3, &[&[1, 2]]);
+        engine.checkpoint(&path).unwrap();
+        let mut resumed = EnBlogueEngine::resume(config(), &path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        // Tick 3 closed at checkpoint time; feeding it again must be
+        // rejected, not silently double-counted.
+        resumed.run_replay(&[doc(99, 3, &[1, 2])]);
     }
 
     #[test]

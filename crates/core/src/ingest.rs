@@ -41,6 +41,26 @@ impl IngestSink for ReplayIngest<'_> {
     }
 
     fn apply_batch(&mut self, docs: &[Document], partitioned: &PartitionedBatch) {
+        // Resume-then-tail-replay: on a pipeline restored from a
+        // checkpoint, the first batches arrive without the leading
+        // `close_through` a continuous plan would have scheduled — the
+        // planner only sees the tail. Close every tick an uninterrupted
+        // run would have closed before this batch (a still-open
+        // checkpoint tick included) first. For a pipeline that was never
+        // restored (or any batch after the first close) this is a no-op:
+        // the plan's own close ops keep the cursor one tick behind every
+        // batch.
+        if let Some(first) = docs.first() {
+            let tick = self.pipeline.config().tick_spec.tick_of(first.timestamp);
+            if let Some(closed) = self.pipeline.last_closed() {
+                assert!(
+                    tick > closed,
+                    "ingest tail must start after the already-closed tick {closed} (got {tick})"
+                );
+            }
+            let snapshots = &mut self.snapshots;
+            self.pipeline.close_gap_before(tick, |snapshot| snapshots.push(snapshot));
+        }
         self.pipeline.process_partitioned(docs, partitioned);
     }
 

@@ -81,10 +81,11 @@ pub mod personalization;
 pub mod pipeline;
 pub mod rankdiff;
 pub mod seeds;
+pub mod snapshot;
 pub mod stages;
 pub mod termwin;
 
-pub use config::{EnBlogueConfig, MeasureKind, SeedStrategy};
+pub use config::{EnBlogueConfig, MeasureKind, SeedStrategy, SnapshotConfig};
 pub use enblogue_types::RankingSnapshot;
 pub use engine::EnBlogueEngine;
 pub use ingest::ReplayIngest;
@@ -92,4 +93,5 @@ pub use notify::{PushBroker, RankingUpdate, Subscription};
 pub use pairs::{RebalanceConfig, RegistryStats, ShardedPairRegistry};
 pub use personalization::{PersonalizedRanking, UserProfile};
 pub use rankdiff::{diff as ranking_diff, kendall_tau, RankChange, RankingHistory};
+pub use snapshot::{latest_checkpoint, list_checkpoints, SnapshotStats, SNAPSHOT_VERSION};
 pub use stages::{EngineMetrics, StagePipeline, TickStage};

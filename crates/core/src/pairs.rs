@@ -28,11 +28,12 @@
 //! pure execution knobs, never semantic ones (pinned by
 //! `tests/stage_parity.rs`).
 
+use crate::snapshot::{corrupt, SnapReader, SnapWriter};
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_stream::exec::fanout;
 use enblogue_types::{
-    FxHashMap, FxHashSet, RoutingTable, SharedRouting, TagId, TagPair, Tick, Timestamp,
-    DEFAULT_SLOTS_PER_SHARD,
+    EnBlogueError, FxHashMap, FxHashSet, RoutingTable, SharedRouting, TagId, TagPair, Tick,
+    Timestamp, DEFAULT_SLOTS_PER_SHARD,
 };
 use enblogue_window::{
     DecayValue, KeyWindow, RingBuffer, ShardedWindowedCounter, TopK, WindowedCounter,
@@ -950,6 +951,204 @@ impl ShardedPairRegistry {
             self.shards.iter().flat_map(|s| s.states.keys().copied()).collect();
         keys.sort_unstable();
         keys
+    }
+
+    /// Serializes the registry's complete state — routing table + epoch,
+    /// rebalancer accumulators, every shard's tracked-pair states, and the
+    /// windowed counts *including observed-but-undiscovered keys* — into
+    /// `w` (see [`crate::snapshot`] for the framing). Map contents are
+    /// written in sorted key order so equal states produce equal bytes.
+    pub(crate) fn encode_snapshot(&self, w: &mut SnapWriter) {
+        let pool = self.shards.len();
+        w.usize(pool);
+        w.u64(self.table.epoch());
+        w.usize(self.table.slot_count());
+        for &store in self.table.assignment() {
+            w.u16(store);
+        }
+        w.opt_tick(self.last_attempt);
+        w.u64(self.rebalances);
+        w.u64(self.migrated_pairs);
+        for shard in &self.shards {
+            w.u64(shard.discovered);
+            w.u64(shard.evicted);
+            w.usize(shard.slot_obs.len());
+            for &obs in &shard.slot_obs {
+                w.u64(obs);
+            }
+            let mut current: Vec<u64> = shard.current.iter().copied().collect();
+            current.sort_unstable();
+            w.usize(current.len());
+            for packed in current {
+                w.u64(packed);
+            }
+            w.usize(shard.states.len());
+            for packed in shard.sorted_keys() {
+                let state = &shard.states[&packed];
+                w.u64(packed);
+                w.usize(state.history.len());
+                for &value in state.history.iter() {
+                    w.f64(value);
+                }
+                // `value_at(last_update)` reads the stored value with zero
+                // elapsed decay — the raw field, bit-for-bit.
+                w.f64(state.score.value_at(state.score.last_update()));
+                w.timestamp(state.score.last_update());
+                w.tick(state.last_support);
+                w.tick(state.since);
+            }
+        }
+        for counter in self.counts.shards() {
+            w.opt_tick(counter.newest_tick());
+            let per_tick = counter.per_tick_counts();
+            w.usize(per_tick.len());
+            for mut entries in per_tick {
+                entries.sort_unstable_by_key(|&(key, _)| key);
+                w.usize(entries.len());
+                for (key, count) in entries {
+                    w.u64(key);
+                    w.u64(count);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a registry from [`ShardedPairRegistry::encode_snapshot`]
+    /// output. The scalar parameters and the (pre-resolved) rebalance
+    /// policy come from the resuming configuration, which the caller has
+    /// already fingerprint-matched against the snapshot; structural
+    /// inconsistencies between the two still surface as typed errors,
+    /// never panics.
+    pub(crate) fn decode_snapshot(
+        r: &mut SnapReader<'_>,
+        shards: usize,
+        history_len: usize,
+        half_life_ms: u64,
+        min_pair_support: u64,
+        max_tracked_pairs: usize,
+        rebalance: RebalanceConfig,
+    ) -> Result<Self, EnBlogueError> {
+        let pool = r.seq(1)?;
+        if pool != shards {
+            return Err(EnBlogueError::SnapshotConfigMismatch(format!(
+                "snapshot has a pool of {pool} shard stores, configuration asks for {shards}"
+            )));
+        }
+        let epoch = r.u64()?;
+        let slots = r.seq(2)?;
+        if slots != shards * rebalance.slots_per_shard {
+            return Err(EnBlogueError::SnapshotConfigMismatch(format!(
+                "snapshot routing grid has {slots} slots, configuration implies {}",
+                shards * rebalance.slots_per_shard
+            )));
+        }
+        let mut assignment = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            let store = r.u16()?;
+            if store as usize >= pool {
+                return Err(corrupt(format!("slot assigned to store {store} outside the pool")));
+            }
+            assignment.push(store);
+        }
+        let table = RoutingTable::from_parts(pool, epoch, assignment);
+        let last_attempt = r.opt_tick()?;
+        let rebalances = r.u64()?;
+        let migrated_pairs = r.u64()?;
+
+        let params = PairParams {
+            history_len,
+            half_life_ms,
+            min_pair_support,
+            max_tracked_pairs,
+            slots: table.slot_count(),
+            track_load: rebalance.enabled && shards > 1,
+        };
+        let expected_obs = if params.track_load { params.slots } else { 0 };
+        let mut stores = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let mut shard = PairShard::new(params);
+            shard.discovered = r.u64()?;
+            shard.evicted = r.u64()?;
+            let obs_len = r.seq(8)?;
+            if obs_len != expected_obs {
+                return Err(corrupt(format!(
+                    "shard carries {obs_len} slot-load counters, expected {expected_obs}"
+                )));
+            }
+            for slot in 0..obs_len {
+                shard.slot_obs[slot] = r.u64()?;
+            }
+            let current = r.seq(8)?;
+            for _ in 0..current {
+                shard.current.insert(r.u64()?);
+            }
+            let states = r.seq(8)?;
+            for _ in 0..states {
+                let packed = r.u64()?;
+                let history_values = r.seq(8)?;
+                if history_values > history_len {
+                    return Err(corrupt(format!(
+                        "pair history of {history_values} values exceeds the {history_len}-tick window"
+                    )));
+                }
+                let mut history = RingBuffer::new(history_len);
+                for _ in 0..history_values {
+                    history.push(r.f64()?);
+                }
+                let score_value = r.f64()?;
+                let score_updated = r.timestamp()?;
+                let mut score = DecayValue::new(half_life_ms);
+                score.set(score_updated, score_value);
+                let last_support = r.tick()?;
+                let since = r.tick()?;
+                if shard
+                    .states
+                    .insert(packed, PairState { history, score, last_support, since })
+                    .is_some()
+                {
+                    return Err(corrupt(format!("pair {packed:#x} serialized twice")));
+                }
+            }
+            stores.push(shard);
+        }
+
+        let mut counters = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let newest = r.opt_tick()?;
+            let ticks = r.seq(8)?;
+            if ticks > history_len {
+                return Err(corrupt(format!(
+                    "counter holds {ticks} tick maps, window spans {history_len}"
+                )));
+            }
+            if newest.is_none() && ticks > 0 {
+                return Err(corrupt("tick maps without a newest tick"));
+            }
+            let mut per_tick = Vec::with_capacity(ticks);
+            for _ in 0..ticks {
+                let entries = r.seq(16)?;
+                let mut map = Vec::with_capacity(entries);
+                for _ in 0..entries {
+                    let key = r.u64()?;
+                    let count = r.u64()?;
+                    map.push((key, count));
+                }
+                per_tick.push(map);
+            }
+            counters.push(WindowedCounter::from_per_tick_counts(history_len, newest, per_tick));
+        }
+
+        Ok(ShardedPairRegistry {
+            shards: stores,
+            counts: ShardedWindowedCounter::from_shards(counters),
+            params,
+            rebalance,
+            routing: SharedRouting::new(table.clone()),
+            table: Arc::new(table),
+            last_attempt,
+            rebalances,
+            migrated_pairs,
+        })
     }
 }
 

@@ -7,7 +7,8 @@
 //! sliding-window average on the document stream." (§3(i))
 
 use crate::config::SeedStrategy;
-use enblogue_types::{FxHashMap, FxHashSet, TagId, Tick};
+use crate::snapshot::{corrupt, SnapReader, SnapWriter};
+use enblogue_types::{EnBlogueError, FxHashMap, FxHashSet, TagId, Tick};
 use enblogue_window::{SlidingStats, SpaceSaving, WindowedCounter};
 
 /// Tracks per-tag statistics and selects the seed set at each tick close.
@@ -101,6 +102,162 @@ impl SeedTracker {
         }
         self.current.clear();
         self.select()
+    }
+
+    /// Serializes the tracker's complete state — windowed counts,
+    /// volatility histories (with their *running* float sums, restored
+    /// verbatim), the Space-Saving sketch, and open-tick counts — into
+    /// `w` (sorted key order; see [`crate::snapshot`]).
+    pub(crate) fn encode_snapshot(&self, w: &mut SnapWriter) {
+        w.opt_tick(self.counts.newest_tick());
+        let per_tick = self.counts.per_tick_counts();
+        w.usize(per_tick.len());
+        for mut entries in per_tick {
+            entries.sort_unstable_by_key(|&(tag, _)| tag);
+            w.usize(entries.len());
+            for (tag, count) in entries {
+                w.tag(tag);
+                w.u64(count);
+            }
+        }
+        let mut volatility: Vec<(TagId, &SlidingStats)> =
+            self.volatility.iter().map(|(&t, s)| (t, s)).collect();
+        volatility.sort_unstable_by_key(|&(t, _)| t);
+        w.usize(volatility.len());
+        for (tag, stats) in volatility {
+            w.tag(tag);
+            w.usize(stats.len());
+            for value in stats.values() {
+                w.f64(value);
+            }
+            let (sum, sum_sq) = stats.sums();
+            w.f64(sum);
+            w.f64(sum_sq);
+        }
+        match &self.sketch {
+            Some(sketch) => {
+                w.u8(1);
+                w.u64(sketch.total());
+                let entries = sketch.entries();
+                w.usize(entries.len());
+                for (tag, count, error) in entries {
+                    w.tag(tag);
+                    w.u64(count);
+                    w.u64(error);
+                }
+            }
+            None => w.u8(0),
+        }
+        let mut current: Vec<(TagId, u64)> = self.current.iter().map(|(&t, &c)| (t, c)).collect();
+        current.sort_unstable_by_key(|&(t, _)| t);
+        w.usize(current.len());
+        for (tag, count) in current {
+            w.tag(tag);
+            w.u64(count);
+        }
+    }
+
+    /// Rebuilds a tracker from [`SeedTracker::encode_snapshot`] output
+    /// under the resuming configuration's seed parameters.
+    pub(crate) fn decode_snapshot(
+        r: &mut SnapReader<'_>,
+        strategy: SeedStrategy,
+        seed_count: usize,
+        min_seed_count: u64,
+        window_ticks: usize,
+    ) -> Result<Self, EnBlogueError> {
+        let newest = r.opt_tick()?;
+        let ticks = r.seq(8)?;
+        if ticks > window_ticks {
+            return Err(corrupt(format!(
+                "seed counter holds {ticks} tick maps, window spans {window_ticks}"
+            )));
+        }
+        if newest.is_none() && ticks > 0 {
+            return Err(corrupt("seed tick maps without a newest tick"));
+        }
+        let mut per_tick = Vec::with_capacity(ticks);
+        for _ in 0..ticks {
+            let entries = r.seq(12)?;
+            let mut map = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                let tag = r.tag()?;
+                let count = r.u64()?;
+                map.push((tag, count));
+            }
+            per_tick.push(map);
+        }
+        let counts = WindowedCounter::from_per_tick_counts(window_ticks, newest, per_tick);
+
+        let mut volatility = FxHashMap::default();
+        let vol_entries = r.seq(20)?;
+        for _ in 0..vol_entries {
+            let tag = r.tag()?;
+            let values = r.seq(8)?;
+            if values > window_ticks {
+                return Err(corrupt(format!(
+                    "volatility history of {values} values exceeds the {window_ticks}-tick window"
+                )));
+            }
+            let mut history = Vec::with_capacity(values);
+            for _ in 0..values {
+                history.push(r.f64()?);
+            }
+            let sum = r.f64()?;
+            let sum_sq = r.f64()?;
+            volatility.insert(tag, SlidingStats::from_parts(window_ticks, history, sum, sum_sq));
+        }
+
+        let sketch = match r.u8()? {
+            0 => None,
+            1 => {
+                let SeedStrategy::SketchPopularity { capacity } = strategy else {
+                    return Err(EnBlogueError::SnapshotConfigMismatch(
+                        "snapshot carries a seed sketch but the strategy uses exact counts".into(),
+                    ));
+                };
+                let total = r.u64()?;
+                let entries = r.seq(20)?;
+                if entries > capacity {
+                    return Err(corrupt(format!(
+                        "sketch monitors {entries} tags, capacity is {capacity}"
+                    )));
+                }
+                let mut monitored = Vec::with_capacity(entries);
+                for _ in 0..entries {
+                    let tag = r.tag()?;
+                    let count = r.u64()?;
+                    let error = r.u64()?;
+                    monitored.push((tag, count, error));
+                }
+                Some(SpaceSaving::from_parts(capacity, total, monitored))
+            }
+            tag => return Err(corrupt(format!("invalid sketch tag {tag}"))),
+        };
+        if sketch.is_none() && matches!(strategy, SeedStrategy::SketchPopularity { .. }) {
+            return Err(EnBlogueError::SnapshotConfigMismatch(
+                "sketch-popularity strategy resumed from a snapshot without a sketch".into(),
+            ));
+        }
+
+        let mut current = FxHashMap::default();
+        let open = r.seq(12)?;
+        for _ in 0..open {
+            let tag = r.tag()?;
+            let count = r.u64()?;
+            current.insert(tag, count);
+        }
+
+        Ok(SeedTracker {
+            strategy,
+            seed_count,
+            min_seed_count,
+            counts,
+            volatility,
+            sketch,
+            current,
+            window_ticks,
+        })
     }
 
     /// Selects the seed set from current statistics.

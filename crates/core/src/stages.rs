@@ -26,14 +26,19 @@
 use crate::config::{EnBlogueConfig, MeasureKind};
 use crate::pairs::{ShardedPairRegistry, TrackedPairInfo};
 use crate::seeds::SeedTracker;
+use crate::snapshot::{self, checkpoint_file_name, corrupt, SnapReader, SnapWriter, SnapshotStats};
 use crate::termwin::WindowedTermDists;
 use enblogue_ingest::partition::{
     annotations_of, for_each_pair, partition_docs, PartitionSpec, PartitionedBatch,
 };
 use enblogue_stats::correlation::PairCounts;
 use enblogue_stats::shift::ShiftScorer;
-use enblogue_types::{Document, FxHashSet, RankingSnapshot, TagId, TagPair, Tick, Timestamp};
+use enblogue_types::{
+    Document, EnBlogueError, FxHashSet, RankingSnapshot, TagId, TagPair, Tick, Timestamp,
+};
 use enblogue_window::TickSeries;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Pipeline run-time counters (the engine's public metrics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +65,17 @@ pub struct EngineMetrics {
     pub rebalances: u64,
     /// Pair states migrated between shard stores.
     pub pairs_migrated: u64,
+    /// Checkpoints written by this process (stage hook + explicit API).
+    pub snapshots_taken: u64,
+    /// Snapshot bytes written by this process (framing included).
+    pub snapshot_bytes_written: u64,
+    /// Checkpoint writes that failed (counted, never panicking — a full
+    /// disk must not take the stream down with it).
+    pub snapshot_failures: u64,
+    /// Snapshots this pipeline was restored from (0 or 1).
+    pub restores: u64,
+    /// Wall-clock microseconds the restore took (0 if never restored).
+    pub restore_micros: u64,
 }
 
 /// The state shared by all stages of one pipeline.
@@ -82,6 +98,14 @@ pub struct PipelineState {
     pub(crate) latest: Option<RankingSnapshot>,
     pub(crate) docs_processed: u64,
     pub(crate) ticks_closed: u64,
+    /// Snapshot activity counters (process-local: deliberately *not*
+    /// serialized — a resumed pipeline starts them fresh, with `restores`
+    /// recording the resume itself).
+    pub(crate) snapshots_taken: u64,
+    pub(crate) snapshot_bytes: u64,
+    pub(crate) snapshot_failures: u64,
+    pub(crate) restores: u64,
+    pub(crate) restore_micros: u64,
 }
 
 impl PipelineState {
@@ -116,6 +140,11 @@ impl PipelineState {
             latest: None,
             docs_processed: 0,
             ticks_closed: 0,
+            snapshots_taken: 0,
+            snapshot_bytes: 0,
+            snapshot_failures: 0,
+            restores: 0,
+            restore_micros: 0,
             config,
         }
     }
@@ -155,7 +184,171 @@ impl PipelineState {
             routing_epoch: registry_stats.routing_epoch,
             rebalances: registry_stats.rebalances,
             pairs_migrated: registry_stats.migrated_pairs,
+            snapshots_taken: self.snapshots_taken,
+            snapshot_bytes_written: self.snapshot_bytes,
+            snapshot_failures: self.snapshot_failures,
+            restores: self.restores,
+            restore_micros: self.restore_micros,
         }
+    }
+
+    /// Serializes the complete pipeline state plus the host's tick
+    /// cursors into a snapshot payload (see [`crate::snapshot`] for the
+    /// framing and section order).
+    pub(crate) fn encode_snapshot(
+        &self,
+        last_closed: Option<Tick>,
+        first_open: Option<Tick>,
+    ) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(snapshot::config_fingerprint(&self.config));
+        w.opt_tick(last_closed);
+        w.opt_tick(first_open);
+        w.u64(self.docs_processed);
+        w.u64(self.ticks_closed);
+        let mut seeds: Vec<TagId> = self.seeds.iter().copied().collect();
+        seeds.sort_unstable();
+        w.usize(seeds.len());
+        for seed in seeds {
+            w.tag(seed);
+        }
+        match &self.latest {
+            Some(latest) => {
+                w.u8(1);
+                w.tick(latest.tick);
+                w.timestamp(latest.time);
+                w.usize(latest.ranked.len());
+                for &(pair, score) in &latest.ranked {
+                    w.u64(pair.packed());
+                    w.f64(score);
+                }
+            }
+            None => w.u8(0),
+        }
+        w.opt_tick(self.doc_series.newest_tick());
+        w.usize(self.doc_series.len());
+        for value in self.doc_series.values() {
+            w.f64(value);
+        }
+        w.f64(self.doc_series.sum());
+        self.seed_tracker.encode_snapshot(&mut w);
+        match &self.term_dists {
+            Some(term_dists) => {
+                w.u8(1);
+                term_dists.encode_snapshot(&mut w);
+            }
+            None => w.u8(0),
+        }
+        self.registry.encode_snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds pipeline state (and the host's tick cursors) from a
+    /// payload produced by [`PipelineState::encode_snapshot`], under
+    /// `config` — which must fingerprint-match the checkpointing
+    /// configuration (every knob except the snapshot section itself).
+    pub(crate) fn decode_snapshot(
+        config: EnBlogueConfig,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(Self, Option<Tick>, Option<Tick>), EnBlogueError> {
+        config.validate()?;
+        let fingerprint = r.u64()?;
+        if fingerprint != snapshot::config_fingerprint(&config) {
+            return Err(EnBlogueError::SnapshotConfigMismatch(
+                "the snapshot was taken under a different engine configuration; resume with the \
+                 exact configuration that produced it (the snapshot section itself may differ)"
+                    .into(),
+            ));
+        }
+        let last_closed = r.opt_tick()?;
+        let first_open = r.opt_tick()?;
+        let docs_processed = r.u64()?;
+        let ticks_closed = r.u64()?;
+        let seed_count = r.seq(4)?;
+        let mut seeds = FxHashSet::default();
+        for _ in 0..seed_count {
+            seeds.insert(r.tag()?);
+        }
+        let latest = match r.u8()? {
+            0 => None,
+            1 => {
+                let tick = r.tick()?;
+                let time = r.timestamp()?;
+                let ranked_len = r.seq(16)?;
+                let mut ranked = Vec::with_capacity(ranked_len);
+                for _ in 0..ranked_len {
+                    let packed = r.u64()?;
+                    let score = r.f64()?;
+                    ranked.push((TagPair::from_packed(packed), score));
+                }
+                Some(RankingSnapshot { tick, time, ranked })
+            }
+            tag => return Err(corrupt(format!("invalid snapshot-presence tag {tag}"))),
+        };
+        let doc_newest = r.opt_tick()?;
+        let doc_values_len = r.seq(8)?;
+        if doc_values_len > config.window_ticks {
+            return Err(corrupt(format!(
+                "document series holds {doc_values_len} values, window spans {}",
+                config.window_ticks
+            )));
+        }
+        if doc_newest.is_none() && doc_values_len > 0 {
+            return Err(corrupt("document series values without a newest tick"));
+        }
+        let mut doc_values = Vec::with_capacity(doc_values_len);
+        for _ in 0..doc_values_len {
+            doc_values.push(r.f64()?);
+        }
+        let doc_sum = r.f64()?;
+        let doc_series =
+            TickSeries::from_parts(config.window_ticks, doc_newest, doc_values, doc_sum);
+        let seed_tracker = SeedTracker::decode_snapshot(
+            r,
+            config.seed_strategy,
+            config.seed_count,
+            config.min_seed_count,
+            config.window_ticks,
+        )?;
+        let term_dists = match (r.u8()?, config.measure) {
+            (1, MeasureKind::JsDivergence) => {
+                Some(WindowedTermDists::decode_snapshot(r, config.window_ticks)?)
+            }
+            (0, MeasureKind::Set(_)) => None,
+            (0 | 1, _) => {
+                return Err(EnBlogueError::SnapshotConfigMismatch(
+                    "term-distribution state does not match the configured measure".into(),
+                ))
+            }
+            (tag, _) => return Err(corrupt(format!("invalid term-dists tag {tag}"))),
+        };
+        let registry = ShardedPairRegistry::decode_snapshot(
+            r,
+            config.shards,
+            config.window_ticks,
+            config.half_life_ms,
+            config.min_pair_support,
+            config.max_tracked_pairs,
+            config.rebalance.resolved(config.shards, config.parallel_close),
+        )?;
+        let state = PipelineState {
+            seed_tracker,
+            registry,
+            scorer: ShiftScorer::new(config.predictor, config.normalization),
+            doc_series,
+            term_dists,
+            seeds,
+            latest,
+            docs_processed,
+            ticks_closed,
+            snapshots_taken: 0,
+            snapshot_bytes: 0,
+            snapshot_failures: 0,
+            restores: 0,
+            restore_micros: 0,
+            config,
+        };
+        Ok((state, last_closed, first_open))
     }
 }
 
@@ -370,6 +563,43 @@ impl TickStage for RankEmitStage {
     }
 }
 
+/// The checkpoint stage: periodically serializes the full pipeline state
+/// to disk at tick close (mounted after `rank-emit` when
+/// [`crate::config::SnapshotConfig`] is enabled, so the written snapshot
+/// contains the tick's finished ranking).
+///
+/// Failures are counted ([`EngineMetrics::snapshot_failures`]), never
+/// raised: a transiently full disk must not take a continuously running
+/// stream down, and the previous checkpoint is still on disk (writes are
+/// atomic temp-file + rename).
+pub struct CheckpointStage;
+
+impl TickStage for CheckpointStage {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn on_close(&mut self, state: &mut PipelineState, tick: Tick, _now: Timestamp) {
+        let interval = state.config.snapshot.interval_ticks;
+        if interval == 0 || !state.ticks_closed.is_multiple_of(interval) {
+            return;
+        }
+        let dir = PathBuf::from(&state.config.snapshot.directory);
+        let retention = state.config.snapshot.retention;
+        // This stage runs inside `close_tick`, so the closing tick *is*
+        // the cursor (and `first_open` is moot once a tick is closed).
+        let payload = state.encode_snapshot(Some(tick), None);
+        match snapshot::write_snapshot_file(&dir.join(checkpoint_file_name(tick)), &payload) {
+            Ok(bytes) => {
+                state.snapshots_taken += 1;
+                state.snapshot_bytes += bytes;
+                snapshot::prune_checkpoints(&dir, retention);
+            }
+            Err(_) => state.snapshot_failures += 1,
+        }
+    }
+}
+
 /// The shared driver: feeds documents to every stage and closes ticks
 /// through the ordered stage list.
 ///
@@ -404,12 +634,22 @@ impl StagePipeline {
     /// Panics if the configuration is invalid (use
     /// [`EnBlogueConfig::builder`] to get a validated one).
     pub fn new(config: EnBlogueConfig) -> Self {
+        Self::assemble(PipelineState::new(config), None, None)
+    }
+
+    /// Builds a pipeline around prepared state: the standard stages, plus
+    /// the checkpoint stage when the configuration enables it.
+    fn assemble(state: PipelineState, last_closed: Option<Tick>, first_open: Option<Tick>) -> Self {
+        let mut stages = Self::standard_stages();
+        if state.config.snapshot.enabled() {
+            stages.push(Box::new(CheckpointStage));
+        }
         StagePipeline {
-            state: PipelineState::new(config),
-            stages: Self::standard_stages(),
+            state,
+            stages,
             annotation_buf: Vec::with_capacity(16),
-            last_closed: None,
-            first_open: None,
+            last_closed,
+            first_open,
             stale_repartitions: 0,
         }
     }
@@ -590,14 +830,44 @@ impl StagePipeline {
         }
     }
 
+    /// Closes every tick an uninterrupted stream would have closed before
+    /// feeding a document of `tick`: from the current cursor — the last
+    /// closed tick, or the first *open* tick when nothing has closed yet
+    /// (a pipeline fed mid-tick, or restored from a mid-tick checkpoint)
+    /// — up to `tick - 1`, calling `emit` per snapshot. A no-op when the
+    /// cursor is already caught up or nothing has been fed at all.
+    pub fn close_gap_before(&mut self, tick: Tick, emit: impl FnMut(RankingSnapshot)) {
+        if let Some(floor) = self.last_closed.or(self.first_open) {
+            if tick > floor {
+                self.close_through(tick.prev(), emit);
+            }
+        }
+    }
+
     /// Replays a timestamp-sorted document slice, closing every tick in
     /// sequence (including empty gap ticks). Returns one snapshot per
     /// closed tick.
+    ///
+    /// On a pipeline that has already seen the stream's head — ticks
+    /// closed, or an open tick fed mid-way; in particular one restored
+    /// from a checkpoint — the replay continues from the cursor: every
+    /// tick an uninterrupted run would have closed before the first tail
+    /// document is closed first (including a still-open checkpoint tick),
+    /// and documents at or before an already-*closed* tick are rejected
+    /// (they were already counted before the checkpoint).
     pub fn run_replay(&mut self, docs: &[Document]) -> Vec<RankingSnapshot> {
         let mut snapshots = Vec::new();
-        let mut open: Option<Tick> = None;
+        let closed_floor = self.last_closed;
+        let mut open: Option<Tick> = self.last_closed.or(self.first_open);
+        let mut fed = false;
         for doc in docs {
             let tick = self.state.config.tick_spec.tick_of(doc.timestamp);
+            if let Some(floor) = closed_floor {
+                assert!(
+                    tick > floor,
+                    "run_replay tail must start after the already-closed tick {floor} (got {tick})"
+                );
+            }
             if let Some(current) = open {
                 assert!(tick >= current, "run_replay requires timestamp-sorted documents");
                 if tick > current {
@@ -605,12 +875,71 @@ impl StagePipeline {
                 }
             }
             open = Some(tick);
+            fed = true;
             self.process_doc(doc);
         }
-        if let Some(current) = open {
-            self.close_through(current, |snapshot| snapshots.push(snapshot));
+        if fed {
+            if let Some(current) = open {
+                self.close_through(current, |snapshot| snapshots.push(snapshot));
+            }
         }
         snapshots
+    }
+
+    /// The most recently closed tick — the resume cursor: a pipeline
+    /// restored from a checkpoint reports the checkpoint's tick here, and
+    /// tail replays continue from the next one.
+    pub fn last_closed(&self) -> Option<Tick> {
+        self.last_closed
+    }
+
+    /// Serializes the complete pipeline state to `path` (atomic write;
+    /// see [`crate::snapshot`] for the format). Valid at any point, not
+    /// just tick boundaries — open-tick observations are part of the
+    /// state and travel along.
+    ///
+    /// # Errors
+    /// Surfaces filesystem failures as
+    /// [`EnBlogueError::SnapshotIo`]; the pipeline is untouched either
+    /// way (checkpointing is read-only on engine state).
+    pub fn checkpoint_to(&mut self, path: &Path) -> Result<SnapshotStats, EnBlogueError> {
+        let started = Instant::now();
+        let payload = self.state.encode_snapshot(self.last_closed, self.first_open);
+        let bytes = snapshot::write_snapshot_file(path, &payload)?;
+        self.state.snapshots_taken += 1;
+        self.state.snapshot_bytes += bytes;
+        Ok(SnapshotStats {
+            path: path.to_path_buf(),
+            bytes,
+            write_micros: started.elapsed().as_micros() as u64,
+            tracked_pairs: self.state.registry.len(),
+            tick: self.last_closed,
+        })
+    }
+
+    /// Restores a pipeline from a snapshot file, verifying the frame
+    /// (magic, version, length, checksum) and that `config` fingerprints
+    /// to the checkpointing configuration. The restored pipeline
+    /// continues exactly where the checkpoint left off: feed the tail of
+    /// the stream (documents after the checkpoint tick) and rankings are
+    /// byte-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    /// [`EnBlogueError::SnapshotIo`] for filesystem failures,
+    /// [`EnBlogueError::SnapshotCorrupt`] /
+    /// [`EnBlogueError::SnapshotVersionMismatch`] for malformed files,
+    /// [`EnBlogueError::SnapshotConfigMismatch`] when `config` differs
+    /// from the checkpointing configuration, and configuration validation
+    /// errors as usual.
+    pub fn resume_from(config: EnBlogueConfig, path: &Path) -> Result<Self, EnBlogueError> {
+        let started = Instant::now();
+        let payload = snapshot::read_snapshot_payload(path)?;
+        let mut r = SnapReader::new(&payload);
+        let (mut state, last_closed, first_open) = PipelineState::decode_snapshot(config, &mut r)?;
+        r.finish()?;
+        state.restores = 1;
+        state.restore_micros = started.elapsed().as_micros() as u64;
+        Ok(Self::assemble(state, last_closed, first_open))
     }
 
     /// The most recent ranking, if any tick has been closed.
@@ -706,6 +1035,50 @@ mod tests {
             pipeline.stage_names(),
             vec!["seed-select", "term-window", "pair-count", "shift-score", "rank-emit"]
         );
+    }
+
+    #[test]
+    fn checkpoint_stage_mounts_only_when_configured() {
+        let mut cfg = config(1, false);
+        cfg.snapshot = crate::config::SnapshotConfig {
+            interval_ticks: 4,
+            directory: std::env::temp_dir()
+                .join(format!("enblogue-stage-mount-{}", std::process::id()))
+                .to_str()
+                .unwrap()
+                .to_owned(),
+            retention: 1,
+        };
+        let pipeline = StagePipeline::new(cfg);
+        assert_eq!(
+            pipeline.stage_names(),
+            vec![
+                "seed-select",
+                "term-window",
+                "pair-count",
+                "shift-score",
+                "rank-emit",
+                "checkpoint"
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_checkpoint_writes_are_counted_not_raised() {
+        let mut cfg = config(1, false);
+        // A directory that cannot be created (parent is a file).
+        cfg.snapshot = crate::config::SnapshotConfig {
+            interval_ticks: 1,
+            directory: "/dev/null/not-a-directory".into(),
+            retention: 1,
+        };
+        let mut pipeline = StagePipeline::new(cfg);
+        pipeline.process_doc(&doc(1, 0, &[1, 2]));
+        pipeline.close_tick(Tick(0));
+        let metrics = pipeline.metrics();
+        assert_eq!(metrics.snapshot_failures, 1, "the write failed");
+        assert_eq!(metrics.snapshots_taken, 0);
+        assert_eq!(metrics.ticks_closed, 1, "the stream keeps running");
     }
 
     #[test]

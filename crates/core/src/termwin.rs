@@ -12,8 +12,9 @@
 //! [`crate::config::MeasureKind::JsDivergence`] — the per-document cost is
 //! `O(tags × terms)` and pointless otherwise.
 
+use crate::snapshot::{corrupt, SnapReader, SnapWriter};
 use enblogue_stats::divergence::TermDistribution;
-use enblogue_types::{Document, FxHashMap, TagId, Tick};
+use enblogue_types::{Document, EnBlogueError, FxHashMap, TagId, Tick};
 use std::collections::VecDeque;
 
 /// Per-tag term distributions over a sliding window of ticks.
@@ -139,6 +140,57 @@ impl WindowedTermDists {
     /// Number of tags with live distributions.
     pub fn tracked_tags(&self) -> usize {
         self.totals.len()
+    }
+
+    /// Serializes the windowed distributions into `w`: the per-tick
+    /// contribution logs (already in deterministic append order) plus the
+    /// newest tick. The aggregated totals are *not* written — they are
+    /// exact integer sums of the logs and are rebuilt on decode.
+    pub(crate) fn encode_snapshot(&self, w: &mut SnapWriter) {
+        w.opt_tick(self.newest_tick);
+        w.usize(self.ticks.len());
+        for log in &self.ticks {
+            w.usize(log.len());
+            for &(tag, term, count) in log {
+                w.tag(tag);
+                w.tag(term);
+                w.u32(count);
+            }
+        }
+    }
+
+    /// Rebuilds windowed distributions from
+    /// [`WindowedTermDists::encode_snapshot`] output, replaying the logs
+    /// into fresh totals (integer-exact).
+    pub(crate) fn decode_snapshot(
+        r: &mut SnapReader<'_>,
+        window_ticks: usize,
+    ) -> Result<Self, EnBlogueError> {
+        let newest_tick = r.opt_tick()?;
+        let ticks = r.seq(8)?;
+        if ticks > window_ticks {
+            return Err(corrupt(format!(
+                "term window holds {ticks} tick logs, window spans {window_ticks}"
+            )));
+        }
+        if newest_tick.is_none() && ticks > 0 {
+            return Err(corrupt("term-window tick logs without a newest tick"));
+        }
+        let mut dists = WindowedTermDists::new(window_ticks);
+        dists.newest_tick = newest_tick;
+        for _ in 0..ticks {
+            let entries = r.seq(12)?;
+            let mut log = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                let tag = r.tag()?;
+                let term = r.tag()?;
+                let count = r.u32()?;
+                dists.totals.entry(tag).or_default().add(term, count as u64);
+                log.push((tag, term, count));
+            }
+            dists.ticks.push_back(log);
+        }
+        Ok(dists)
     }
 }
 

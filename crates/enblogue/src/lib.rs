@@ -107,7 +107,7 @@ pub use enblogue_window as window;
 
 /// The names most applications need.
 pub mod prelude {
-    pub use enblogue_core::config::{EnBlogueConfig, MeasureKind, SeedStrategy};
+    pub use enblogue_core::config::{EnBlogueConfig, MeasureKind, SeedStrategy, SnapshotConfig};
     pub use enblogue_core::engine::{EnBlogueEngine, EngineMetrics};
     pub use enblogue_core::ingest::ReplayIngest;
     pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
@@ -120,6 +120,7 @@ pub mod prelude {
     pub use enblogue_core::rankdiff::{
         diff as ranking_diff, kendall_tau, RankChange, RankingHistory,
     };
+    pub use enblogue_core::snapshot::{latest_checkpoint, list_checkpoints, SnapshotStats};
     pub use enblogue_core::stages::{StagePipeline, TickStage};
     pub use enblogue_entity::gazetteer::{Gazetteer, GazetteerBuilder};
     pub use enblogue_entity::ontology::{Ontology, OntologyBuilder};

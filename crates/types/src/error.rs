@@ -24,6 +24,24 @@ pub enum EnBlogueError {
     NotFound(String),
     /// A stream source failed to produce items.
     SourceError(String),
+    /// A snapshot file is unreadable as a snapshot: truncated, checksum
+    /// mismatch, bad magic, or structurally malformed. Restores must
+    /// surface this instead of panicking — a half-written checkpoint from
+    /// a crash is exactly the input the restore path exists for.
+    SnapshotCorrupt(String),
+    /// A snapshot was written by an incompatible format version.
+    SnapshotVersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// A snapshot was taken under a different engine configuration than
+    /// the one offered for resume (restored state is only meaningful under
+    /// the exact semantic and execution parameters it was built with).
+    SnapshotConfigMismatch(String),
+    /// Filesystem I/O failed while writing or reading a snapshot.
+    SnapshotIo(String),
 }
 
 impl EnBlogueError {
@@ -42,6 +60,17 @@ impl fmt::Display for EnBlogueError {
             EnBlogueError::PlanError(msg) => write!(f, "operator plan error: {msg}"),
             EnBlogueError::NotFound(what) => write!(f, "not found: {what}"),
             EnBlogueError::SourceError(msg) => write!(f, "stream source error: {msg}"),
+            EnBlogueError::SnapshotCorrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            EnBlogueError::SnapshotVersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "snapshot version mismatch: file has v{found}, this build reads v{supported}"
+                )
+            }
+            EnBlogueError::SnapshotConfigMismatch(msg) => {
+                write!(f, "snapshot configuration mismatch: {msg}")
+            }
+            EnBlogueError::SnapshotIo(msg) => write!(f, "snapshot i/o error: {msg}"),
         }
     }
 }

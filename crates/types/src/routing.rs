@@ -78,6 +78,27 @@ impl RoutingTable {
         RoutingTable::uniform(shards, shards * DEFAULT_SLOTS_PER_SHARD)
     }
 
+    /// Rehydrates a table from dehydrated parts — the snapshot seam: a
+    /// restored registry resumes under the exact epoch it checkpointed,
+    /// not epoch 0 (in-flight consumers detect staleness by epoch, so the
+    /// counter must survive restarts).
+    ///
+    /// # Panics
+    /// Panics under the same invariants as [`RoutingTable::uniform`] /
+    /// [`RoutingTable::reassigned`]: a positive pool within `u16`
+    /// indices, at least one slot per shard, and every assignment entry
+    /// inside the pool.
+    pub fn from_parts(shards: usize, epoch: u64, assignment: Vec<u16>) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(shards <= u16::MAX as usize, "shard pool exceeds u16 indices");
+        assert!(assignment.len() >= shards, "need at least one slot per shard");
+        assert!(
+            assignment.iter().all(|&s| (s as usize) < shards),
+            "assignment targets a shard outside the pool"
+        );
+        RoutingTable { assignment, shards, epoch }
+    }
+
     /// The successor epoch carrying a new slot → shard assignment.
     ///
     /// # Panics

@@ -188,6 +188,46 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
         }
     }
 
+    /// Exports the per-tick count maps, oldest → newest — the counter's
+    /// full dehydrated state for snapshot/restore (see
+    /// [`WindowedCounter::from_per_tick_counts`]). Inner vectors are in
+    /// map order; serializers that need stable bytes sort them by key.
+    pub fn per_tick_counts(&self) -> Vec<Vec<(K, u64)>> {
+        self.ticks.iter().map(|map| map.iter().map(|(&k, &v)| (k, v)).collect()).collect()
+    }
+
+    /// Rehydrates a counter from [`WindowedCounter::per_tick_counts`]
+    /// output plus the newest tick. Totals are rebuilt exactly (integer
+    /// sums), so a round-trip preserves every windowed count bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `window_ticks` is zero, more tick maps than the window
+    /// are supplied, or tick maps exist without a newest tick.
+    pub fn from_per_tick_counts(
+        window_ticks: usize,
+        newest_tick: Option<Tick>,
+        per_tick: Vec<Vec<(K, u64)>>,
+    ) -> Self {
+        assert!(per_tick.len() <= window_ticks, "more tick maps than the window holds");
+        assert!(
+            newest_tick.is_some() || per_tick.is_empty(),
+            "tick maps require a newest tick to anchor them"
+        );
+        let mut counter = WindowedCounter::new(window_ticks);
+        counter.newest_tick = newest_tick;
+        for entries in per_tick {
+            let mut map = FxHashMap::default();
+            for (key, count) in entries {
+                if count > 0 {
+                    *map.entry(key).or_insert(0) += count;
+                    *counter.totals.entry(key).or_insert(0) += count;
+                }
+            }
+            counter.ticks.push_back(map);
+        }
+        counter
+    }
+
     /// Merges an extracted window series into this counter — the receiver
     /// half of a shard migration. Counts land in the tick slots they came
     /// from (series entries older than this counter's window expire).

@@ -50,6 +50,23 @@ impl<K: Eq + Hash + Copy> ShardedWindowedCounter<K> {
         &mut self.shards
     }
 
+    /// Read access to the per-shard counters (index = shard) — the
+    /// snapshot seam: serializers walk each shard's windowed state.
+    pub fn shards(&self) -> &[WindowedCounter<K>] {
+        &self.shards
+    }
+
+    /// Reassembles a sharded counter from per-shard counters restored via
+    /// [`WindowedCounter::from_per_tick_counts`]. The caller owns routing
+    /// consistency, exactly as with [`ShardedWindowedCounter::increment`].
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn from_shards(shards: Vec<WindowedCounter<K>>) -> Self {
+        assert!(!shards.is_empty(), "shard count must be positive");
+        ShardedWindowedCounter { shards }
+    }
+
     /// The windowed count of `key`, which must be routed to `shard_index`.
     pub fn count(&self, shard_index: usize, key: K) -> u64 {
         self.shards[shard_index].count(key)

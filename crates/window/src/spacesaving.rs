@@ -53,7 +53,10 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
     }
 
     /// Observes `by` occurrences of `key`.
-    pub fn add(&mut self, key: K, by: u64) {
+    pub fn add(&mut self, key: K, by: u64)
+    where
+        K: Ord,
+    {
         self.total += by;
         if let Some((count, _)) = self.counters.get_mut(&key) {
             *count += by;
@@ -64,11 +67,14 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
             return;
         }
         // Evict the minimum counter; the newcomer inherits its count as
-        // error bound (classic Space-Saving replacement).
+        // error bound (classic Space-Saving replacement). Ties break on
+        // the smallest key, not map order, so the summary is a pure
+        // function of the observation sequence — a snapshot-restored map
+        // (different layout, same contents) evicts identically.
         let (&min_key, &(min_count, _)) = self
             .counters
             .iter()
-            .min_by_key(|(_, (count, _))| *count)
+            .min_by_key(|(&key, &(count, _))| (count, key))
             .expect("non-empty at capacity");
         self.counters.remove(&min_key);
         self.counters.insert(key, (min_count + by, min_count));
@@ -76,7 +82,10 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
 
     /// Observes one occurrence of `key`.
     #[inline]
-    pub fn increment(&mut self, key: K) {
+    pub fn increment(&mut self, key: K)
+    where
+        K: Ord,
+    {
         self.add(key, 1);
     }
 
@@ -123,6 +132,34 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
     /// Memory footprint estimate in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.capacity * (std::mem::size_of::<K>() + 2 * std::mem::size_of::<u64>())
+    }
+
+    /// All monitored counters as `(key, estimate, error)`, sorted by key —
+    /// dehydrated state for the snapshot seam.
+    pub fn entries(&self) -> Vec<(K, u64, u64)>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<(K, u64, u64)> =
+            self.counters.iter().map(|(&k, &(count, error))| (k, count, error)).collect();
+        out.sort_unstable_by_key(|&(k, _, _)| k);
+        out
+    }
+
+    /// Rehydrates a summary from [`SpaceSaving::entries`] output plus the
+    /// grand total.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or more entries than the capacity are
+    /// supplied.
+    pub fn from_parts(capacity: usize, total: u64, entries: Vec<(K, u64, u64)>) -> Self {
+        assert!(capacity > 0, "summary capacity must be positive");
+        assert!(entries.len() <= capacity, "more entries than the summary monitors");
+        let mut counters = FxHashMap::default();
+        for (key, count, error) in entries {
+            counters.insert(key, (count, error));
+        }
+        SpaceSaving { capacity, counters, total }
     }
 }
 

@@ -106,6 +106,31 @@ impl SlidingStats {
         }
     }
 
+    /// The running `(Σx, Σx²)` sums — dehydrated state for the snapshot
+    /// seam. These are *running* sums shaped by past evictions, so they
+    /// can differ from fresh sums over [`SlidingStats::values`] in the
+    /// last float bits; restoring them verbatim keeps derived statistics
+    /// (and everything ranked from them) bit-identical.
+    #[inline]
+    pub fn sums(&self) -> (f64, f64) {
+        (self.sum, self.sum_sq)
+    }
+
+    /// Rehydrates stats from [`SlidingStats::values`] and
+    /// [`SlidingStats::sums`] output.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or more values than the capacity are
+    /// supplied.
+    pub fn from_parts(capacity: usize, values: Vec<f64>, sum: f64, sum_sq: f64) -> Self {
+        assert!(values.len() <= capacity, "more values than the window holds");
+        let mut ring = RingBuffer::new(capacity);
+        for value in values {
+            ring.push(value);
+        }
+        SlidingStats { ring, sum, sum_sq }
+    }
+
     /// The most recent observation (0 if empty).
     #[inline]
     pub fn newest(&self) -> f64 {

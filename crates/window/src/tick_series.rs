@@ -32,6 +32,35 @@ impl TickSeries {
         self.ring.capacity()
     }
 
+    /// Rehydrates a series from its dehydrated parts (see
+    /// [`TickSeries::values`], [`TickSeries::newest_tick`] and
+    /// [`TickSeries::sum`]).
+    ///
+    /// `sum` is taken verbatim rather than recomputed: the live field is a
+    /// running float sum shaped by past evictions, and restoring bitwise
+    /// state is exactly the point of the snapshot seam.
+    ///
+    /// # Panics
+    /// Panics if `window_ticks` is zero, more values than the window are
+    /// supplied, or values exist without a newest tick.
+    pub fn from_parts(
+        window_ticks: usize,
+        newest_tick: Option<Tick>,
+        values: Vec<f64>,
+        sum: f64,
+    ) -> Self {
+        assert!(values.len() <= window_ticks, "more values than the window holds");
+        assert!(
+            newest_tick.is_some() || values.is_empty(),
+            "values require a newest tick to anchor them"
+        );
+        let mut ring = RingBuffer::new(window_ticks);
+        for value in values {
+            ring.push(value);
+        }
+        TickSeries { ring, sum, newest_tick }
+    }
+
     /// Number of ticks currently held (≤ window).
     #[inline]
     pub fn len(&self) -> usize {

@@ -188,6 +188,112 @@ fn rebalancing_is_invisible_in_rankings() {
 }
 
 #[test]
+fn checkpoint_restore_tail_replay_is_invisible_in_rankings() {
+    // The crash-recovery contract of `enblogue_core::snapshot`: on one
+    // replay, (a) periodic checkpointing changes no ranking, and (b)
+    // checkpoint at a tick + restore into a fresh engine + replay of the
+    // tail produces byte-identical snapshot sequences to the
+    // uninterrupted run — across shard pools, close modes, rebalance
+    // policies, and the parallel-ingestion worker grid.
+    use enblogue::core::snapshot::checkpoint_file_name;
+
+    let archive = archive();
+    let baseline = engine_snapshots(config(1, false), &archive.docs);
+    assert!(!baseline.is_empty());
+    assert!(baseline.iter().any(|s| !s.ranked.is_empty()));
+
+    // Checkpoints land at ticks 9/19/29/39 (every 10th close); resume
+    // from tick 29 so the tail spans real work, rebalances included.
+    let split = Tick(29);
+    let split_at = baseline.iter().position(|s| s.tick == split).expect("tick 29 closes") + 1;
+    let tail_from = archive
+        .docs
+        .iter()
+        .position(|d| TickSpec::daily().tick_of(d.timestamp) > split)
+        .expect("documents after the split");
+
+    let aggressive = RebalanceConfig {
+        enabled: true,
+        slots_per_shard: 8,
+        target_pairs_per_shard: 64,
+        min_skew: 1.01,
+        cap_pressure: 0.5,
+        min_tracked_pairs: 1,
+        cooldown_ticks: 0,
+        min_active_shards: 1,
+    };
+    let build = |shards: usize, parallel: bool, rebalance: Option<RebalanceConfig>| {
+        let mut builder = EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(25)
+            .min_seed_count(3)
+            .top_k(10)
+            .shards(shards)
+            .parallel_close(parallel);
+        if let Some(rebalance) = rebalance {
+            builder = builder.rebalance(rebalance);
+        }
+        builder
+    };
+
+    let grid = [
+        ("1-serial-static", 1usize, false, None),
+        ("4-parallel-rebalancing", 4, true, Some(aggressive)),
+        ("16-serial-rebalancing", 16, false, Some(aggressive)),
+        ("16-parallel-static", 16, true, None),
+    ];
+    for (name, shards, parallel, rebalance) in grid {
+        let dir =
+            std::env::temp_dir().join(format!("enblogue-parity-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // (a) The checkpointing run itself: rankings untouched.
+        let checkpointing = build(shards, parallel, rebalance)
+            .snapshot_every(10, dir.to_str().unwrap())
+            .build()
+            .unwrap();
+        let mut engine = EnBlogueEngine::new(checkpointing);
+        assert_eq!(engine.run_replay(&archive.docs), baseline, "{name}: checkpointing run");
+        assert!(engine.metrics().snapshots_taken >= 4, "{name}: checkpoints written");
+        assert_eq!(engine.metrics().snapshot_failures, 0, "{name}");
+
+        // (b) Restore from the mid-stream checkpoint and replay the tail.
+        // The resume config omits the snapshot section entirely — only
+        // the knobs that shape state are fingerprinted.
+        let resume_config = build(shards, parallel, rebalance).build().unwrap();
+        let file = dir.join(checkpoint_file_name(split));
+        let mut resumed = EnBlogueEngine::resume(resume_config.clone(), &file).unwrap();
+        assert_eq!(resumed.metrics().restores, 1, "{name}");
+        assert_eq!(resumed.metrics().ticks_closed, split_at as u64, "{name}: cursor restored");
+        if rebalance.is_some() {
+            assert!(
+                resumed.metrics().routing_epoch > 0,
+                "{name}: the routing epoch must survive the restore"
+            );
+        }
+        let tail = resumed.run_replay(&archive.docs[tail_from..]);
+        assert_eq!(tail, baseline[split_at..], "{name}: tail replay after restore");
+
+        // (c) The same restore driven through the parallel ingestion
+        // pipeline (partition workers + shard-parallel apply).
+        for (batch_size, workers) in [(64usize, 2usize), (128, 4)] {
+            let mut resumed = EnBlogueEngine::resume(resume_config.clone(), &file).unwrap();
+            let ingest = IngestConfig { batch_size, queue_depth: 4, workers };
+            let (tail, stats) = resumed.run_replay_ingest(&archive.docs[tail_from..], &ingest);
+            assert_eq!(
+                tail,
+                baseline[split_at..],
+                "{name}: ingest tail batch={batch_size} workers={workers}"
+            );
+            assert_eq!(stats.docs, (archive.docs.len() - tail_from) as u64);
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn batched_ingestion_matches_streamed_ingestion() {
     let archive = archive();
     let cfg = config(4, false);
