@@ -1,0 +1,392 @@
+//! Close-path throughput of the slab-resident pair storage against the
+//! historical map-of-structs layout.
+//!
+//! The per-tick shift-scoring loop over all tracked pairs is EnBlogue's
+//! steady-state hot path. This bench replays the identical close cycle
+//! (window advance → seeded discovery → scoring → eviction) over a stable
+//! live-pair population through two storage layouts:
+//!
+//! * `slab` — the production [`ShardedPairRegistry`]: SoA slab columns,
+//!   one strided history arena read in place by the scorer, lane-based
+//!   windowed counts, incrementally maintained sorted iteration;
+//! * `legacy` — a faithful in-bin model of the pre-slab layout:
+//!   `FxHashMap<u64, PairState>` with one heap `RingBuffer` per pair
+//!   (copied into a scratch `Vec` before scoring, as the old close loop
+//!   did), keys re-collected and re-sorted every tick, and a
+//!   `VecDeque<FxHashMap>` windowed counter that allocates a map per tick.
+//!
+//! Both layouts run the same float operations in the same order, so their
+//! rankings are verified **bit-identical** before any number is reported;
+//! the rows differ only in where state lives. The sweep covers live-pair
+//! count (1k / 33k / 133k) × shard count, and `BENCH_close.json` records
+//! pairs/sec closed plus the headline `speedup_133k` (slab over legacy at
+//! the 133k point, 1 shard, serial close — the 1-CPU container bound).
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin perf_close`
+//! Smoke mode (CI): append `-- --test` for a small sweep + 1 repeat.
+
+use enblogue::core::pairs::ShardedPairRegistry;
+use enblogue::prelude::*;
+use enblogue::stats::predict::PredictorKind;
+use enblogue::stats::shift::{ErrorNormalization, ShiftScorer};
+use enblogue::types::{FxHashMap, FxHashSet};
+use enblogue::window::{DecayValue, RingBuffer};
+use enblogue_bench::Table;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+const WINDOW: usize = 6;
+const MIN_SUPPORT: u64 = 1;
+
+fn scorer() -> ShiftScorer {
+    ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Absolute)
+}
+
+/// The deterministic correlation both layouts compute.
+fn correlate(pair: TagPair, ab: u64) -> f64 {
+    ab as f64 / (4.0 + (pair.lo().0 % 7) as f64)
+}
+
+/// The `i`-th live pair of the workload.
+fn pair_of(i: u32) -> TagPair {
+    TagPair::new(TagId(i), TagId(i + 1_000_000))
+}
+
+/// Whether pair `i` is observed in `tick` — a rotating schedule touching
+/// each pair every `WINDOW - 1` ticks, so support never lapses, the
+/// population stays exactly `live`, and the windowed counter carries a
+/// realistic working set.
+fn observed(i: u32, tick: u64) -> bool {
+    (i as u64 + tick).is_multiple_of(WINDOW as u64 - 1)
+}
+
+// ---------------------------------------------------------------------------
+// The legacy layout, reproduced faithfully for the before/after ratio.
+// ---------------------------------------------------------------------------
+
+struct LegacyState {
+    history: RingBuffer<f64>,
+    score: DecayValue,
+    last_support: Tick,
+}
+
+/// The pre-slab `WindowedCounter`: one `FxHashMap` per tick in a deque,
+/// plus running totals — a tick advance allocates and drops maps, a count
+/// read probes the totals map.
+struct LegacyCounter {
+    ticks: VecDeque<FxHashMap<u64, u64>>,
+    totals: FxHashMap<u64, u64>,
+    newest: Option<Tick>,
+}
+
+impl LegacyCounter {
+    fn new() -> Self {
+        LegacyCounter { ticks: VecDeque::new(), totals: FxHashMap::default(), newest: None }
+    }
+
+    fn advance_to(&mut self, tick: Tick) {
+        let Some(newest) = self.newest else {
+            self.ticks.push_back(FxHashMap::default());
+            self.newest = Some(tick);
+            return;
+        };
+        if tick <= newest {
+            return;
+        }
+        for _ in 0..tick.since(newest) {
+            if self.ticks.len() == WINDOW {
+                for (key, count) in self.ticks.pop_front().expect("full window") {
+                    let total = self.totals.get_mut(&key).expect("totals in sync");
+                    *total -= count;
+                    if *total == 0 {
+                        self.totals.remove(&key);
+                    }
+                }
+            }
+            self.ticks.push_back(FxHashMap::default());
+        }
+        self.newest = Some(tick);
+    }
+
+    fn increment(&mut self, tick: Tick, key: u64) {
+        self.advance_to(tick);
+        *self.ticks.back_mut().expect("open tick").entry(key).or_insert(0) += 1;
+        *self.totals.entry(key).or_insert(0) += 1;
+    }
+
+    fn count(&self, key: u64) -> u64 {
+        self.totals.get(&key).copied().unwrap_or(0)
+    }
+}
+
+/// The pre-slab registry: map-of-structs state, per-close key re-sort,
+/// per-pair history copy (single store — the legacy row is the 1-shard
+/// baseline the acceptance ratio is defined against).
+struct LegacyRegistry {
+    states: FxHashMap<u64, LegacyState>,
+    counter: LegacyCounter,
+    current: FxHashSet<u64>,
+    cap: usize,
+}
+
+impl LegacyRegistry {
+    fn new(cap: usize) -> Self {
+        LegacyRegistry {
+            states: FxHashMap::default(),
+            counter: LegacyCounter::new(),
+            current: FxHashSet::default(),
+            cap,
+        }
+    }
+
+    fn observe(&mut self, tick: Tick, packed: u64) {
+        self.counter.increment(tick, packed);
+        self.current.insert(packed);
+    }
+
+    fn close(&mut self, tick: Tick, now: Timestamp, seeds: &FxHashSet<TagId>, s: &ShiftScorer) {
+        self.counter.advance_to(tick);
+        // Discovery: drain-into-a-fresh-Vec, as the old close loop did.
+        let candidates: Vec<u64> = self.current.drain().collect();
+        for packed in candidates {
+            let pair = TagPair::from_packed(packed);
+            if seeds.contains(&pair.lo()) || seeds.contains(&pair.hi()) {
+                self.states.entry(packed).or_insert_with(|| LegacyState {
+                    history: RingBuffer::new(WINDOW),
+                    score: DecayValue::new(Timestamp::DAY),
+                    last_support: tick,
+                });
+            }
+        }
+        // Scoring: re-collect and re-sort all keys, copy each history.
+        let mut keys: Vec<u64> = self.states.keys().copied().collect();
+        keys.sort_unstable();
+        for packed in keys {
+            let ab = self.counter.count(packed);
+            let correlation = correlate(TagPair::from_packed(packed), ab);
+            let state = self.states.get_mut(&packed).expect("sorted key is tracked");
+            let history: Vec<f64> = state.history.iter().copied().collect();
+            let shift = if ab >= MIN_SUPPORT {
+                s.score(&history, correlation).map(|(v, _)| v).unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            state.score.observe_max(now, shift);
+            state.history.push(correlation);
+            if ab >= MIN_SUPPORT {
+                state.last_support = tick;
+            }
+        }
+        // Eviction: support loss, then the cap (select_nth, as pre-slab).
+        self.states.retain(|_, state| tick.since(state.last_support) < WINDOW as u64);
+        if self.states.len() > self.cap {
+            let excess = self.states.len() - self.cap;
+            let mut scored: Vec<(f64, u64)> =
+                self.states.iter().map(|(&k, s)| (s.score.value_at(now), k)).collect();
+            scored.select_nth_unstable_by(excess - 1, |a, b| {
+                a.0.partial_cmp(&b.0).expect("finite scores").then(a.1.cmp(&b.1))
+            });
+            for &(_, packed) in scored.iter().take(excess) {
+                self.states.remove(&packed);
+            }
+        }
+    }
+
+    fn ranking(&self, k: usize, now: Timestamp) -> Vec<(TagPair, f64)> {
+        let mut ranked: Vec<(TagPair, f64)> = self
+            .states
+            .iter()
+            .map(|(&packed, s)| (TagPair::from_packed(packed), s.score.value_at(now)))
+            .filter(|&(_, score)| score > 0.0)
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite").then(a.0.packed().cmp(&b.0.packed()))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct Row {
+    layout: &'static str,
+    pairs: usize,
+    shards: usize,
+    close_secs: f64,
+    pairs_per_sec: f64,
+    ranking: Vec<(TagPair, f64)>,
+}
+
+/// Drives one layout over `warmup + measured` ticks and times the close
+/// cycle of the measured span. Ingest (the observation loop) stays
+/// outside the timer — the close path is what this PR optimises.
+fn run(layout: &'static str, live: usize, shards: usize, warmup: u64, measured: u64) -> Row {
+    let s = scorer();
+    let seeds: FxHashSet<TagId> = (0..live as u32).map(TagId).collect();
+    let top_k = 20;
+    let mut slab = (layout == "slab")
+        .then(|| ShardedPairRegistry::new(shards, WINDOW, Timestamp::DAY, MIN_SUPPORT, live + 1));
+    let mut legacy = (layout == "legacy").then(|| LegacyRegistry::new(live + 1));
+
+    let mut close_secs = 0.0;
+    for tick in 0..warmup + measured {
+        let now = Timestamp::from_hours(tick);
+        for i in 0..live as u32 {
+            if observed(i, tick) {
+                let packed = pair_of(i).packed();
+                match (&mut slab, &mut legacy) {
+                    (Some(r), _) => r.observe_pair(Tick(tick), packed),
+                    (_, Some(r)) => r.observe(Tick(tick), packed),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let t0 = Instant::now();
+        match (&mut slab, &mut legacy) {
+            (Some(r), _) => {
+                r.advance_to(Tick(tick));
+                r.discover_seeded(&seeds, Tick(tick), 0, false);
+                r.score_all(Tick(tick), now, &s, false, correlate);
+                r.evict_parallel(Tick(tick), now, false);
+            }
+            (_, Some(r)) => r.close(Tick(tick), now, &seeds, &s),
+            _ => unreachable!(),
+        }
+        if tick >= warmup {
+            close_secs += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    let last = warmup + measured - 1;
+    let now = Timestamp::from_hours(last);
+    let (tracked, ranking) = match (&slab, &legacy) {
+        (Some(r), _) => (r.len(), r.ranking(top_k, now)),
+        (_, Some(r)) => (r.states.len(), r.ranking(top_k, now)),
+        _ => unreachable!(),
+    };
+    assert_eq!(tracked, live, "{layout}@{live}: the population must be stable");
+    Row {
+        layout,
+        pairs: live,
+        shards,
+        close_secs,
+        pairs_per_sec: (live as u64 * measured) as f64 / close_secs.max(1e-9),
+        ranking,
+    }
+}
+
+fn write_json(rows: &[Row], speedups: &[(usize, f64)], path: &str) {
+    let mut out = String::from("{\n  \"experiment\": \"close_path\",\n");
+    out.push_str(&format!("  \"window_ticks\": {WINDOW},\n"));
+    out.push_str(&format!(
+        "  \"machine_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"pairs\": {}, \"shards\": {}, \
+             \"close_secs\": {:.4}, \"pairs_per_sec\": {:.0}}}{}\n",
+            row.layout,
+            row.pairs,
+            row.shards,
+            row.close_secs,
+            row.pairs_per_sec,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"layout_speedup_by_pairs\": {");
+    for (i, &(pairs, ratio)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{pairs}\": {ratio:.3}{}",
+            if i + 1 == speedups.len() { "" } else { ", " }
+        ));
+    }
+    out.push_str("},\n");
+    let headline = speedups.last().map_or(0.0, |&(_, r)| r);
+    out.push_str(&format!("  \"speedup_largest_point\": {headline:.3},\n"));
+    out.push_str("  \"rankings_identical\": true\n}\n");
+    if let Err(err) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {err}");
+    } else {
+        println!("\nrows recorded to {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let sizes: &[usize] = if smoke { &[1_000, 5_000] } else { &[1_000, 33_000, 133_000] };
+    let shard_sweep: &[usize] = &[1, 4];
+    let (warmup, measured) = if smoke { (WINDOW as u64, 4) } else { (WINDOW as u64 + 2, 12) };
+    let repeats = if smoke { 1 } else { 3 };
+    println!(
+        "close-path layout sweep — {} ticks measured per row{}\n",
+        measured,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let table = Table::new(&[8, 9, 7, 10, 12]);
+    table.header(&["layout", "pairs", "shards", "close(s)", "pairs/s"]);
+    let mut rows: Vec<Row> = Vec::new();
+    for &live in sizes {
+        // Interleave repeats so machine noise spreads across layouts; keep
+        // each configuration's best round.
+        let mut best: Vec<Option<Row>> = Vec::new();
+        let mut configs: Vec<(&'static str, usize)> = vec![("legacy", 1)];
+        configs.extend(shard_sweep.iter().map(|&shards| ("slab", shards)));
+        best.resize_with(configs.len(), || None);
+        for _ in 0..repeats {
+            for (index, &(layout, shards)) in configs.iter().enumerate() {
+                let row = run(layout, live, shards, warmup, measured);
+                if best[index].as_ref().is_none_or(|b| row.pairs_per_sec > b.pairs_per_sec) {
+                    best[index] = Some(row);
+                }
+            }
+        }
+        let mut group: Vec<Row> = best.into_iter().map(|r| r.expect("one repeat")).collect();
+        // The correctness gate: every layout and shard count must produce
+        // the bit-identical ranking — the layouts differ in where state
+        // lives, never in what it says.
+        for row in &group[1..] {
+            assert_eq!(
+                row.ranking, group[0].ranking,
+                "{}@{} shards diverged from the legacy ranking at {} pairs",
+                row.layout, row.shards, row.pairs
+            );
+        }
+        for row in &group {
+            table.row(&[
+                row.layout,
+                &format!("{}", row.pairs),
+                &format!("{}", row.shards),
+                &format!("{:.3}", row.close_secs),
+                &format!("{:.0}", row.pairs_per_sec),
+            ]);
+        }
+        rows.append(&mut group);
+    }
+
+    // Before/after ratio per size: best slab row over the legacy row.
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    for &live in sizes {
+        let legacy = rows
+            .iter()
+            .find(|r| r.layout == "legacy" && r.pairs == live)
+            .expect("legacy row recorded");
+        let slab = rows
+            .iter()
+            .filter(|r| r.layout == "slab" && r.pairs == live)
+            .max_by(|a, b| a.pairs_per_sec.partial_cmp(&b.pairs_per_sec).expect("finite"))
+            .expect("slab row recorded");
+        speedups.push((live, slab.pairs_per_sec / legacy.pairs_per_sec.max(1e-9)));
+    }
+    println!("\nrankings verified bit-identical across layouts and shard counts");
+    for &(pairs, ratio) in &speedups {
+        println!("slab/legacy close throughput at {pairs} pairs: {ratio:.2}x");
+    }
+    write_json(&rows, &speedups, "BENCH_close.json");
+}

@@ -1,0 +1,100 @@
+//! A counting global-allocator shim for pinning allocation-free hot paths.
+//!
+//! Wraps the system allocator and counts every allocation, reallocation
+//! and deallocation in process-global atomics. Install it as the global
+//! allocator of a test binary and assert that a hot path performs zero
+//! allocations once warm:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+//!
+//! let (result, allocs) = alloc_counter::measure(|| hot_path());
+//! assert_eq!(allocs, 0, "steady state must not allocate");
+//! ```
+//!
+//! The counters are process-global, so measurements are only meaningful
+//! when nothing else allocates concurrently — put the measured section in
+//! a test binary with a single `#[test]`, or serialize tests that measure.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] forwarding to [`System`] while counting every
+/// allocation event (reallocations count as allocations).
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards verbatim to the system allocator; the
+// counter updates are lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Allocation events (allocations + reallocations) since process start.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Deallocation events since process start.
+pub fn deallocation_count() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested from the allocator since process start.
+pub fn bytes_allocated() -> u64 {
+    BYTES_ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Runs `f`, returning its result and the number of allocation events it
+/// performed (on this or any thread — see the crate docs on isolation).
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = allocation_count();
+    let result = f();
+    (result, allocation_count() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    // NOTE: the shim is *not* installed as this library's own global
+    // allocator (tests here run under the default one), so these tests
+    // only cover the counter arithmetic via the public accessors.
+    use super::*;
+
+    #[test]
+    fn measure_reports_zero_without_the_shim_installed() {
+        // Without `#[global_allocator]` the counters never move; measure
+        // must still be well-formed and return the closure's result.
+        let (value, allocs) = measure(|| 6 * 7);
+        assert_eq!(value, 42);
+        assert_eq!(allocs, 0);
+        assert_eq!(deallocation_count(), 0);
+        assert_eq!(bytes_allocated(), 0);
+    }
+}

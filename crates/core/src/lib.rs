@@ -81,6 +81,7 @@ pub mod personalization;
 pub mod pipeline;
 pub mod rankdiff;
 pub mod seeds;
+pub mod slab;
 pub mod snapshot;
 pub mod stages;
 pub mod termwin;

@@ -28,12 +28,15 @@
 //! pure execution knobs, never semantic ones (pinned by
 //! `tests/stage_parity.rs`).
 
+use crate::slab::PairSlab;
+pub use crate::slab::PairState;
 use crate::snapshot::{corrupt, SnapReader, SnapWriter};
+use enblogue_stats::predict::SeriesView;
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_stream::exec::fanout;
 use enblogue_types::{
-    EnBlogueError, FxHashMap, FxHashSet, RoutingTable, SharedRouting, TagId, TagPair, Tick,
-    Timestamp, DEFAULT_SLOTS_PER_SHARD,
+    EnBlogueError, FxHashSet, RoutingTable, SharedRouting, TagId, TagPair, Tick, Timestamp,
+    DEFAULT_SLOTS_PER_SHARD,
 };
 use enblogue_window::{
     DecayValue, KeyWindow, RingBuffer, ShardedWindowedCounter, TopK, WindowedCounter,
@@ -161,19 +164,11 @@ pub struct RegistryStats {
     pub discovered: u64,
     /// Pairs ever evicted.
     pub evicted: u64,
-}
-
-/// Per-pair tracked state.
-pub struct PairState {
-    /// Correlation values of past ticks (oldest → newest), the predictor's
-    /// input window.
-    pub history: RingBuffer<f64>,
-    /// The decayed-max shift score (§3(iii)).
-    pub score: DecayValue,
-    /// Last tick in which the pair had window support (for eviction).
-    pub last_support: Tick,
-    /// Tick at which tracking started.
-    pub since: Tick,
+    /// Capacity-growth events observed in close-path scratch buffers
+    /// (slab sorted views, the cap-eviction scratch). Zero once warm: the
+    /// steady-state tick close is allocation-free (pinned by
+    /// `tests/close_allocs.rs` with a counting allocator).
+    pub close_allocs: u64,
 }
 
 /// Summary of one ranked pair, enriched for reporting.
@@ -191,11 +186,13 @@ pub struct TrackedPairInfo {
 
 /// One hash shard of tracked-pair state.
 ///
-/// A shard owns every tracked pair routed to it plus the open-tick
+/// A shard owns every tracked pair routed to it — slab-resident (see
+/// [`crate::slab::PairSlab`]): keys, scores and support ticks in parallel
+/// dense vectors, histories in one strided arena — plus the open-tick
 /// co-occurrence candidates; its windowed co-occurrence counts live in the
 /// registry's [`ShardedWindowedCounter`] under the same index.
 pub struct PairShard {
-    states: FxHashMap<u64, PairState>,
+    slab: PairSlab,
     /// Pairs that co-occurred in the open tick (discovery candidates).
     current: FxHashSet<u64>,
     /// Copy of the registry's scalar parameters (shards are handed to
@@ -212,7 +209,7 @@ pub struct PairShard {
 impl PairShard {
     fn new(params: PairParams) -> Self {
         PairShard {
-            states: FxHashMap::default(),
+            slab: PairSlab::new(params.history_len),
             current: FxHashSet::default(),
             slot_obs: vec![0; if params.track_load { params.slots } else { 0 }],
             params,
@@ -231,20 +228,43 @@ impl PairShard {
     }
 
     fn discover(&mut self, packed: u64, tick: Tick, backfill_zeros: usize) {
-        let params = self.params;
-        self.states.entry(packed).or_insert_with(|| {
+        if self.slab.insert_fresh(packed, tick, backfill_zeros, self.params.half_life_ms) {
             self.discovered += 1;
-            let mut history = RingBuffer::new(params.history_len);
-            for _ in 0..backfill_zeros.min(params.history_len - 1) {
-                history.push(0.0);
-            }
-            PairState {
-                history,
-                score: DecayValue::new(params.half_life_ms),
-                last_support: tick,
-                since: tick,
-            }
-        });
+        }
+    }
+
+    /// The scoring update of one slab slot at tick close: the scorer reads
+    /// the history ring **in place** (no per-pair copy), then the new
+    /// correlation is pushed into the ring.
+    fn update_slot(
+        &mut self,
+        slot: usize,
+        correlation: f64,
+        support: u64,
+        tick: Tick,
+        now: Timestamp,
+        scorer: &ShiftScorer,
+    ) -> f64 {
+        // Scoring is gated on window support: measures like overlap or NPMI
+        // saturate to 1.0 on a single co-occurrence of two rare tags, and
+        // without the gate such one-off pairs would flood the ranking.
+        // (The correlation still enters the history, so the pair's series
+        // stays tick-aligned either way.)
+        let shift = if support >= self.params.min_pair_support {
+            let (older, newer) = self.slab.history_parts(slot);
+            scorer
+                .score_view(SeriesView::new(older, newer), correlation)
+                .map(|(s, _)| s)
+                .unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        let score = self.slab.score_mut(slot).observe_max(now, shift);
+        self.slab.push_history(slot, correlation);
+        if support >= self.params.min_pair_support {
+            self.slab.set_last_support(slot, tick);
+        }
+        score
     }
 
     fn update_pair(
@@ -256,31 +276,14 @@ impl PairShard {
         now: Timestamp,
         scorer: &ShiftScorer,
     ) -> f64 {
-        let state = self.states.get_mut(&packed).expect("update_pair on untracked pair");
-        let history: Vec<f64> = state.history.iter().copied().collect();
-        // Scoring is gated on window support: measures like overlap or NPMI
-        // saturate to 1.0 on a single co-occurrence of two rare tags, and
-        // without the gate such one-off pairs would flood the ranking.
-        // (The correlation still enters the history, so the pair's series
-        // stays tick-aligned either way.)
-        let shift = if support >= self.params.min_pair_support {
-            scorer.score(&history, correlation).map(|(s, _)| s).unwrap_or(0.0)
-        } else {
-            0.0
-        };
-        let score = state.score.observe_max(now, shift);
-        state.history.push(correlation);
-        if support >= self.params.min_pair_support {
-            state.last_support = tick;
-        }
-        score
+        let slot = self.slab.slot_of(packed).expect("update_pair on untracked pair");
+        self.update_slot(slot, correlation, support, tick, now, scorer)
     }
 
-    /// Sorted packed keys (deterministic per-shard iteration order).
+    /// Sorted packed keys, freshly collected (snapshot/inspection paths —
+    /// the close loop walks the slab's incrementally maintained view).
     fn sorted_keys(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self.states.keys().copied().collect();
-        keys.sort_unstable();
-        keys
+        self.slab.sorted_keys()
     }
 }
 
@@ -318,6 +321,12 @@ pub struct ShardedPairRegistry {
     last_attempt: Option<Tick>,
     rebalances: u64,
     migrated_pairs: u64,
+    /// Reusable `(score, key)` buffer of the cap-eviction pass (retained
+    /// across closes so a cap-bound steady state allocates nothing).
+    cap_scratch: Vec<(f64, u64)>,
+    /// Capacity-growth events in the registry's own close-path buffers
+    /// (shards count theirs in the slab).
+    close_allocs: u64,
 }
 
 impl ShardedPairRegistry {
@@ -393,6 +402,8 @@ impl ShardedPairRegistry {
             last_attempt: None,
             rebalances: 0,
             migrated_pairs: 0,
+            cap_scratch: Vec::new(),
+            close_allocs: 0,
         }
     }
 
@@ -420,18 +431,18 @@ impl ShardedPairRegistry {
 
     /// Number of currently tracked pairs.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.states.len()).sum()
+        self.shards.iter().map(|s| s.slab.len()).sum()
     }
 
     /// Whether no pair is tracked.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.states.is_empty())
+        self.shards.iter().all(|s| s.slab.is_empty())
     }
 
     /// Whether `pair` is currently tracked.
     pub fn is_tracked(&self, pair: TagPair) -> bool {
         let packed = pair.packed();
-        self.shards[self.route(packed)].states.contains_key(&packed)
+        self.shards[self.route(packed)].slab.contains(packed)
     }
 
     /// Total pairs ever discovered (metrics).
@@ -530,13 +541,20 @@ impl ShardedPairRegistry {
         parallel: bool,
     ) {
         fanout(&mut self.shards, parallel, |_, shard| {
-            let candidates: Vec<u64> = shard.current.drain().collect();
-            for packed in candidates {
+            // Detach the candidate set so discovery can mutate the shard
+            // while iterating it, then hand it back cleared — no
+            // drain-into-a-fresh-`Vec` round-trip, and the set keeps its
+            // capacity across ticks (`FxHashSet::default()` is
+            // allocation-free).
+            let mut current = std::mem::take(&mut shard.current);
+            for &packed in &current {
                 let pair = TagPair::from_packed(packed);
                 if seeds.contains(&pair.lo()) || seeds.contains(&pair.hi()) {
                     shard.discover(packed, tick, backfill_zeros);
                 }
             }
+            current.clear();
+            shard.current = current;
         });
     }
 
@@ -583,11 +601,18 @@ impl ShardedPairRegistry {
     {
         let counts = &self.counts;
         fanout(&mut self.shards, parallel, |index, shard| {
-            for packed in shard.sorted_keys() {
+            // Repair the sorted view only if discovery/eviction changed
+            // membership since the last close; the walk itself is linear
+            // over dense slab columns, with the scorer reading each
+            // history ring in place.
+            shard.slab.refresh_sorted();
+            for i in 0..shard.slab.sorted_slots().len() {
+                let slot = shard.slab.sorted_slots()[i] as usize;
+                let packed = shard.slab.key_at(slot);
                 let pair = TagPair::from_packed(packed);
                 let ab = counts.count(index, packed);
                 let correlation = correlate(pair, ab);
-                shard.update_pair(packed, correlation, ab, tick, now, scorer);
+                shard.update_slot(slot, correlation, ab, tick, now, scorer);
             }
         });
     }
@@ -604,9 +629,14 @@ impl ShardedPairRegistry {
         let evicted_before = self.evicted_total();
         let horizon = self.params.history_len as u64;
         fanout(&mut self.shards, parallel, |_, shard| {
-            let before = shard.states.len();
-            shard.states.retain(|_, state| tick.since(state.last_support) < horizon);
-            shard.evicted += (before - shard.states.len()) as u64;
+            for slot in 0..shard.slab.slot_bound() {
+                if shard.slab.is_live(slot)
+                    && tick.since(shard.slab.last_support_at(slot)) >= horizon
+                {
+                    shard.slab.remove_slot(slot);
+                    shard.evicted += 1;
+                }
+            }
         });
 
         // The cap is a global memory bound, so it cannot be enforced
@@ -615,11 +645,15 @@ impl ShardedPairRegistry {
         let live = self.len();
         if live > self.params.max_tracked_pairs {
             let excess = live - self.params.max_tracked_pairs;
-            let mut scored: Vec<(f64, u64)> = Vec::with_capacity(live);
+            if live > self.cap_scratch.capacity() {
+                self.close_allocs += 1;
+            }
+            let scored = &mut self.cap_scratch;
+            scored.clear();
             for shard in &self.shards {
-                scored.extend(
-                    shard.states.iter().map(|(&packed, s)| (s.score.value_at(now), packed)),
-                );
+                scored.extend(shard.slab.live_slots().map(|slot| {
+                    (shard.slab.score_at(slot).value_at(now), shard.slab.key_at(slot))
+                }));
             }
             // The comparator is total ((score, key), keys unique), so
             // selecting the n-th smallest partitions off exactly the set a
@@ -630,9 +664,10 @@ impl ShardedPairRegistry {
                 a.0.partial_cmp(&b.0).expect("finite scores").then(a.1.cmp(&b.1))
             };
             scored.select_nth_unstable_by(excess - 1, cmp);
-            for &(_, packed) in scored.iter().take(excess) {
+            for i in 0..excess {
+                let packed = self.cap_scratch[i].1;
                 let shard = self.route(packed);
-                self.shards[shard].states.remove(&packed);
+                self.shards[shard].slab.remove(packed);
                 self.shards[shard].evicted += 1;
             }
         }
@@ -753,8 +788,8 @@ impl ShardedPairRegistry {
         }
         let mut load = obs.clone();
         for shard in &self.shards {
-            for &packed in shard.states.keys() {
-                load[self.table.slot_of(packed)] += PAIR_LOAD_WEIGHT;
+            for slot in shard.slab.live_slots() {
+                load[self.table.slot_of(shard.slab.key_at(slot))] += PAIR_LOAD_WEIGHT;
             }
         }
         (load, obs)
@@ -795,10 +830,8 @@ impl ShardedPairRegistry {
             // pair states, but also windowed counts of pairs that were
             // only ever observed (discovery may still promote them later,
             // and their window history must be intact when it does).
-            let mut moving: Vec<u64> = shard
-                .states
-                .keys()
-                .copied()
+            let tracked = shard.slab.live_slots().map(|slot| shard.slab.key_at(slot));
+            let mut moving: Vec<u64> = tracked
                 .chain(counter.iter().map(|(packed, _)| packed))
                 .filter(|&packed| new_table.route(packed) != from)
                 .collect();
@@ -806,7 +839,7 @@ impl ShardedPairRegistry {
             moving.dedup();
             donors[from] = !moving.is_empty();
             for packed in moving {
-                let state = shard.states.remove(&packed);
+                let state = shard.slab.extract(packed);
                 let series = counter.extract_key(packed);
                 state_moves[new_table.route(packed)].push((packed, state, series));
             }
@@ -831,7 +864,7 @@ impl ShardedPairRegistry {
             for (packed, state, series) in items {
                 if let Some(state) = state {
                     migrated += 1;
-                    shard.states.insert(packed, state);
+                    shard.slab.insert_state(packed, state);
                 }
                 if let Some(series) = series {
                     counter.merge_key(packed, &series);
@@ -842,12 +875,12 @@ impl ShardedPairRegistry {
             self.shards[to].current.extend(keys);
         }
 
-        // Donors keep the capacity of their departed keys otherwise, and
-        // every later close iterates map capacity, not length — shrink
-        // them so a migration's cost ends with the migration.
+        // Donors keep the slots of their departed keys otherwise, and
+        // every later close walks the slot bound, not the live count —
+        // compact them so a migration's cost ends with the migration.
         for (index, was_donor) in donors.into_iter().enumerate() {
             if was_donor {
-                self.shards[index].states.shrink_to_fit();
+                self.shards[index].slab.shrink_to_fit();
                 self.shards[index].current.shrink_to_fit();
                 self.counts.shards_mut()[index].shrink_to_fit();
             }
@@ -879,7 +912,7 @@ impl ShardedPairRegistry {
             per_shard_obs[index] = shard.slot_obs.iter().sum();
         }
         let per_shard_pairs: Vec<usize> =
-            self.shards.iter().map(|shard| shard.states.len()).collect();
+            self.shards.iter().map(|shard| shard.slab.len()).collect();
         let active = self.table.active_shards();
         let loads: Vec<u64> = (0..pool)
             .map(|i| per_shard_obs[i] + PAIR_LOAD_WEIGHT * per_shard_pairs[i] as u64)
@@ -903,6 +936,8 @@ impl ShardedPairRegistry {
             migrated_pairs: self.migrated_pairs,
             discovered: self.discovered_total(),
             evicted: self.evicted_total(),
+            close_allocs: self.close_allocs
+                + self.shards.iter().map(|shard| shard.slab.close_allocs()).sum::<u64>(),
         }
     }
 
@@ -914,10 +949,10 @@ impl ShardedPairRegistry {
         }
         let mut topk: TopK<u64> = TopK::new(k);
         for shard in &self.shards {
-            for (&packed, state) in &shard.states {
-                let score = state.score.value_at(now);
+            for slot in shard.slab.live_slots() {
+                let score = shard.slab.score_at(slot).value_at(now);
                 if score > 0.0 {
-                    topk.offer(packed, score);
+                    topk.offer(shard.slab.key_at(slot), score);
                 }
             }
         }
@@ -927,28 +962,33 @@ impl ShardedPairRegistry {
     /// Rich info for `pair`, if tracked.
     pub fn info(&self, pair: TagPair, tick: Tick, now: Timestamp) -> Option<TrackedPairInfo> {
         let packed = pair.packed();
-        self.shards[self.route(packed)].states.get(&packed).map(|state| TrackedPairInfo {
+        let shard = &self.shards[self.route(packed)];
+        shard.slab.slot_of(packed).map(|slot| TrackedPairInfo {
             pair,
-            score: state.score.value_at(now),
-            correlation: state.history.newest().copied().unwrap_or(0.0),
-            tracked_ticks: tick.since(state.since),
+            score: shard.slab.score_at(slot).value_at(now),
+            correlation: shard.slab.newest_history(slot).unwrap_or(0.0),
+            tracked_ticks: tick.since(shard.slab.since_at(slot)),
         })
     }
 
     /// The correlation history of `pair` (oldest → newest), if tracked.
     pub fn history_of(&self, pair: TagPair) -> Option<Vec<f64>> {
         let packed = pair.packed();
-        self.shards[self.route(packed)]
-            .states
-            .get(&packed)
-            .map(|s| s.history.iter().copied().collect())
+        let shard = &self.shards[self.route(packed)];
+        shard.slab.slot_of(packed).map(|slot| {
+            let (older, newer) = shard.slab.history_parts(slot);
+            older.iter().chain(newer).copied().collect()
+        })
     }
 
     /// Packed keys of all tracked pairs, globally sorted (deterministic
     /// iteration order for tests and inspection).
     pub fn tracked_keys(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> =
-            self.shards.iter().flat_map(|s| s.states.keys().copied()).collect();
+        let mut keys: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slab.live_slots().map(|slot| s.slab.key_at(slot)))
+            .collect();
         keys.sort_unstable();
         keys
     }
@@ -982,20 +1022,22 @@ impl ShardedPairRegistry {
             for packed in current {
                 w.u64(packed);
             }
-            w.usize(shard.states.len());
+            w.usize(shard.slab.len());
             for packed in shard.sorted_keys() {
-                let state = &shard.states[&packed];
+                let slot = shard.slab.slot_of(packed).expect("sorted keys are tracked");
                 w.u64(packed);
-                w.usize(state.history.len());
-                for &value in state.history.iter() {
+                let (older, newer) = shard.slab.history_parts(slot);
+                w.usize(older.len() + newer.len());
+                for &value in older.iter().chain(newer) {
                     w.f64(value);
                 }
                 // `value_at(last_update)` reads the stored value with zero
                 // elapsed decay — the raw field, bit-for-bit.
-                w.f64(state.score.value_at(state.score.last_update()));
-                w.timestamp(state.score.last_update());
-                w.tick(state.last_support);
-                w.tick(state.since);
+                let score = shard.slab.score_at(slot);
+                w.f64(score.value_at(score.last_update()));
+                w.timestamp(score.last_update());
+                w.tick(shard.slab.last_support_at(slot));
+                w.tick(shard.slab.since_at(slot));
             }
         }
         for counter in self.counts.shards() {
@@ -1101,10 +1143,9 @@ impl ShardedPairRegistry {
                 score.set(score_updated, score_value);
                 let last_support = r.tick()?;
                 let since = r.tick()?;
-                if shard
-                    .states
-                    .insert(packed, PairState { history, score, last_support, since })
-                    .is_some()
+                if !shard
+                    .slab
+                    .insert_state(packed, PairState { history, score, last_support, since })
                 {
                     return Err(corrupt(format!("pair {packed:#x} serialized twice")));
                 }
@@ -1148,7 +1189,51 @@ impl ShardedPairRegistry {
             last_attempt,
             rebalances,
             migrated_pairs,
+            cap_scratch: Vec::new(),
+            close_allocs: 0,
         })
+    }
+
+    /// Serializes the registry's complete state into a standalone byte
+    /// payload — the same section the engine snapshot embeds (see
+    /// [`crate::snapshot`] for the conventions), without the engine
+    /// framing. An operational/testing seam: the slab-layout property
+    /// tests round-trip registries mid-stream through it.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.encode_snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a registry from [`ShardedPairRegistry::snapshot_bytes`]
+    /// output under the same construction parameters.
+    ///
+    /// # Errors
+    /// [`EnBlogueError::SnapshotCorrupt`] /
+    /// [`EnBlogueError::SnapshotConfigMismatch`] exactly as the engine
+    /// restore path surfaces them (truncation never panics).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+        shards: usize,
+        history_len: usize,
+        half_life_ms: u64,
+        min_pair_support: u64,
+        max_tracked_pairs: usize,
+        rebalance: RebalanceConfig,
+    ) -> Result<Self, EnBlogueError> {
+        let mut r = SnapReader::new(bytes);
+        let registry = Self::decode_snapshot(
+            &mut r,
+            shards,
+            history_len,
+            half_life_ms,
+            min_pair_support,
+            max_tracked_pairs,
+            rebalance,
+        )?;
+        r.finish()?;
+        Ok(registry)
     }
 }
 

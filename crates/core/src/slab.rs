@@ -1,0 +1,594 @@
+//! Slab-resident storage for tracked-pair state.
+//!
+//! The per-tick shift-scoring loop is the engine's steady-state hot path:
+//! at the `max_tracked_pairs` cap it touches every tracked pair every
+//! tick. A map-of-structs layout (`FxHashMap<u64, PairState>` with one
+//! heap-allocated history ring per pair) makes that loop pay a hash probe
+//! plus two pointer chases per pair, re-collect and re-sort all keys every
+//! close, and copy each history into a scratch `Vec` before scoring.
+//!
+//! [`PairSlab`] replaces it with a struct-of-arrays slab: packed keys,
+//! decayed scores and support ticks live in parallel dense vectors, and
+//! **all** correlation histories live in one contiguous
+//! `history_len`-strided `f64` arena of per-pair rings. The close loop
+//! walks slots linearly and hands the scorer its ring segments in place
+//! ([`enblogue_stats::predict::SeriesView`]); the key→slot hash map is
+//! consulted only on ingest-side operations (discovery, point lookups,
+//! migration).
+//!
+//! Deterministic iteration order is maintained *incrementally*: a sorted
+//! view of the live slots (ascending key) is repaired only when membership
+//! changed — inserts are batch-merged, removals filtered — instead of
+//! re-collecting and re-sorting every key every tick. All repair work
+//! reuses retained buffers, so a steady-state tick close performs no heap
+//! allocation (pinned by `tests/close_allocs.rs` with a counting
+//! allocator).
+
+use enblogue_types::{FxHashMap, Tick};
+use enblogue_window::{DecayValue, RingBuffer};
+
+/// Detached per-pair tracked state — the transfer representation used by
+/// shard migration and snapshot restore (the resident representation is
+/// the slab's column vectors).
+pub struct PairState {
+    /// Correlation values of past ticks (oldest → newest), the predictor's
+    /// input window.
+    pub history: RingBuffer<f64>,
+    /// The decayed-max shift score (§3(iii)).
+    pub score: DecayValue,
+    /// Last tick in which the pair had window support (for eviction).
+    pub last_support: Tick,
+    /// Tick at which tracking started.
+    pub since: Tick,
+}
+
+/// Struct-of-arrays slab of tracked-pair state with an arena-resident
+/// history ring per slot (see the module docs).
+///
+/// Slots are recycled through a free list; a slot freed since the last
+/// [`PairSlab::refresh_sorted`] stays quarantined until the sorted view
+/// has dropped it, so a reused slot can never appear there twice.
+pub struct PairSlab {
+    history_len: usize,
+    /// Key → slot; consulted on ingest and point lookups only.
+    index: FxHashMap<u64, u32>,
+    /// Slot → packed key (stale for dead slots).
+    keys: Vec<u64>,
+    /// Slot liveness (dead slots are free-listed or in limbo).
+    live: Vec<bool>,
+    /// Slot → decayed-max score.
+    score: Vec<DecayValue>,
+    /// Slot → last supported tick.
+    last_support: Vec<Tick>,
+    /// Slot → tracking start tick.
+    since: Vec<Tick>,
+    /// The history arena: slot `s`'s ring occupies
+    /// `s*history_len ..= s*history_len + history_len-1`.
+    hist: Vec<f64>,
+    /// Slot → ring head (index of the oldest value once full; 0 while
+    /// filling).
+    hist_head: Vec<u32>,
+    /// Slot → number of history values (≤ `history_len`).
+    hist_count: Vec<u32>,
+    /// Recyclable slots.
+    free: Vec<u32>,
+    /// Slots freed since the last refresh — not yet recyclable (they may
+    /// still sit in the sorted view).
+    limbo: Vec<u32>,
+    /// Live slots in ascending key order; complete once repaired.
+    sorted: Vec<u32>,
+    /// Slots inserted since the last refresh (not yet in `sorted`).
+    pending: Vec<u32>,
+    /// Whether `sorted` still contains dead slots.
+    stale: bool,
+    /// Capacity-growth events in close-path buffers (see
+    /// [`crate::pairs::RegistryStats::close_allocs`]).
+    close_allocs: u64,
+}
+
+impl PairSlab {
+    /// An empty slab whose history rings hold `history_len` values.
+    ///
+    /// # Panics
+    /// Panics if `history_len == 0`.
+    pub fn new(history_len: usize) -> Self {
+        assert!(history_len > 0, "history must span at least one tick");
+        PairSlab {
+            history_len,
+            index: FxHashMap::default(),
+            keys: Vec::new(),
+            live: Vec::new(),
+            score: Vec::new(),
+            last_support: Vec::new(),
+            since: Vec::new(),
+            hist: Vec::new(),
+            hist_head: Vec::new(),
+            hist_count: Vec::new(),
+            free: Vec::new(),
+            limbo: Vec::new(),
+            sorted: Vec::new(),
+            pending: Vec::new(),
+            stale: false,
+            close_allocs: 0,
+        }
+    }
+
+    /// Number of live pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no pair is tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The history window length.
+    #[inline]
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// The slot of `key`, if tracked.
+    #[inline]
+    pub fn slot_of(&self, key: u64) -> Option<usize> {
+        self.index.get(&key).map(|&slot| slot as usize)
+    }
+
+    /// Whether `key` is tracked.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// The packed key of `slot`.
+    #[inline]
+    pub fn key_at(&self, slot: usize) -> u64 {
+        debug_assert!(self.live[slot]);
+        self.keys[slot]
+    }
+
+    /// Allocates a slot for `key` (blank history), registering it in the
+    /// index and the pending-insert queue. The caller fills the columns.
+    fn alloc_slot(&mut self, key: u64) -> usize {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let slot = slot as usize;
+                self.keys[slot] = key;
+                self.live[slot] = true;
+                self.hist_head[slot] = 0;
+                self.hist_count[slot] = 0;
+                slot
+            }
+            None => {
+                let slot = self.keys.len();
+                self.keys.push(key);
+                self.live.push(true);
+                self.score.push(DecayValue::new(1));
+                self.last_support.push(Tick::ZERO);
+                self.since.push(Tick::ZERO);
+                self.hist.resize(self.hist.len() + self.history_len, 0.0);
+                self.hist_head.push(0);
+                self.hist_count.push(0);
+                slot
+            }
+        };
+        self.index.insert(key, slot as u32);
+        self.pending.push(slot as u32);
+        slot
+    }
+
+    /// Starts tracking `key` with a zero score, `backfill_zeros` leading
+    /// 0.0 history values (capped at `history_len - 1`) and both tick
+    /// columns set to `tick`. Returns `false` (no change) if already
+    /// tracked.
+    pub fn insert_fresh(
+        &mut self,
+        key: u64,
+        tick: Tick,
+        backfill_zeros: usize,
+        half_life_ms: u64,
+    ) -> bool {
+        if self.index.contains_key(&key) {
+            return false;
+        }
+        let slot = self.alloc_slot(key);
+        let zeros = backfill_zeros.min(self.history_len - 1);
+        let base = slot * self.history_len;
+        self.hist[base..base + zeros].fill(0.0);
+        self.hist_count[slot] = zeros as u32;
+        self.score[slot] = DecayValue::new(half_life_ms);
+        self.last_support[slot] = tick;
+        self.since[slot] = tick;
+        true
+    }
+
+    /// Inserts a detached [`PairState`] (migration receiver / snapshot
+    /// restore). Returns `false` (no change) if `key` is already tracked.
+    ///
+    /// # Panics
+    /// Panics if the state's history exceeds `history_len`.
+    pub fn insert_state(&mut self, key: u64, state: PairState) -> bool {
+        if self.index.contains_key(&key) {
+            return false;
+        }
+        assert!(state.history.len() <= self.history_len, "history exceeds the slab window");
+        let slot = self.alloc_slot(key);
+        let base = slot * self.history_len;
+        for (offset, &value) in state.history.iter().enumerate() {
+            self.hist[base + offset] = value;
+        }
+        self.hist_count[slot] = state.history.len() as u32;
+        self.score[slot] = state.score;
+        self.last_support[slot] = state.last_support;
+        self.since[slot] = state.since;
+        true
+    }
+
+    /// Stops tracking the pair at `slot` (the slot is quarantined until
+    /// the next sorted-view refresh).
+    pub fn remove_slot(&mut self, slot: usize) {
+        debug_assert!(self.live[slot], "removing a dead slot");
+        self.index.remove(&self.keys[slot]);
+        self.live[slot] = false;
+        self.limbo.push(slot as u32);
+        self.stale = true;
+    }
+
+    /// Stops tracking `key`. Returns whether it was tracked.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.slot_of(key) {
+            Some(slot) => {
+                self.remove_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `key` and returns its detached state (migration donor).
+    pub fn extract(&mut self, key: u64) -> Option<PairState> {
+        let slot = self.slot_of(key)?;
+        let mut history = RingBuffer::new(self.history_len);
+        let (older, newer) = self.history_parts(slot);
+        for &value in older.iter().chain(newer) {
+            history.push(value);
+        }
+        let state = PairState {
+            history,
+            score: self.score[slot],
+            last_support: self.last_support[slot],
+            since: self.since[slot],
+        };
+        self.remove_slot(slot);
+        Some(state)
+    }
+
+    /// The history ring of `slot` as `(older, newer)` contiguous runs,
+    /// jointly oldest → newest — read in place by the scorer.
+    #[inline]
+    pub fn history_parts(&self, slot: usize) -> (&[f64], &[f64]) {
+        let base = slot * self.history_len;
+        let head = self.hist_head[slot] as usize;
+        let count = self.hist_count[slot] as usize;
+        if count < self.history_len {
+            // A ring only starts wrapping once full, so a filling ring is
+            // contiguous from the base.
+            debug_assert_eq!(head, 0);
+            (&self.hist[base..base + count], &[])
+        } else {
+            (&self.hist[base + head..base + count], &self.hist[base..base + head])
+        }
+    }
+
+    /// Appends `value` to `slot`'s history, evicting the oldest value once
+    /// the ring is full.
+    #[inline]
+    pub fn push_history(&mut self, slot: usize, value: f64) {
+        let base = slot * self.history_len;
+        let count = self.hist_count[slot] as usize;
+        if count < self.history_len {
+            self.hist[base + count] = value;
+            self.hist_count[slot] = (count + 1) as u32;
+        } else {
+            let head = self.hist_head[slot] as usize;
+            self.hist[base + head] = value;
+            self.hist_head[slot] = ((head + 1) % self.history_len) as u32;
+        }
+    }
+
+    /// The newest history value of `slot`.
+    pub fn newest_history(&self, slot: usize) -> Option<f64> {
+        let (older, newer) = self.history_parts(slot);
+        newer.last().or_else(|| older.last()).copied()
+    }
+
+    /// The decayed-max score column of `slot`.
+    #[inline]
+    pub fn score_at(&self, slot: usize) -> &DecayValue {
+        &self.score[slot]
+    }
+
+    /// Mutable access to `slot`'s score.
+    #[inline]
+    pub fn score_mut(&mut self, slot: usize) -> &mut DecayValue {
+        &mut self.score[slot]
+    }
+
+    /// The last supported tick of `slot`.
+    #[inline]
+    pub fn last_support_at(&self, slot: usize) -> Tick {
+        self.last_support[slot]
+    }
+
+    /// Marks `slot` as supported in `tick`.
+    #[inline]
+    pub fn set_last_support(&mut self, slot: usize, tick: Tick) {
+        self.last_support[slot] = tick;
+    }
+
+    /// The tracking start tick of `slot`.
+    #[inline]
+    pub fn since_at(&self, slot: usize) -> Tick {
+        self.since[slot]
+    }
+
+    /// Iterates the live slots in slot order (no key order guarantee —
+    /// for order-independent passes like ranking and cap scoring).
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.keys.len()).filter(move |&slot| self.live[slot])
+    }
+
+    /// Upper bound over slot indices (for manual walks).
+    #[inline]
+    pub fn slot_bound(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether `slot` is live.
+    #[inline]
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.live[slot]
+    }
+
+    /// Repairs the sorted view after membership changes: dead slots are
+    /// filtered out (then become recyclable), pending inserts are sorted
+    /// and back-merged in one linear pass. A no-op when membership is
+    /// unchanged — the common steady-state tick. All work reuses retained
+    /// buffers.
+    pub fn refresh_sorted(&mut self) {
+        if self.stale {
+            let live = &self.live;
+            self.sorted.retain(|&slot| live[slot as usize]);
+            // A slot inserted and removed between refreshes dies while
+            // still queued — it must not merge into the view.
+            self.pending.retain(|&slot| live[slot as usize]);
+            self.stale = false;
+            // Quarantine over: the sorted view no longer references the
+            // freed slots, so they may be recycled.
+            self.free.append(&mut self.limbo);
+        }
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        let keys = &self.keys;
+        pending.sort_unstable_by_key(|&slot| keys[slot as usize]);
+        // Backward in-place merge of the two sorted runs.
+        let old_len = self.sorted.len();
+        let total = old_len + pending.len();
+        if total > self.sorted.capacity() {
+            self.close_allocs += 1;
+        }
+        self.sorted.resize(total, 0);
+        let mut read = old_len;
+        let mut add = pending.len();
+        let mut write = total;
+        while add > 0 {
+            if read > 0 && keys[self.sorted[read - 1] as usize] > keys[pending[add - 1] as usize] {
+                self.sorted[write - 1] = self.sorted[read - 1];
+                read -= 1;
+            } else {
+                self.sorted[write - 1] = pending[add - 1];
+                add -= 1;
+            }
+            write -= 1;
+        }
+        pending.clear();
+        self.pending = pending;
+    }
+
+    /// The live slots in ascending key order. Call
+    /// [`PairSlab::refresh_sorted`] first after membership changes.
+    #[inline]
+    pub fn sorted_slots(&self) -> &[u32] {
+        debug_assert!(!self.stale && self.pending.is_empty(), "sorted view not refreshed");
+        &self.sorted
+    }
+
+    /// The live keys in ascending order, freshly collected (snapshot and
+    /// inspection paths — the close path uses [`PairSlab::sorted_slots`]).
+    pub fn sorted_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.live_slots().map(|slot| self.keys[slot]).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Capacity-growth events observed in close-path buffers.
+    #[inline]
+    pub fn close_allocs(&self) -> u64 {
+        self.close_allocs
+    }
+
+    /// Releases excess capacity and compacts the slab onto its live slots
+    /// (call after bulk removals, e.g. a migration: linear walks cover
+    /// the slot *bound*, so departed slots otherwise cost forever).
+    pub fn shrink_to_fit(&mut self) {
+        self.refresh_sorted();
+        let live_count = self.index.len();
+        let mut keys = Vec::with_capacity(live_count);
+        let mut live = Vec::with_capacity(live_count);
+        let mut score = Vec::with_capacity(live_count);
+        let mut last_support = Vec::with_capacity(live_count);
+        let mut since = Vec::with_capacity(live_count);
+        let mut hist = Vec::with_capacity(live_count * self.history_len);
+        let mut hist_head = Vec::with_capacity(live_count);
+        let mut hist_count = Vec::with_capacity(live_count);
+        // Walk the sorted view so the compacted slab is in key order and
+        // the view maps 1:1 onto the new slots.
+        for (new_slot, &old_slot) in self.sorted.iter().enumerate() {
+            let old_slot = old_slot as usize;
+            keys.push(self.keys[old_slot]);
+            live.push(true);
+            score.push(self.score[old_slot]);
+            last_support.push(self.last_support[old_slot]);
+            since.push(self.since[old_slot]);
+            let base = old_slot * self.history_len;
+            hist.extend_from_slice(&self.hist[base..base + self.history_len]);
+            hist_head.push(self.hist_head[old_slot]);
+            hist_count.push(self.hist_count[old_slot]);
+            *self.index.get_mut(&self.keys[old_slot]).expect("live slot is indexed") =
+                new_slot as u32;
+        }
+        self.keys = keys;
+        self.live = live;
+        self.score = score;
+        self.last_support = last_support;
+        self.since = since;
+        self.hist = hist;
+        self.hist_head = hist_head;
+        self.hist_count = hist_count;
+        self.free.clear();
+        self.free.shrink_to_fit();
+        self.limbo.shrink_to_fit();
+        self.sorted = (0..live_count as u32).collect();
+        self.index.shrink_to_fit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enblogue_types::Timestamp;
+
+    fn slab() -> PairSlab {
+        PairSlab::new(4)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = slab();
+        assert!(s.insert_fresh(10, Tick(1), 2, 1000));
+        assert!(!s.insert_fresh(10, Tick(2), 0, 1000), "double insert is a no-op");
+        assert_eq!(s.len(), 1);
+        let slot = s.slot_of(10).unwrap();
+        assert_eq!(s.history_parts(slot), (&[0.0, 0.0][..], &[][..]), "backfill zeros");
+        assert_eq!(s.last_support_at(slot), Tick(1));
+        assert_eq!(s.since_at(slot), Tick(1));
+        assert!(s.remove(10));
+        assert!(!s.remove(10));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn history_ring_wraps_in_place() {
+        let mut s = slab();
+        s.insert_fresh(7, Tick(0), 0, 1000);
+        let slot = s.slot_of(7).unwrap();
+        for i in 0..6 {
+            s.push_history(slot, i as f64);
+        }
+        // Capacity 4: values 2,3,4,5 retained, oldest → newest.
+        let (older, newer) = s.history_parts(slot);
+        let joined: Vec<f64> = older.iter().chain(newer).copied().collect();
+        assert_eq!(joined, vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.newest_history(slot), Some(5.0));
+    }
+
+    #[test]
+    fn sorted_view_tracks_membership_incrementally() {
+        let mut s = slab();
+        for key in [30u64, 10, 20] {
+            s.insert_fresh(key, Tick(0), 0, 1000);
+        }
+        s.refresh_sorted();
+        let keys: Vec<u64> = s.sorted_slots().iter().map(|&slot| s.key_at(slot as usize)).collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+        // Remove one, insert two (one of which reuses the freed slot only
+        // after the quarantine clears).
+        s.remove(20);
+        s.insert_fresh(5, Tick(1), 0, 1000);
+        s.insert_fresh(25, Tick(1), 0, 1000);
+        s.refresh_sorted();
+        let keys: Vec<u64> = s.sorted_slots().iter().map(|&slot| s.key_at(slot as usize)).collect();
+        assert_eq!(keys, vec![5, 10, 25, 30]);
+        assert_eq!(keys.len(), s.len());
+        assert_eq!(s.sorted_keys(), keys);
+        // The freed slot is recyclable now and must not duplicate.
+        s.insert_fresh(15, Tick(2), 0, 1000);
+        s.refresh_sorted();
+        let keys: Vec<u64> = s.sorted_slots().iter().map(|&slot| s.key_at(slot as usize)).collect();
+        assert_eq!(keys, vec![5, 10, 15, 25, 30]);
+    }
+
+    #[test]
+    fn extract_and_insert_state_preserve_columns() {
+        let mut s = slab();
+        s.insert_fresh(42, Tick(3), 1, 1000);
+        let slot = s.slot_of(42).unwrap();
+        for v in [0.25, 0.5, 0.75, 0.9, 0.95] {
+            s.push_history(slot, v);
+        }
+        s.score_mut(slot).set(Timestamp::from_hours(7), 0.625);
+        s.set_last_support(slot, Tick(6));
+        let state = s.extract(42).expect("tracked");
+        assert!(s.is_empty());
+        let mut t = slab();
+        assert!(t.insert_state(42, state));
+        let slot = t.slot_of(42).unwrap();
+        let (older, newer) = t.history_parts(slot);
+        let joined: Vec<f64> = older.iter().chain(newer).copied().collect();
+        assert_eq!(joined, vec![0.5, 0.75, 0.9, 0.95], "ring tail survives the round-trip");
+        assert_eq!(t.score_at(slot).value_at(Timestamp::from_hours(7)), 0.625);
+        assert_eq!(t.last_support_at(slot), Tick(6));
+        assert_eq!(t.since_at(slot), Tick(3));
+    }
+
+    #[test]
+    fn shrink_to_fit_compacts_live_slots() {
+        let mut s = slab();
+        for key in 0..20u64 {
+            s.insert_fresh(key * 2, Tick(0), 0, 1000);
+            let slot = s.slot_of(key * 2).unwrap();
+            s.push_history(slot, key as f64);
+        }
+        for key in 0..15u64 {
+            s.remove(key * 2);
+        }
+        s.shrink_to_fit();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.slot_bound(), 5, "dead slots compacted away");
+        for key in 15..20u64 {
+            let slot = s.slot_of(key * 2).expect("survivor");
+            assert_eq!(s.newest_history(slot), Some(key as f64));
+        }
+        s.refresh_sorted();
+        assert_eq!(s.sorted_slots().len(), 5);
+    }
+
+    #[test]
+    fn steady_state_refresh_is_a_noop() {
+        let mut s = slab();
+        for key in 0..8u64 {
+            s.insert_fresh(key, Tick(0), 0, 1000);
+        }
+        s.refresh_sorted();
+        let before = s.close_allocs();
+        for _ in 0..100 {
+            s.refresh_sorted();
+        }
+        assert_eq!(s.close_allocs(), before, "no growth without membership changes");
+    }
+}

@@ -499,6 +499,11 @@ impl TickStage for PairCountStage {
 /// Stages (ii)–(iii): correlation update and shift scoring for every
 /// tracked pair, fanned out over the registry shards, followed by
 /// eviction.
+///
+/// This is the engine's steady-state hot loop; each shard walks its
+/// slab-resident pair state linearly (dense key/score columns, histories
+/// scored in place from the strided arena — see [`crate::slab`]), so a
+/// warm close touches no allocator and no per-pair heap blocks.
 pub struct ShiftScoreStage;
 
 impl TickStage for ShiftScoreStage {

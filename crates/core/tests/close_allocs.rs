@@ -1,0 +1,104 @@
+//! Pins the allocation-free steady-state tick close of the slab-resident
+//! pair registry.
+//!
+//! The counting-allocator shim (`crates/compat/alloc_counter`) is this
+//! binary's global allocator; its counters are process-global, so this
+//! file holds exactly one `#[test]` — all scenarios run inside it, with
+//! the measured sections on the test thread and serial close (a parallel
+//! fan-out allocates thread stacks by design).
+//!
+//! Scope: the registry close cycle — window advance, seeded discovery
+//! over the open-tick candidates, shift scoring across every tracked
+//! pair, and eviction. Ranking *emission* is excluded: it returns a
+//! freshly built `Vec` by contract. Ingest of previously seen keys is
+//! also covered (lanes and candidate sets retain their capacity).
+
+use enblogue_core::pairs::ShardedPairRegistry;
+use enblogue_stats::predict::PredictorKind;
+use enblogue_stats::shift::{ErrorNormalization, ShiftScorer};
+use enblogue_types::{FxHashSet, TagId, TagPair, Tick, Timestamp};
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
+/// One full tick of the workload: observations for a stable pair
+/// population, then the serial close cycle.
+fn run_tick(registry: &mut ShardedPairRegistry, seeds: &FxHashSet<TagId>, s: &ShiftScorer, t: u64) {
+    let tick = Tick(t);
+    for a in 0..PAIRS {
+        // Every pair is observed every few ticks (rotating), so windowed
+        // support stays alive and the counter's key set stays stable.
+        if (a + t as u32).is_multiple_of(3) {
+            registry.observe_pair(tick, TagPair::new(TagId(a), TagId(a + 1000)).packed());
+        }
+    }
+    registry.advance_to(tick);
+    registry.discover_seeded(seeds, tick, 0, false);
+    registry.score_all(tick, Timestamp::from_hours(t), s, false, |pair, ab| {
+        ab as f64 / (4.0 + (pair.lo().0 % 5) as f64)
+    });
+    registry.evict_parallel(tick, Timestamp::from_hours(t), false);
+}
+
+const PAIRS: u32 = 512;
+
+#[test]
+fn steady_state_close_is_allocation_free() {
+    let scorer = ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Absolute);
+    let seeds: FxHashSet<TagId> = (0..PAIRS).map(TagId).collect();
+
+    // A static 4-store registry; support window of 6 ticks, the rotating
+    // observation schedule keeps all pairs supported, no cap pressure.
+    let mut registry = ShardedPairRegistry::new(4, 6, Timestamp::DAY, 1, 10_000);
+
+    // Warm-up: population forms, window fills, every scratch buffer and
+    // lane reaches its steady-state capacity.
+    for t in 0..12u64 {
+        run_tick(&mut registry, &seeds, &scorer, t);
+    }
+    assert_eq!(registry.len() as u32, PAIRS, "the whole population is tracked and stable");
+
+    // Steady state: same key population, no discovery, no eviction — the
+    // close cycle must not touch the allocator at all.
+    let (_, allocs) = alloc_counter::measure(|| {
+        for t in 12..24u64 {
+            run_tick(&mut registry, &seeds, &scorer, t);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state ingest + close must be allocation-free");
+    let stats = registry.stats();
+    assert_eq!(registry.len() as u32, PAIRS, "population unchanged through the measured window");
+    assert_eq!(stats.evicted, 0);
+
+    // The registry's own close-path growth counter agrees: whatever
+    // growth happened, it happened during warm-up, none after.
+    let close_allocs_before = stats.close_allocs;
+    for t in 24..30u64 {
+        run_tick(&mut registry, &seeds, &scorer, t);
+    }
+    assert_eq!(
+        registry.stats().close_allocs,
+        close_allocs_before,
+        "no close-path buffer grew in steady state"
+    );
+
+    // Scenario 2: a cap-bound registry (eviction every tick). The cap
+    // scratch and slab free lists must reach a fixed point too: after a
+    // few capped ticks the cycle is allocation-free even though discovery
+    // and cap eviction both run every tick over a *stable* key set.
+    // (Population churn with brand-new keys legitimately allocates — that
+    // is registry growth, not the close path.)
+    let mut capped = ShardedPairRegistry::new(2, 6, Timestamp::DAY, 1, 256);
+    for t in 0..12u64 {
+        run_tick(&mut capped, &seeds, &scorer, t);
+    }
+    assert_eq!(capped.len(), 256, "the cap binds");
+    let evicted_before = capped.stats().evicted;
+    let (_, allocs) = alloc_counter::measure(|| {
+        for t in 12..20u64 {
+            run_tick(&mut capped, &seeds, &scorer, t);
+        }
+    });
+    assert!(capped.stats().evicted > evicted_before, "cap eviction ran during the measurement");
+    assert_eq!(allocs, 0, "cap-bound steady-state close must be allocation-free");
+}

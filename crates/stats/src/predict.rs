@@ -13,14 +13,109 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A correlation history exposed as up to two contiguous slices (oldest →
+/// newest), so ring-resident histories can be read **in place**.
+///
+/// The slab pair storage keeps every history in a strided arena ring; a
+/// full ring is two contiguous runs (`head` = the older run, `tail` = the
+/// wrapped newer run). Predictors consume this view directly, which is
+/// what lets the tick-close scoring loop run without copying each history
+/// into a scratch `Vec` first. A plain slice is the `tail.is_empty()`
+/// special case ([`SeriesView::contiguous`]), and every accessor iterates
+/// values in exactly the order the equivalent concatenated slice would —
+/// predictions are bit-identical between the two representations.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesView<'a> {
+    head: &'a [f64],
+    tail: &'a [f64],
+}
+
+impl<'a> SeriesView<'a> {
+    /// A view over `head` followed by `tail` (both oldest → newest).
+    #[inline]
+    pub fn new(head: &'a [f64], tail: &'a [f64]) -> Self {
+        SeriesView { head, tail }
+    }
+
+    /// A view over one contiguous slice.
+    #[inline]
+    pub fn contiguous(values: &'a [f64]) -> Self {
+        SeriesView { head: values, tail: &[] }
+    }
+
+    /// Number of values in the series.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// Whether the series holds no values.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.head.is_empty() && self.tail.is_empty()
+    }
+
+    /// The value `i` steps from the oldest.
+    #[inline]
+    pub fn get(self, i: usize) -> Option<f64> {
+        if i < self.head.len() {
+            Some(self.head[i])
+        } else {
+            self.tail.get(i - self.head.len()).copied()
+        }
+    }
+
+    /// The newest value.
+    #[inline]
+    pub fn last(self) -> Option<f64> {
+        self.tail.last().or_else(|| self.head.last()).copied()
+    }
+
+    /// The view over the newest `n` values (the whole series if shorter).
+    #[inline]
+    pub fn suffix(self, n: usize) -> SeriesView<'a> {
+        let skip = self.len().saturating_sub(n);
+        if skip <= self.head.len() {
+            SeriesView { head: &self.head[skip..], tail: self.tail }
+        } else {
+            SeriesView { head: &[], tail: &self.tail[skip - self.head.len()..] }
+        }
+    }
+
+    /// Iterates oldest → newest.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = f64> + 'a {
+        self.head.iter().chain(self.tail.iter()).copied()
+    }
+
+    /// Splits off the oldest value, returning it and the rest.
+    #[inline]
+    pub fn split_first(self) -> Option<(f64, SeriesView<'a>)> {
+        match self.head.split_first() {
+            Some((&first, rest)) => Some((first, SeriesView { head: rest, tail: self.tail })),
+            None => self
+                .tail
+                .split_first()
+                .map(|(&first, rest)| (first, SeriesView { head: rest, tail: &[] })),
+        }
+    }
+}
+
 /// A one-step-ahead forecaster over a correlation series.
 pub trait Predictor: Send + Sync {
-    /// Predicts the next value from `history` (oldest → newest).
+    /// Predicts the next value from `history` (oldest → newest), supplied
+    /// as a possibly-split [`SeriesView`] so ring-buffer histories are read
+    /// in place.
     ///
     /// Returns `None` when the history is too short to say anything; the
     /// shift detector treats that as "no alarm" rather than a zero
     /// prediction, so brand-new pairs don't look emergent for free.
-    fn predict(&self, history: &[f64]) -> Option<f64>;
+    fn predict_view(&self, history: SeriesView<'_>) -> Option<f64>;
+
+    /// [`Predictor::predict_view`] over one contiguous slice.
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        self.predict_view(SeriesView::contiguous(history))
+    }
 
     /// Minimum history length required for a prediction.
     fn min_history(&self) -> usize;
@@ -34,8 +129,8 @@ pub trait Predictor: Send + Sync {
 pub struct LastValue;
 
 impl Predictor for LastValue {
-    fn predict(&self, history: &[f64]) -> Option<f64> {
-        history.last().copied()
+    fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
+        history.last()
     }
 
     fn min_history(&self) -> usize {
@@ -65,11 +160,11 @@ impl MovingAverage {
 }
 
 impl Predictor for MovingAverage {
-    fn predict(&self, history: &[f64]) -> Option<f64> {
+    fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
         if history.is_empty() {
             return None;
         }
-        let tail = &history[history.len().saturating_sub(self.window)..];
+        let tail = history.suffix(self.window);
         Some(tail.iter().sum::<f64>() / tail.len() as f64)
     }
 
@@ -103,10 +198,10 @@ impl Ewma {
 }
 
 impl Predictor for Ewma {
-    fn predict(&self, history: &[f64]) -> Option<f64> {
-        let (&first, rest) = history.split_first()?;
+    fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
+        let (first, rest) = history.split_first()?;
         let mut level = first;
-        for &v in rest {
+        for v in rest.iter() {
             level = self.alpha * v + (1.0 - self.alpha) * level;
         }
         Some(level)
@@ -146,13 +241,15 @@ impl Holt {
 }
 
 impl Predictor for Holt {
-    fn predict(&self, history: &[f64]) -> Option<f64> {
+    fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
         if history.len() < 2 {
             return None;
         }
-        let mut level = history[0];
-        let mut trend = history[1] - history[0];
-        for &v in &history[1..] {
+        let first = history.get(0).expect("len checked");
+        let second = history.get(1).expect("len checked");
+        let mut level = first;
+        let mut trend = second - first;
+        for v in history.iter().skip(1) {
             let prev_level = level;
             level = self.alpha * v + (1.0 - self.alpha) * (level + trend);
             trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
@@ -188,18 +285,18 @@ impl LinearRegression {
 }
 
 impl Predictor for LinearRegression {
-    fn predict(&self, history: &[f64]) -> Option<f64> {
+    fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
         if history.len() < 2 {
             return None;
         }
-        let tail = &history[history.len().saturating_sub(self.window)..];
+        let tail = history.suffix(self.window);
         let n = tail.len() as f64;
         // x = 0..n-1, predict at x = n.
         let x_mean = (n - 1.0) / 2.0;
         let y_mean = tail.iter().sum::<f64>() / n;
         let mut sxy = 0.0;
         let mut sxx = 0.0;
-        for (i, &y) in tail.iter().enumerate() {
+        for (i, y) in tail.iter().enumerate() {
             let dx = i as f64 - x_mean;
             sxy += dx * (y - y_mean);
             sxx += dx * dx;
@@ -243,15 +340,15 @@ impl SeasonalNaive {
 }
 
 impl Predictor for SeasonalNaive {
-    fn predict(&self, history: &[f64]) -> Option<f64> {
+    fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
         if history.is_empty() {
             return None;
         }
         if history.len() >= self.period {
             // The next value is one period after history[len - period].
-            Some(history[history.len() - self.period])
+            history.get(history.len() - self.period)
         } else {
-            history.last().copied()
+            history.last()
         }
     }
 
@@ -435,6 +532,53 @@ mod tests {
         let ewma_err = (0.8 - Ewma::new(0.3).predict(history).unwrap()).max(0.0);
         assert!(seasonal_err < 1e-9, "periodic peak fully predicted: {seasonal_err}");
         assert!(ewma_err > 0.4, "level predictor must be surprised: {ewma_err}");
+    }
+
+    #[test]
+    fn split_views_predict_bit_identically_to_contiguous() {
+        // Every predictor must produce the exact same bits whether the
+        // history arrives as one slice or as any two-way split of it —
+        // that is the contract that lets slab storage hand ring segments
+        // to the scorer in place.
+        let series: Vec<f64> = (0..12).map(|i| 0.07 * i as f64 + ((i % 3) as f64) * 0.11).collect();
+        for kind in PredictorKind::ablation_set() {
+            let p = kind.build();
+            let whole = p.predict(&series);
+            for cut in 0..=series.len() {
+                let (head, tail) = series.split_at(cut);
+                let split = p.predict_view(SeriesView::new(head, tail));
+                assert_eq!(
+                    whole.map(f64::to_bits),
+                    split.map(f64::to_bits),
+                    "{} diverged at cut {cut}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn series_view_accessors_match_concatenation() {
+        let head = [1.0, 2.0];
+        let tail = [3.0, 4.0, 5.0];
+        let v = SeriesView::new(&head, &tail);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(0), Some(1.0));
+        assert_eq!(v.get(3), Some(4.0));
+        assert_eq!(v.get(5), None);
+        assert_eq!(v.last(), Some(5.0));
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(v.suffix(2).iter().collect::<Vec<_>>(), vec![4.0, 5.0]);
+        assert_eq!(v.suffix(4).iter().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(v.suffix(9).len(), 5);
+        let (first, rest) = v.split_first().unwrap();
+        assert_eq!(first, 1.0);
+        assert_eq!(rest.len(), 4);
+        let empty = SeriesView::new(&[], &[]);
+        assert!(empty.is_empty() && empty.last().is_none() && empty.split_first().is_none());
+        let tail_only = SeriesView::new(&[], &tail);
+        assert_eq!(tail_only.split_first().unwrap().0, 3.0);
     }
 
     #[test]

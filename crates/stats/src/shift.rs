@@ -5,7 +5,7 @@
 //! signal, and a topic's score is the maximum of the current error and the
 //! exponentially dampened past errors.
 
-use crate::predict::{Predictor, PredictorKind};
+use crate::predict::{Predictor, PredictorKind, SeriesView};
 use serde::{Deserialize, Serialize};
 
 /// How raw prediction errors are normalised into scores.
@@ -120,7 +120,15 @@ impl ShiftScorer {
     /// Returns `(shift_score, predicted)`; `None` while history is too
     /// short. Scores below the noise floor collapse to 0.
     pub fn score(&self, history: &[f64], actual: f64) -> Option<(f64, f64)> {
-        let predicted = self.predictor.predict(history)?;
+        self.score_view(SeriesView::contiguous(history), actual)
+    }
+
+    /// [`ShiftScorer::score`] over a possibly-split history view — the
+    /// tick-close hot path: slab pair storage hands the scorer its ring
+    /// segments directly, so no history is copied per pair per tick.
+    /// Bit-identical to the contiguous form for the same values.
+    pub fn score_view(&self, history: SeriesView<'_>, actual: f64) -> Option<(f64, f64)> {
+        let predicted = self.predictor.predict_view(history)?;
         let err = self.normalization.apply(actual, predicted, self.epsilon);
         let score = if err < self.min_error { 0.0 } else { err };
         Some((score, predicted))

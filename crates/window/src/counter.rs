@@ -1,7 +1,6 @@
 //! Exact per-key counts over a sliding window of ticks.
 
 use enblogue_types::{FxHashMap, Tick};
-use std::collections::VecDeque;
 use std::hash::Hash;
 
 /// Exact sliding-window counter: for each key, how many events occurred in
@@ -9,18 +8,39 @@ use std::hash::Hash;
 ///
 /// This is the statistics operator behind seed selection (§3(i)): tag
 /// popularity is the sliding-window average of per-tick document counts.
-/// The structure keeps one small map per tick plus a running total per key;
-/// advancing the window subtracts the expiring tick's map, so totals stay
-/// exact without rescanning.
+///
+/// Storage is lane-based rather than map-per-tick: every live key owns one
+/// `W`-long circular *count lane* in a contiguous `u64` arena, all lanes
+/// sharing a single column cursor (the column of the newest tick). An
+/// ingest is one hash probe plus two array writes; a tick advance rotates
+/// the cursor and expires the entering column with a linear arena walk —
+/// no per-tick map is allocated or dropped, which is what keeps the
+/// steady-state tick close allocation-free. Running per-key totals make
+/// reads O(1), exactly as before; keys whose total reaches zero leave the
+/// key index and their lane returns to a free list.
 #[derive(Debug, Clone)]
 pub struct WindowedCounter<K: Eq + Hash + Copy> {
     window_ticks: usize,
-    /// Per-tick counts, oldest first. `ticks.len() <= window_ticks`.
-    ticks: VecDeque<FxHashMap<K, u64>>,
-    /// Sum over all per-tick maps.
-    totals: FxHashMap<K, u64>,
-    /// The tick the newest map belongs to.
+    /// The tick the cursor column belongs to.
     newest_tick: Option<Tick>,
+    /// Number of tick columns currently covered (≤ `window_ticks`); mirrors
+    /// the per-tick map count of the historical layout so snapshots stay
+    /// byte-identical.
+    held: usize,
+    /// Column of the newest tick within every lane.
+    cursor: usize,
+    /// Key → lane slot.
+    index: FxHashMap<K, u32>,
+    /// Slot → key (stale for free slots).
+    keys: Vec<K>,
+    /// Slot → windowed total (0 for free slots — a live key always has a
+    /// positive total).
+    totals: Vec<u64>,
+    /// The lane arena: slot `s`'s counts live at `s*W ..= s*W + W-1`.
+    /// Columns outside the held range are zero.
+    lanes: Vec<u64>,
+    /// Freed slots awaiting reuse.
+    free: Vec<u32>,
 }
 
 impl<K: Eq + Hash + Copy> WindowedCounter<K> {
@@ -32,9 +52,14 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
         assert!(window_ticks > 0, "window must span at least one tick");
         WindowedCounter {
             window_ticks,
-            ticks: VecDeque::with_capacity(window_ticks),
-            totals: FxHashMap::default(),
             newest_tick: None,
+            held: 0,
+            cursor: 0,
+            index: FxHashMap::default(),
+            keys: Vec::new(),
+            totals: Vec::new(),
+            lanes: Vec::new(),
+            free: Vec::new(),
         }
     }
 
@@ -44,14 +69,22 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
         self.window_ticks
     }
 
+    /// The arena column holding the tick `back_offset` steps before the
+    /// newest one.
+    #[inline]
+    fn column(&self, back_offset: usize) -> usize {
+        debug_assert!(back_offset < self.window_ticks);
+        (self.cursor + self.window_ticks - back_offset) % self.window_ticks
+    }
+
     /// Advances the window so its newest slot is `tick`, expiring old ticks.
     ///
     /// Must be called with non-decreasing ticks; calling with the current
     /// tick is a no-op.
     pub fn advance_to(&mut self, tick: Tick) {
         let Some(newest) = self.newest_tick else {
-            self.ticks.push_back(FxHashMap::default());
             self.newest_tick = Some(tick);
+            self.held = self.held.max(1);
             return;
         };
         if tick <= newest {
@@ -60,33 +93,68 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
         let gap = tick.since(newest) as usize;
         if gap >= self.window_ticks {
             // Everything expires at once.
-            self.ticks.clear();
+            self.index.clear();
+            self.keys.clear();
             self.totals.clear();
-            self.ticks.push_back(FxHashMap::default());
+            self.lanes.clear();
+            self.free.clear();
+            self.held = 1;
+            self.cursor = 0;
         } else {
             for _ in 0..gap {
-                if self.ticks.len() == self.window_ticks {
-                    self.expire_oldest();
+                self.cursor = (self.cursor + 1) % self.window_ticks;
+                if self.held == self.window_ticks {
+                    self.expire_column(self.cursor);
+                } else {
+                    // The entering column is outside the held range, hence
+                    // already all-zero.
+                    self.held += 1;
                 }
-                self.ticks.push_back(FxHashMap::default());
             }
         }
         self.newest_tick = Some(tick);
     }
 
-    fn expire_oldest(&mut self) {
-        let Some(expired) = self.ticks.pop_front() else { return };
-        for (key, count) in expired {
-            match self.totals.get_mut(&key) {
-                Some(total) => {
-                    *total -= count;
-                    if *total == 0 {
-                        self.totals.remove(&key);
-                    }
-                }
-                None => unreachable!("totals out of sync with per-tick maps"),
+    /// Subtracts and zeroes column `col` across all lanes (the oldest tick
+    /// leaving the window), retiring keys whose total reaches zero.
+    fn expire_column(&mut self, col: usize) {
+        let window = self.window_ticks;
+        for slot in 0..self.totals.len() {
+            let count = self.lanes[slot * window + col];
+            if count == 0 {
+                continue;
+            }
+            self.lanes[slot * window + col] = 0;
+            self.totals[slot] -= count;
+            if self.totals[slot] == 0 {
+                self.index.remove(&self.keys[slot]);
+                self.free.push(slot as u32);
             }
         }
+    }
+
+    /// The lane slot of `key`, allocating one if needed.
+    fn ensure_slot(&mut self, key: K) -> usize {
+        if let Some(&slot) = self.index.get(&key) {
+            return slot as usize;
+        }
+        let slot = match self.free.pop() {
+            // A freed lane is all-zero by construction (its total reached
+            // zero, or it was extracted).
+            Some(slot) => {
+                self.keys[slot as usize] = key;
+                slot as usize
+            }
+            None => {
+                let slot = self.keys.len();
+                self.keys.push(key);
+                self.totals.push(0);
+                self.lanes.resize(self.lanes.len() + self.window_ticks, 0);
+                slot
+            }
+        };
+        self.index.insert(key, slot as u32);
+        slot
     }
 
     /// Adds `by` occurrences of `key` in `tick` (advancing the window).
@@ -96,9 +164,9 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
         if by == 0 {
             return;
         }
-        let map = self.ticks.back_mut().expect("advance_to ensures a newest slot");
-        *map.entry(key).or_insert(0) += by;
-        *self.totals.entry(key).or_insert(0) += by;
+        let slot = self.ensure_slot(key);
+        self.lanes[slot * self.window_ticks + self.cursor] += by;
+        self.totals[slot] += by;
     }
 
     /// Records one occurrence of `key` in `tick`.
@@ -110,12 +178,14 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
     /// The exact count of `key` over the current window.
     #[inline]
     pub fn count(&self, key: K) -> u64 {
-        self.totals.get(&key).copied().unwrap_or(0)
+        self.index.get(&key).map_or(0, |&slot| self.totals[slot as usize])
     }
 
     /// The count of `key` in the newest tick only.
     pub fn count_in_newest_tick(&self, key: K) -> u64 {
-        self.ticks.back().and_then(|m| m.get(&key)).copied().unwrap_or(0)
+        self.index
+            .get(&key)
+            .map_or(0, |&slot| self.lanes[slot as usize * self.window_ticks + self.cursor])
     }
 
     /// Sliding-window average: count / window length.
@@ -127,26 +197,36 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
     /// Number of keys with a non-zero count in the window.
     #[inline]
     pub fn distinct_keys(&self) -> usize {
-        self.totals.len()
+        self.index.len()
     }
 
     /// Iterates over `(key, windowed count)` for all live keys.
     pub fn iter(&self) -> impl Iterator<Item = (K, u64)> + '_ {
-        self.totals.iter().map(|(&k, &v)| (k, v))
+        self.index.iter().map(|(&key, &slot)| (key, self.totals[slot as usize]))
     }
 
-    /// The `n` keys with the largest windowed counts, descending.
+    /// The `n` keys with the largest windowed counts, descending (ties
+    /// break on the smaller key).
     ///
-    /// Ties break on nothing in particular (keys are opaque); callers that
-    /// need determinism sort the result again by key.
+    /// Selects the top `n` in O(keys) before sorting only those — the same
+    /// `select_nth_unstable` trick cap eviction uses, which matters when a
+    /// few seeds are picked out of a large tag population every tick.
     pub fn top_n(&self, n: usize) -> Vec<(K, u64)>
     where
         K: Ord,
     {
+        if n == 0 {
+            return Vec::new();
+        }
         let mut all: Vec<(K, u64)> = self.iter().collect();
-        // Deterministic: count desc, then key asc.
-        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        all.truncate(n);
+        // Deterministic: count desc, then key asc (a total order — keys
+        // are unique).
+        let cmp = |a: &(K, u64), b: &(K, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+        if all.len() > n {
+            all.select_nth_unstable_by(n - 1, cmp);
+            all.truncate(n);
+        }
+        all.sort_unstable_by(cmp);
         all
     }
 
@@ -158,7 +238,8 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
 
     /// Total number of events in the window across all keys.
     pub fn total_events(&self) -> u64 {
-        self.totals.values().sum()
+        // Free slots hold a zero total, so the dense sum is exact.
+        self.totals.iter().sum()
     }
 
     /// Removes `key` from the counter, returning its per-tick window
@@ -166,34 +247,73 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
     ///
     /// Returns `None` if the key has no live counts (nothing to move).
     pub fn extract_key(&mut self, key: K) -> Option<KeyWindow> {
-        let total = self.totals.remove(&key)?;
-        let counts: Vec<u64> =
-            self.ticks.iter_mut().map(|map| map.remove(&key).unwrap_or(0)).collect();
-        debug_assert_eq!(counts.iter().sum::<u64>(), total, "totals out of sync");
+        let slot = self.index.remove(&key)? as usize;
+        let window = self.window_ticks;
+        let mut counts = Vec::with_capacity(self.held);
+        for back_offset in (0..self.held).rev() {
+            let col = self.column(back_offset);
+            counts.push(self.lanes[slot * window + col]);
+            self.lanes[slot * window + col] = 0;
+        }
+        debug_assert_eq!(counts.iter().sum::<u64>(), self.totals[slot], "totals out of sync");
+        self.totals[slot] = 0;
+        self.free.push(slot as u32);
         Some(KeyWindow {
             newest_tick: self.newest_tick.expect("live counts imply an open window"),
             counts,
         })
     }
 
-    /// Releases excess capacity of the per-tick and total maps. Call
-    /// after bulk [`WindowedCounter::extract_key`] removals (a shard
-    /// migration): iteration and expiry walk map *capacity*, so a donor
-    /// that keeps the capacity of its departed keys pays for them on
-    /// every subsequent tick.
+    /// Releases excess capacity and compacts the lane arena onto the live
+    /// keys. Call after bulk [`WindowedCounter::extract_key`] removals (a
+    /// shard migration): expiry walks every lane *slot*, so a donor that
+    /// keeps the lanes of its departed keys pays for them on every
+    /// subsequent tick.
     pub fn shrink_to_fit(&mut self) {
-        self.totals.shrink_to_fit();
-        for map in &mut self.ticks {
-            map.shrink_to_fit();
+        let window = self.window_ticks;
+        let live = self.index.len();
+        let mut keys = Vec::with_capacity(live);
+        let mut totals = Vec::with_capacity(live);
+        let mut lanes = Vec::with_capacity(live * window);
+        for slot in 0..self.totals.len() {
+            if self.totals[slot] == 0 {
+                continue;
+            }
+            let new_slot = keys.len() as u32;
+            keys.push(self.keys[slot]);
+            totals.push(self.totals[slot]);
+            lanes.extend_from_slice(&self.lanes[slot * window..(slot + 1) * window]);
+            *self.index.get_mut(&self.keys[slot]).expect("live slot is indexed") = new_slot;
         }
+        self.keys = keys;
+        self.totals = totals;
+        self.lanes = lanes;
+        self.free.clear();
+        self.free.shrink_to_fit();
+        self.index.shrink_to_fit();
     }
 
-    /// Exports the per-tick count maps, oldest → newest — the counter's
+    /// Exports the per-tick count entries, oldest → newest — the counter's
     /// full dehydrated state for snapshot/restore (see
     /// [`WindowedCounter::from_per_tick_counts`]). Inner vectors are in
-    /// map order; serializers that need stable bytes sort them by key.
+    /// arbitrary key order; serializers that need stable bytes sort them
+    /// by key. Only non-zero counts are exported (a key never has a stored
+    /// zero in the historical map layout this format mirrors).
     pub fn per_tick_counts(&self) -> Vec<Vec<(K, u64)>> {
-        self.ticks.iter().map(|map| map.iter().map(|(&k, &v)| (k, v)).collect()).collect()
+        let window = self.window_ticks;
+        (0..self.held)
+            .rev()
+            .map(|back_offset| {
+                let col = self.column(back_offset);
+                self.index
+                    .iter()
+                    .filter_map(|(&key, &slot)| {
+                        let count = self.lanes[slot as usize * window + col];
+                        (count > 0).then_some((key, count))
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Rehydrates a counter from [`WindowedCounter::per_tick_counts`]
@@ -215,15 +335,16 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
         );
         let mut counter = WindowedCounter::new(window_ticks);
         counter.newest_tick = newest_tick;
-        for entries in per_tick {
-            let mut map = FxHashMap::default();
+        counter.held = per_tick.len();
+        counter.cursor = per_tick.len().saturating_sub(1);
+        for (offset, entries) in per_tick.into_iter().enumerate() {
             for (key, count) in entries {
                 if count > 0 {
-                    *map.entry(key).or_insert(0) += count;
-                    *counter.totals.entry(key).or_insert(0) += count;
+                    let slot = counter.ensure_slot(key);
+                    counter.lanes[slot * window_ticks + offset] += count;
+                    counter.totals[slot] += count;
                 }
             }
-            counter.ticks.push_back(map);
         }
         counter
     }
@@ -253,22 +374,19 @@ impl<K: Eq + Hash + Copy> WindowedCounter<K> {
             if count == 0 {
                 continue;
             }
-            // Position from the back of the receiver's deque.
             let back_offset = (series.counts.len() - 1 - i) + lag;
             if back_offset >= self.window_ticks {
                 continue; // expired relative to the receiver's window
             }
-            // Materialise empty slots for ticks the receiver never saw.
-            while self.ticks.len() <= back_offset {
-                self.ticks.push_front(FxHashMap::default());
-            }
-            let index = self.ticks.len() - 1 - back_offset;
-            *self.ticks[index].entry(key).or_insert(0) += count;
+            // Cover ticks the receiver never saw (their columns are zero).
+            self.held = self.held.max(back_offset + 1);
+            let slot = self.ensure_slot(key);
+            let at = slot * self.window_ticks + self.column(back_offset);
+            self.lanes[at] += count;
+            self.totals[slot] += count;
             merged_total += count;
         }
-        if merged_total > 0 {
-            *self.totals.entry(key).or_insert(0) += merged_total;
-        }
+        debug_assert!(merged_total == 0 || self.count(key) >= merged_total);
     }
 }
 
@@ -340,6 +458,24 @@ mod tests {
         assert_eq!(c.top_n(3), vec![(2, 9), (1, 5), (3, 5)]);
         assert_eq!(c.top_n(0), vec![]);
         assert_eq!(c.top_n(10).len(), 4);
+        assert_eq!(c.top_n(10), vec![(2, 9), (1, 5), (3, 5), (4, 1)]);
+    }
+
+    #[test]
+    fn top_n_selection_matches_full_sort() {
+        // The select-then-sort fast path must agree with a plain full sort
+        // for every n, including heavy count ties.
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(3);
+        for key in 0..50u32 {
+            c.add(Tick(0), key, (key % 7) as u64 + 1);
+        }
+        let mut full: Vec<(u32, u64)> = c.iter().collect();
+        full.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for n in [1usize, 3, 7, 49, 50, 60] {
+            let mut expected = full.clone();
+            expected.truncate(n);
+            assert_eq!(c.top_n(n), expected, "top_n({n})");
+        }
     }
 
     #[test]
@@ -357,6 +493,20 @@ mod tests {
         c.add(Tick(5), 1, 0);
         assert_eq!(c.count(1), 0);
         assert_eq!(c.newest_tick(), Some(Tick(5)));
+    }
+
+    #[test]
+    fn freed_lanes_are_reused_cleanly() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(2);
+        c.add(Tick(0), 1, 3);
+        c.advance_to(Tick(2)); // key 1 fully expires, lane freed
+        assert_eq!(c.distinct_keys(), 0);
+        // A different key must land on the recycled lane with no residue.
+        c.add(Tick(2), 2, 5);
+        assert_eq!(c.count(2), 5);
+        assert_eq!(c.count(1), 0);
+        assert_eq!(c.count_in_newest_tick(2), 5);
+        assert_eq!(c.total_events(), 5);
     }
 
     #[test]
@@ -400,11 +550,73 @@ mod tests {
     }
 
     #[test]
+    fn merge_materialises_older_ticks_the_receiver_never_saw() {
+        let mut donor: WindowedCounter<u32> = WindowedCounter::new(4);
+        donor.add(Tick(0), 3, 2);
+        donor.add(Tick(2), 3, 1);
+        let series = donor.extract_key(3).unwrap();
+        // A receiver whose window only just opened at the donor's newest
+        // tick: the merge must back-fill the older tick slots.
+        let mut receiver: WindowedCounter<u32> = WindowedCounter::new(4);
+        receiver.advance_to(Tick(2));
+        receiver.merge_key(3, &series);
+        assert_eq!(receiver.count(3), 3);
+        assert_eq!(receiver.per_tick_counts().len(), 3, "ticks 0..=2 covered");
+        receiver.advance_to(Tick(3)); // window now 0..=3: nothing expires yet
+        assert_eq!(receiver.count(3), 3);
+        receiver.advance_to(Tick(4)); // tick 0 expires
+        assert_eq!(receiver.count(3), 1);
+    }
+
+    #[test]
     fn extract_missing_key_is_none() {
         let mut c: WindowedCounter<u32> = WindowedCounter::new(2);
         c.increment(Tick(0), 1);
         assert!(c.extract_key(2).is_none());
         assert_eq!(c.count(1), 1, "other keys untouched");
+    }
+
+    #[test]
+    fn per_tick_round_trip_preserves_everything() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(4);
+        c.add(Tick(1), 1, 2);
+        c.add(Tick(2), 2, 3);
+        c.advance_to(Tick(4));
+        let per_tick = c.per_tick_counts();
+        assert_eq!(per_tick.len(), 4, "ticks 1..=4 held");
+        let restored = WindowedCounter::from_per_tick_counts(4, c.newest_tick(), per_tick);
+        assert_eq!(restored.count(1), 2);
+        assert_eq!(restored.count(2), 3);
+        assert_eq!(restored.distinct_keys(), c.distinct_keys());
+        assert_eq!(restored.total_events(), c.total_events());
+        assert_eq!(restored.newest_tick(), c.newest_tick());
+        // Expiry continues exactly where the original would.
+        let mut restored = restored;
+        let mut original = c;
+        for tick in 5..9u64 {
+            restored.advance_to(Tick(tick));
+            original.advance_to(Tick(tick));
+            assert_eq!(restored.count(1), original.count(1), "key 1 at tick {tick}");
+            assert_eq!(restored.count(2), original.count(2), "key 2 at tick {tick}");
+        }
+    }
+
+    #[test]
+    fn shrink_to_fit_compacts_and_keeps_counts() {
+        let mut c: WindowedCounter<u32> = WindowedCounter::new(3);
+        for key in 0..20u32 {
+            c.add(Tick(0), key, key as u64 + 1);
+        }
+        for key in 0..15u32 {
+            c.extract_key(key);
+        }
+        c.shrink_to_fit();
+        assert_eq!(c.distinct_keys(), 5);
+        for key in 15..20u32 {
+            assert_eq!(c.count(key), key as u64 + 1);
+        }
+        c.advance_to(Tick(3));
+        assert_eq!(c.total_events(), 0, "expiry still works on the compacted arena");
     }
 
     #[test]
