@@ -15,17 +15,24 @@
 //!   did), keys re-collected and re-sorted every tick, and a
 //!   `VecDeque<FxHashMap>` windowed counter that allocates a map per tick.
 //!
-//! Both layouts run the same float operations in the same order, so their
-//! rankings are verified **bit-identical** before any number is reported;
-//! the rows differ only in where state lives. The sweep covers live-pair
-//! count (1k / 33k / 133k) × shard count, and `BENCH_close.json` records
-//! pairs/sec closed plus the headline `speedup_133k` (slab over legacy at
-//! the 133k point, 1 shard, serial close — the 1-CPU container bound).
+//! The slab rows additionally sweep the `scoring` axis: the scalar
+//! per-pair walk (`ScoringMode::Scalar`, the reference) against the
+//! lane-tiled batch kernels (`ScoringMode::Batched`, the production
+//! default). All layouts, shard counts and scoring modes run the same
+//! float operations in the same order, so their rankings are verified
+//! **bit-identical** before any number is reported; the rows differ only
+//! in where state lives and how the loops are tiled. The sweep covers
+//! live-pair count (1k / 33k / 133k) × shard count, multi-store rows
+//! request a parallel close (the registry demotes small populations below
+//! `SERIAL_CLOSE_MAX_PAIRS` to a serial walk), and `BENCH_close.json`
+//! records pairs/sec closed per row plus two ratio families: layout
+//! (best slab over legacy) and scoring (best batched over best scalar).
 //!
 //! Run: `cargo run --release -p enblogue-bench --bin perf_close`
-//! Smoke mode (CI): append `-- --test` for a small sweep + 1 repeat.
+//! Smoke mode (CI): append `-- --test` for a small sweep + 2 repeats;
+//! smoke additionally asserts batched ≥ scalar throughput per size.
 
-use enblogue::core::pairs::ShardedPairRegistry;
+use enblogue::core::pairs::{ScoringMode, ShardedPairRegistry};
 use enblogue::prelude::*;
 use enblogue::stats::predict::PredictorKind;
 use enblogue::stats::shift::{ErrorNormalization, ShiftScorer};
@@ -215,6 +222,7 @@ struct Row {
     layout: &'static str,
     pairs: usize,
     shards: usize,
+    scoring: ScoringMode,
     close_secs: f64,
     pairs_per_sec: f64,
     ranking: Vec<(TagPair, f64)>,
@@ -223,12 +231,27 @@ struct Row {
 /// Drives one layout over `warmup + measured` ticks and times the close
 /// cycle of the measured span. Ingest (the observation loop) stays
 /// outside the timer — the close path is what this PR optimises.
-fn run(layout: &'static str, live: usize, shards: usize, warmup: u64, measured: u64) -> Row {
+/// Multi-store slab rows request a parallel close; the registry's
+/// `SERIAL_CLOSE_MAX_PAIRS` threshold decides whether the fan-out
+/// actually happens, exactly as in production.
+fn run(
+    layout: &'static str,
+    live: usize,
+    shards: usize,
+    scoring: ScoringMode,
+    warmup: u64,
+    measured: u64,
+) -> Row {
     let s = scorer();
     let seeds: FxHashSet<TagId> = (0..live as u32).map(TagId).collect();
     let top_k = 20;
-    let mut slab = (layout == "slab")
-        .then(|| ShardedPairRegistry::new(shards, WINDOW, Timestamp::DAY, MIN_SUPPORT, live + 1));
+    let parallel = shards > 1;
+    let mut slab = (layout == "slab").then(|| {
+        let mut registry =
+            ShardedPairRegistry::new(shards, WINDOW, Timestamp::DAY, MIN_SUPPORT, live + 1);
+        registry.set_scoring(scoring);
+        registry
+    });
     let mut legacy = (layout == "legacy").then(|| LegacyRegistry::new(live + 1));
 
     let mut close_secs = 0.0;
@@ -248,9 +271,9 @@ fn run(layout: &'static str, live: usize, shards: usize, warmup: u64, measured: 
         match (&mut slab, &mut legacy) {
             (Some(r), _) => {
                 r.advance_to(Tick(tick));
-                r.discover_seeded(&seeds, Tick(tick), 0, false);
-                r.score_all(Tick(tick), now, &s, false, correlate);
-                r.evict_parallel(Tick(tick), now, false);
+                r.discover_seeded(&seeds, Tick(tick), 0, parallel);
+                r.score_all(Tick(tick), now, &s, parallel, correlate);
+                r.evict_parallel(Tick(tick), now, parallel);
             }
             (_, Some(r)) => r.close(Tick(tick), now, &seeds, &s),
             _ => unreachable!(),
@@ -272,13 +295,22 @@ fn run(layout: &'static str, live: usize, shards: usize, warmup: u64, measured: 
         layout,
         pairs: live,
         shards,
+        scoring,
         close_secs,
         pairs_per_sec: (live as u64 * measured) as f64 / close_secs.max(1e-9),
         ranking,
     }
 }
 
-fn write_json(rows: &[Row], speedups: &[(usize, f64)], path: &str) {
+fn write_json(rows: &[Row], speedups: &[(usize, f64)], batched: &[(usize, f64)], path: &str) {
+    let ratio_map = |pairs: &mut String, values: &[(usize, f64)]| {
+        for (i, &(size, ratio)) in values.iter().enumerate() {
+            pairs.push_str(&format!(
+                "\"{size}\": {ratio:.3}{}",
+                if i + 1 == values.len() { "" } else { ", " }
+            ));
+        }
+    };
     let mut out = String::from("{\n  \"experiment\": \"close_path\",\n");
     out.push_str(&format!("  \"window_ticks\": {WINDOW},\n"));
     out.push_str(&format!(
@@ -288,11 +320,12 @@ fn write_json(rows: &[Row], speedups: &[(usize, f64)], path: &str) {
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"layout\": \"{}\", \"pairs\": {}, \"shards\": {}, \
+            "    {{\"layout\": \"{}\", \"pairs\": {}, \"shards\": {}, \"scoring\": \"{}\", \
              \"close_secs\": {:.4}, \"pairs_per_sec\": {:.0}}}{}\n",
             row.layout,
             row.pairs,
             row.shards,
+            row.scoring.name(),
             row.close_secs,
             row.pairs_per_sec,
             if i + 1 == rows.len() { "" } else { "," },
@@ -300,15 +333,15 @@ fn write_json(rows: &[Row], speedups: &[(usize, f64)], path: &str) {
     }
     out.push_str("  ],\n");
     out.push_str("  \"layout_speedup_by_pairs\": {");
-    for (i, &(pairs, ratio)) in speedups.iter().enumerate() {
-        out.push_str(&format!(
-            "\"{pairs}\": {ratio:.3}{}",
-            if i + 1 == speedups.len() { "" } else { ", " }
-        ));
-    }
+    ratio_map(&mut out, speedups);
+    out.push_str("},\n");
+    out.push_str("  \"batched_speedup_by_pairs\": {");
+    ratio_map(&mut out, batched);
     out.push_str("},\n");
     let headline = speedups.last().map_or(0.0, |&(_, r)| r);
     out.push_str(&format!("  \"speedup_largest_point\": {headline:.3},\n"));
+    let batched_headline = batched.last().map_or(0.0, |&(_, r)| r);
+    out.push_str(&format!("  \"batched_speedup_largest_point\": {batched_headline:.3},\n"));
     out.push_str("  \"rankings_identical\": true\n}\n");
     if let Err(err) = std::fs::write(path, out) {
         eprintln!("warning: could not write {path}: {err}");
@@ -322,40 +355,49 @@ fn main() {
     let sizes: &[usize] = if smoke { &[1_000, 5_000] } else { &[1_000, 33_000, 133_000] };
     let shard_sweep: &[usize] = &[1, 4];
     let (warmup, measured) = if smoke { (WINDOW as u64, 4) } else { (WINDOW as u64 + 2, 12) };
-    let repeats = if smoke { 1 } else { 3 };
+    let repeats = if smoke { 2 } else { 3 };
     println!(
-        "close-path layout sweep — {} ticks measured per row{}\n",
+        "close-path layout × scoring sweep — {} ticks measured per row{}\n",
         measured,
         if smoke { " [smoke]" } else { "" }
     );
 
-    let table = Table::new(&[8, 9, 7, 10, 12]);
-    table.header(&["layout", "pairs", "shards", "close(s)", "pairs/s"]);
+    let table = Table::new(&[8, 9, 7, 9, 10, 12]);
+    table.header(&["layout", "pairs", "shards", "scoring", "close(s)", "pairs/s"]);
     let mut rows: Vec<Row> = Vec::new();
     for &live in sizes {
         // Interleave repeats so machine noise spreads across layouts; keep
         // each configuration's best round.
         let mut best: Vec<Option<Row>> = Vec::new();
-        let mut configs: Vec<(&'static str, usize)> = vec![("legacy", 1)];
-        configs.extend(shard_sweep.iter().map(|&shards| ("slab", shards)));
+        let mut configs: Vec<(&'static str, usize, ScoringMode)> =
+            vec![("legacy", 1, ScoringMode::Scalar)];
+        for &shards in shard_sweep {
+            configs.push(("slab", shards, ScoringMode::Scalar));
+            configs.push(("slab", shards, ScoringMode::Batched));
+        }
         best.resize_with(configs.len(), || None);
         for _ in 0..repeats {
-            for (index, &(layout, shards)) in configs.iter().enumerate() {
-                let row = run(layout, live, shards, warmup, measured);
+            for (index, &(layout, shards, scoring)) in configs.iter().enumerate() {
+                let row = run(layout, live, shards, scoring, warmup, measured);
                 if best[index].as_ref().is_none_or(|b| row.pairs_per_sec > b.pairs_per_sec) {
                     best[index] = Some(row);
                 }
             }
         }
         let mut group: Vec<Row> = best.into_iter().map(|r| r.expect("one repeat")).collect();
-        // The correctness gate: every layout and shard count must produce
-        // the bit-identical ranking — the layouts differ in where state
-        // lives, never in what it says.
+        // The correctness gate: every layout, shard count and scoring mode
+        // must produce the bit-identical ranking — the rows differ in
+        // where state lives and how the loops are tiled, never in what
+        // they say.
         for row in &group[1..] {
             assert_eq!(
-                row.ranking, group[0].ranking,
-                "{}@{} shards diverged from the legacy ranking at {} pairs",
-                row.layout, row.shards, row.pairs
+                row.ranking,
+                group[0].ranking,
+                "{}@{} shards ({}) diverged from the legacy ranking at {} pairs",
+                row.layout,
+                row.shards,
+                row.scoring.name(),
+                row.pairs
             );
         }
         for row in &group {
@@ -363,6 +405,7 @@ fn main() {
                 row.layout,
                 &format!("{}", row.pairs),
                 &format!("{}", row.shards),
+                row.scoring.name(),
                 &format!("{:.3}", row.close_secs),
                 &format!("{:.0}", row.pairs_per_sec),
             ]);
@@ -370,23 +413,44 @@ fn main() {
         rows.append(&mut group);
     }
 
-    // Before/after ratio per size: best slab row over the legacy row.
+    // Ratio families per size: layout (best slab over legacy) and scoring
+    // (best batched slab over best scalar slab).
+    let best_slab = |rows: &[Row], live: usize, scoring: ScoringMode| -> f64 {
+        rows.iter()
+            .filter(|r| r.layout == "slab" && r.pairs == live && r.scoring == scoring)
+            .map(|r| r.pairs_per_sec)
+            .fold(0.0, f64::max)
+    };
     let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut batched_speedups: Vec<(usize, f64)> = Vec::new();
     for &live in sizes {
         let legacy = rows
             .iter()
             .find(|r| r.layout == "legacy" && r.pairs == live)
             .expect("legacy row recorded");
-        let slab = rows
-            .iter()
-            .filter(|r| r.layout == "slab" && r.pairs == live)
-            .max_by(|a, b| a.pairs_per_sec.partial_cmp(&b.pairs_per_sec).expect("finite"))
-            .expect("slab row recorded");
-        speedups.push((live, slab.pairs_per_sec / legacy.pairs_per_sec.max(1e-9)));
+        let scalar = best_slab(&rows, live, ScoringMode::Scalar);
+        let batched = best_slab(&rows, live, ScoringMode::Batched);
+        speedups.push((live, scalar.max(batched) / legacy.pairs_per_sec.max(1e-9)));
+        batched_speedups.push((live, batched / scalar.max(1e-9)));
     }
-    println!("\nrankings verified bit-identical across layouts and shard counts");
-    for &(pairs, ratio) in &speedups {
-        println!("slab/legacy close throughput at {pairs} pairs: {ratio:.2}x");
+    println!("\nrankings verified bit-identical across layouts, shard counts and scoring modes");
+    for (&(pairs, layout_ratio), &(_, batched_ratio)) in
+        speedups.iter().zip(batched_speedups.iter())
+    {
+        println!(
+            "at {pairs} pairs: slab/legacy {layout_ratio:.2}x, batched/scalar {batched_ratio:.2}x"
+        );
     }
-    write_json(&rows, &speedups, "BENCH_close.json");
+    if smoke {
+        // The CI contract of the batch kernels: never slower than the
+        // scalar walk they replace (and bit-identical, asserted above).
+        for &(pairs, ratio) in &batched_speedups {
+            assert!(
+                ratio >= 1.0,
+                "batched close slower than scalar at {pairs} pairs ({ratio:.2}x)"
+            );
+        }
+        println!("smoke: batched >= scalar at every size");
+    }
+    write_json(&rows, &speedups, &batched_speedups, "BENCH_close.json");
 }

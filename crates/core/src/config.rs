@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use crate::pairs::RebalanceConfig;
+use crate::pairs::{RebalanceConfig, ScoringMode};
 use enblogue_stats::correlation::CorrelationMeasure;
 use enblogue_stats::predict::PredictorKind;
 use enblogue_stats::shift::ErrorNormalization;
@@ -111,7 +111,8 @@ impl SnapshotConfig {
 /// length, seed selection, correlation measure, predictor, half-life,
 /// `k`, support thresholds, the tracked-pair cap) change what the engine
 /// computes. *Execution* knobs (`shards`, `parallel_close`,
-/// `ingest_workers`, `rebalance`) only change how the work is laid out —
+/// `ingest_workers`, `rebalance`, `scoring_mode`) only change how the
+/// work is laid out —
 /// rankings are byte-identical for any setting of them, and their
 /// defaults derive from the machine's available parallelism.
 ///
@@ -187,6 +188,11 @@ pub struct EnBlogueConfig {
     /// [`crate::snapshot`]). Off by default; also a pure execution knob —
     /// rankings are byte-identical with any policy.
     pub snapshot: SnapshotConfig,
+    /// Close-scoring execution path: lane-tiled batch kernels (the
+    /// default) or the per-pair scalar reference walk. Another pure
+    /// execution knob — rankings are byte-identical in either mode
+    /// (pinned by `tests/stage_parity.rs`).
+    pub scoring_mode: ScoringMode,
 }
 
 impl Default for EnBlogueConfig {
@@ -223,6 +229,7 @@ impl Default for EnBlogueConfig {
             // built.
             rebalance: RebalanceConfig::default(),
             snapshot: SnapshotConfig::default(),
+            scoring_mode: ScoringMode::default(),
         }
     }
 }
@@ -460,6 +467,13 @@ impl EnBlogueConfigBuilder {
         self
     }
 
+    /// Sets the close-scoring execution path.
+    #[must_use]
+    pub fn scoring_mode(mut self, mode: ScoringMode) -> Self {
+        self.config.scoring_mode = mode;
+        self
+    }
+
     /// Sets the full shard-rebalancing policy.
     #[must_use]
     pub fn rebalance(mut self, rebalance: RebalanceConfig) -> Self {
@@ -535,11 +549,18 @@ mod tests {
             .shards(8)
             .parallel_close(true)
             .ingest_workers(3)
+            .scoring_mode(ScoringMode::Scalar)
             .build()
             .unwrap();
         assert_eq!(config.shards, 8);
         assert!(config.parallel_close);
         assert_eq!(config.ingest_workers, 3);
+        assert_eq!(config.scoring_mode, ScoringMode::Scalar);
+        assert_eq!(
+            EnBlogueConfig::default().scoring_mode,
+            ScoringMode::Batched,
+            "batched scoring is the default"
+        );
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub use enblogue_types::RankingSnapshot;
 pub use engine::EnBlogueEngine;
 pub use ingest::ReplayIngest;
 pub use notify::{PushBroker, RankingUpdate, Subscription};
-pub use pairs::{RebalanceConfig, RegistryStats, ShardedPairRegistry};
+pub use pairs::{RebalanceConfig, RegistryStats, ScoringMode, ShardedPairRegistry};
 pub use personalization::{PersonalizedRanking, UserProfile};
 pub use rankdiff::{diff as ranking_diff, kendall_tau, RankChange, RankingHistory};
 pub use snapshot::{latest_checkpoint, list_checkpoints, SnapshotStats, SNAPSHOT_VERSION};

@@ -31,7 +31,7 @@
 use crate::slab::PairSlab;
 pub use crate::slab::PairState;
 use crate::snapshot::{corrupt, SnapReader, SnapWriter};
-use enblogue_stats::predict::SeriesView;
+use enblogue_stats::predict::{HistoryTile, SeriesView, LANES};
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_stream::exec::fanout;
 use enblogue_types::{
@@ -39,7 +39,7 @@ use enblogue_types::{
     DEFAULT_SLOTS_PER_SHARD,
 };
 use enblogue_window::{
-    DecayValue, KeyWindow, RingBuffer, ShardedWindowedCounter, TopK, WindowedCounter,
+    DecayMemo, DecayValue, KeyWindow, RingBuffer, ShardedWindowedCounter, TopK, WindowedCounter,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -86,6 +86,43 @@ pub struct RebalanceConfig {
     /// cache locality).
     pub min_active_shards: usize,
 }
+
+/// Which execution path the tick close uses to score tracked pairs.
+///
+/// A pure execution knob: the batched path runs the same per-pair
+/// arithmetic in the same order as the scalar walk, just tiled
+/// [`LANES`]-wide across pairs, so rankings are **byte-identical** in
+/// either mode (pinned by `tests/stage_parity.rs` and the batch-equality
+/// property suite in `enblogue-stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScoringMode {
+    /// Lane-tiled batch kernels over gathered history tiles — the
+    /// default; see [`ShardedPairRegistry::set_scoring`].
+    #[default]
+    Batched,
+    /// The per-pair reference walk through `ShiftScorer::score_view`.
+    Scalar,
+}
+
+impl ScoringMode {
+    /// Short identifier for benchmark output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ScoringMode::Batched => "batched",
+            ScoringMode::Scalar => "scalar",
+        }
+    }
+}
+
+/// Below this many live pairs a requested parallel close runs serially.
+///
+/// Spawning per-store close workers costs more than the walk they would
+/// parallelise on a small registry (the BENCH_close.json 1k-pair rows:
+/// fanned-out closes ran ~30% *slower* than one store). The threshold is
+/// deliberately coarse — at 4096 pairs a serial close is tens of
+/// microseconds, far below a thread spawn's worth of work per store. A
+/// pure execution knob: demotion changes scheduling, never results.
+pub const SERIAL_CLOSE_MAX_PAIRS: usize = 4096;
 
 /// Skew ratio above which the cap-pressure trigger fires (see
 /// [`RebalanceConfig::cap_pressure`]).
@@ -202,8 +239,50 @@ pub struct PairShard {
     /// only this store's slots accumulate). Decayed at each rebalance
     /// check so recent traffic dominates; the rebalancer's load signal.
     slot_obs: Vec<u64>,
+    /// Reusable scratch of the batched close walk.
+    tile: TileScratch,
     discovered: u64,
     evicted: u64,
+}
+
+/// Per-shard scratch of the batched tick close (see
+/// [`PairShard::close_batched`]): one [`LANES`]-wide tile of gathered
+/// histories plus its per-lane metadata. Sized once at shard construction
+/// — the lane buffer holds `history_len` full rows — and never grown, so
+/// the steady-state close stays allocation-free (pinned by
+/// `crates/core/tests/close_allocs.rs`).
+struct TileScratch {
+    /// Time-major gathered histories: lane `l`'s value at step `t` lives
+    /// at `lanes[t * LANES + l]` (the layout `HistoryTile` reads).
+    lanes: Vec<f64>,
+    /// Slab slot of each lane.
+    slots: [u32; LANES],
+    /// Packed pair key of each lane.
+    keys: [u64; LANES],
+    /// Windowed co-occurrence count of each lane (bulk-fetched).
+    counts: [u64; LANES],
+    /// This tick's correlation value of each lane.
+    corrs: [f64; LANES],
+    /// Shift score of each lane (kernel output).
+    scores: [f64; LANES],
+    /// Decay-factor memo shared across a close's score updates: every
+    /// live pair was last updated at the previous close, so all updates
+    /// share one elapsed time — and one `exp` — per close.
+    memo: DecayMemo,
+}
+
+impl TileScratch {
+    fn new(history_len: usize) -> Self {
+        TileScratch {
+            lanes: vec![0.0; history_len * LANES],
+            slots: [0; LANES],
+            keys: [0; LANES],
+            counts: [0; LANES],
+            corrs: [0.0; LANES],
+            scores: [0.0; LANES],
+            memo: DecayMemo::new(),
+        }
+    }
 }
 
 impl PairShard {
@@ -212,6 +291,7 @@ impl PairShard {
             slab: PairSlab::new(params.history_len),
             current: FxHashSet::default(),
             slot_obs: vec![0; if params.track_load { params.slots } else { 0 }],
+            tile: TileScratch::new(params.history_len),
             params,
             discovered: 0,
             evicted: 0,
@@ -285,6 +365,89 @@ impl PairShard {
     fn sorted_keys(&self) -> Vec<u64> {
         self.slab.sorted_keys()
     }
+
+    /// The batched tick-close walk: groups sorted slots into
+    /// [`LANES`]-wide tiles of equal history length, gathers each tile's
+    /// ring-resident histories into one rotation-normalised time-major
+    /// buffer (one linear copy per lane), bulk-fetches the tile's
+    /// windowed actuals, and scores all lanes through the lane-parallel
+    /// kernels of `ShiftScorer::score_batch` — writing results straight
+    /// back into the slab's dense score column.
+    ///
+    /// Bit-identical to running [`PairShard::update_slot`] over the same
+    /// sorted walk: tiles group pairs but never mix their arithmetic
+    /// (each lane runs the scalar operation order; the support gate, the
+    /// noise floor and the decayed-max update are applied per lane
+    /// exactly as the scalar path applies them per pair). Tiling is an
+    /// execution detail, invisible in rankings.
+    fn close_batched<C>(
+        &mut self,
+        counter: &WindowedCounter<u64>,
+        tick: Tick,
+        now: Timestamp,
+        scorer: &ShiftScorer,
+        correlate: &C,
+    ) where
+        C: Fn(TagPair, u64) -> f64 + Sync,
+    {
+        let PairShard { slab, tile, params, .. } = self;
+        let total = slab.sorted_slots().len();
+        let mut i = 0;
+        while i < total {
+            // Fill: consecutive sorted slots sharing one history length
+            // (the time-major kernels need one uniform loop bound, and in
+            // steady state every ring is full, so tiles run wide).
+            let mut width = 0;
+            let mut len = 0usize;
+            while width < LANES && i < total {
+                let slot = slab.sorted_slots()[i] as usize;
+                let hist_len = slab.history_count(slot);
+                if width == 0 {
+                    len = hist_len;
+                } else if hist_len != len {
+                    break;
+                }
+                tile.slots[width] = slot as u32;
+                tile.keys[width] = slab.key_at(slot);
+                // Rotation-normalised gather: the ring's two runs land
+                // oldest → newest in the lane, so kernels never see the
+                // split point.
+                let (older, newer) = slab.history_parts(slot);
+                for (t, &v) in older.iter().chain(newer.iter()).enumerate() {
+                    tile.lanes[t * LANES + width] = v;
+                }
+                width += 1;
+                i += 1;
+            }
+            // One bulk probe for the tile's windowed actuals, then the
+            // correlation values derived from them.
+            counter.counts_for_keys(&tile.keys[..width], &mut tile.counts[..width]);
+            for l in 0..width {
+                tile.corrs[l] = correlate(TagPair::from_packed(tile.keys[l]), tile.counts[l]);
+            }
+            // Unused lanes keep stale (finite) history values; their
+            // kernel outputs are computed and discarded. Zeroing the
+            // actuals keeps the discarded arithmetic finite too.
+            for l in width..LANES {
+                tile.corrs[l] = 0.0;
+            }
+            let history = HistoryTile::new(&tile.lanes[..len * LANES], len);
+            let scored = scorer.score_batch(history, &tile.corrs, &mut tile.scores);
+            for l in 0..width {
+                let slot = tile.slots[l] as usize;
+                // The same support gate as the scalar walk: unsupported
+                // pairs get a zero shift but still push their correlation
+                // so the series stays tick-aligned.
+                let supported = tile.counts[l] >= params.min_pair_support;
+                let shift = if supported && scored { tile.scores[l] } else { 0.0 };
+                slab.score_mut(slot).observe_max_memo(now, shift, &mut tile.memo);
+                slab.push_history(slot, tile.corrs[l]);
+                if supported {
+                    slab.set_last_support(slot, tick);
+                }
+            }
+        }
+    }
 }
 
 /// Scalar tracking parameters shared by all shards.
@@ -299,6 +462,8 @@ struct PairParams {
     /// Whether shards maintain per-slot observation counters (only when a
     /// rebalancer is attached).
     track_load: bool,
+    /// Close-scoring execution path (see [`ScoringMode`]).
+    scoring: ScoringMode,
 }
 
 /// The candidate-pair registry: discovery, scoring, eviction, ranking —
@@ -391,6 +556,7 @@ impl ShardedPairRegistry {
             // per-observation accounting there (the policy early-returns
             // before ever reading or decaying the counters).
             track_load: rebalance.enabled && shards > 1,
+            scoring: ScoringMode::default(),
         };
         ShardedPairRegistry {
             shards: (0..shards).map(|_| PairShard::new(params)).collect(),
@@ -410,6 +576,22 @@ impl ShardedPairRegistry {
     /// Number of shard stores in the pool.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Selects the close-scoring execution path (constructors default to
+    /// [`ScoringMode::Batched`]). A pure execution knob — rankings are
+    /// byte-identical in either mode — so it can be flipped at any point,
+    /// even between closes.
+    pub fn set_scoring(&mut self, mode: ScoringMode) {
+        self.params.scoring = mode;
+        for shard in &mut self.shards {
+            shard.params.scoring = mode;
+        }
+    }
+
+    /// The active close-scoring mode.
+    pub fn scoring(&self) -> ScoringMode {
+        self.params.scoring
     }
 
     /// The live routing handle (hand this to partitioning workers; they
@@ -540,6 +722,7 @@ impl ShardedPairRegistry {
         backfill_zeros: usize,
         parallel: bool,
     ) {
+        let parallel = self.close_parallel(parallel);
         fanout(&mut self.shards, parallel, |_, shard| {
             // Detach the candidate set so discovery can mutate the shard
             // while iterating it, then hand it back cleared — no
@@ -599,22 +782,41 @@ impl ShardedPairRegistry {
     ) where
         C: Fn(TagPair, u64) -> f64 + Sync,
     {
+        let parallel = self.close_parallel(parallel);
         let counts = &self.counts;
+        let correlate = &correlate;
         fanout(&mut self.shards, parallel, |index, shard| {
             // Repair the sorted view only if discovery/eviction changed
             // membership since the last close; the walk itself is linear
-            // over dense slab columns, with the scorer reading each
-            // history ring in place.
+            // over dense slab columns.
             shard.slab.refresh_sorted();
-            for i in 0..shard.slab.sorted_slots().len() {
-                let slot = shard.slab.sorted_slots()[i] as usize;
-                let packed = shard.slab.key_at(slot);
-                let pair = TagPair::from_packed(packed);
-                let ab = counts.count(index, packed);
-                let correlation = correlate(pair, ab);
-                shard.update_slot(slot, correlation, ab, tick, now, scorer);
+            match shard.params.scoring {
+                // The default: lane-tiled kernels over gathered tiles.
+                ScoringMode::Batched => {
+                    shard.close_batched(&counts.shards()[index], tick, now, scorer, correlate);
+                }
+                // The reference: per-pair walk, the scorer reading each
+                // history ring in place.
+                ScoringMode::Scalar => {
+                    for i in 0..shard.slab.sorted_slots().len() {
+                        let slot = shard.slab.sorted_slots()[i] as usize;
+                        let packed = shard.slab.key_at(slot);
+                        let pair = TagPair::from_packed(packed);
+                        let ab = counts.count(index, packed);
+                        let correlation = correlate(pair, ab);
+                        shard.update_slot(slot, correlation, ab, tick, now, scorer);
+                    }
+                }
             }
         });
+    }
+
+    /// Demotes a requested parallel close to serial below
+    /// [`SERIAL_CLOSE_MAX_PAIRS`] live pairs — per-store workers cost
+    /// more than they parallelise on a small registry. Execution only;
+    /// results are identical either way.
+    fn close_parallel(&self, requested: bool) -> bool {
+        requested && self.len() >= SERIAL_CLOSE_MAX_PAIRS
     }
 
     /// Evicts pairs without support for a full history window (per shard,
@@ -626,6 +828,7 @@ impl ShardedPairRegistry {
 
     /// [`ShardedPairRegistry::evict`] with explicit shard fan-out control.
     pub fn evict_parallel(&mut self, tick: Tick, now: Timestamp, parallel: bool) -> usize {
+        let parallel = self.close_parallel(parallel);
         let evicted_before = self.evicted_total();
         let horizon = self.params.history_len as u64;
         fanout(&mut self.shards, parallel, |_, shard| {
@@ -1104,6 +1307,7 @@ impl ShardedPairRegistry {
             max_tracked_pairs,
             slots: table.slot_count(),
             track_load: rebalance.enabled && shards > 1,
+            scoring: ScoringMode::default(),
         };
         let expected_obs = if params.track_load { params.slots } else { 0 };
         let mut stores = Vec::with_capacity(pool);

@@ -283,6 +283,14 @@ impl PairSlab {
         }
     }
 
+    /// Number of values currently in `slot`'s history ring (saturates at
+    /// the configured history length once the ring wraps). The batched
+    /// close groups slots into equal-length tiles by this.
+    #[inline]
+    pub fn history_count(&self, slot: usize) -> usize {
+        self.hist_count[slot] as usize
+    }
+
     /// Appends `value` to `slot`'s history, evicting the oldest value once
     /// the ring is full.
     #[inline]

@@ -41,7 +41,12 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Pipeline run-time counters (the engine's public metrics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Equality deliberately ignores the wall-clock timing fields
+/// (`close_*_micros`, `restore_micros`): everything else is a
+/// deterministic function of the stream and the configuration, and tests
+/// compare metrics across feed modes on exactly that basis.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct EngineMetrics {
     /// Documents processed.
     pub docs_processed: u64,
@@ -76,7 +81,61 @@ pub struct EngineMetrics {
     pub restores: u64,
     /// Wall-clock microseconds the restore took (0 if never restored).
     pub restore_micros: u64,
+    /// Cumulative wall-clock microseconds the close spent scoring
+    /// (correlation + shift update over all tracked pairs).
+    pub close_score_micros: u64,
+    /// Cumulative wall-clock microseconds the close spent on expiry
+    /// (support eviction, the cap pass and the rebalance decision).
+    pub close_expiry_micros: u64,
+    /// Cumulative wall-clock microseconds the close spent merging the
+    /// top-k ranking.
+    pub close_rank_micros: u64,
 }
+
+impl PartialEq for EngineMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Field-by-field so a new counter can't silently dodge
+        // comparison; only the wall-clock timings are excluded.
+        let EngineMetrics {
+            docs_processed,
+            ticks_closed,
+            pairs_tracked,
+            pairs_discovered,
+            pairs_evicted,
+            seeds_current,
+            distinct_tags,
+            shards,
+            routing_epoch,
+            rebalances,
+            pairs_migrated,
+            snapshots_taken,
+            snapshot_bytes_written,
+            snapshot_failures,
+            restores,
+            restore_micros: _,
+            close_score_micros: _,
+            close_expiry_micros: _,
+            close_rank_micros: _,
+        } = *self;
+        docs_processed == other.docs_processed
+            && ticks_closed == other.ticks_closed
+            && pairs_tracked == other.pairs_tracked
+            && pairs_discovered == other.pairs_discovered
+            && pairs_evicted == other.pairs_evicted
+            && seeds_current == other.seeds_current
+            && distinct_tags == other.distinct_tags
+            && shards == other.shards
+            && routing_epoch == other.routing_epoch
+            && rebalances == other.rebalances
+            && pairs_migrated == other.pairs_migrated
+            && snapshots_taken == other.snapshots_taken
+            && snapshot_bytes_written == other.snapshot_bytes_written
+            && snapshot_failures == other.snapshot_failures
+            && restores == other.restores
+    }
+}
+
+impl Eq for EngineMetrics {}
 
 /// The state shared by all stages of one pipeline.
 ///
@@ -106,6 +165,11 @@ pub struct PipelineState {
     pub(crate) snapshot_failures: u64,
     pub(crate) restores: u64,
     pub(crate) restore_micros: u64,
+    /// Per-phase close timing accumulators (process-local, like the
+    /// snapshot counters: wall clock is not stream state).
+    pub(crate) close_score_micros: u64,
+    pub(crate) close_expiry_micros: u64,
+    pub(crate) close_rank_micros: u64,
 }
 
 impl PipelineState {
@@ -115,6 +179,18 @@ impl PipelineState {
             MeasureKind::JsDivergence => Some(WindowedTermDists::new(config.window_ticks)),
             MeasureKind::Set(_) => None,
         };
+        let mut registry = ShardedPairRegistry::with_rebalance(
+            config.shards,
+            config.window_ticks,
+            config.half_life_ms,
+            config.min_pair_support,
+            config.max_tracked_pairs,
+            // The automatic active-store floor resolves against the
+            // close mode: a parallel close keeps the whole pool busy,
+            // a serial close may consolidate for locality.
+            config.rebalance.resolved(config.shards, config.parallel_close),
+        );
+        registry.set_scoring(config.scoring_mode);
         PipelineState {
             seed_tracker: SeedTracker::new(
                 config.seed_strategy,
@@ -122,17 +198,7 @@ impl PipelineState {
                 config.min_seed_count,
                 config.window_ticks,
             ),
-            registry: ShardedPairRegistry::with_rebalance(
-                config.shards,
-                config.window_ticks,
-                config.half_life_ms,
-                config.min_pair_support,
-                config.max_tracked_pairs,
-                // The automatic active-store floor resolves against the
-                // close mode: a parallel close keeps the whole pool busy,
-                // a serial close may consolidate for locality.
-                config.rebalance.resolved(config.shards, config.parallel_close),
-            ),
+            registry,
             scorer: ShiftScorer::new(config.predictor, config.normalization),
             doc_series: TickSeries::new(config.window_ticks),
             term_dists,
@@ -145,6 +211,9 @@ impl PipelineState {
             snapshot_failures: 0,
             restores: 0,
             restore_micros: 0,
+            close_score_micros: 0,
+            close_expiry_micros: 0,
+            close_rank_micros: 0,
             config,
         }
     }
@@ -189,6 +258,9 @@ impl PipelineState {
             snapshot_failures: self.snapshot_failures,
             restores: self.restores,
             restore_micros: self.restore_micros,
+            close_score_micros: self.close_score_micros,
+            close_expiry_micros: self.close_expiry_micros,
+            close_rank_micros: self.close_rank_micros,
         }
     }
 
@@ -322,7 +394,7 @@ impl PipelineState {
             }
             (tag, _) => return Err(corrupt(format!("invalid term-dists tag {tag}"))),
         };
-        let registry = ShardedPairRegistry::decode_snapshot(
+        let mut registry = ShardedPairRegistry::decode_snapshot(
             r,
             config.shards,
             config.window_ticks,
@@ -331,6 +403,7 @@ impl PipelineState {
             config.max_tracked_pairs,
             config.rebalance.resolved(config.shards, config.parallel_close),
         )?;
+        registry.set_scoring(config.scoring_mode);
         let state = PipelineState {
             seed_tracker,
             registry,
@@ -346,6 +419,9 @@ impl PipelineState {
             snapshot_failures: 0,
             restores: 0,
             restore_micros: 0,
+            close_score_micros: 0,
+            close_expiry_micros: 0,
+            close_rank_micros: 0,
             config,
         };
         Ok((state, last_closed, first_open))
@@ -520,6 +596,7 @@ impl TickStage for ShiftScoreStage {
         let PipelineState { registry, seed_tracker, term_dists, scorer, .. } = state;
         let seed_tracker = &*seed_tracker;
         let term_dists = &*term_dists;
+        let score_started = Instant::now();
         registry.score_all(tick, now, scorer, parallel, move |pair, ab| match measure {
             MeasureKind::Set(measure) => {
                 let a = seed_tracker.windowed_count(pair.lo());
@@ -540,12 +617,15 @@ impl TickStage for ShiftScoreStage {
                     .js_similarity(pair.lo(), pair.hi())
             }
         });
-        registry.evict_parallel(tick, now, parallel);
+        state.close_score_micros += score_started.elapsed().as_micros() as u64;
+        let expiry_started = Instant::now();
+        state.registry.evict_parallel(tick, now, parallel);
         // Tick-aligned rebalance decision, after eviction so the policy
         // sees the post-eviction population. Migration preserves every
         // pair's state bit-for-bit, so rankings are unaffected — pinned
         // by `tests/stage_parity.rs` across rebalance on/off grids.
-        registry.maybe_rebalance(tick);
+        state.registry.maybe_rebalance(tick);
+        state.close_expiry_micros += expiry_started.elapsed().as_micros() as u64;
     }
 }
 
@@ -559,12 +639,14 @@ impl TickStage for RankEmitStage {
     }
 
     fn on_close(&mut self, state: &mut PipelineState, tick: Tick, now: Timestamp) {
+        let rank_started = Instant::now();
         let snapshot = RankingSnapshot {
             tick,
             time: now,
             ranked: state.registry.ranking(state.config.k, now),
         };
         state.latest = Some(snapshot);
+        state.close_rank_micros += rank_started.elapsed().as_micros() as u64;
     }
 }
 

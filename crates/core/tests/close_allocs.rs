@@ -13,7 +13,7 @@
 //! freshly built `Vec` by contract. Ingest of previously seen keys is
 //! also covered (lanes and candidate sets retain their capacity).
 
-use enblogue_core::pairs::ShardedPairRegistry;
+use enblogue_core::pairs::{ScoringMode, ShardedPairRegistry};
 use enblogue_stats::predict::PredictorKind;
 use enblogue_stats::shift::{ErrorNormalization, ShiftScorer};
 use enblogue_types::{FxHashSet, TagId, TagPair, Tick, Timestamp};
@@ -49,7 +49,10 @@ fn steady_state_close_is_allocation_free() {
 
     // A static 4-store registry; support window of 6 ticks, the rotating
     // observation schedule keeps all pairs supported, no cap pressure.
+    // Scoring defaults to the lane-tiled batched path, so this scenario
+    // pins the tile gather/score loop as allocation-free.
     let mut registry = ShardedPairRegistry::new(4, 6, Timestamp::DAY, 1, 10_000);
+    assert_eq!(registry.scoring(), ScoringMode::Batched, "batched is the default close path");
 
     // Warm-up: population forms, window fills, every scratch buffer and
     // lane reaches its steady-state capacity.
@@ -101,4 +104,20 @@ fn steady_state_close_is_allocation_free() {
     });
     assert!(capped.stats().evicted > evicted_before, "cap eviction ran during the measurement");
     assert_eq!(allocs, 0, "cap-bound steady-state close must be allocation-free");
+
+    // Scenario 3: the scalar reference path. Both scoring modes share the
+    // close cycle's zero-allocation contract — the `scoring_mode` knob is
+    // a pure execution choice, not a memory-behaviour one.
+    let mut scalar = ShardedPairRegistry::new(4, 6, Timestamp::DAY, 1, 10_000);
+    scalar.set_scoring(ScoringMode::Scalar);
+    for t in 0..12u64 {
+        run_tick(&mut scalar, &seeds, &scorer, t);
+    }
+    assert_eq!(scalar.len() as u32, PAIRS, "scalar-mode population is tracked and stable");
+    let (_, allocs) = alloc_counter::measure(|| {
+        for t in 12..24u64 {
+            run_tick(&mut scalar, &seeds, &scorer, t);
+        }
+    });
+    assert_eq!(allocs, 0, "scalar-mode steady-state close must be allocation-free");
 }

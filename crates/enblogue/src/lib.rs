@@ -112,7 +112,9 @@ pub mod prelude {
     pub use enblogue_core::ingest::ReplayIngest;
     pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
     pub use enblogue_core::ops::{EngineOp, EntityTagOp};
-    pub use enblogue_core::pairs::{RebalanceConfig, RegistryStats, ShardedPairRegistry};
+    pub use enblogue_core::pairs::{
+        RebalanceConfig, RegistryStats, ScoringMode, ShardedPairRegistry,
+    };
     pub use enblogue_core::personalization::{
         jaccard_at_k, personalize, PersonalizedRanking, UserProfile,
     };

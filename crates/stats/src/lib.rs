@@ -26,5 +26,5 @@ pub mod shift;
 
 pub use correlation::{CorrelationMeasure, PairCounts};
 pub use divergence::TermDistribution;
-pub use predict::{Predictor, PredictorKind};
+pub use predict::{HistoryTile, Predictor, PredictorKind, LANES};
 pub use shift::{ErrorNormalization, ShiftScorer};

@@ -101,6 +101,70 @@ impl<'a> SeriesView<'a> {
     }
 }
 
+/// Number of pair lanes a batched scoring tile holds.
+///
+/// Eight `f64` lanes are one cache line per time step in the time-major
+/// tile layout, and wide enough to fill 2×AVX2 / 1×AVX-512 vectors when
+/// the per-lane recurrences autovectorize across lanes.
+pub const LANES: usize = 8;
+
+/// A tile of [`LANES`] equal-length histories in **time-major** layout:
+/// the value of lane `l` at step `t` (oldest → newest) lives at
+/// `values[t * LANES + l]`.
+///
+/// This is the gather target of the batched tick close: the slab close
+/// loop copies up to [`LANES`] ring-resident histories (rotation already
+/// normalised away — each lane is written oldest → newest) into one
+/// contiguous scratch buffer, then hands the tile to
+/// [`Predictor::predict_batch`]. Time-major order is what lets recurrence
+/// predictors (EWMA, Holt) vectorize: the time loop stays outer and
+/// sequential per lane — preserving the scalar operation order bit for
+/// bit — while the inner [`LANES`]-wide loop carries independent lanes.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryTile<'a> {
+    values: &'a [f64],
+    len: usize,
+}
+
+impl<'a> HistoryTile<'a> {
+    /// A tile over `len` time steps of [`LANES`] lanes each.
+    ///
+    /// # Panics
+    /// Panics unless `values.len() == len * LANES`.
+    #[inline]
+    pub fn new(values: &'a [f64], len: usize) -> Self {
+        assert_eq!(values.len(), len * LANES, "time-major tile must hold len * LANES values");
+        HistoryTile { values, len }
+    }
+
+    /// Shared history length of every lane.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len
+    }
+
+    /// Whether the lanes hold no values.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The [`LANES`]-wide row of time step `t` (0 = oldest).
+    ///
+    /// Returned as a fixed-size array reference so kernel inner loops are
+    /// bounds-check-free.
+    #[inline]
+    pub fn row(self, t: usize) -> &'a [f64; LANES] {
+        self.values[t * LANES..(t + 1) * LANES].try_into().expect("row is LANES wide")
+    }
+
+    /// The value of `lane` at step `t` — the reference-path accessor.
+    #[inline]
+    pub fn lane_value(self, t: usize, lane: usize) -> f64 {
+        self.values[t * LANES + lane]
+    }
+}
+
 /// A one-step-ahead forecaster over a correlation series.
 pub trait Predictor: Send + Sync {
     /// Predicts the next value from `history` (oldest → newest), supplied
@@ -117,6 +181,41 @@ pub trait Predictor: Send + Sync {
         self.predict_view(SeriesView::contiguous(history))
     }
 
+    /// Batched [`Predictor::predict_view`] over a time-major tile of
+    /// [`LANES`] equal-length histories.
+    ///
+    /// Writes one prediction per lane into `out` and returns `true`, or
+    /// returns `false` — leaving `out` untouched — when the shared
+    /// history length is below [`Predictor::min_history`] (the batched
+    /// spelling of the scalar path's `None`; lanes share one length, so
+    /// the gate is uniform across the tile).
+    ///
+    /// Contract: `out[l]` must be **bit-identical** to `predict_view`
+    /// over lane `l`'s values. Lanes are independent — implementations
+    /// vectorize *across* lanes but never reassociate any per-lane
+    /// reduction, so tiling is invisible in rankings.
+    ///
+    /// The default implementation delegates lane by lane to
+    /// [`Predictor::predict_view`] through a scratch copy — correct for
+    /// any predictor, but allocating; the built-in predictors override it
+    /// with lane-parallel kernels.
+    fn predict_batch(&self, tile: HistoryTile<'_>, out: &mut [f64; LANES]) -> bool {
+        if tile.len() < self.min_history() {
+            return false;
+        }
+        let mut lane_buf = vec![0.0; tile.len()];
+        for (lane, out_slot) in out.iter_mut().enumerate() {
+            for (t, slot) in lane_buf.iter_mut().enumerate() {
+                *slot = tile.lane_value(t, lane);
+            }
+            match self.predict_view(SeriesView::contiguous(&lane_buf)) {
+                Some(v) => *out_slot = v,
+                None => return false,
+            }
+        }
+        true
+    }
+
     /// Minimum history length required for a prediction.
     fn min_history(&self) -> usize;
 
@@ -131,6 +230,14 @@ pub struct LastValue;
 impl Predictor for LastValue {
     fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
         history.last()
+    }
+
+    fn predict_batch(&self, tile: HistoryTile<'_>, out: &mut [f64; LANES]) -> bool {
+        if tile.is_empty() {
+            return false;
+        }
+        *out = *tile.row(tile.len() - 1);
+        true
     }
 
     fn min_history(&self) -> usize {
@@ -159,13 +266,41 @@ impl MovingAverage {
     }
 }
 
+/// The trailing `window` of `history` and its mean — the window walk
+/// shared by [`MovingAverage`] and [`LinearRegression`] (one sequential
+/// left-to-right sum, so both stay bit-identical to their batched twins).
+#[inline]
+fn tail_mean(history: SeriesView<'_>, window: usize) -> (SeriesView<'_>, f64) {
+    let tail = history.suffix(window);
+    (tail, tail.iter().sum::<f64>() / tail.len() as f64)
+}
+
 impl Predictor for MovingAverage {
     fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
         if history.is_empty() {
             return None;
         }
-        let tail = history.suffix(self.window);
-        Some(tail.iter().sum::<f64>() / tail.len() as f64)
+        Some(tail_mean(history, self.window).1)
+    }
+
+    fn predict_batch(&self, tile: HistoryTile<'_>, out: &mut [f64; LANES]) -> bool {
+        if tile.is_empty() {
+            return false;
+        }
+        let take = tile.len().min(self.window);
+        let start = tile.len() - take;
+        let mut acc = [0.0f64; LANES];
+        for t in start..tile.len() {
+            let row = tile.row(t);
+            for l in 0..LANES {
+                acc[l] += row[l];
+            }
+        }
+        let n = take as f64;
+        for l in 0..LANES {
+            out[l] = acc[l] / n;
+        }
+        true
     }
 
     fn min_history(&self) -> usize {
@@ -205,6 +340,23 @@ impl Predictor for Ewma {
             level = self.alpha * v + (1.0 - self.alpha) * level;
         }
         Some(level)
+    }
+
+    fn predict_batch(&self, tile: HistoryTile<'_>, out: &mut [f64; LANES]) -> bool {
+        if tile.is_empty() {
+            return false;
+        }
+        // Time stays the outer, sequential loop — each lane runs the
+        // exact scalar recurrence; only the lanes are parallel.
+        let mut level = *tile.row(0);
+        for t in 1..tile.len() {
+            let row = tile.row(t);
+            for l in 0..LANES {
+                level[l] = self.alpha * row[l] + (1.0 - self.alpha) * level[l];
+            }
+        }
+        *out = level;
+        true
     }
 
     fn min_history(&self) -> usize {
@@ -257,6 +409,33 @@ impl Predictor for Holt {
         Some(level + trend)
     }
 
+    fn predict_batch(&self, tile: HistoryTile<'_>, out: &mut [f64; LANES]) -> bool {
+        if tile.len() < 2 {
+            return false;
+        }
+        let first = tile.row(0);
+        let second = tile.row(1);
+        let mut level = *first;
+        let mut trend = [0.0f64; LANES];
+        for l in 0..LANES {
+            trend[l] = second[l] - first[l];
+        }
+        // Matches the scalar loop, which starts from index 1 (the second
+        // value is smoothed into the state it also initialised).
+        for t in 1..tile.len() {
+            let row = tile.row(t);
+            for l in 0..LANES {
+                let prev_level = level[l];
+                level[l] = self.alpha * row[l] + (1.0 - self.alpha) * (level[l] + trend[l]);
+                trend[l] = self.beta * (level[l] - prev_level) + (1.0 - self.beta) * trend[l];
+            }
+        }
+        for l in 0..LANES {
+            out[l] = level[l] + trend[l];
+        }
+        true
+    }
+
     fn min_history(&self) -> usize {
         2
     }
@@ -289,11 +468,10 @@ impl Predictor for LinearRegression {
         if history.len() < 2 {
             return None;
         }
-        let tail = history.suffix(self.window);
+        let (tail, y_mean) = tail_mean(history, self.window);
         let n = tail.len() as f64;
         // x = 0..n-1, predict at x = n.
         let x_mean = (n - 1.0) / 2.0;
-        let y_mean = tail.iter().sum::<f64>() / n;
         let mut sxy = 0.0;
         let mut sxx = 0.0;
         for (i, y) in tail.iter().enumerate() {
@@ -303,6 +481,45 @@ impl Predictor for LinearRegression {
         }
         let slope = if sxx.abs() < f64::EPSILON { 0.0 } else { sxy / sxx };
         Some(y_mean + slope * (n - x_mean))
+    }
+
+    fn predict_batch(&self, tile: HistoryTile<'_>, out: &mut [f64; LANES]) -> bool {
+        if tile.len() < 2 {
+            return false;
+        }
+        let take = tile.len().min(self.window);
+        let start = tile.len() - take;
+        let n = take as f64;
+        let x_mean = (n - 1.0) / 2.0;
+        let mut sum = [0.0f64; LANES];
+        for t in start..tile.len() {
+            let row = tile.row(t);
+            for l in 0..LANES {
+                sum[l] += row[l];
+            }
+        }
+        let mut y_mean = [0.0f64; LANES];
+        for l in 0..LANES {
+            y_mean[l] = sum[l] / n;
+        }
+        let mut sxy = [0.0f64; LANES];
+        // sxx depends only on the window shape, not on the values, so one
+        // scalar accumulation serves every lane — the addition sequence is
+        // the same one the scalar path interleaves with sxy.
+        let mut sxx = 0.0;
+        for (i, t) in (start..tile.len()).enumerate() {
+            let dx = i as f64 - x_mean;
+            let row = tile.row(t);
+            for l in 0..LANES {
+                sxy[l] += dx * (row[l] - y_mean[l]);
+            }
+            sxx += dx * dx;
+        }
+        for l in 0..LANES {
+            let slope = if sxx.abs() < f64::EPSILON { 0.0 } else { sxy[l] / sxx };
+            out[l] = y_mean[l] + slope * (n - x_mean);
+        }
+        true
     }
 
     fn min_history(&self) -> usize {
@@ -350,6 +567,15 @@ impl Predictor for SeasonalNaive {
         } else {
             history.last()
         }
+    }
+
+    fn predict_batch(&self, tile: HistoryTile<'_>, out: &mut [f64; LANES]) -> bool {
+        if tile.is_empty() {
+            return false;
+        }
+        let t = if tile.len() >= self.period { tile.len() - self.period } else { tile.len() - 1 };
+        *out = *tile.row(t);
+        true
     }
 
     fn min_history(&self) -> usize {
@@ -579,6 +805,114 @@ mod tests {
         assert!(empty.is_empty() && empty.last().is_none() && empty.split_first().is_none());
         let tail_only = SeriesView::new(&[], &tail);
         assert_eq!(tail_only.split_first().unwrap().0, 3.0);
+    }
+
+    /// Packs `LANES` equal-length histories into a time-major tile buffer.
+    fn pack_tile(lanes: &[Vec<f64>; LANES]) -> (Vec<f64>, usize) {
+        let len = lanes[0].len();
+        let mut values = vec![0.0; len * LANES];
+        for (l, lane) in lanes.iter().enumerate() {
+            assert_eq!(lane.len(), len);
+            for (t, &v) in lane.iter().enumerate() {
+                values[t * LANES + l] = v;
+            }
+        }
+        (values, len)
+    }
+
+    fn sample_lanes(len: usize) -> [Vec<f64>; LANES] {
+        std::array::from_fn(|l| {
+            (0..len).map(|t| 0.05 * (t as f64) + 0.13 * ((l * 7 + t * 3) % 5) as f64).collect()
+        })
+    }
+
+    #[test]
+    fn batch_kernels_are_bit_identical_to_scalar() {
+        for len in [0usize, 1, 2, 3, 5, 8, 24] {
+            let lanes = sample_lanes(len);
+            let (values, len) = pack_tile(&lanes);
+            let tile = HistoryTile::new(&values, len);
+            for kind in PredictorKind::ablation_set() {
+                let p = kind.build();
+                let mut out = [f64::NAN; LANES];
+                let produced = p.predict_batch(tile, &mut out);
+                assert_eq!(
+                    produced,
+                    len >= p.min_history(),
+                    "{} gate disagreed at len {len}",
+                    p.name()
+                );
+                if !produced {
+                    continue;
+                }
+                for (l, lane) in lanes.iter().enumerate() {
+                    let scalar = p.predict(lane).expect("scalar must predict past min_history");
+                    assert_eq!(
+                        scalar.to_bits(),
+                        out[l].to_bits(),
+                        "{} lane {l} diverged at len {len}",
+                        p.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_batch_impl_delegates_to_predict_view() {
+        // A predictor that only implements the scalar path must still get
+        // a correct (if slow) batched kernel for free.
+        struct Custom;
+        impl Predictor for Custom {
+            fn predict_view(&self, history: SeriesView<'_>) -> Option<f64> {
+                history.last().map(|v| v * 2.0)
+            }
+            fn min_history(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "custom"
+            }
+        }
+        let lanes = sample_lanes(6);
+        let (values, len) = pack_tile(&lanes);
+        let tile = HistoryTile::new(&values, len);
+        let mut out = [0.0; LANES];
+        assert!(Custom.predict_batch(tile, &mut out));
+        for (l, lane) in lanes.iter().enumerate() {
+            assert_eq!(out[l].to_bits(), (lane[len - 1] * 2.0).to_bits());
+        }
+        let empty = HistoryTile::new(&[], 0);
+        assert!(!Custom.predict_batch(empty, &mut out), "short history gates the default impl");
+    }
+
+    #[test]
+    fn batch_kernels_propagate_nan_like_scalar() {
+        let mut lanes = sample_lanes(8);
+        lanes[2][3] = f64::NAN;
+        lanes[5][7] = f64::NAN;
+        let (values, len) = pack_tile(&lanes);
+        let tile = HistoryTile::new(&values, len);
+        for kind in PredictorKind::ablation_set() {
+            let p = kind.build();
+            let mut out = [0.0; LANES];
+            assert!(p.predict_batch(tile, &mut out));
+            for (l, lane) in lanes.iter().enumerate() {
+                let scalar = p.predict(lane).unwrap();
+                assert_eq!(
+                    scalar.to_bits(),
+                    out[l].to_bits(),
+                    "{} lane {l} NaN handling diverged",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "len * LANES")]
+    fn tile_rejects_ragged_buffers() {
+        let _ = HistoryTile::new(&[0.0; 9], 1);
     }
 
     #[test]

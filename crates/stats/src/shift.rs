@@ -5,7 +5,7 @@
 //! signal, and a topic's score is the maximum of the current error and the
 //! exponentially dampened past errors.
 
-use crate::predict::{Predictor, PredictorKind, SeriesView};
+use crate::predict::{HistoryTile, Predictor, PredictorKind, SeriesView, LANES};
 use serde::{Deserialize, Serialize};
 
 /// How raw prediction errors are normalised into scores.
@@ -134,6 +134,35 @@ impl ShiftScorer {
         Some((score, predicted))
     }
 
+    /// Batched [`ShiftScorer::score_view`] over a time-major tile of
+    /// [`LANES`] equal-length histories with one actual per lane.
+    ///
+    /// Writes each lane's shift score into `out` and returns `true`
+    /// (predicted values are not reported — the close loop discards
+    /// them), or returns `false` when the shared history length is below
+    /// the predictor's minimum — the batched spelling of the scalar
+    /// path's `None`, which callers map to a zero shift.
+    ///
+    /// Per lane this applies exactly the scalar epilogue (normalisation,
+    /// then the noise floor), so `out[l]` is bit-identical to
+    /// `score_view` over lane `l`'s values.
+    pub fn score_batch(
+        &self,
+        tile: HistoryTile<'_>,
+        actuals: &[f64; LANES],
+        out: &mut [f64; LANES],
+    ) -> bool {
+        let mut predicted = [0.0f64; LANES];
+        if !self.predictor.predict_batch(tile, &mut predicted) {
+            return false;
+        }
+        for l in 0..LANES {
+            let err = self.normalization.apply(actuals[l], predicted[l], self.epsilon);
+            out[l] = if err < self.min_error { 0.0 } else { err };
+        }
+        true
+    }
+
     /// Scores an entire series, returning one score per index (`None`
     /// where history was insufficient). Useful for offline analysis and
     /// the Figure-1 harness.
@@ -228,6 +257,32 @@ mod tests {
         let jump = scores[3].unwrap();
         assert!(jump > 0.25, "the jump at index 3 must register: {jump}");
         assert_eq!(scores[4], Some(0.0), "the drop back must not register");
+    }
+
+    #[test]
+    fn score_batch_matches_score_view_per_lane() {
+        let scorer = ShiftScorer::new(PredictorKind::Ewma(0.3), ErrorNormalization::Relative);
+        let len = 6usize;
+        let lanes: Vec<Vec<f64>> = (0..LANES)
+            .map(|l| (0..len).map(|t| 0.02 * t as f64 + 0.09 * ((l + t) % 4) as f64).collect())
+            .collect();
+        let mut values = vec![0.0; len * LANES];
+        for (l, lane) in lanes.iter().enumerate() {
+            for (t, &v) in lane.iter().enumerate() {
+                values[t * LANES + l] = v;
+            }
+        }
+        let actuals: [f64; LANES] = std::array::from_fn(|l| 0.3 + 0.05 * l as f64);
+        let mut out = [0.0; LANES];
+        assert!(scorer.score_batch(HistoryTile::new(&values, len), &actuals, &mut out));
+        for (l, lane) in lanes.iter().enumerate() {
+            let (scalar, _) = scorer.score(lane, actuals[l]).unwrap();
+            assert_eq!(scalar.to_bits(), out[l].to_bits(), "lane {l} diverged");
+        }
+        // Short history gates the whole tile, like the scalar `None`.
+        let scorer = ShiftScorer::new(PredictorKind::Holt(0.4, 0.2), ErrorNormalization::Absolute);
+        let one = vec![0.0; LANES];
+        assert!(!scorer.score_batch(HistoryTile::new(&one, 1), &actuals, &mut out));
     }
 
     #[test]

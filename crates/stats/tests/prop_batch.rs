@@ -1,0 +1,127 @@
+//! Property-based bit-equality proofs for the lane-tiled batch scoring
+//! kernels.
+//!
+//! The batched tick close only ships because every kernel is provably a
+//! re-tiling of its scalar twin: for any history contents (including NaN
+//! and extreme magnitudes), any shared history length (including
+//! too-short), any ring rotation of the scalar input, and any predictor,
+//! `predict_batch`/`score_batch` must reproduce the scalar path **bit for
+//! bit** — same gate, same value, same NaN pattern.
+
+use enblogue_stats::predict::{HistoryTile, PredictorKind, SeriesView, LANES};
+use enblogue_stats::shift::{ErrorNormalization, ShiftScorer};
+use proptest::prelude::*;
+
+const MAX_LEN: usize = 24;
+
+/// Strategy producing a raw lane cell: mostly small reals, sprinkled with
+/// NaN, zero and huge magnitudes (correlations are [0, 1] in production,
+/// but the kernels must not *depend* on that).
+fn cell() -> impl Strategy<Value = f64> {
+    (0u32..40, -1500i64..2500).prop_map(|(kind, v)| match kind {
+        0 => f64::NAN,
+        1 => 0.0,
+        2 => 1e300,
+        3 => -1e300,
+        _ => v as f64 / 1000.0,
+    })
+}
+
+/// Strategy producing `(len, flat time-major tile buffer)` with `len`
+/// covering empty, shorter-than-min-history and full-window shapes.
+fn tile_buffer() -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (0usize..=MAX_LEN, proptest::collection::vec(cell(), MAX_LEN * LANES)).prop_map(
+        |(len, mut values)| {
+            values.truncate(len * LANES);
+            (len, values)
+        },
+    )
+}
+
+/// Lane `l` of a time-major buffer, as the contiguous history the scalar
+/// path would have seen.
+fn lane_of(values: &[f64], len: usize, lane: usize) -> Vec<f64> {
+    (0..len).map(|t| values[t * LANES + lane]).collect()
+}
+
+proptest! {
+    /// `predict_batch` gates exactly like the scalar path and matches it
+    /// bit for bit on every lane — including against every ring rotation
+    /// of the scalar input (the slab hands the scalar path split views).
+    #[test]
+    fn predict_batch_is_bit_equal_to_scalar((len, values) in tile_buffer()) {
+        let tile = HistoryTile::new(&values, len);
+        for kind in PredictorKind::ablation_set() {
+            let p = kind.build();
+            let mut out = [f64::NAN; LANES];
+            let produced = p.predict_batch(tile, &mut out);
+            prop_assert_eq!(
+                produced,
+                len >= p.min_history(),
+                "{} gate diverged at len {}", p.name(), len
+            );
+            if !produced {
+                continue;
+            }
+            for (l, &batch) in out.iter().enumerate() {
+                let lane = lane_of(&values, len, l);
+                let scalar = p.predict(&lane);
+                prop_assert!(scalar.is_some(), "{} scalar refused past min_history", p.name());
+                let scalar = scalar.unwrap();
+                prop_assert_eq!(
+                    scalar.to_bits(), batch.to_bits(),
+                    "{} lane {} diverged (scalar {} vs batch {})",
+                    p.name(), l, scalar, batch
+                );
+                // Ring rotations: every two-way split of the lane is the
+                // same series, and the batch output must match them all.
+                for cut in 0..=lane.len() {
+                    let (head, tail) = lane.split_at(cut);
+                    let split = p.predict_view(SeriesView::new(head, tail)).unwrap();
+                    prop_assert_eq!(
+                        split.to_bits(), batch.to_bits(),
+                        "{} lane {} diverged from rotation at cut {}", p.name(), l, cut
+                    );
+                }
+            }
+        }
+    }
+
+    /// `score_batch` reproduces `score_view` bit for bit per lane — same
+    /// normalisation, same noise floor, same short-history gate — for
+    /// both error normalisations and every predictor.
+    #[test]
+    fn score_batch_is_bit_equal_to_score_view(
+        (len, values) in tile_buffer(),
+        actual_cells in proptest::collection::vec(cell(), LANES),
+    ) {
+        let tile = HistoryTile::new(&values, len);
+        let mut actuals = [0.0f64; LANES];
+        actuals.copy_from_slice(&actual_cells);
+        for norm in [ErrorNormalization::Absolute, ErrorNormalization::Relative] {
+            for kind in PredictorKind::ablation_set() {
+                let scorer = ShiftScorer::new(kind, norm);
+                let mut out = [f64::NAN; LANES];
+                let produced = scorer.score_batch(tile, &actuals, &mut out);
+                prop_assert_eq!(
+                    produced,
+                    len >= scorer.min_history(),
+                    "{:?}/{} gate diverged at len {}", kind, norm.name(), len
+                );
+                if !produced {
+                    continue;
+                }
+                for (l, &batch) in out.iter().enumerate() {
+                    let lane = lane_of(&values, len, l);
+                    let (scalar, _) = scorer
+                        .score_view(SeriesView::contiguous(&lane), actuals[l])
+                        .expect("scalar must score past min_history");
+                    prop_assert_eq!(
+                        scalar.to_bits(), batch.to_bits(),
+                        "{:?}/{} lane {} diverged", kind, norm.name(), l
+                    );
+                }
+            }
+        }
+    }
+}

@@ -65,6 +65,32 @@ impl DecayValue {
         self.value
     }
 
+    /// [`DecayValue::observe_max`] with the exponential memoized through
+    /// `memo`.
+    ///
+    /// Bit-identical to the plain form: the decay factor is a pure
+    /// function of `(elapsed, half_life)` and the memo is keyed on
+    /// exactly those inputs. Batch callers updating many values that
+    /// share one half-life and update cadence — the tick close, where
+    /// every live pair was last touched at the previous close — pay one
+    /// `exp` per distinct elapsed time instead of one per value.
+    pub fn observe_max_memo(
+        &mut self,
+        now: Timestamp,
+        observation: f64,
+        memo: &mut DecayMemo,
+    ) -> f64 {
+        let elapsed = now.since(self.last_update) as f64;
+        let decayed = if elapsed <= 0.0 || self.value == 0.0 {
+            self.value
+        } else {
+            self.value * memo.factor_for(elapsed, self.half_life_ms)
+        };
+        self.value = decayed.max(observation);
+        self.last_update = now;
+        self.value
+    }
+
     /// Overwrites the value at `now` (used by tests and resets).
     pub fn set(&mut self, now: Timestamp, value: f64) {
         self.value = value;
@@ -75,6 +101,41 @@ impl DecayValue {
     #[inline]
     pub fn last_update(&self) -> Timestamp {
         self.last_update
+    }
+}
+
+/// Single-entry memo for the exponential decay factor, shared across many
+/// [`DecayValue`] updates with the same `(elapsed, half_life)` inputs.
+///
+/// See [`DecayValue::observe_max_memo`]. The cache starts poisoned with
+/// NaN keys so the first lookup always computes.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayMemo {
+    elapsed_ms: f64,
+    half_life_ms: f64,
+    factor: f64,
+}
+
+impl DecayMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        DecayMemo { elapsed_ms: f64::NAN, half_life_ms: f64::NAN, factor: 1.0 }
+    }
+
+    #[inline]
+    fn factor_for(&mut self, elapsed_ms: f64, half_life_ms: f64) -> f64 {
+        if elapsed_ms != self.elapsed_ms || half_life_ms != self.half_life_ms {
+            self.elapsed_ms = elapsed_ms;
+            self.half_life_ms = half_life_ms;
+            self.factor = (-std::f64::consts::LN_2 * elapsed_ms / half_life_ms).exp();
+        }
+        self.factor
+    }
+}
+
+impl Default for DecayMemo {
+    fn default() -> Self {
+        DecayMemo::new()
     }
 }
 
@@ -135,6 +196,29 @@ mod tests {
         d.set(Timestamp::ZERO, 1.0);
         let half_day = d.value_at(Timestamp::from_hours(12));
         approx(half_day, 0.5f64.sqrt());
+    }
+
+    #[test]
+    fn memoized_observe_max_is_bit_identical() {
+        // Two identical values stepped through the same schedule, one via
+        // the plain update and one via the memoized update (memo shared
+        // across values and reused across ticks, as the close loop does).
+        let mut memo = DecayMemo::new();
+        for half_life in [Timestamp::HOUR, Timestamp::DAY, 2 * Timestamp::DAY] {
+            let mut plain = DecayValue::new(half_life);
+            let mut memoed = DecayValue::new(half_life);
+            let observations = [0.8, 0.0, 0.3, 0.0, 0.0, 1.2, 0.9];
+            for (i, &obs) in observations.iter().enumerate() {
+                let now = Timestamp::from_hours(6 * (i as u64 + 1));
+                let a = plain.observe_max(now, obs);
+                let b = memoed.observe_max_memo(now, obs, &mut memo);
+                assert_eq!(a.to_bits(), b.to_bits(), "diverged at step {i}");
+            }
+            assert_eq!(
+                plain.value_at(Timestamp::from_days(30)).to_bits(),
+                memoed.value_at(Timestamp::from_days(30)).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod topk;
 
 pub use cms::CountMinSketch;
 pub use counter::{KeyWindow, WindowedCounter};
-pub use decay::DecayValue;
+pub use decay::{DecayMemo, DecayValue};
 pub use exphist::ExponentialHistogram;
 pub use hll::HyperLogLog;
 pub use ring::RingBuffer;

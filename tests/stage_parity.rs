@@ -188,6 +188,86 @@ fn rebalancing_is_invisible_in_rankings() {
 }
 
 #[test]
+fn scoring_mode_is_invisible_in_rankings() {
+    // The batch-kernel contract: the lane-tiled batched close (the
+    // default) and the scalar reference walk are the same computation
+    // down to the bit pattern, so on one replay their snapshot sequences
+    // are byte-identical — across shard pools, close modes, an
+    // aggressive rebalancing policy, and the parallel-ingestion grid.
+    let archive = archive();
+
+    let with_scoring = |shards: usize, parallel: bool, scoring: ScoringMode| {
+        EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(25)
+            .min_seed_count(3)
+            .top_k(10)
+            .shards(shards)
+            .parallel_close(parallel)
+            .scoring_mode(scoring)
+            .build()
+            .unwrap()
+    };
+
+    // The scalar reference is the semantic baseline; `config()` leaves
+    // the knob at its default, which must be the batched path.
+    assert_eq!(config(1, false).scoring_mode, ScoringMode::Batched, "batched is the default");
+    let baseline = engine_snapshots(with_scoring(1, false, ScoringMode::Scalar), &archive.docs);
+    assert!(!baseline.is_empty());
+    assert!(baseline.iter().any(|s| !s.ranked.is_empty()));
+
+    for scoring in [ScoringMode::Scalar, ScoringMode::Batched] {
+        for (shards, parallel) in [(1usize, false), (4, false), (4, true), (16, true)] {
+            let snapshots =
+                engine_snapshots(with_scoring(shards, parallel, scoring), &archive.docs);
+            assert_eq!(
+                snapshots, baseline,
+                "scoring={scoring:?} shards={shards} parallel={parallel}"
+            );
+        }
+    }
+
+    // Batched scoring composed with hot-slot rebalancing: tiles regroup
+    // as pairs migrate between stores, rankings untouched.
+    let aggressive = RebalanceConfig {
+        enabled: true,
+        slots_per_shard: 8,
+        target_pairs_per_shard: 64,
+        min_skew: 1.01,
+        cap_pressure: 0.5,
+        min_tracked_pairs: 1,
+        cooldown_ticks: 0,
+        min_active_shards: 1,
+    };
+    let mut engine = EnBlogueEngine::new(
+        EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(25)
+            .min_seed_count(3)
+            .top_k(10)
+            .shards(8)
+            .parallel_close(true)
+            .scoring_mode(ScoringMode::Batched)
+            .rebalance(aggressive)
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(engine.run_replay(&archive.docs), baseline, "batched + aggressive rebalancing");
+    assert!(engine.pipeline().metrics().rebalances > 0, "the policy must actually migrate");
+
+    // Batched scoring under the parallel ingestion pipeline.
+    for (batch_size, workers) in [(64usize, 2usize), (256, 4)] {
+        let mut engine = EnBlogueEngine::new(with_scoring(4, true, ScoringMode::Batched));
+        let ingest = IngestConfig { batch_size, queue_depth: 4, workers };
+        let (snapshots, stats) = engine.run_replay_ingest(&archive.docs, &ingest);
+        assert_eq!(snapshots, baseline, "batched ingest batch={batch_size} workers={workers}");
+        assert_eq!(stats.docs, archive.docs.len() as u64);
+    }
+}
+
+#[test]
 fn checkpoint_restore_tail_replay_is_invisible_in_rankings() {
     // The crash-recovery contract of `enblogue_core::snapshot`: on one
     // replay, (a) periodic checkpointing changes no ranking, and (b)
