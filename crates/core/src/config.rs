@@ -68,7 +68,7 @@ impl MeasureKind {
 /// prunes all but the newest `retention` files. Checkpointing never
 /// changes what is computed — rankings are byte-identical with any
 /// policy, pinned by `tests/stage_parity.rs` — and a failed write is
-/// counted in [`crate::stages::EngineMetrics::snapshot_failures`] rather
+/// counted in [`crate::stages::EngineCounters::snapshot_failures`] rather
 /// than crashing the stream.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SnapshotConfig {
@@ -102,6 +102,67 @@ impl SnapshotConfig {
     /// Whether periodic checkpointing is on.
     pub fn enabled(&self) -> bool {
         self.interval_ticks > 0
+    }
+}
+
+/// Telemetry policy (see [`enblogue_telemetry`] and
+/// `docs/OBSERVABILITY.md`).
+///
+/// On by default: recording is lock-free relaxed atomics into
+/// preallocated cells, so the warm close stays allocation-free (pinned
+/// by `crates/core/tests/close_allocs.rs`) and close throughput stays
+/// within 3% of telemetry-off (asserted by `perf_close --test`). Off
+/// mode hands every layer no-op handles whose record path is a single
+/// predictable branch — and the timing views in
+/// [`crate::stages::EngineMetrics`] then read zero. Like every other
+/// execution knob, telemetry is invisible in results: rankings are
+/// byte-identical on or off (pinned by `tests/stage_parity.rs`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch for metric recording and the event journal.
+    pub enabled: bool,
+    /// Events retained by the in-memory journal ring (oldest are
+    /// overwritten and counted as dropped beyond this).
+    pub journal_capacity: usize,
+    /// Dump the Prometheus text export and journal JSONL every this
+    /// many closed ticks; `0` disables periodic dumps.
+    pub dump_every_ticks: u64,
+    /// Directory receiving `metrics.prom`, `metrics.jsonl` and
+    /// `journal.jsonl` (overwritten per dump; created on first write).
+    /// Must be non-empty when `dump_every_ticks` is set.
+    pub dump_directory: String,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            journal_capacity: 1024,
+            dump_every_ticks: 0,
+            dump_directory: String::new(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The disabled policy: no recording, no journal, no dumps.
+    pub fn off() -> Self {
+        TelemetryConfig { enabled: false, ..TelemetryConfig::default() }
+    }
+
+    /// Enabled recording plus a periodic export dump every
+    /// `interval_ticks` closed ticks into `directory`.
+    pub fn dump_every(interval_ticks: u64, directory: impl Into<String>) -> Self {
+        TelemetryConfig {
+            dump_every_ticks: interval_ticks,
+            dump_directory: directory.into(),
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Whether periodic export dumps are on.
+    pub fn dumps_enabled(&self) -> bool {
+        self.enabled && self.dump_every_ticks > 0
     }
 }
 
@@ -193,6 +254,11 @@ pub struct EnBlogueConfig {
     /// execution knob — rankings are byte-identical in either mode
     /// (pinned by `tests/stage_parity.rs`).
     pub scoring_mode: ScoringMode,
+    /// Observability policy: lock-free metrics, latency histograms, the
+    /// event journal, and periodic export dumps (see
+    /// [`crate::engine::EnBlogueEngine::telemetry`]). On by default and,
+    /// like every execution knob, invisible in rankings.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EnBlogueConfig {
@@ -230,6 +296,7 @@ impl Default for EnBlogueConfig {
             rebalance: RebalanceConfig::default(),
             snapshot: SnapshotConfig::default(),
             scoring_mode: ScoringMode::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -315,6 +382,12 @@ impl EnBlogueConfig {
             return Err(EnBlogueError::invalid_config(
                 "snapshot.directory",
                 "periodic checkpointing needs a target directory",
+            ));
+        }
+        if self.telemetry.dump_every_ticks > 0 && self.telemetry.dump_directory.is_empty() {
+            return Err(EnBlogueError::invalid_config(
+                "telemetry.dump_directory",
+                "periodic telemetry dumps need a target directory",
             ));
         }
         if self.snapshot.retention == 0 {
@@ -504,6 +577,33 @@ impl EnBlogueConfigBuilder {
         self
     }
 
+    /// Sets the full telemetry policy.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Enables/disables telemetry recording, keeping the policy's other
+    /// knobs.
+    #[must_use]
+    pub fn telemetry_enabled(mut self, yes: bool) -> Self {
+        self.config.telemetry.enabled = yes;
+        self
+    }
+
+    /// Dump telemetry exports every `interval_ticks` closed ticks into
+    /// `directory` (shorthand for [`TelemetryConfig::dump_every`]).
+    #[must_use]
+    pub fn telemetry_dump_every(
+        mut self,
+        interval_ticks: u64,
+        directory: impl Into<String>,
+    ) -> Self {
+        self.config.telemetry = TelemetryConfig::dump_every(interval_ticks, directory);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<EnBlogueConfig, EnBlogueError> {
         self.config.validate()?;
@@ -615,6 +715,31 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("snapshot.retention"));
+    }
+
+    #[test]
+    fn telemetry_config_round_trips_and_validates() {
+        let config = EnBlogueConfig::default();
+        assert!(config.telemetry.enabled, "telemetry records by default");
+        assert_eq!(config.telemetry.dump_every_ticks, 0, "periodic dumps are opt-in");
+        assert!(!TelemetryConfig::off().enabled);
+
+        let config =
+            EnBlogueConfig::builder().telemetry_dump_every(10, "/tmp/enblogue").build().unwrap();
+        assert!(config.telemetry.dumps_enabled());
+        assert_eq!(config.telemetry.dump_every_ticks, 10);
+        assert_eq!(config.telemetry.dump_directory, "/tmp/enblogue");
+
+        let off = EnBlogueConfig::builder().telemetry_enabled(false).build().unwrap();
+        assert!(!off.telemetry.enabled);
+        assert!(!off.telemetry.dumps_enabled());
+
+        // A dump interval without a directory is a configuration error.
+        let err = EnBlogueConfig::builder()
+            .telemetry(TelemetryConfig { dump_every_ticks: 5, ..TelemetryConfig::default() })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("telemetry.dump_directory"));
     }
 
     #[test]

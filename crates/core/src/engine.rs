@@ -22,7 +22,7 @@ use enblogue_ingest::pipeline::{IngestConfig, IngestPipeline, IngestStats};
 use enblogue_types::{Document, EnBlogueError, RankingSnapshot, TagId, TagPair, Tick};
 use std::path::Path;
 
-pub use crate::stages::EngineMetrics;
+pub use crate::stages::{EngineCounters, EngineMetrics, EngineTimings};
 
 /// The EnBlogue emergent-topic detection engine.
 pub struct EnBlogueEngine {
@@ -107,8 +107,10 @@ impl EnBlogueEngine {
         if resolved.workers == 0 {
             resolved.workers = self.pipeline.config().ingest_workers;
         }
+        let mut driver = IngestPipeline::new(resolved);
+        driver.attach_telemetry(self.pipeline.telemetry());
         let mut sink = ReplayIngest::new(&mut self.pipeline);
-        let stats = IngestPipeline::new(resolved).run(&mut sink, docs);
+        let stats = driver.run(&mut sink, docs);
         (sink.into_snapshots(), stats)
     }
 
@@ -210,6 +212,14 @@ impl EnBlogueEngine {
     /// Run-time counters.
     pub fn metrics(&self) -> EngineMetrics {
         self.pipeline.metrics()
+    }
+
+    /// The engine's telemetry hub: latency histograms, counters, the
+    /// event journal, and the Prometheus/JSONL exporters (see
+    /// `docs/OBSERVABILITY.md`). Inert when
+    /// [`crate::config::TelemetryConfig::enabled`] is off.
+    pub fn telemetry(&self) -> &enblogue_telemetry::Telemetry {
+        self.pipeline.telemetry()
     }
 }
 
@@ -455,13 +465,13 @@ mod tests {
 
     /// Snapshot activity counters are process-local; zero them so
     /// checkpointing/restored engines compare equal to uninterrupted ones
-    /// on the semantic counters.
+    /// on the semantic counters. (Timings never participate in metrics
+    /// equality — see [`EngineMetrics`] — so only counters need scrubbing.)
     fn scrub_snapshot_counters(mut m: EngineMetrics) -> EngineMetrics {
         m.snapshots_taken = 0;
         m.snapshot_bytes_written = 0;
         m.snapshot_failures = 0;
         m.restores = 0;
-        m.restore_micros = 0;
         m
     }
 

@@ -34,6 +34,7 @@ use crate::snapshot::{corrupt, SnapReader, SnapWriter};
 use enblogue_stats::predict::{HistoryTile, SeriesView, LANES};
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_stream::exec::fanout;
+use enblogue_telemetry::{EventKind, Histogram, Journal, Telemetry};
 use enblogue_types::{
     EnBlogueError, FxHashSet, RoutingTable, SharedRouting, TagId, TagPair, Tick, Timestamp,
     DEFAULT_SLOTS_PER_SHARD,
@@ -241,6 +242,11 @@ pub struct PairShard {
     slot_obs: Vec<u64>,
     /// Reusable scratch of the batched close walk.
     tile: TileScratch,
+    /// Close-walk latency histogram (`close.shard.ns{shard=i}`). Disabled
+    /// until [`ShardedPairRegistry::attach_telemetry`] wires a live
+    /// registry; lives on the shard so fan-out workers record into their
+    /// own handle without sharing.
+    close_ns: Histogram,
     discovered: u64,
     evicted: u64,
 }
@@ -292,6 +298,7 @@ impl PairShard {
             current: FxHashSet::default(),
             slot_obs: vec![0; if params.track_load { params.slots } else { 0 }],
             tile: TileScratch::new(params.history_len),
+            close_ns: Histogram::disabled(),
             params,
             discovered: 0,
             evicted: 0,
@@ -492,6 +499,9 @@ pub struct ShardedPairRegistry {
     /// Capacity-growth events in the registry's own close-path buffers
     /// (shards count theirs in the slab).
     close_allocs: u64,
+    /// Operational event journal (evictions, rebalances). Disabled until
+    /// [`ShardedPairRegistry::attach_telemetry`].
+    journal: Journal,
 }
 
 impl ShardedPairRegistry {
@@ -570,7 +580,25 @@ impl ShardedPairRegistry {
             migrated_pairs: 0,
             cap_scratch: Vec::new(),
             close_allocs: 0,
+            journal: Journal::disabled(),
         }
+    }
+
+    /// Wires the registry into a [`Telemetry`] hub: registers one
+    /// `close.shard.ns{shard=i}` latency histogram per pool store (the
+    /// per-shard close-walk timing recorded inside
+    /// [`ShardedPairRegistry::score_all`]'s fan-out workers) and adopts
+    /// the hub's event journal for eviction and rebalance events.
+    ///
+    /// Cold-path only — all handles are resolved here, once; the close
+    /// path records through them without locks or allocation. Attaching a
+    /// disabled hub yields inert handles, so the call is always safe.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            shard.close_ns =
+                telemetry.registry().histogram_labeled("close.shard.ns", "shard", index);
+        }
+        self.journal = telemetry.journal().clone();
     }
 
     /// Number of shard stores in the pool.
@@ -786,6 +814,9 @@ impl ShardedPairRegistry {
         let counts = &self.counts;
         let correlate = &correlate;
         fanout(&mut self.shards, parallel, |index, shard| {
+            // Each worker times its own walk into its shard's handle —
+            // no cross-shard sharing, and a single branch when disabled.
+            let started = shard.close_ns.enabled().then(std::time::Instant::now);
             // Repair the sorted view only if discovery/eviction changed
             // membership since the last close; the walk itself is linear
             // over dense slab columns.
@@ -807,6 +838,9 @@ impl ShardedPairRegistry {
                         shard.update_slot(slot, correlation, ab, tick, now, scorer);
                     }
                 }
+            }
+            if let Some(started) = started {
+                shard.close_ns.record_elapsed(started);
             }
         });
     }
@@ -874,7 +908,11 @@ impl ShardedPairRegistry {
                 self.shards[shard].evicted += 1;
             }
         }
-        (self.evicted_total() - evicted_before) as usize
+        let evicted = (self.evicted_total() - evicted_before) as usize;
+        if evicted > 0 {
+            self.journal.record(EventKind::Eviction, tick.0, evicted as u64, self.len() as u64);
+        }
+        evicted
     }
 
     /// Runs the tick-aligned rebalance policy; call once per tick close,
@@ -902,6 +940,9 @@ impl ShardedPairRegistry {
             return 0;
         }
         let migrated = self.consider_rebalance(tick);
+        if migrated > 0 {
+            self.journal.record(EventKind::Rebalance, tick.0, migrated as u64, self.table.epoch());
+        }
         // Halve the per-slot observation pressure each close: the load
         // signal is an exponential moving sum with a one-tick half-life,
         // so bursts register fast and fade fast.
@@ -1395,6 +1436,7 @@ impl ShardedPairRegistry {
             migrated_pairs,
             cap_scratch: Vec::new(),
             close_allocs: 0,
+            journal: Journal::disabled(),
         })
     }
 

@@ -46,7 +46,7 @@
 //! * [`latest_checkpoint`] — finds the newest checkpoint in a directory
 //!   for crash recovery (`resume` + tail replay).
 
-use crate::config::{EnBlogueConfig, SnapshotConfig};
+use crate::config::{EnBlogueConfig, SnapshotConfig, TelemetryConfig};
 use enblogue_types::{EnBlogueError, TagId, Tick, Timestamp};
 use std::path::{Path, PathBuf};
 
@@ -97,6 +97,9 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 pub(crate) fn config_fingerprint(config: &EnBlogueConfig) -> u64 {
     let mut config = config.clone();
     config.snapshot = SnapshotConfig::default();
+    // Telemetry shapes no serialized state either: a checkpoint written
+    // with telemetry off must resume with it on (and vice versa).
+    config.telemetry = TelemetryConfig::default();
     // `Debug` output is a stable, total rendering of the plain-data config
     // struct (no maps, no addresses), so its hash is a stable fingerprint.
     fnv1a64(format!("{config:?}").as_bytes())

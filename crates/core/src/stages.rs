@@ -33,6 +33,7 @@ use enblogue_ingest::partition::{
 };
 use enblogue_stats::correlation::PairCounts;
 use enblogue_stats::shift::ShiftScorer;
+use enblogue_telemetry::{duration_ns, Counter, EventKind, Gauge, Histogram, Telemetry};
 use enblogue_types::{
     Document, EnBlogueError, FxHashSet, RankingSnapshot, TagId, TagPair, Tick, Timestamp,
 };
@@ -40,14 +41,13 @@ use enblogue_window::TickSeries;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// Pipeline run-time counters (the engine's public metrics).
-///
-/// Equality deliberately ignores the wall-clock timing fields
-/// (`close_*_micros`, `restore_micros`): everything else is a
-/// deterministic function of the stream and the configuration, and tests
-/// compare metrics across feed modes on exactly that basis.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct EngineMetrics {
+/// The deterministic pipeline counters: every field is a pure function
+/// of the stream and the configuration, so equality across feed modes
+/// and execution knobs is meaningful — and `PartialEq` is *derived*,
+/// with no hand-maintained field list a new counter could dodge.
+/// Wall-clock readings live in [`EngineTimings`] instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
     /// Documents processed.
     pub docs_processed: u64,
     /// Ticks closed.
@@ -79,63 +79,101 @@ pub struct EngineMetrics {
     pub snapshot_failures: u64,
     /// Snapshots this pipeline was restored from (0 or 1).
     pub restores: u64,
-    /// Wall-clock microseconds the restore took (0 if never restored).
+}
+
+/// Wall-clock timing views, derived from the telemetry registry's
+/// latency histograms (exact nanosecond sums, reported in microseconds —
+/// the histograms additionally carry the p50/p99/max tails, see
+/// [`crate::engine::EnBlogueEngine::telemetry`]). All zero when
+/// telemetry is disabled. Never part of [`EngineMetrics`] equality:
+/// wall clock is not stream state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTimings {
+    /// Microseconds the restore took (0 if never restored).
     pub restore_micros: u64,
-    /// Cumulative wall-clock microseconds the close spent scoring
-    /// (correlation + shift update over all tracked pairs).
+    /// Cumulative microseconds the close spent scoring (correlation +
+    /// shift update over all tracked pairs).
     pub close_score_micros: u64,
-    /// Cumulative wall-clock microseconds the close spent on expiry
-    /// (support eviction, the cap pass and the rebalance decision).
+    /// Cumulative microseconds the close spent on expiry (support
+    /// eviction, the cap pass and the rebalance decision).
     pub close_expiry_micros: u64,
-    /// Cumulative wall-clock microseconds the close spent merging the
-    /// top-k ranking.
+    /// Cumulative microseconds the close spent merging the top-k
+    /// ranking.
     pub close_rank_micros: u64,
+    /// Cumulative microseconds spent encoding and writing checkpoints.
+    pub snapshot_write_micros: u64,
+}
+
+/// Pipeline run-time metrics: the deterministic [`EngineCounters`] plus
+/// the wall-clock [`EngineTimings`] views.
+///
+/// Equality delegates to the counters alone — the timing struct is
+/// excluded *structurally* rather than by a hand-written field list
+/// that had to remember every wall-clock field. `Deref`/`DerefMut` to
+/// [`EngineCounters`] keeps `metrics.docs_processed`-style call sites
+/// working unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineMetrics {
+    /// The deterministic counters (what `==` compares).
+    pub counters: EngineCounters,
+    /// The wall-clock timing views (ignored by `==`).
+    pub timings: EngineTimings,
+}
+
+impl std::ops::Deref for EngineMetrics {
+    type Target = EngineCounters;
+
+    fn deref(&self) -> &EngineCounters {
+        &self.counters
+    }
+}
+
+impl std::ops::DerefMut for EngineMetrics {
+    fn deref_mut(&mut self) -> &mut EngineCounters {
+        &mut self.counters
+    }
 }
 
 impl PartialEq for EngineMetrics {
     fn eq(&self, other: &Self) -> bool {
-        // Field-by-field so a new counter can't silently dodge
-        // comparison; only the wall-clock timings are excluded.
-        let EngineMetrics {
-            docs_processed,
-            ticks_closed,
-            pairs_tracked,
-            pairs_discovered,
-            pairs_evicted,
-            seeds_current,
-            distinct_tags,
-            shards,
-            routing_epoch,
-            rebalances,
-            pairs_migrated,
-            snapshots_taken,
-            snapshot_bytes_written,
-            snapshot_failures,
-            restores,
-            restore_micros: _,
-            close_score_micros: _,
-            close_expiry_micros: _,
-            close_rank_micros: _,
-        } = *self;
-        docs_processed == other.docs_processed
-            && ticks_closed == other.ticks_closed
-            && pairs_tracked == other.pairs_tracked
-            && pairs_discovered == other.pairs_discovered
-            && pairs_evicted == other.pairs_evicted
-            && seeds_current == other.seeds_current
-            && distinct_tags == other.distinct_tags
-            && shards == other.shards
-            && routing_epoch == other.routing_epoch
-            && rebalances == other.rebalances
-            && pairs_migrated == other.pairs_migrated
-            && snapshots_taken == other.snapshots_taken
-            && snapshot_bytes_written == other.snapshot_bytes_written
-            && snapshot_failures == other.snapshot_failures
-            && restores == other.restores
+        self.counters == other.counters
     }
 }
 
 impl Eq for EngineMetrics {}
+
+/// The pipeline's pre-registered telemetry handles. Registration
+/// happens once at construction; stages record through these on the
+/// warm path without ever touching the registry again (see
+/// [`enblogue_telemetry`] — recording is lock-free and allocation-free).
+pub(crate) struct PipelineProbes {
+    pub(crate) docs: Counter,
+    pub(crate) ticks: Counter,
+    pub(crate) pairs_tracked: Gauge,
+    pub(crate) close_score: Histogram,
+    pub(crate) close_expiry: Histogram,
+    pub(crate) close_rank: Histogram,
+    pub(crate) snapshot_write: Histogram,
+    pub(crate) restore: Histogram,
+    pub(crate) dump_failures: Counter,
+}
+
+impl PipelineProbes {
+    fn new(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        PipelineProbes {
+            docs: r.counter("engine.docs"),
+            ticks: r.counter("engine.ticks"),
+            pairs_tracked: r.gauge("pairs.tracked"),
+            close_score: r.histogram("close.score.ns"),
+            close_expiry: r.histogram("close.expiry.ns"),
+            close_rank: r.histogram("close.rank.ns"),
+            snapshot_write: r.histogram("snapshot.write.ns"),
+            restore: r.histogram("snapshot.restore.ns"),
+            dump_failures: r.counter("telemetry.dump_failures"),
+        }
+    }
+}
 
 /// The state shared by all stages of one pipeline.
 ///
@@ -164,12 +202,12 @@ pub struct PipelineState {
     pub(crate) snapshot_bytes: u64,
     pub(crate) snapshot_failures: u64,
     pub(crate) restores: u64,
-    pub(crate) restore_micros: u64,
-    /// Per-phase close timing accumulators (process-local, like the
-    /// snapshot counters: wall clock is not stream state).
-    pub(crate) close_score_micros: u64,
-    pub(crate) close_expiry_micros: u64,
-    pub(crate) close_rank_micros: u64,
+    /// The observability hub: metric registry + event journal
+    /// (process-local, like the snapshot counters — wall clock is not
+    /// stream state and none of this is serialized).
+    pub(crate) telemetry: Telemetry,
+    /// Pre-registered handles the stages record through.
+    pub(crate) probes: PipelineProbes,
 }
 
 impl PipelineState {
@@ -191,6 +229,13 @@ impl PipelineState {
             config.rebalance.resolved(config.shards, config.parallel_close),
         );
         registry.set_scoring(config.scoring_mode);
+        let telemetry = if config.telemetry.enabled {
+            Telemetry::new(config.telemetry.journal_capacity)
+        } else {
+            Telemetry::disabled()
+        };
+        let probes = PipelineProbes::new(&telemetry);
+        registry.attach_telemetry(&telemetry);
         PipelineState {
             seed_tracker: SeedTracker::new(
                 config.seed_strategy,
@@ -210,12 +255,16 @@ impl PipelineState {
             snapshot_bytes: 0,
             snapshot_failures: 0,
             restores: 0,
-            restore_micros: 0,
-            close_score_micros: 0,
-            close_expiry_micros: 0,
-            close_rank_micros: 0,
+            telemetry,
+            probes,
             config,
         }
+    }
+
+    /// The pipeline's observability hub (metric registry, event
+    /// journal, exporters).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The pipeline's configuration.
@@ -238,29 +287,38 @@ impl PipelineState {
         &self.registry
     }
 
-    /// Current run-time counters.
+    /// Current run-time counters and timing views.
     pub fn metrics(&self) -> EngineMetrics {
         let registry_stats = self.registry.stats();
         EngineMetrics {
-            docs_processed: self.docs_processed,
-            ticks_closed: self.ticks_closed,
-            pairs_tracked: self.registry.len(),
-            pairs_discovered: self.registry.discovered_total(),
-            pairs_evicted: self.registry.evicted_total(),
-            seeds_current: self.seeds.len(),
-            distinct_tags: self.seed_tracker.distinct_tags(),
-            shards: self.registry.shard_count(),
-            routing_epoch: registry_stats.routing_epoch,
-            rebalances: registry_stats.rebalances,
-            pairs_migrated: registry_stats.migrated_pairs,
-            snapshots_taken: self.snapshots_taken,
-            snapshot_bytes_written: self.snapshot_bytes,
-            snapshot_failures: self.snapshot_failures,
-            restores: self.restores,
-            restore_micros: self.restore_micros,
-            close_score_micros: self.close_score_micros,
-            close_expiry_micros: self.close_expiry_micros,
-            close_rank_micros: self.close_rank_micros,
+            counters: EngineCounters {
+                docs_processed: self.docs_processed,
+                ticks_closed: self.ticks_closed,
+                pairs_tracked: self.registry.len(),
+                pairs_discovered: self.registry.discovered_total(),
+                pairs_evicted: self.registry.evicted_total(),
+                seeds_current: self.seeds.len(),
+                distinct_tags: self.seed_tracker.distinct_tags(),
+                shards: self.registry.shard_count(),
+                routing_epoch: registry_stats.routing_epoch,
+                rebalances: registry_stats.rebalances,
+                pairs_migrated: registry_stats.migrated_pairs,
+                snapshots_taken: self.snapshots_taken,
+                snapshot_bytes_written: self.snapshot_bytes,
+                snapshot_failures: self.snapshot_failures,
+                restores: self.restores,
+            },
+            // The timing views are the histograms' exact nanosecond
+            // sums (bucketing only approximates quantiles, never the
+            // sum), so these read like the old accumulators did — and
+            // zero with telemetry off.
+            timings: EngineTimings {
+                restore_micros: self.probes.restore.sum() / 1_000,
+                close_score_micros: self.probes.close_score.sum() / 1_000,
+                close_expiry_micros: self.probes.close_expiry.sum() / 1_000,
+                close_rank_micros: self.probes.close_rank.sum() / 1_000,
+                snapshot_write_micros: self.probes.snapshot_write.sum() / 1_000,
+            },
         }
     }
 
@@ -404,6 +462,13 @@ impl PipelineState {
             config.rebalance.resolved(config.shards, config.parallel_close),
         )?;
         registry.set_scoring(config.scoring_mode);
+        let telemetry = if config.telemetry.enabled {
+            Telemetry::new(config.telemetry.journal_capacity)
+        } else {
+            Telemetry::disabled()
+        };
+        let probes = PipelineProbes::new(&telemetry);
+        registry.attach_telemetry(&telemetry);
         let state = PipelineState {
             seed_tracker,
             registry,
@@ -418,10 +483,8 @@ impl PipelineState {
             snapshot_bytes: 0,
             snapshot_failures: 0,
             restores: 0,
-            restore_micros: 0,
-            close_score_micros: 0,
-            close_expiry_micros: 0,
-            close_rank_micros: 0,
+            telemetry,
+            probes,
             config,
         };
         Ok((state, last_closed, first_open))
@@ -593,10 +656,10 @@ impl TickStage for ShiftScoreStage {
         let parallel = state.config.parallel_close;
         // Split borrows: the registry mutates shard-locally while the
         // correlation closure reads the (frozen) window statistics.
-        let PipelineState { registry, seed_tracker, term_dists, scorer, .. } = state;
+        let PipelineState { registry, seed_tracker, term_dists, scorer, probes, .. } = state;
         let seed_tracker = &*seed_tracker;
         let term_dists = &*term_dists;
-        let score_started = Instant::now();
+        let score_span = enblogue_telemetry::span!(probes.close_score);
         registry.score_all(tick, now, scorer, parallel, move |pair, ab| match measure {
             MeasureKind::Set(measure) => {
                 let a = seed_tracker.windowed_count(pair.lo());
@@ -617,15 +680,14 @@ impl TickStage for ShiftScoreStage {
                     .js_similarity(pair.lo(), pair.hi())
             }
         });
-        state.close_score_micros += score_started.elapsed().as_micros() as u64;
-        let expiry_started = Instant::now();
-        state.registry.evict_parallel(tick, now, parallel);
+        score_span.finish();
+        let _expiry_span = enblogue_telemetry::span!(probes.close_expiry);
+        registry.evict_parallel(tick, now, parallel);
         // Tick-aligned rebalance decision, after eviction so the policy
         // sees the post-eviction population. Migration preserves every
         // pair's state bit-for-bit, so rankings are unaffected — pinned
         // by `tests/stage_parity.rs` across rebalance on/off grids.
-        state.registry.maybe_rebalance(tick);
-        state.close_expiry_micros += expiry_started.elapsed().as_micros() as u64;
+        registry.maybe_rebalance(tick);
     }
 }
 
@@ -639,14 +701,13 @@ impl TickStage for RankEmitStage {
     }
 
     fn on_close(&mut self, state: &mut PipelineState, tick: Tick, now: Timestamp) {
-        let rank_started = Instant::now();
+        let _rank_span = enblogue_telemetry::span!(state.probes.close_rank);
         let snapshot = RankingSnapshot {
             tick,
             time: now,
             ranked: state.registry.ranking(state.config.k, now),
         };
         state.latest = Some(snapshot);
-        state.close_rank_micros += rank_started.elapsed().as_micros() as u64;
     }
 }
 
@@ -655,7 +716,7 @@ impl TickStage for RankEmitStage {
 /// [`crate::config::SnapshotConfig`] is enabled, so the written snapshot
 /// contains the tick's finished ranking).
 ///
-/// Failures are counted ([`EngineMetrics::snapshot_failures`]), never
+/// Failures are counted ([`EngineCounters::snapshot_failures`]), never
 /// raised: a transiently full disk must not take a continuously running
 /// stream down, and the previous checkpoint is still on disk (writes are
 /// atomic temp-file + rename).
@@ -673,6 +734,9 @@ impl TickStage for CheckpointStage {
         }
         let dir = PathBuf::from(&state.config.snapshot.directory);
         let retention = state.config.snapshot.retention;
+        // Encode + write are one timed unit — that is the wall-clock
+        // cost a checkpoint adds to its tick close.
+        let write_started = state.probes.snapshot_write.enabled().then(Instant::now);
         // This stage runs inside `close_tick`, so the closing tick *is*
         // the cursor (and `first_open` is moot once a tick is closed).
         let payload = state.encode_snapshot(Some(tick), None);
@@ -680,9 +744,61 @@ impl TickStage for CheckpointStage {
             Ok(bytes) => {
                 state.snapshots_taken += 1;
                 state.snapshot_bytes += bytes;
+                let ns = write_started.map_or(0, duration_ns);
+                state.probes.snapshot_write.record(ns);
+                state.telemetry.journal().record(
+                    EventKind::CheckpointWrite,
+                    tick.0,
+                    bytes,
+                    ns / 1_000,
+                );
                 snapshot::prune_checkpoints(&dir, retention);
             }
-            Err(_) => state.snapshot_failures += 1,
+            Err(_) => {
+                state.snapshot_failures += 1;
+                state.telemetry.journal().record(
+                    EventKind::CheckpointFailure,
+                    tick.0,
+                    state.snapshot_failures,
+                    0,
+                );
+            }
+        }
+    }
+}
+
+/// The telemetry-dump stage: periodically writes the Prometheus text
+/// export, the metrics JSONL and the journal JSONL into the configured
+/// directory at tick close (mounted last when
+/// [`crate::config::TelemetryConfig::dumps_enabled`], so a dump sees
+/// the tick's finished ranking and close timings). Like checkpoint
+/// writes, dump failures are counted (`telemetry.dump_failures`), never
+/// raised.
+pub struct TelemetryDumpStage;
+
+impl TickStage for TelemetryDumpStage {
+    fn name(&self) -> &'static str {
+        "telemetry-dump"
+    }
+
+    fn on_close(&mut self, state: &mut PipelineState, _tick: Tick, _now: Timestamp) {
+        let interval = state.config.telemetry.dump_every_ticks;
+        if interval == 0 || !state.ticks_closed.is_multiple_of(interval) {
+            return;
+        }
+        let dir = PathBuf::from(&state.config.telemetry.dump_directory);
+        let result = std::fs::create_dir_all(&dir)
+            .and_then(|()| {
+                std::fs::write(dir.join("metrics.prom"), state.telemetry.prometheus_text())
+            })
+            .and_then(|()| {
+                std::fs::write(dir.join("metrics.jsonl"), state.telemetry.metrics_jsonl())
+            })
+            .and_then(|()| {
+                std::fs::write(dir.join("journal.jsonl"), state.telemetry.journal().to_jsonl())
+            });
+        if result.is_err() {
+            state.probes.dump_failures.inc();
         }
     }
 }
@@ -702,6 +818,9 @@ impl TickStage for CheckpointStage {
 pub struct StagePipeline {
     state: PipelineState,
     stages: Vec<Box<dyn TickStage>>,
+    /// Per-stage close-latency histograms (`stage.close.ns{stage=…}`),
+    /// index-aligned with `stages`; registered once at assembly.
+    stage_spans: Vec<Histogram>,
     /// Scratch buffer for per-document annotation sets.
     annotation_buf: Vec<TagId>,
     last_closed: Option<Tick>,
@@ -731,9 +850,23 @@ impl StagePipeline {
         if state.config.snapshot.enabled() {
             stages.push(Box::new(CheckpointStage));
         }
+        if state.config.telemetry.dumps_enabled() {
+            stages.push(Box::new(TelemetryDumpStage));
+        }
+        let stage_spans = stages
+            .iter()
+            .map(|stage| {
+                state.telemetry.registry().histogram_labeled(
+                    "stage.close.ns",
+                    "stage",
+                    stage.name(),
+                )
+            })
+            .collect();
         StagePipeline {
             state,
             stages,
+            stage_spans,
             annotation_buf: Vec::with_capacity(16),
             last_closed,
             first_open,
@@ -753,8 +886,15 @@ impl StagePipeline {
     }
 
     /// Appends a custom stage behind the standard ones (runs after
-    /// `rank-emit`, so it sees the tick's finished snapshot).
+    /// `rank-emit`, so it sees the tick's finished snapshot). The stage
+    /// gets its own `stage.close.ns{stage=…}` latency series like the
+    /// standard ones.
     pub fn push_stage(&mut self, stage: Box<dyn TickStage>) {
+        self.stage_spans.push(self.state.telemetry.registry().histogram_labeled(
+            "stage.close.ns",
+            "stage",
+            stage.name(),
+        ));
         self.stages.push(stage);
     }
 
@@ -793,6 +933,7 @@ impl StagePipeline {
     fn ingest_doc(&mut self, doc: &Document, partitioned: bool) {
         let tick = self.state.config.tick_spec.tick_of(doc.timestamp);
         self.state.docs_processed += 1;
+        self.state.probes.docs.inc();
         if self.first_open.is_none() {
             self.first_open = Some(tick);
         }
@@ -887,11 +1028,21 @@ impl StagePipeline {
     pub fn close_tick(&mut self, tick: Tick) -> RankingSnapshot {
         let now = self.state.config.tick_spec.end_of(tick);
         self.state.ticks_closed += 1;
-        for stage in &mut self.stages {
+        self.state.probes.ticks.inc();
+        for (stage, span_hist) in self.stages.iter_mut().zip(self.stage_spans.iter()) {
+            let _span = enblogue_telemetry::span!(span_hist);
             stage.on_close(&mut self.state, tick, now);
         }
         self.last_closed = Some(self.last_closed.map_or(tick, |last| last.max(tick)));
-        self.state.latest.clone().expect("the rank-emit stage produces a snapshot")
+        let snapshot = self.state.latest.clone().expect("the rank-emit stage produces a snapshot");
+        self.state.probes.pairs_tracked.set(self.state.registry.len() as i64);
+        self.state.telemetry.journal().record(
+            EventKind::TickClose,
+            tick.0,
+            self.state.registry.len() as u64,
+            snapshot.ranked.len() as u64,
+        );
+        snapshot
     }
 
     /// Closes every tick from the first unclosed one up to and including
@@ -995,10 +1146,18 @@ impl StagePipeline {
         let bytes = snapshot::write_snapshot_file(path, &payload)?;
         self.state.snapshots_taken += 1;
         self.state.snapshot_bytes += bytes;
+        let write_micros = started.elapsed().as_micros() as u64;
+        self.state.probes.snapshot_write.record(duration_ns(started));
+        self.state.telemetry.journal().record(
+            EventKind::CheckpointWrite,
+            self.last_closed.map_or(0, |t| t.0),
+            bytes,
+            write_micros,
+        );
         Ok(SnapshotStats {
             path: path.to_path_buf(),
             bytes,
-            write_micros: started.elapsed().as_micros() as u64,
+            write_micros,
             tracked_pairs: self.state.registry.len(),
             tick: self.last_closed,
         })
@@ -1025,8 +1184,22 @@ impl StagePipeline {
         let (mut state, last_closed, first_open) = PipelineState::decode_snapshot(config, &mut r)?;
         r.finish()?;
         state.restores = 1;
-        state.restore_micros = started.elapsed().as_micros() as u64;
-        Ok(Self::assemble(state, last_closed, first_open))
+        let pipeline = Self::assemble(state, last_closed, first_open);
+        let ns = duration_ns(started);
+        pipeline.state.probes.restore.record(ns);
+        pipeline.state.telemetry.journal().record(
+            EventKind::Restore,
+            last_closed.map_or(0, |t| t.0),
+            ns / 1_000,
+            0,
+        );
+        Ok(pipeline)
+    }
+
+    /// The pipeline's observability hub: metric registry, event journal
+    /// and exporters (see [`enblogue_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.state.telemetry
     }
 
     /// The most recent ranking, if any tick has been closed.

@@ -120,4 +120,26 @@ fn steady_state_close_is_allocation_free() {
         }
     });
     assert_eq!(allocs, 0, "scalar-mode steady-state close must be allocation-free");
+
+    // Scenario 4: telemetry attached, cap-bound (the hardest case: every
+    // measured tick records per-shard close histograms AND journals an
+    // eviction event). All telemetry state — histogram buckets, the event
+    // ring — is preallocated at attach/construction time, so the
+    // instrumented warm close must stay allocation-free.
+    let telemetry = enblogue_telemetry::Telemetry::new(64);
+    let mut observed = ShardedPairRegistry::new(2, 6, Timestamp::DAY, 1, 256);
+    observed.attach_telemetry(&telemetry);
+    for t in 0..12u64 {
+        run_tick(&mut observed, &seeds, &scorer, t);
+    }
+    assert_eq!(observed.len(), 256, "the cap binds under telemetry too");
+    let (_, allocs) = alloc_counter::measure(|| {
+        for t in 12..20u64 {
+            run_tick(&mut observed, &seeds, &scorer, t);
+        }
+    });
+    assert_eq!(allocs, 0, "telemetry-enabled steady-state close must be allocation-free");
+    let shard0 = telemetry.registry().histogram_labeled("close.shard.ns", "shard", 0usize);
+    assert!(shard0.count() >= 20, "per-shard close walks were recorded");
+    assert!(telemetry.journal().recorded() > 0, "cap evictions were journaled");
 }

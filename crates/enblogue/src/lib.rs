@@ -14,6 +14,7 @@
 //! | [`window`] | `enblogue-window` | sliding windows, sketches, decay, top-k |
 //! | [`stats`] | `enblogue-stats` | correlation measures, divergences, predictors |
 //! | [`stream`] | `enblogue-stream` | push-based operator DAG + executors |
+//! | [`telemetry`] | `enblogue-telemetry` | metrics registry, latency histograms, span tracing, exporters |
 //! | [`ingest`] | `enblogue-ingest` | shard-partitioned, batched, backpressured ingestion |
 //! | [`entity`] | `enblogue-entity` | gazetteer + ontology entity tagging |
 //! | [`core`] | `enblogue-core` | the EnBlogue engine, personalization, push broker |
@@ -102,12 +103,15 @@ pub use enblogue_entity as entity;
 pub use enblogue_ingest as ingest;
 pub use enblogue_stats as stats;
 pub use enblogue_stream as stream;
+pub use enblogue_telemetry as telemetry;
 pub use enblogue_types as types;
 pub use enblogue_window as window;
 
 /// The names most applications need.
 pub mod prelude {
-    pub use enblogue_core::config::{EnBlogueConfig, MeasureKind, SeedStrategy, SnapshotConfig};
+    pub use enblogue_core::config::{
+        EnBlogueConfig, MeasureKind, SeedStrategy, SnapshotConfig, TelemetryConfig,
+    };
     pub use enblogue_core::engine::{EnBlogueEngine, EngineMetrics};
     pub use enblogue_core::ingest::ReplayIngest;
     pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
@@ -135,6 +139,7 @@ pub mod prelude {
     pub use enblogue_stream::exec::{run_graph, run_graph_threaded};
     pub use enblogue_stream::graph::Graph;
     pub use enblogue_stream::source::{MergeSource, ReplaySource};
+    pub use enblogue_telemetry::{EventKind, Telemetry};
     pub use enblogue_types::{
         Document, RankingSnapshot, TagId, TagInterner, TagKind, TagPair, Tick, TickSpec, Timestamp,
     };

@@ -1,0 +1,126 @@
+//! Exporters: Prometheus text format and JSON lines.
+//!
+//! Both render from one [`MetricsRegistry::visit`] pass over samples
+//! taken under the bank locks, so a scrape is consistent per metric
+//! (not across metrics — the pipeline keeps recording while an export
+//! renders, by design).
+
+use crate::metrics::{MetricsRegistry, Sample};
+use std::fmt::Write as _;
+
+/// Prometheus metric name: dots and any other non-`[a-zA-Z0-9_]` become
+/// underscores, and everything gets the `enblogue_` namespace prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("enblogue_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
+fn label_block(label: Option<(&str, &str)>, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some((k, v)) = label {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// Counters and gauges are one sample line each; histograms render as
+/// summaries — `quantile="0.5" / "0.9" / "0.99"` lines plus `_sum`,
+/// `_count`, `_max` and `_min` series (the explicit-bucket form would
+/// be ~500 lines per histogram for no scrape-side benefit at this
+/// bucket granularity). `# TYPE` headers are emitted once per metric
+/// name, before its first labelled series.
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<String> = None;
+    registry.visit(|name, label, sample| {
+        let pname = prometheus_name(name);
+        let type_line = |out: &mut String, kind: &str, last: &mut Option<String>| {
+            if last.as_deref() != Some(pname.as_str()) {
+                let _ = writeln!(out, "# TYPE {pname} {kind}");
+                *last = Some(pname.clone());
+            }
+        };
+        match sample {
+            Sample::Counter(v) => {
+                type_line(&mut out, "counter", &mut last_typed);
+                let _ = writeln!(out, "{pname}{} {v}", label_block(label, None));
+            }
+            Sample::Gauge(v) => {
+                type_line(&mut out, "gauge", &mut last_typed);
+                let _ = writeln!(out, "{pname}{} {v}", label_block(label, None));
+            }
+            Sample::Histogram(snap) => {
+                type_line(&mut out, "summary", &mut last_typed);
+                for (q, qv) in [
+                    ("0.5", snap.quantile(0.50)),
+                    ("0.9", snap.quantile(0.90)),
+                    ("0.99", snap.quantile(0.99)),
+                ] {
+                    let _ =
+                        writeln!(out, "{pname}{} {qv}", label_block(label, Some(("quantile", q))));
+                }
+                let labels = label_block(label, None);
+                let _ = writeln!(out, "{pname}_sum{labels} {}", snap.sum);
+                let _ = writeln!(out, "{pname}_count{labels} {}", snap.count);
+                let _ = writeln!(out, "{pname}_max{labels} {}", snap.max);
+                let _ = writeln!(out, "{pname}_min{labels} {}", snap.min);
+            }
+        }
+    });
+    out
+}
+
+/// Renders the registry as JSON lines — one self-describing object per
+/// metric series, dotted names preserved.
+pub fn metrics_jsonl(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    registry.visit(|name, label, sample| {
+        let label_json = match label {
+            Some((k, v)) => format!(",\"labels\":{{\"{k}\":\"{v}\"}}"),
+            None => String::new(),
+        };
+        match sample {
+            Sample::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":\"{name}\",\"type\":\"counter\"{label_json},\"value\":{v}}}"
+                );
+            }
+            Sample::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":\"{name}\",\"type\":\"gauge\"{label_json},\"value\":{v}}}"
+                );
+            }
+            Sample::Histogram(snap) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":\"{name}\",\"type\":\"histogram\"{label_json},\
+                     \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                     \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                    snap.count,
+                    snap.sum,
+                    snap.min,
+                    snap.max,
+                    snap.quantile(0.50),
+                    snap.quantile(0.90),
+                    snap.quantile(0.99)
+                );
+            }
+        }
+    });
+    out
+}

@@ -1,0 +1,627 @@
+//! The lock-free metric instruments and their sharded registry.
+//!
+//! Recording never takes a lock: every instrument handle owns an `Arc`
+//! to a preallocated cell of relaxed atomics, so a counter bump is one
+//! `fetch_add` and a histogram record is three. The registry's locks
+//! exist only on the cold paths — registration (once, at construction
+//! time) and export (when a scraper asks).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram buckets
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per power of two,
+/// which bounds the relative quantile error at 1/8 = 12.5%.
+const SUB_BITS: u32 = 3;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range: the 8 exact values
+/// below `SUB_BUCKETS`, then 8 sub-buckets for each octave up to 2^63.
+pub const HISTOGRAM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index of `value` — log-linear (HDR-style): exact below 8,
+/// 12.5% relative granularity above.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as u64;
+    let sub = (value >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
+    (octave * SUB_BUCKETS + sub) as usize
+}
+
+/// Inclusive lower bound of values mapping to `bucket` (inverse of
+/// [`bucket_of`]).
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    let bucket = bucket as u64;
+    if bucket < SUB_BUCKETS {
+        return bucket;
+    }
+    let octave = bucket / SUB_BUCKETS;
+    let sub = bucket % SUB_BUCKETS;
+    let msb = (octave - 1) as u32 + SUB_BITS;
+    (1u64 << msb) | (sub << (msb - SUB_BITS))
+}
+
+// ---------------------------------------------------------------------------
+// Cells (the shared atomic state behind each handle)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+pub(crate) struct CounterCell {
+    value: AtomicU64,
+}
+
+#[derive(Default)]
+pub(crate) struct GaugeCell {
+    value: AtomicI64,
+}
+
+pub(crate) struct HistogramCell {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        HistogramCell {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+fn disabled_counter_cell() -> Arc<CounterCell> {
+    static CELL: OnceLock<Arc<CounterCell>> = OnceLock::new();
+    Arc::clone(CELL.get_or_init(|| Arc::new(CounterCell::default())))
+}
+
+fn disabled_gauge_cell() -> Arc<GaugeCell> {
+    static CELL: OnceLock<Arc<GaugeCell>> = OnceLock::new();
+    Arc::clone(CELL.get_or_init(|| Arc::new(GaugeCell::default())))
+}
+
+fn disabled_histogram_cell() -> Arc<HistogramCell> {
+    static CELL: OnceLock<Arc<HistogramCell>> = OnceLock::new();
+    Arc::clone(CELL.get_or_init(|| Arc::new(HistogramCell::new())))
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// cell; recording is a single relaxed `fetch_add`.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: bool,
+    cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// A no-op handle: records are dropped, `value()` reads 0.
+    pub fn disabled() -> Self {
+        Counter { enabled: false, cell: disabled_counter_cell() }
+    }
+
+    /// Whether this handle records (false for [`Counter::disabled`] and
+    /// handles from a disabled registry).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current total.
+    pub fn value(&self) -> u64 {
+        if self.enabled {
+            self.cell.value.load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+}
+
+/// A point-in-time signed value (queue depth, tracked-pair count).
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: bool,
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// A no-op handle: records are dropped, `value()` reads 0.
+    pub fn disabled() -> Self {
+        Gauge { enabled: false, cell: disabled_gauge_cell() }
+    }
+
+    /// Whether this handle records.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled {
+            self.cell.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (negative to subtract).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if self.enabled {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        if self.enabled {
+            self.cell.value.load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+}
+
+/// A fixed-bucket log-linear latency histogram. All buckets are
+/// preallocated at registration, so recording is allocation-free:
+/// one bucket `fetch_add`, plus count/sum/extrema updates, all relaxed.
+///
+/// Values are dimensionless `u64`s; the pipeline's convention is
+/// **nanoseconds** for every `*.ns` metric. Because `sum` accumulates
+/// exact values (only the bucket placement is approximate), derived
+/// totals such as `sum()/1000` micros views are near-exact.
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: bool,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// A no-op handle: records are dropped, snapshots are empty. All
+    /// disabled handles share one static cell, so this never allocates
+    /// a bucket array per handle.
+    pub fn disabled() -> Self {
+        Histogram { enabled: false, cell: disabled_histogram_cell() }
+    }
+
+    /// Whether this handle records — check before paying for a clock
+    /// read whose result would be thrown away.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.cell.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(value, Ordering::Relaxed);
+        self.cell.max.fetch_max(value, Ordering::Relaxed);
+        self.cell.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed duration in nanoseconds.
+    #[inline]
+    pub fn record_elapsed(&self, started: Instant) {
+        if self.enabled {
+            self.record(duration_ns(started));
+        }
+    }
+
+    /// Starts an RAII span that records its elapsed nanoseconds here on
+    /// drop. When the handle is disabled the span skips the clock read
+    /// entirely.
+    #[inline]
+    pub fn start_span(&self) -> SpanTimer<'_> {
+        SpanTimer { histogram: self, started: self.enabled.then(Instant::now) }
+    }
+
+    /// Observation count so far.
+    pub fn count(&self) -> u64 {
+        if self.enabled {
+            self.cell.count.load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        if self.enabled {
+            self.cell.sum.load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// A consistent-enough copy of the distribution for quantile reads.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        if !self.enabled {
+            return HistogramSnapshot::default();
+        }
+        let cell = &self.cell;
+        let buckets: Vec<u64> = cell.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let min = cell.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count: cell.count.load(Ordering::Relaxed),
+            sum: cell.sum.load(Ordering::Relaxed),
+            max: cell.max.load(Ordering::Relaxed),
+            min: if min == u64::MAX { 0 } else { min },
+        }
+    }
+}
+
+/// Nanoseconds since `started`, saturated into a `u64`.
+#[inline]
+pub fn duration_ns(started: Instant) -> u64 {
+    let nanos = started.elapsed().as_nanos();
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+
+/// RAII timer from [`Histogram::start_span`] (or the [`crate::span!`]
+/// macro): records the elapsed nanoseconds into its histogram on drop.
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    started: Option<Instant>,
+}
+
+impl SpanTimer<'_> {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            self.histogram.record(duration_ns(started));
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's distribution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Observation count.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 if empty).
+    pub max: u64,
+    /// Smallest recorded value (0 if empty).
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]` — the midpoint of the
+    /// bucket holding the `ceil(q * count)`-th observation, clamped to
+    /// the observed extrema (so `quantile(1.0) == max`). Relative error
+    /// is bounded by the 12.5% bucket granularity. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lo = bucket_lower_bound(bucket);
+                let width = if bucket + 1 < self.buckets.len() {
+                    bucket_lower_bound(bucket + 1) - lo
+                } else {
+                    1
+                };
+                return (lo + width / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (exact sum over count), 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+pub(crate) enum Instrument {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+pub(crate) struct MetricEntry {
+    pub(crate) name: String,
+    /// One optional `key="value"` label (per-shard, per-stage series).
+    pub(crate) label: Option<(&'static str, String)>,
+    pub(crate) instrument: Instrument,
+}
+
+impl MetricEntry {
+    fn key(&self) -> (&str, Option<(&str, &str)>) {
+        (&self.name, self.label.as_ref().map(|(k, v)| (*k, v.as_str())))
+    }
+}
+
+#[derive(Default)]
+struct Bank {
+    entries: Vec<MetricEntry>,
+}
+
+const BANKS: usize = 8;
+
+/// The sharded registry of named instruments.
+///
+/// Registration (cold: engine construction, telemetry attach) takes one
+/// bank lock keyed by the metric name's hash; re-registering the same
+/// name + label returns a handle to the existing cell, so clones of an
+/// engine's registry always agree. Recording happens on the returned
+/// handles and never touches the registry again. A registry built
+/// disabled hands out disabled handles whose record paths are a single
+/// predictable branch.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    banks: Arc<[Mutex<Bank>; BANKS]>,
+}
+
+impl MetricsRegistry {
+    /// A registry whose handles record (`enabled = true`) or drop
+    /// everything (`enabled = false`).
+    pub fn new(enabled: bool) -> Self {
+        MetricsRegistry { enabled, banks: Arc::new(std::array::from_fn(|_| Mutex::default())) }
+    }
+
+    /// Whether handles from this registry record.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn bank(&self, name: &str) -> &Mutex<Bank> {
+        // FNV-1a over the name; label variants of one metric share a bank.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in name.as_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.banks[(hash % BANKS as u64) as usize]
+    }
+
+    /// Finds or creates the cell for `name` + `label` under the bank
+    /// lock. Panics if the name is already registered as a different
+    /// instrument type — that is a naming bug, not a runtime condition.
+    fn register_cell<C>(
+        &self,
+        name: &str,
+        label: Option<(&'static str, String)>,
+        cell_of: impl Fn(&MetricEntry) -> Option<Arc<C>>,
+        make: impl FnOnce() -> (Arc<C>, Instrument),
+    ) -> Arc<C> {
+        let mut bank = self.bank(name).lock().unwrap_or_else(|e| e.into_inner());
+        let key = (name, label.as_ref().map(|(k, v)| (*k, v.as_str())));
+        for entry in &bank.entries {
+            if entry.key() == key {
+                return cell_of(entry).unwrap_or_else(|| {
+                    panic!("metric {name:?} re-registered as a different instrument type")
+                });
+            }
+        }
+        let (cell, instrument) = make();
+        bank.entries.push(MetricEntry { name: name.to_string(), label, instrument });
+        cell
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_labeled_opt(name, None)
+    }
+
+    /// Registers (or retrieves) a counter with one label.
+    pub fn counter_labeled(&self, name: &str, key: &'static str, value: impl ToString) -> Counter {
+        self.counter_labeled_opt(name, Some((key, value.to_string())))
+    }
+
+    fn counter_labeled_opt(&self, name: &str, label: Option<(&'static str, String)>) -> Counter {
+        if !self.enabled {
+            return Counter::disabled();
+        }
+        let cell = self.register_cell(
+            name,
+            label,
+            |e| match &e.instrument {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(CounterCell::default());
+                (Arc::clone(&cell), Instrument::Counter(cell))
+            },
+        );
+        Counter { enabled: self.enabled, cell }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.enabled {
+            return Gauge::disabled();
+        }
+        let cell = self.register_cell(
+            name,
+            None,
+            |e| match &e.instrument {
+                Instrument::Gauge(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(GaugeCell::default());
+                (Arc::clone(&cell), Instrument::Gauge(cell))
+            },
+        );
+        Gauge { enabled: self.enabled, cell }
+    }
+
+    /// Registers (or retrieves) a histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_labeled_opt(name, None)
+    }
+
+    /// Registers (or retrieves) a histogram with one label (e.g. the
+    /// per-shard `close.shard.ns{shard="3"}` series).
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        key: &'static str,
+        value: impl ToString,
+    ) -> Histogram {
+        self.histogram_labeled_opt(name, Some((key, value.to_string())))
+    }
+
+    fn histogram_labeled_opt(
+        &self,
+        name: &str,
+        label: Option<(&'static str, String)>,
+    ) -> Histogram {
+        if !self.enabled {
+            return Histogram::disabled();
+        }
+        let cell = self.register_cell(
+            name,
+            label,
+            |e| match &e.instrument {
+                Instrument::Histogram(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(HistogramCell::new());
+                (Arc::clone(&cell), Instrument::Histogram(cell))
+            },
+        );
+        Histogram { enabled: self.enabled, cell }
+    }
+
+    /// Visits every registered metric in name order (label order within
+    /// a name) with a read-only sample. Used by the exporters.
+    pub(crate) fn visit(&self, mut f: impl FnMut(&str, Option<(&str, &str)>, Sample<'_>)) {
+        type OrderedSample = (String, Option<(&'static str, String)>, SampleOwned);
+        let mut ordered: Vec<OrderedSample> = Vec::new();
+        for bank in self.banks.iter() {
+            let bank = bank.lock().unwrap_or_else(|e| e.into_inner());
+            for entry in &bank.entries {
+                let sample = match &entry.instrument {
+                    Instrument::Counter(c) => SampleOwned::Counter(c.value.load(Ordering::Relaxed)),
+                    Instrument::Gauge(c) => SampleOwned::Gauge(c.value.load(Ordering::Relaxed)),
+                    Instrument::Histogram(c) => {
+                        let handle = Histogram { enabled: true, cell: Arc::clone(c) };
+                        SampleOwned::Histogram(handle.snapshot())
+                    }
+                };
+                ordered.push((entry.name.clone(), entry.label.clone(), sample));
+            }
+        }
+        ordered.sort_by(|a, b| {
+            (&a.0, a.1.as_ref().map(|(_, v)| v)).cmp(&(&b.0, b.1.as_ref().map(|(_, v)| v)))
+        });
+        for (name, label, sample) in &ordered {
+            let label = label.as_ref().map(|(k, v)| (*k, v.as_str()));
+            let borrowed = match sample {
+                SampleOwned::Counter(v) => Sample::Counter(*v),
+                SampleOwned::Gauge(v) => Sample::Gauge(*v),
+                SampleOwned::Histogram(s) => Sample::Histogram(s),
+            };
+            f(name, label, borrowed);
+        }
+    }
+
+    /// Renders all label-less counters and gauges as `name value` debug
+    /// lines (tests, quick dumps).
+    pub fn debug_dump(&self) -> String {
+        let mut out = String::new();
+        self.visit(|name, label, sample| {
+            if label.is_none() {
+                match sample {
+                    Sample::Counter(v) => {
+                        let _ = writeln!(out, "{name} {v}");
+                    }
+                    Sample::Gauge(v) => {
+                        let _ = writeln!(out, "{name} {v}");
+                    }
+                    Sample::Histogram(_) => {}
+                }
+            }
+        });
+        out
+    }
+}
+
+/// A read-only view of one metric's current value, passed to
+/// [`MetricsRegistry::visit`] callbacks.
+pub(crate) enum Sample<'a> {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(&'a HistogramSnapshot),
+}
+
+enum SampleOwned {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}

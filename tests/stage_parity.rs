@@ -374,6 +374,66 @@ fn checkpoint_restore_tail_replay_is_invisible_in_rankings() {
 }
 
 #[test]
+fn telemetry_is_invisible_in_rankings() {
+    // The observability contract: telemetry is a pure execution knob. One
+    // replay, rankings byte-identical with the hub enabled (the default)
+    // and fully disabled — including under sharding + parallel close,
+    // where the per-shard close histograms record from fan-out workers.
+    let archive = archive();
+    let with_telemetry = |shards: usize, parallel: bool, enabled: bool| {
+        EnBlogueConfig::builder()
+            .tick_spec(TickSpec::daily())
+            .window_ticks(7)
+            .seed_count(25)
+            .min_seed_count(3)
+            .top_k(10)
+            .shards(shards)
+            .parallel_close(parallel)
+            .telemetry_enabled(enabled)
+            .build()
+            .unwrap()
+    };
+
+    assert!(config(1, false).telemetry.enabled, "telemetry is on by default");
+    let baseline = engine_snapshots(with_telemetry(1, false, false), &archive.docs);
+    assert!(!baseline.is_empty());
+    assert!(baseline.iter().any(|s| !s.ranked.is_empty()));
+
+    for (shards, parallel) in [(1usize, false), (4, true), (16, true)] {
+        for enabled in [false, true] {
+            let mut engine = EnBlogueEngine::new(with_telemetry(shards, parallel, enabled));
+            let snapshots = engine.run_replay(&archive.docs);
+            assert_eq!(snapshots, baseline, "telemetry={enabled} shards={shards} par={parallel}");
+
+            let telemetry = engine.telemetry();
+            assert_eq!(telemetry.enabled(), enabled);
+            let prom = telemetry.prometheus_text();
+            if enabled {
+                // The hub actually observed the run: tick spans, journal
+                // events, and a well-formed Prometheus export.
+                assert!(telemetry.journal().recorded() > 0, "tick closes journaled");
+                let score = telemetry.registry().histogram("close.score.ns");
+                assert_eq!(score.count(), baseline.len() as u64, "one score span per close");
+                assert!(prom.contains("# TYPE enblogue_close_score_ns summary"));
+                assert!(prom.contains("enblogue_stage_close_ns_count{stage=\"rank-emit\"}"));
+            } else {
+                assert!(prom.is_empty(), "a disabled hub exports nothing");
+                assert_eq!(telemetry.journal().recorded(), 0);
+            }
+        }
+    }
+
+    // Timing views derive from the hub: populated when it is on, zero —
+    // but never affecting metrics equality — when it is off.
+    let mut on = EnBlogueEngine::new(with_telemetry(4, true, true));
+    let mut off = EnBlogueEngine::new(with_telemetry(4, true, false));
+    assert_eq!(on.run_replay(&archive.docs), off.run_replay(&archive.docs));
+    assert!(on.metrics().timings.close_score_micros > 0 || on.metrics().ticks_closed == 0);
+    assert_eq!(off.metrics().timings, enblogue::core::stages::EngineTimings::default());
+    assert_eq!(on.metrics(), off.metrics(), "timings are excluded from metrics equality");
+}
+
+#[test]
 fn batched_ingestion_matches_streamed_ingestion() {
     let archive = archive();
     let cfg = config(4, false);
