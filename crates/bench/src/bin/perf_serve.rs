@@ -1,0 +1,324 @@
+//! Cost of the serving tier: publish overhead at tick close, and
+//! concurrent read throughput under live ingest.
+//!
+//! Two contracts are priced here:
+//!
+//! * **Publish is nearly free.** At the default `PublishDetail::Ranked`
+//!   level a publish exports O(top-k) state into a pooled, preallocated
+//!   view, so a serve-attached close must stay within a few percent of
+//!   the bare close. Measured per-tick paired A/B (both closes
+//!   back-to-back each tick, order alternating), min ratio across
+//!   repeats; the smoke gate pins the ratio at ≤ 1.03.
+//! * **Reads never block a close (and vice versa).** Reader threads
+//!   hammer personalized queries through `Subscription`s over a shared
+//!   `QueryHandle` while the main thread keeps ingesting and closing
+//!   ticks. The read path acquires no locks, so closes keep landing
+//!   under any reader population; reported as reads/sec plus the
+//!   ingest-rate degradation at 1, 8, 64 and 1024 concurrent
+//!   subscriptions (multiplexed over at most 8 OS threads).
+//!
+//! Results land in `BENCH_serve.json`.
+//!
+//! Run: `cargo run --release -p enblogue-bench --bin perf_serve`
+//! Smoke mode (CI): append `-- --test` for short windows + gates.
+//!
+//! Caveat for the absolute numbers: on a single-hardware-thread runner
+//! the reader threads and the ingest thread time-share one core, so
+//! "degradation" largely measures the scheduler, not the serving tier;
+//! the lock-freedom gates (closes progress, epochs monotonic, reads
+//! progress) are what CI enforces.
+
+use enblogue::prelude::*;
+use enblogue::serve::{QueryHandle, ServeConfig};
+use enblogue_bench::Table;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Instant;
+
+const WINDOW: usize = 6;
+const TAG_PAIRS: usize = 1024;
+
+fn build_interner() -> (TagInterner, Vec<TagId>) {
+    let interner = TagInterner::new();
+    let tags = (0..TAG_PAIRS * 2)
+        .map(|i| interner.intern(&format!("tag{i:04}"), TagKind::Hashtag))
+        .collect();
+    (interner, tags)
+}
+
+fn engine_config() -> EnBlogueConfig {
+    EnBlogueConfig::builder()
+        .tick_spec(TickSpec::hourly())
+        .window_ticks(WINDOW)
+        .seed_count(64)
+        .top_k(10)
+        .build()
+        .unwrap()
+}
+
+/// One tick's documents: every pair observed 1–3 times (rotating), so
+/// seeds stay above the floor and correlations keep shifting.
+fn tick_docs(tags: &[TagId], t: u64, id: &mut u64) -> Vec<Document> {
+    let mut docs = Vec::with_capacity(TAG_PAIRS * 2);
+    for a in 0..TAG_PAIRS {
+        for _ in 0..1 + (a as u64 + t) % 3 {
+            *id += 1;
+            docs.push(
+                Document::builder(*id, Timestamp::from_hours(t))
+                    .tag(tags[a])
+                    .tag(tags[a + TAG_PAIRS])
+                    .build(),
+            );
+        }
+    }
+    docs
+}
+
+/// Paired per-tick A/B of the publish cost: one bare engine and one
+/// serve-attached engine replay the identical workload side by side,
+/// and every tick both closes run back-to-back with alternating order —
+/// the same noise-immunity idiom as `perf_close`'s telemetry gate, so
+/// machine drift hits both sides of the ratio alike. Returns summed
+/// (bare, serve) close seconds over the measured window (ingest
+/// excluded; the serve close includes the publish).
+fn paired_close_run(
+    interner: &TagInterner,
+    tags: &[TagId],
+    warmup: u64,
+    measured: u64,
+) -> (f64, f64) {
+    let mut bare = EnBlogueEngine::new(engine_config());
+    let mut serve = EnBlogueEngine::new(engine_config());
+    let handle = QueryHandle::attach(&mut serve, interner.clone(), ServeConfig::default());
+    let (mut id_bare, mut id_serve) = (0u64, 0u64);
+    let (mut bare_secs, mut serve_secs) = (0.0f64, 0.0f64);
+    for t in 0..warmup + measured {
+        bare.process_docs(&tick_docs(tags, t, &mut id_bare));
+        serve.process_docs(&tick_docs(tags, t, &mut id_serve));
+        let (mut first_secs, mut second_secs) = (0.0, 0.0);
+        let (first, second): (&mut EnBlogueEngine, &mut EnBlogueEngine) =
+            if t % 2 == 0 { (&mut bare, &mut serve) } else { (&mut serve, &mut bare) };
+        let t0 = Instant::now();
+        let snap_first = first.close_tick(Tick(t));
+        first_secs += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let snap_second = second.close_tick(Tick(t));
+        second_secs += t0.elapsed().as_secs_f64();
+        let (b, s) = if t % 2 == 0 { (first_secs, second_secs) } else { (second_secs, first_secs) };
+        if t >= warmup {
+            bare_secs += b;
+            serve_secs += s;
+        }
+        if t + 1 == warmup + measured {
+            assert!(!snap_first.ranked.is_empty(), "the workload must rank pairs");
+            assert_eq!(snap_first, snap_second, "the publish stage must not change rankings");
+        }
+    }
+    assert_eq!(handle.epoch(), warmup + measured, "one publish per close");
+    (bare_secs, serve_secs)
+}
+
+struct ReaderPhase {
+    subscriptions: usize,
+    threads: usize,
+    reads_per_sec: f64,
+    ingest_ticks_per_sec: f64,
+}
+
+/// Live-ingest phase: the main thread ingests and closes ticks for
+/// `window_secs` while `subscriptions` personalized subscriptions
+/// (spread over at most 8 threads) read as fast as they can.
+fn reader_phase(
+    interner: &TagInterner,
+    tags: &[TagId],
+    subscriptions: usize,
+    window_secs: f64,
+) -> ReaderPhase {
+    let mut engine = EnBlogueEngine::new(engine_config());
+    let handle = QueryHandle::attach(&mut engine, interner.clone(), ServeConfig::default());
+    let mut id = 0u64;
+    // Warm the window (and publish a first view) before the clock runs.
+    for t in 0..WINDOW as u64 * 2 {
+        engine.process_docs(&tick_docs(tags, t, &mut id));
+        engine.close_tick(Tick(t));
+    }
+
+    let threads = subscriptions.clamp(1, 8);
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..threads)
+        .map(|thread| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            let per_thread =
+                subscriptions / threads + usize::from(thread < subscriptions % threads);
+            std::thread::spawn(move || {
+                let mut subs: Vec<_> = (0..per_thread)
+                    .map(|i| {
+                        let user = thread * 1000 + i;
+                        handle
+                            .subscribe(
+                                UserProfile::new(format!("user{user}"))
+                                    .try_with_weighted_keyword("tag", 2.0)
+                                    .unwrap()
+                                    .try_with_alpha(1.0 + (user % 5) as f64 * 0.5)
+                                    .unwrap(),
+                            )
+                            .with_top_k(10)
+                    })
+                    .collect();
+                let mut local = 0u64;
+                while !stop.load(SeqCst) {
+                    for sub in subs.iter_mut() {
+                        let before = sub.last_epoch();
+                        if let Some((epoch, _)) = sub.poll() {
+                            assert!(epoch > before, "epochs never run backwards");
+                        }
+                        let ranking = sub.current().expect("a view is always published");
+                        assert!(ranking.ranked.len() <= 10);
+                        local += 2; // one poll + one current per sweep
+                    }
+                    reads.fetch_add(local, SeqCst);
+                    local = 0;
+                }
+            })
+        })
+        .collect();
+
+    // Ingest under fire.
+    let t0 = Instant::now();
+    let mut t = WINDOW as u64 * 2;
+    let mut closes = 0u64;
+    while t0.elapsed().as_secs_f64() < window_secs {
+        engine.process_docs(&tick_docs(tags, t, &mut id));
+        engine.close_tick(Tick(t));
+        t += 1;
+        closes += 1;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    stop.store(true, SeqCst);
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    assert!(closes > 0, "ingest must progress under readers (reads never block a close)");
+    assert_eq!(handle.epoch(), t, "every close under fire published");
+    ReaderPhase {
+        subscriptions,
+        threads,
+        reads_per_sec: reads.load(SeqCst) as f64 / elapsed,
+        ingest_ticks_per_sec: closes as f64 / elapsed,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let (interner, tags) = build_interner();
+    println!(
+        "serving-tier cost sweep — {TAG_PAIRS} pairs, top-10 rankings{}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // Publish overhead: per-tick paired A/B (both closes back-to-back
+    // each tick, order alternating), min ratio across repeats — a
+    // scheduler preemption can only land on one side of one tick and
+    // *inflate* a round's ratio, so the cleanest round is the
+    // measurement (the same min-of-rounds idiom as `perf_close`'s
+    // telemetry gate).
+    let (warmup, measured) = (WINDOW as u64 * 2, if smoke { 16 } else { 32 });
+    let repeats = if smoke { 5 } else { 7 };
+    let mut best = (f64::MAX, 0.0f64, 0.0f64);
+    for _ in 0..repeats {
+        let (b, s) = paired_close_run(&interner, &tags, warmup, measured);
+        let ratio = s / b.max(1e-12);
+        if ratio < best.0 {
+            best = (ratio, b, s);
+        }
+    }
+    let (publish_ratio, bare_secs, serve_secs) = best;
+    let (mean_bare, mean_serve) = (bare_secs / measured as f64, serve_secs / measured as f64);
+    println!(
+        "close: bare {:.1} µs, serve-attached {:.1} µs ({publish_ratio:.3}x)",
+        mean_bare * 1e6,
+        mean_serve * 1e6
+    );
+
+    // Reader throughput under live ingest.
+    let window_secs = if smoke { 0.25 } else { 1.5 };
+    let baseline = reader_phase(&interner, &tags, 0, window_secs);
+    let phases: Vec<ReaderPhase> = [1usize, 8, 64, 1024]
+        .iter()
+        .map(|&s| reader_phase(&interner, &tags, s, window_secs))
+        .collect();
+
+    let table = Table::new(&[14, 9, 14, 16, 13]);
+    table.header(&["subscriptions", "threads", "reads/s", "ingest ticks/s", "ingest ratio"]);
+    table.row(&[
+        "0 (baseline)",
+        "0",
+        "-",
+        &format!("{:.1}", baseline.ingest_ticks_per_sec),
+        "1.000",
+    ]);
+    for phase in &phases {
+        table.row(&[
+            &phase.subscriptions.to_string(),
+            &phase.threads.to_string(),
+            &format!("{:.0}", phase.reads_per_sec),
+            &format!("{:.1}", phase.ingest_ticks_per_sec),
+            &format!("{:.3}", phase.ingest_ticks_per_sec / baseline.ingest_ticks_per_sec.max(1e-9)),
+        ]);
+    }
+
+    let mut out = String::from("{\n  \"experiment\": \"serving_tier\",\n");
+    out.push_str(&format!(
+        "  \"machine_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(&format!("  \"pairs\": {TAG_PAIRS},\n"));
+    out.push_str(&format!("  \"close_bare_us\": {:.1},\n", mean_bare * 1e6));
+    out.push_str(&format!("  \"close_serve_us\": {:.1},\n", mean_serve * 1e6));
+    out.push_str(&format!("  \"publish_close_ratio\": {publish_ratio:.3},\n"));
+    out.push_str(&format!(
+        "  \"ingest_ticks_per_sec_baseline\": {:.1},\n",
+        baseline.ingest_ticks_per_sec
+    ));
+    out.push_str("  \"reader_phases\": [\n");
+    for (i, phase) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"subscriptions\": {}, \"reader_threads\": {}, \"reads_per_sec\": {:.0}, \
+             \"ingest_ticks_per_sec\": {:.1}, \"ingest_degradation\": {:.3}}}{}\n",
+            phase.subscriptions,
+            phase.threads,
+            phase.reads_per_sec,
+            phase.ingest_ticks_per_sec,
+            phase.ingest_ticks_per_sec / baseline.ingest_ticks_per_sec.max(1e-9),
+            if i + 1 == phases.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write("BENCH_serve.json", out) {
+        eprintln!("warning: could not write BENCH_serve.json: {err}");
+    } else {
+        println!("\nrows recorded to BENCH_serve.json");
+    }
+
+    if smoke {
+        // The CI gates. Reads-never-block-a-close and
+        // every-close-publishes are asserted inside `reader_phase`
+        // itself; here: the publish must stay within 3% of the bare
+        // close, and every reader population must have made progress.
+        assert!(
+            publish_ratio <= 1.03,
+            "publish overhead {publish_ratio:.3}x exceeds the 3% close budget"
+        );
+        for phase in &phases {
+            assert!(
+                phase.reads_per_sec > 0.0,
+                "{} subscriptions starved entirely",
+                phase.subscriptions
+            );
+        }
+        println!("smoke: publish within budget, closes progressed under every reader population");
+    }
+}

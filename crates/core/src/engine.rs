@@ -19,7 +19,7 @@ use crate::pairs::TrackedPairInfo;
 use crate::snapshot::SnapshotStats;
 use crate::stages::StagePipeline;
 use enblogue_ingest::pipeline::{IngestConfig, IngestPipeline, IngestStats};
-use enblogue_types::{Document, EnBlogueError, RankingSnapshot, TagId, TagPair, Tick};
+use enblogue_types::{Document, EnBlogueError, RankingSnapshot, TagId, TagInterner, TagPair, Tick};
 use std::path::Path;
 
 pub use crate::stages::{EngineCounters, EngineMetrics, EngineTimings};
@@ -53,6 +53,23 @@ impl EnBlogueEngine {
     /// engines this way).
     pub fn into_pipeline(self) -> StagePipeline {
         self.pipeline
+    }
+
+    /// Appends a custom [`crate::stages::TickStage`] behind the standard
+    /// ones (runs after `rank-emit`, so it sees each tick's finished
+    /// snapshot). This is how the serving tier (`enblogue-serve`) mounts
+    /// its publish stage on an engine.
+    pub fn push_stage(&mut self, stage: Box<dyn crate::stages::TickStage>) {
+        self.pipeline.push_stage(stage);
+    }
+
+    /// The engine's in-place [`crate::query::QueryView`] — the unified
+    /// read surface this type's five classic read accessors forward to.
+    /// Prefer it (or an `enblogue-serve` `QueryHandle`, which implements
+    /// the same trait lock-free and concurrently) over the individual
+    /// accessors in new code.
+    pub fn query_view(&self, interner: TagInterner) -> crate::query::EngineQuery<'_> {
+        self.pipeline.query_view(interner)
     }
 
     /// Feeds one document (annotations counted into the open tick).
@@ -185,26 +202,43 @@ impl EnBlogueEngine {
     }
 
     /// The most recent ranking, if any tick has been closed.
+    ///
+    /// Thin forwarder kept for compatibility: the unified read surface is
+    /// [`crate::query::QueryView`] (via [`EnBlogueEngine::query_view`] or
+    /// a concurrent `enblogue-serve` handle), whose `ranking()` answers
+    /// from the same state.
     pub fn latest_snapshot(&self) -> Option<&RankingSnapshot> {
         self.pipeline.latest_snapshot()
     }
 
     /// The seeds selected at the last tick close, sorted.
+    ///
+    /// Thin forwarder; prefer [`crate::query::QueryView::seeds`] through
+    /// [`EnBlogueEngine::query_view`] in new code.
     pub fn current_seeds(&self) -> Vec<TagId> {
         self.pipeline.current_seeds()
     }
 
     /// Whether `tag` is currently a seed.
+    ///
+    /// Thin forwarder; prefer [`crate::query::QueryView::is_seed`]
+    /// through [`EnBlogueEngine::query_view`] in new code.
     pub fn is_seed(&self, tag: TagId) -> bool {
         self.pipeline.is_seed(tag)
     }
 
     /// Rich info on a tracked pair.
+    ///
+    /// Thin forwarder; prefer [`crate::query::QueryView::pair_info`]
+    /// through [`EnBlogueEngine::query_view`] in new code.
     pub fn pair_info(&self, pair: TagPair) -> Option<TrackedPairInfo> {
         self.pipeline.pair_info(pair)
     }
 
     /// The correlation history of a tracked pair (oldest → newest).
+    ///
+    /// Thin forwarder; prefer [`crate::query::QueryView::pair_history`]
+    /// through [`EnBlogueEngine::query_view`] in new code.
     pub fn pair_history(&self, pair: TagPair) -> Option<Vec<f64>> {
         self.pipeline.pair_history(pair)
     }

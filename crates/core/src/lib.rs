@@ -27,6 +27,8 @@
 //!   sharing (§4.1),
 //! * [`personalization`] — per-user continuous keyword queries and category
 //!   preferences re-ranking the topics (§5, Show Case 3),
+//! * [`query`] — the unified [`query::QueryView`] read surface shared by
+//!   the in-place engine view and the concurrent serving tier,
 //! * [`notify`] — the push broker substituting the Ajax Push Engine
 //!   front-end (§4.2).
 //!
@@ -79,6 +81,7 @@ pub mod ops;
 pub mod pairs;
 pub mod personalization;
 pub mod pipeline;
+pub mod query;
 pub mod rankdiff;
 pub mod seeds;
 pub mod slab;
@@ -90,9 +93,10 @@ pub use config::{EnBlogueConfig, MeasureKind, SeedStrategy, SnapshotConfig};
 pub use enblogue_types::RankingSnapshot;
 pub use engine::EnBlogueEngine;
 pub use ingest::ReplayIngest;
-pub use notify::{PushBroker, RankingUpdate, Subscription};
+pub use notify::{PushBroker, PushSubscription, RankingUpdate};
 pub use pairs::{RebalanceConfig, RegistryStats, ScoringMode, ShardedPairRegistry};
 pub use personalization::{PersonalizedRanking, UserProfile};
+pub use query::{EngineQuery, PublishDetail, QueryView, ViewData};
 pub use rankdiff::{diff as ranking_diff, kendall_tau, RankChange, RankingHistory};
 pub use snapshot::{latest_checkpoint, list_checkpoints, SnapshotStats, SNAPSHOT_VERSION};
 pub use stages::{EngineMetrics, StagePipeline, TickStage};

@@ -329,7 +329,7 @@ mod tests {
     #[test]
     fn engine_op_publishes_to_broker() {
         let broker = PushBroker::new(TagInterner::new());
-        let rx = broker.subscribe(crate::notify::Subscription::new(
+        let rx = broker.subscribe(crate::notify::PushSubscription::new(
             crate::personalization::UserProfile::new("u1"),
             5,
         ));

@@ -28,6 +28,7 @@
 //! pure execution knobs, never semantic ones (pinned by
 //! `tests/stage_parity.rs`).
 
+use crate::query::ViewData;
 use crate::slab::PairSlab;
 pub use crate::slab::PairState;
 use crate::snapshot::{corrupt, SnapReader, SnapWriter};
@@ -1223,6 +1224,55 @@ impl ShardedPairRegistry {
             let (older, newer) = shard.slab.history_parts(slot);
             older.iter().chain(newer).copied().collect()
         })
+    }
+
+    /// Exports the stat columns for the `ranked` pairs only into `out`
+    /// (the [`crate::query::PublishDetail::Ranked`] serving payload):
+    /// O(top-k) hash lookups plus a tiny sort, independent of the tracked
+    /// population. Reuses `out`'s buffers — warm calls do not allocate.
+    pub(crate) fn export_ranked_into(&self, ranked: &[(TagPair, f64)], out: &mut ViewData) {
+        out.scratch.clear();
+        for &(pair, _) in ranked {
+            let packed = pair.packed();
+            let shard = self.route(packed);
+            if let Some(slot) = self.shards[shard].slab.slot_of(packed) {
+                out.scratch.push((packed, shard as u32, slot as u32));
+            }
+        }
+        self.fill_rows(out);
+    }
+
+    /// Exports the stat columns for **every** tracked pair into `out`
+    /// (the [`crate::query::PublishDetail::Full`] serving payload): a
+    /// full column copy, O(tracked pairs) time and memory.
+    pub(crate) fn export_full_into(&self, out: &mut ViewData) {
+        out.scratch.clear();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            for slot in shard.slab.live_slots() {
+                out.scratch.push((shard.slab.key_at(slot), shard_idx as u32, slot as u32));
+            }
+        }
+        self.fill_rows(out);
+    }
+
+    /// Sorts the scratch triples by key and copies each row's columns.
+    fn fill_rows(&self, out: &mut ViewData) {
+        out.scratch.sort_unstable_by_key(|&(key, _, _)| key);
+        out.clear_columns();
+        let scratch = std::mem::take(&mut out.scratch);
+        for &(key, shard, slot) in &scratch {
+            let slab = &self.shards[shard as usize].slab;
+            let slot = slot as usize;
+            out.push_row(
+                key,
+                *slab.score_at(slot),
+                slab.newest_history(slot).unwrap_or(0.0),
+                slab.since_at(slot),
+                slab.history_parts(slot),
+            );
+        }
+        out.scratch = scratch;
+        out.seal_rows();
     }
 
     /// Packed keys of all tracked pairs, globally sorted (deterministic

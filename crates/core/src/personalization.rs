@@ -20,8 +20,9 @@
 //! is the paper's "shared shift computation" carried to the user-facing
 //! layer.
 
-use enblogue_types::{RankingSnapshot, TagId, TagInterner, TagPair};
+use enblogue_types::{EnBlogueError, RankingSnapshot, TagId, TagInterner, TagPair};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A user's interest profile.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,11 +59,36 @@ impl UserProfile {
         self
     }
 
-    /// Adds a weighted keyword.
+    /// Adds a weighted keyword, silently clamping the weight into the
+    /// valid range (`weight.max(0.0)`, non-finite → 0). Use
+    /// [`UserProfile::try_with_weighted_keyword`] when an invalid weight
+    /// should be an error instead.
     #[must_use]
     pub fn with_weighted_keyword(mut self, keyword: impl Into<String>, weight: f64) -> Self {
+        let weight = if weight.is_finite() { weight.max(0.0) } else { 0.0 };
         self.keywords.push((keyword.into().to_lowercase(), weight));
         self
+    }
+
+    /// Adds a weighted keyword, rejecting empty keywords and negative or
+    /// non-finite weights.
+    pub fn try_with_weighted_keyword(
+        mut self,
+        keyword: impl Into<String>,
+        weight: f64,
+    ) -> Result<Self, EnBlogueError> {
+        let keyword = keyword.into();
+        if keyword.trim().is_empty() {
+            return Err(EnBlogueError::invalid_config("keyword", "keyword must be non-empty"));
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(EnBlogueError::invalid_config(
+                "keyword_weight",
+                format!("weight must be finite and >= 0, got {weight}"),
+            ));
+        }
+        self.keywords.push((keyword.to_lowercase(), weight));
+        Ok(self)
     }
 
     /// Adds a preferred category.
@@ -72,12 +98,26 @@ impl UserProfile {
         self
     }
 
-    /// Sets the boost strength.
+    /// Sets the boost strength, silently clamping into the valid range
+    /// (`alpha.max(0.0)`, non-finite → 0). Use
+    /// [`UserProfile::try_with_alpha`] when an invalid alpha should be an
+    /// error instead.
     #[must_use]
     pub fn with_alpha(mut self, alpha: f64) -> Self {
-        assert!(alpha >= 0.0, "alpha cannot be negative");
-        self.alpha = alpha;
+        self.alpha = if alpha.is_finite() { alpha.max(0.0) } else { 0.0 };
         self
+    }
+
+    /// Sets the boost strength, rejecting negative or non-finite values.
+    pub fn try_with_alpha(mut self, alpha: f64) -> Result<Self, EnBlogueError> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(EnBlogueError::invalid_config(
+                "alpha",
+                format!("alpha must be finite and >= 0, got {alpha}"),
+            ));
+        }
+        self.alpha = alpha;
+        Ok(self)
     }
 
     /// Enables strict filtering.
@@ -87,16 +127,19 @@ impl UserProfile {
         self
     }
 
-    /// Relevance of one tag to this profile (keyword + category parts).
-    fn tag_relevance(&self, tag: TagId, interner: &TagInterner) -> f64 {
+    /// Relevance of one tag to this profile, given its resolved name
+    /// (keyword + category parts). This is the *only* implementation of
+    /// the relevance rule: the interner path and the pre-resolved serving
+    /// path both funnel here.
+    fn tag_relevance_named(&self, tag: TagId, name: Option<&str>) -> f64 {
         let mut relevance = 0.0;
         if self.categories.contains(&tag) {
             relevance += 1.0;
         }
         if !self.keywords.is_empty() {
-            if let Some(name) = interner.name(tag) {
+            if let Some(name) = name {
                 for (keyword, weight) in &self.keywords {
-                    if name.as_ref() == keyword {
+                    if name == keyword {
                         relevance += weight; // exact name match
                     } else if name.contains(keyword.as_str()) {
                         relevance += 0.5 * weight; // substring match
@@ -109,8 +152,22 @@ impl UserProfile {
 
     /// Relevance of a topic (pair) to this profile: the sum over members.
     pub fn relevance(&self, pair: TagPair, interner: &TagInterner) -> f64 {
-        self.tag_relevance(pair.lo(), interner) + self.tag_relevance(pair.hi(), interner)
+        let lo = interner.name(pair.lo());
+        let hi = interner.name(pair.hi());
+        self.tag_relevance_named(pair.lo(), lo.as_deref())
+            + self.tag_relevance_named(pair.hi(), hi.as_deref())
     }
+
+    /// [`UserProfile::relevance`] against a pre-resolved, tag-sorted name
+    /// table (see [`resolve_ranked_names`]) instead of a live interner.
+    pub fn relevance_resolved(&self, pair: TagPair, names: &[(TagId, Arc<str>)]) -> f64 {
+        self.tag_relevance_named(pair.lo(), lookup_name(names, pair.lo()))
+            + self.tag_relevance_named(pair.hi(), lookup_name(names, pair.hi()))
+    }
+}
+
+fn lookup_name(names: &[(TagId, Arc<str>)], tag: TagId) -> Option<&str> {
+    names.binary_search_by_key(&tag, |&(t, _)| t).ok().map(|i| names[i].1.as_ref())
 }
 
 /// A personalised view of a global ranking.
@@ -129,20 +186,78 @@ impl PersonalizedRanking {
     }
 }
 
+/// Resolves the names of the distinct member tags of a snapshot's ranked
+/// pairs into `out`, sorted by [`TagId`] (tags the lookup cannot name are
+/// skipped — they can never match a keyword).
+///
+/// This is the shared half of the relevance pass: resolve once per
+/// snapshot, then re-rank any number of profiles against the same table
+/// with [`personalize_shared`]. The serving tier does exactly this at
+/// publish time so personalized queries never touch the interner lock;
+/// [`crate::notify::PushBroker`] does it once per published snapshot for
+/// all clients. `out` is cleared first and reused (no allocation once its
+/// capacity is warm).
+pub fn resolve_ranked_names_into(
+    snapshot: &RankingSnapshot,
+    out: &mut Vec<(TagId, Arc<str>)>,
+    mut lookup: impl FnMut(TagId) -> Option<Arc<str>>,
+) {
+    out.clear();
+    for tag in snapshot.member_tags() {
+        if out.iter().any(|&(t, _)| t == tag) {
+            continue;
+        }
+        // Unnamed tags stay out of the table: absence means "no name",
+        // exactly as a live interner lookup would answer.
+        if let Some(name) = lookup(tag) {
+            out.push((tag, name));
+        }
+    }
+    out.sort_unstable_by_key(|&(t, _)| t);
+}
+
+/// [`resolve_ranked_names_into`] into a fresh table.
+pub fn resolve_ranked_names(
+    snapshot: &RankingSnapshot,
+    lookup: impl FnMut(TagId) -> Option<Arc<str>>,
+) -> Vec<(TagId, Arc<str>)> {
+    let mut out = Vec::new();
+    resolve_ranked_names_into(snapshot, &mut out, lookup);
+    out
+}
+
 /// Applies `profile` to a global snapshot.
 ///
 /// Scores become `score × (1 + alpha × relevance)`; with `filter_only`,
 /// zero-relevance topics are dropped instead. Ties keep the global order
 /// (stable sort), so a neutral profile reproduces the global ranking
 /// exactly.
+///
+/// This resolves the ranked tags' names and delegates to
+/// [`personalize_shared`] — callers re-ranking many profiles against one
+/// snapshot (the push broker, serving-tier subscriptions) should resolve
+/// once and share the table.
 pub fn personalize(
     snapshot: &RankingSnapshot,
     profile: &UserProfile,
     interner: &TagInterner,
 ) -> PersonalizedRanking {
+    let names = resolve_ranked_names(snapshot, |t| interner.name(t));
+    personalize_shared(snapshot, profile, &names)
+}
+
+/// [`personalize`] against a pre-resolved name table (see
+/// [`resolve_ranked_names`]). The single implementation of the
+/// re-ranking rule; byte-identical to [`personalize`] when `names` was
+/// resolved from the same interner.
+pub fn personalize_shared(
+    snapshot: &RankingSnapshot,
+    profile: &UserProfile,
+    names: &[(TagId, Arc<str>)],
+) -> PersonalizedRanking {
     let mut ranked: Vec<(TagPair, f64)> = Vec::with_capacity(snapshot.ranked.len());
     for &(pair, score) in &snapshot.ranked {
-        let relevance = profile.relevance(pair, interner);
+        let relevance = profile.relevance_resolved(pair, names);
         if profile.filter_only {
             if relevance > 0.0 {
                 ranked.push((pair, score * (1.0 + profile.alpha * relevance)));
@@ -270,8 +385,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "alpha cannot be negative")]
-    fn negative_alpha_rejected() {
-        let _ = UserProfile::new("x").with_alpha(-1.0);
+    fn plain_builders_clamp_silently() {
+        assert_eq!(UserProfile::new("x").with_alpha(-1.0).alpha, 0.0);
+        assert_eq!(UserProfile::new("x").with_alpha(f64::NAN).alpha, 0.0);
+        assert_eq!(UserProfile::new("x").with_alpha(2.5).alpha, 2.5);
+        let p = UserProfile::new("x").with_weighted_keyword("k", -3.0);
+        assert_eq!(p.keywords[0].1, 0.0);
+        let p = UserProfile::new("x").with_weighted_keyword("k", f64::INFINITY);
+        assert_eq!(p.keywords[0].1, 0.0);
+    }
+
+    #[test]
+    fn try_builders_reject_invalid_inputs() {
+        assert!(UserProfile::new("x").try_with_alpha(-1.0).is_err());
+        assert!(UserProfile::new("x").try_with_alpha(f64::NAN).is_err());
+        assert_eq!(UserProfile::new("x").try_with_alpha(2.5).unwrap().alpha, 2.5);
+        assert!(UserProfile::new("x").try_with_weighted_keyword("", 1.0).is_err());
+        assert!(UserProfile::new("x").try_with_weighted_keyword("k", -0.5).is_err());
+        assert!(UserProfile::new("x").try_with_weighted_keyword("k", f64::NAN).is_err());
+        let p = UserProfile::new("x").try_with_weighted_keyword("K", 2.0).unwrap();
+        assert_eq!(p.keywords[0], ("k".to_string(), 2.0));
+    }
+
+    #[test]
+    fn shared_pass_matches_interner_path() {
+        let (interner, sports, politics, playoffs, election) = setup();
+        let snap = snapshot(vec![
+            (TagPair::new(sports, playoffs), 0.9),
+            (TagPair::new(politics, election), 0.8),
+        ]);
+        let names = resolve_ranked_names(&snap, |t| interner.name(t));
+        for profile in [
+            UserProfile::new("a").with_keyword("playoffs").with_alpha(2.0),
+            UserProfile::new("b").with_category(politics).filter_only(),
+            UserProfile::new("c").with_weighted_keyword("election", 3.0),
+        ] {
+            let via_interner = personalize(&snap, &profile, &interner);
+            let via_table = personalize_shared(&snap, &profile, &names);
+            assert_eq!(via_interner, via_table, "user {}", profile.user_id);
+            for &(pair, _) in &snap.ranked {
+                assert_eq!(
+                    profile.relevance(pair, &interner),
+                    profile.relevance_resolved(pair, &names)
+                );
+            }
+        }
     }
 }

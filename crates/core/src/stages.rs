@@ -35,7 +35,8 @@ use enblogue_stats::correlation::PairCounts;
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_telemetry::{duration_ns, Counter, EventKind, Gauge, Histogram, Telemetry};
 use enblogue_types::{
-    Document, EnBlogueError, FxHashSet, RankingSnapshot, TagId, TagPair, Tick, Timestamp,
+    Document, EnBlogueError, FxHashSet, RankingSnapshot, TagId, TagInterner, TagPair, Tick,
+    Timestamp,
 };
 use enblogue_window::TickSeries;
 use std::path::{Path, PathBuf};
@@ -285,6 +286,54 @@ impl PipelineState {
     /// The sharded pair registry (read access for inspection stages).
     pub fn registry(&self) -> &ShardedPairRegistry {
         &self.registry
+    }
+
+    /// Ticks closed so far (the engine-side [`crate::query::QueryView`]
+    /// epoch).
+    pub fn ticks_closed(&self) -> u64 {
+        self.ticks_closed
+    }
+
+    /// Exports everything the [`crate::query::QueryView`] API answers
+    /// about the latest closed tick into `out`: the ranking, the sorted
+    /// seed set, and the per-pair stat columns at the requested `detail`
+    /// (ranked pairs only, or the full tracked population — see
+    /// [`crate::query::PublishDetail`]).
+    ///
+    /// `out` is cleared and refilled **in place**: ranking entries, seed
+    /// and stat columns all reuse retained capacity, so a warm steady-
+    /// state export performs zero heap allocations (pinned by
+    /// `close_allocs.rs`). Tag names are *not* resolved here — the
+    /// pipeline has no interner; callers follow up with
+    /// [`crate::query::ViewData::resolve_names`].
+    pub fn export_view(
+        &self,
+        detail: crate::query::PublishDetail,
+        out: &mut crate::query::ViewData,
+    ) {
+        out.detail = detail;
+        out.info_tick = self.latest.as_ref().map_or(Tick::ZERO, |s| s.tick);
+        out.now = self.latest.as_ref().map_or(Timestamp::ZERO, |s| s.time);
+        match (&mut out.ranking, &self.latest) {
+            (Some(dst), Some(src)) => {
+                // Field-wise copy instead of `clone()`: `Vec::clone_from`
+                // reuses the destination's capacity.
+                dst.tick = src.tick;
+                dst.time = src.time;
+                dst.ranked.clone_from(&src.ranked);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+        out.seeds.clear();
+        out.seeds.extend(self.seeds.iter().copied());
+        out.seeds.sort_unstable();
+        match detail {
+            crate::query::PublishDetail::Ranked => {
+                let ranked = self.latest.as_ref().map_or(&[][..], |s| s.ranked.as_slice());
+                self.registry.export_ranked_into(ranked, out);
+            }
+            crate::query::PublishDetail::Full => self.registry.export_full_into(out),
+        }
     }
 
     /// Current run-time counters and timing views.
@@ -1229,6 +1278,15 @@ impl StagePipeline {
     /// The correlation history of a tracked pair (oldest → newest).
     pub fn pair_history(&self, pair: TagPair) -> Option<Vec<f64>> {
         self.state.registry.history_of(pair)
+    }
+
+    /// The pipeline's in-place [`crate::query::QueryView`]: the unified
+    /// read surface over the accessors above, shared with the serving
+    /// tier's published views. `interner` is needed for tag names and
+    /// keyword personalization — pass the one the documents were tagged
+    /// with.
+    pub fn query_view(&self, interner: TagInterner) -> crate::query::EngineQuery<'_> {
+        crate::query::EngineQuery::new(self, interner)
     }
 
     /// Run-time counters.

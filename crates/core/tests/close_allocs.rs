@@ -142,4 +142,87 @@ fn steady_state_close_is_allocation_free() {
     let shard0 = telemetry.registry().histogram_labeled("close.shard.ns", "shard", 0usize);
     assert!(shard0.count() >= 20, "per-shard close walks were recorded");
     assert!(telemetry.journal().recorded() > 0, "cap evictions were journaled");
+
+    // Scenario 5: the serving tier's warm publish. Differential
+    // measurement at the engine level: the same steady workload through
+    // two engines — one bare, one with a `QueryHandle` publish stage
+    // attached — must allocate *identically* in the measured window.
+    // (The engine close itself allocates by contract — ranking emission
+    // returns a fresh `Vec` — so the pin is equality, not zero: the
+    // publish's own contribution is exactly zero, because retired views
+    // are pooled and `export_view` refills their columns in place.)
+    serve_publish_is_allocation_free();
+}
+
+fn serve_engine(interner: &enblogue_types::TagInterner) -> enblogue_core::engine::EnBlogueEngine {
+    let config = enblogue_core::config::EnBlogueConfig::builder()
+        .tick_spec(enblogue_types::TickSpec::hourly())
+        .window_ticks(6)
+        .seed_count(32)
+        .top_k(10)
+        .build()
+        .unwrap();
+    let _ = interner;
+    enblogue_core::engine::EnBlogueEngine::new(config)
+}
+
+fn serve_publish_is_allocation_free() {
+    use enblogue_serve::{QueryHandle, QueryView, ServeConfig};
+    use enblogue_types::{Document, TagInterner, TagKind, TickSpec};
+
+    let interner = TagInterner::new();
+    let tags: Vec<TagId> =
+        (0..64).map(|i| interner.intern(&format!("tag{i:02}"), TagKind::Hashtag)).collect();
+
+    // A stable periodic workload (rotating co-occurrences, like
+    // `run_tick`), fully materialized before any measurement.
+    let mut id = 0u64;
+    let per_tick: Vec<Vec<Document>> = (0..36u64)
+        .map(|t| {
+            (0..32u32)
+                .flat_map(|a| {
+                    // 1–3 observations per pair per tick, rotating, so
+                    // every tag clears the seed floor and correlations
+                    // keep shifting (non-empty rankings every close).
+                    (0..1 + (a + t as u32) % 3).map(move |_| a)
+                })
+                .map(|a| {
+                    id += 1;
+                    Document::builder(id, Timestamp::from_hours(t))
+                        .tag(tags[a as usize])
+                        .tag(tags[a as usize + 32])
+                        .build()
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(TickSpec::hourly().tick_of(per_tick[1][0].timestamp), Tick(1));
+
+    let run = |engine: &mut enblogue_core::engine::EnBlogueEngine, window: std::ops::Range<u64>| {
+        for t in window {
+            engine.process_docs(&per_tick[t as usize]);
+            let _ = engine.close_tick(Tick(t));
+        }
+    };
+
+    // Bare engine: warm, then measure the steady window.
+    let mut bare = serve_engine(&interner);
+    run(&mut bare, 0..12);
+    let (_, bare_allocs) = alloc_counter::measure(|| run(&mut bare, 12..36));
+
+    // Serving engine: identical workload, publish stage attached.
+    let mut serving = serve_engine(&interner);
+    let handle = QueryHandle::attach(&mut serving, interner.clone(), ServeConfig::default());
+    run(&mut serving, 0..12);
+    assert!(
+        handle.view().is_some_and(|v| !v.ranking().map(|s| s.ranked.is_empty()).unwrap_or(true)),
+        "the workload must produce non-trivial published rankings"
+    );
+    let (_, serving_allocs) = alloc_counter::measure(|| run(&mut serving, 12..36));
+
+    assert_eq!(handle.epoch(), 36, "one publish per close");
+    assert_eq!(
+        serving_allocs, bare_allocs,
+        "a warm publish must add zero allocations to the tick close"
+    );
 }

@@ -18,6 +18,7 @@
 //! | [`ingest`] | `enblogue-ingest` | shard-partitioned, batched, backpressured ingestion |
 //! | [`entity`] | `enblogue-entity` | gazetteer + ontology entity tagging |
 //! | [`core`] | `enblogue-core` | the EnBlogue engine, personalization, push broker |
+//! | [`serve`] | `enblogue-serve` | epoch-versioned read snapshots, lock-free concurrent query handle |
 //! | [`datagen`] | `enblogue-datagen` | synthetic NYT / Twitter / RSS workloads |
 //! | [`baseline`] | `enblogue-baseline` | TwitterMonitor-style burst baseline |
 //!
@@ -80,7 +81,15 @@
 //!   [`core::pairs::ShardedPairRegistry`], and the two adapters
 //!   ([`core::engine::EnBlogueEngine`], [`core::ops::EngineOp`]).
 //!   Personalization re-ranks the shared snapshot at delivery time — it
-//!   never re-runs the pipeline.
+//!   never re-runs the pipeline. The [`core::query::QueryView`] trait is
+//!   the one read API over closed-tick results: top-k, drill-down, pair
+//!   stats/history, seeds, personalization.
+//! * `enblogue-serve` owns the *concurrent read path*: an installed
+//!   publish stage exports each closed tick into an immutable,
+//!   epoch-versioned [`serve::TickView`] behind a lock-free cell;
+//!   [`serve::QueryHandle`] clones answer `QueryView` queries from any
+//!   number of threads while ingest continues, and per-user
+//!   [`serve::Subscription`]s share each publish's engine pass.
 //!
 //! Sharding (`EnBlogueConfig::shards`), shard-parallel close
 //! (`EnBlogueConfig::parallel_close`), load-aware rebalancing
@@ -101,6 +110,7 @@ pub use enblogue_core as core;
 pub use enblogue_datagen as datagen;
 pub use enblogue_entity as entity;
 pub use enblogue_ingest as ingest;
+pub use enblogue_serve as serve;
 pub use enblogue_stats as stats;
 pub use enblogue_stream as stream;
 pub use enblogue_telemetry as telemetry;
@@ -114,15 +124,17 @@ pub mod prelude {
     };
     pub use enblogue_core::engine::{EnBlogueEngine, EngineMetrics};
     pub use enblogue_core::ingest::ReplayIngest;
-    pub use enblogue_core::notify::{PushBroker, RankingUpdate, Subscription};
+    pub use enblogue_core::notify::{PushBroker, PushSubscription, RankingUpdate};
     pub use enblogue_core::ops::{EngineOp, EntityTagOp};
     pub use enblogue_core::pairs::{
         RebalanceConfig, RegistryStats, ScoringMode, ShardedPairRegistry,
     };
     pub use enblogue_core::personalization::{
-        jaccard_at_k, personalize, PersonalizedRanking, UserProfile,
+        jaccard_at_k, personalize, personalize_shared, resolve_ranked_names, PersonalizedRanking,
+        UserProfile,
     };
     pub use enblogue_core::pipeline::PipelineBuilder;
+    pub use enblogue_core::query::{EngineQuery, PublishDetail, QueryView, ViewData};
     pub use enblogue_core::rankdiff::{
         diff as ranking_diff, kendall_tau, RankChange, RankingHistory,
     };
@@ -133,6 +145,7 @@ pub mod prelude {
     pub use enblogue_entity::tagger::EntityTagger;
     pub use enblogue_ingest::partition::{partition_docs, PartitionSpec, PartitionedBatch};
     pub use enblogue_ingest::pipeline::{IngestConfig, IngestPipeline, IngestSink, IngestStats};
+    pub use enblogue_serve::{QueryHandle, ServeConfig, Subscription, TickView};
     pub use enblogue_stats::correlation::CorrelationMeasure;
     pub use enblogue_stats::predict::PredictorKind;
     pub use enblogue_stats::shift::ErrorNormalization;

@@ -1,0 +1,85 @@
+//! # enblogue-serve — the concurrent serving tier
+//!
+//! EnBlogue's demo serves its rankings to browsers through a push
+//! front-end (§4.2); this crate is the systems half of that story: how
+//! an engine that is busy ingesting a stream answers queries from many
+//! clients **concurrently**, without stalling ingest and without locks
+//! on the read path.
+//!
+//! The design is publish/read separation with epoch versioning:
+//!
+//! * At every tick close, an installed [`PublishStage`] exports the
+//!   closed tick's results — ranking, seed set, per-pair stats, and a
+//!   snapshot of the member tags' display names — into an immutable
+//!   [`TickView`], stamps it with a monotonically increasing **epoch**,
+//!   and swaps it into a lock-free cell.
+//! * Any number of [`QueryHandle`] clones (cheap, `Send + Sync`) read
+//!   the current view through that cell: top-k, per-tag drill-down,
+//!   pair stats and history, seed membership, and personalized
+//!   re-ranking, all through the same
+//!   [`QueryView`] trait the engine's in-place view implements. A read
+//!   never acquires a mutex or rwlock and never blocks a close; a
+//!   close never blocks a read (readers on the old epoch keep their
+//!   `Arc`, readers arriving after the swap see the new one — no torn
+//!   state in between).
+//! * Persistent per-user [`Subscription`]s bind a profile to a handle;
+//!   the per-snapshot work (engine pass, name resolution) is shared by
+//!   all of them, each paying only its own re-rank loop.
+//!
+//! Retired views are pooled and refilled in place, so the steady-state
+//! publish performs **zero heap allocations** (pinned by the core
+//! crate's `close_allocs.rs`) and costs O(top-k) at the default
+//! [`PublishDetail::Ranked`] level — within 3% of the bare tick close
+//! (gated by `perf_serve --test` in CI).
+//!
+//! ```
+//! use enblogue_core::config::EnBlogueConfig;
+//! use enblogue_core::engine::EnBlogueEngine;
+//! use enblogue_core::personalization::UserProfile;
+//! use enblogue_serve::{QueryHandle, QueryView, ServeConfig};
+//! use enblogue_types::{Document, TagInterner, TagKind, Tick, Timestamp};
+//!
+//! let interner = TagInterner::new();
+//! let a = interner.intern("ash", TagKind::Hashtag);
+//! let b = interner.intern("airspace", TagKind::Hashtag);
+//! let config = EnBlogueConfig::builder().window_ticks(4).build().unwrap();
+//! let mut engine = EnBlogueEngine::new(config);
+//! let handle = QueryHandle::attach(&mut engine, interner.clone(), ServeConfig::default());
+//!
+//! // The serving thread(s) would clone `handle` and query concurrently;
+//! // here we drive the stream and read from one thread.
+//! let mut id = 0;
+//! for hour in 0..8u64 {
+//!     for _ in 0..16 {
+//!         id += 1;
+//!         let mut doc = Document::builder(id, Timestamp::from_hours(hour)).tag(a).build();
+//!         if hour >= 6 {
+//!             doc.tags.push(b);
+//!             doc.normalize();
+//!         }
+//!         engine.process_doc(&doc);
+//!     }
+//!     engine.close_tick(Tick(hour));
+//! }
+//! assert_eq!(handle.epoch(), 8);
+//! let top = handle.top_k(5);
+//! assert!(!top.is_empty());
+//! let mut inbox = handle.subscribe(UserProfile::new("u1"));
+//! assert!(inbox.poll().is_some());
+//! ```
+//!
+//! Everything except the publication cell (the private `cell` module,
+//! the one place allowed `unsafe`) is ordinary safe Rust over `Arc`s.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+pub mod subscription;
+pub mod tier;
+pub mod view;
+
+pub use enblogue_core::query::{PublishDetail, QueryView};
+pub use subscription::Subscription;
+pub use tier::{PublishStage, QueryHandle, ServeConfig};
+pub use view::TickView;

@@ -36,6 +36,10 @@ pub enum EventKind {
     IngestStall,
     /// The engine restored from a snapshot. `a` = restore micros.
     Restore,
+    /// The serving tier published a new epoch-versioned read view at a
+    /// tick close. `a` = the published epoch, `b` = ranked pairs in the
+    /// view.
+    ViewPublish,
 }
 
 impl EventKind {
@@ -49,6 +53,7 @@ impl EventKind {
             EventKind::CheckpointFailure => "checkpoint_failure",
             EventKind::IngestStall => "ingest_stall",
             EventKind::Restore => "restore",
+            EventKind::ViewPublish => "view_publish",
         }
     }
 }

@@ -35,6 +35,19 @@ impl RankingSnapshot {
     pub fn score_of(&self, pair: TagPair) -> Option<f64> {
         self.ranked.iter().find(|&&(p, _)| p == pair).map(|&(_, s)| s)
     }
+
+    /// The best `k` entries (the whole ranking when it is shorter).
+    pub fn top(&self, k: usize) -> &[(TagPair, f64)] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+
+    /// Iterates the distinct member tags of the ranked pairs, in ranking
+    /// order (each pair contributes its low then high tag; duplicates
+    /// across pairs are *not* filtered — callers that need a set should
+    /// collect and dedup).
+    pub fn member_tags(&self) -> impl Iterator<Item = crate::tag::TagId> + '_ {
+        self.ranked.iter().flat_map(|&(p, _)| [p.lo(), p.hi()])
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ fn main() {
 
     // Subscribe a client before the stream runs: updates arrive by push.
     let broker = PushBroker::new(stream.interner.clone());
-    let inbox = broker.subscribe(Subscription::new(UserProfile::new("attendee"), 5));
+    let inbox = broker.subscribe(PushSubscription::new(UserProfile::new("attendee"), 5));
 
     let (_, handles) =
         PipelineBuilder::new(stream.docs.clone(), engine_config.tick_spec, stream.interner.clone())

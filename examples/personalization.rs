@@ -1,14 +1,19 @@
 //! Show Case 3 — personalization: different users, different topics.
 //!
-//! Runs one NYT-style archive through the engine and shows how keyword
-//! queries and category preferences give three users "completely different
-//! or just differently ordered emergent topics" — and how changing
-//! preferences takes effect immediately.
+//! Runs one NYT-style archive through the engine **with the serving
+//! tier attached**: every tick close publishes an immutable,
+//! epoch-versioned `TickView` through a lock-free `QueryHandle`, and all
+//! user-facing reads — drill-down, keyword search, per-desk rankings —
+//! go through that handle's `QueryView` API instead of poking the
+//! engine. Persistent `Subscription`s show the multi-tenant contract:
+//! the engine pass happens once per publish, each subscription only
+//! re-ranks the shared snapshot against its profile.
 //!
 //! Run with: `cargo run --release --example personalization`
 
 use enblogue::prelude::*;
 use enblogue_datagen::nyt::{NytArchive, NytConfig};
+use std::sync::Arc;
 
 fn show(view: &PersonalizedRanking, interner: &TagInterner, label: &str) {
     println!("{label}:");
@@ -48,33 +53,69 @@ fn main() {
             .build()
             .expect("valid config"),
     );
-    let snapshots = engine.run_replay(&archive.docs);
-    // Pick a snapshot whose ranking spans two distinct categories (the
-    // demo's "pre-defined topic categories" need something to disagree on).
+    // Attach the serving tier before the stream starts: from here on,
+    // every tick close atomically publishes a view readers can query
+    // concurrently — no locks, no waiting for ingest.
+    let handle = QueryHandle::attach(&mut engine, archive.interner.clone(), ServeConfig::default());
+
+    // Replay the archive day by day. Mid-stream we grab (and *hold*) the
+    // first published view whose ranking spans two distinct categories —
+    // the demo's "pre-defined topic categories" need something to
+    // disagree on. The held `Arc<TickView>` is immutable: ingest keeps
+    // running and publishing new epochs past it, and it never changes.
     let cat_of = |pair: TagPair| {
         [pair.lo(), pair.hi()]
             .into_iter()
             .find(|&t| archive.interner.kind(t) == Some(TagKind::Category))
     };
-    let (snap, cat_a, cat_b) = snapshots
-        .iter()
-        .rev()
-        .filter(|s| s.ranked.len() >= 3)
-        .find_map(|s| {
-            let cats: Vec<TagId> = s.ranked.iter().filter_map(|&(p, _)| cat_of(p)).collect();
-            let first = *cats.first()?;
-            let second = cats.iter().copied().find(|&c| c != first)?;
-            Some((s, first, second))
-        })
-        .expect("some tick ranks topics from two categories");
-    println!("Global ranking at {} ({} topics):\n", snap.tick, snap.ranked.len());
-    let neutral = personalize(snap, &UserProfile::new("visitor"), &archive.interner);
+    let spec = TickSpec::daily();
+    let mut held: Option<(Arc<TickView>, TagId, TagId)> = None;
+    let mut start = 0;
+    while start < archive.docs.len() {
+        let tick = spec.tick_of(archive.docs[start].timestamp);
+        let end = archive.docs[start..]
+            .iter()
+            .position(|d| spec.tick_of(d.timestamp) != tick)
+            .map_or(archive.docs.len(), |n| start + n);
+        engine.process_docs(&archive.docs[start..end]);
+        engine.close_tick(tick);
+        start = end;
+        if held.is_none() {
+            if let Some(view) = handle.view() {
+                let cats: Vec<TagId> = view
+                    .ranking()
+                    .filter(|s| s.ranked.len() >= 3)
+                    .map(|s| s.ranked.iter().filter_map(|&(p, _)| cat_of(p)).collect())
+                    .unwrap_or_default();
+                if let Some(&a) = cats.first() {
+                    if let Some(b) = cats.iter().copied().find(|&c| c != a) {
+                        held = Some((view, a, b));
+                    }
+                }
+            }
+        }
+    }
+    let (snap, cat_a, cat_b) = held.expect("some tick ranks topics from two categories");
+    println!(
+        "Held view: epoch {} (tick {}), {} topics — the server has moved on to epoch {}.\n",
+        QueryView::epoch(&*snap),
+        snap.tick().expect("held view has a closed tick"),
+        snap.ranking().map_or(0, |s| s.ranked.len()),
+        handle.epoch(),
+    );
+    let neutral = snap.personalized(&UserProfile::new("visitor")).expect("view has a ranking");
     show(&neutral, &archive.interner, "anonymous visitor (no profile)");
 
-    let desk_a = UserProfile::new("desk-a").with_category(cat_a).with_alpha(4.0);
-    let desk_b = UserProfile::new("desk-b").with_category(cat_b).with_alpha(4.0);
-    let view_a = personalize(snap, &desk_a, &archive.interner);
-    let view_b = personalize(snap, &desk_b, &archive.interner);
+    let desk_a = UserProfile::new("desk-a")
+        .with_category(cat_a)
+        .try_with_alpha(4.0)
+        .expect("alpha is finite and non-negative");
+    let desk_b = UserProfile::new("desk-b")
+        .with_category(cat_b)
+        .try_with_alpha(4.0)
+        .expect("alpha is finite and non-negative");
+    let view_a = snap.personalized(&desk_a).expect("view has a ranking");
+    let view_b = snap.personalized(&desk_b).expect("view has a ranking");
     show(
         &view_a,
         &archive.interner,
@@ -90,23 +131,64 @@ fn main() {
         jaccard_at_k(&view_a, &view_b, 3)
     );
 
+    // Per-tag drill-down, straight off the held view ("click a tag"):
+    // which ranked topics contain desk A's category, and how did the
+    // best one's correlation develop?
+    let drill = snap.pairs_with_tag(cat_a);
+    println!(
+        "drill-down on `{}`: {} ranked topic(s)",
+        archive.interner.display(cat_a),
+        drill.len()
+    );
+    if let Some(&(pair, _)) = drill.first() {
+        let history = snap.pair_history(pair).expect("ranked pairs carry history");
+        println!(
+            "  [{} + {}] correlation history (oldest → newest): {}\n",
+            archive.interner.display(pair.lo()),
+            archive.interner.display(pair.hi()),
+            history.iter().map(|h| format!("{h:.3}")).collect::<Vec<_>>().join(" → ")
+        );
+    }
+
     // A continuous keyword query ("term based descriptions of their field
-    // of interest"), strict: only matching topics are shown.
-    let keyword = archive.interner.display(snap.ranked[snap.ranked.len() - 1].0.hi());
-    let searcher =
-        UserProfile::new("searcher").with_keyword(&keyword).with_alpha(8.0).filter_only();
-    let view_s = personalize(snap, &searcher, &archive.interner);
-    show(&view_s, &archive.interner, &format!("continuous query `{keyword}` (strict)"));
+    // of interest"), strict: only matching topics are shown. This one is
+    // a live `Subscription` on the handle — it follows the stream head,
+    // edge-triggered, and shares each publish's engine pass with every
+    // other subscriber.
+    let live = handle.view().expect("the stream has closed ticks");
+    let live_ranked = live.ranking().expect("live view has a ranking").ranked;
+    let keyword = archive.interner.display(live_ranked[live_ranked.len() - 1].0.hi());
+    let mut searcher = handle
+        .subscribe(
+            UserProfile::new("searcher")
+                .try_with_weighted_keyword(&keyword, 1.0)
+                .expect("keyword weight is finite and non-negative")
+                .try_with_alpha(8.0)
+                .expect("alpha is finite and non-negative")
+                .filter_only(),
+        )
+        .with_top_k(5);
+    let (epoch, view_s) = searcher.poll().expect("a view is published");
+    println!("continuous query `{keyword}` delivered at epoch {epoch} (strict):");
+    show(&view_s, &archive.interner, "  matches");
+    assert!(searcher.poll().is_none(), "edge-triggered: the same epoch is delivered once");
 
     // "Users can change their preferences at any time and observe the
-    // impact" — same snapshot, new profile, new view.
-    let changed = UserProfile::new("desk-a").with_category(cat_b).with_alpha(4.0);
-    let view_changed = personalize(snap, &changed, &archive.interner);
+    // impact" — subscribe the changed profile, and the very next read
+    // reflects it.
+    let changed = handle.subscribe(
+        UserProfile::new("desk-a")
+            .with_category(cat_b)
+            .try_with_alpha(4.0)
+            .expect("alpha is finite and non-negative"),
+    );
+    let view_changed = changed.current().expect("a view is published");
+    let live_a = handle.personalized(&desk_a).expect("a view is published");
     println!(
         "desk A switches preference to `{}` — top topic changes from [{} + {}] to [{} + {}]",
         archive.interner.display(cat_b),
-        archive.interner.display(view_a.ranked[0].0.lo()),
-        archive.interner.display(view_a.ranked[0].0.hi()),
+        archive.interner.display(live_a.ranked[0].0.lo()),
+        archive.interner.display(live_a.ranked[0].0.hi()),
         archive.interner.display(view_changed.ranked[0].0.lo()),
         archive.interner.display(view_changed.ranked[0].0.hi()),
     );

@@ -4,6 +4,11 @@
 //! Eyjafjallajökull suddenly correlates the `volcano` tag with the
 //! `air traffic` tag — a pair no taxonomy had a category for.
 //!
+//! Also shows the serving tier: a `QueryHandle` attached before the
+//! stream answers top-k, seed-membership, and drill-down queries from
+//! lock-free published views — the way a web frontend would read the
+//! engine, concurrent with ingest.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use enblogue::prelude::*;
@@ -24,6 +29,10 @@ fn main() {
         .build()
         .expect("valid config");
     let mut engine = EnBlogueEngine::new(config);
+    // The serving tier: attach once, before the stream. Every tick close
+    // publishes an immutable view; the handle (cheap-clone, Send + Sync)
+    // answers queries from it without ever locking against ingest.
+    let serve = QueryHandle::attach(&mut engine, interner.clone(), ServeConfig::default());
 
     // 36 hours of stream: ordinary chatter, then at hour 30 the eruption —
     // `volcano` posts suddenly also talk about air traffic.
@@ -65,15 +74,25 @@ fn main() {
         println!();
     }
 
-    let last = snapshots.last().expect("stream is non-empty");
-    let top = last.ranked.first().expect("the eruption must rank");
+    // Read the result the way a serving frontend would: through the
+    // published view, not the engine. `QueryView` is the one API for
+    // top-k, seed membership, and per-pair drill-down.
+    let &(top, score) = serve.top_k(1).first().expect("the eruption must rank");
     println!(
-        "\nTop emergent topic at the end: [{} + {}] (score {:.3})",
-        interner.display(top.0.lo()),
-        interner.display(top.0.hi()),
-        top.1
+        "\nTop emergent topic at the end (epoch {}): [{} + {}] (score {:.3})",
+        serve.epoch(),
+        serve.tag_name(top.lo()).expect("ranked tags carry names"),
+        serve.tag_name(top.hi()).expect("ranked tags carry names"),
+        score
     );
-    assert_eq!(top.0, TagPair::new(volcano, air_traffic));
+    assert_eq!(top, TagPair::new(volcano, air_traffic));
+    assert_eq!(serve.epoch(), snapshots.len() as u64, "one published view per closed tick");
+    assert!(serve.is_seed(volcano), "the eruption made `volcano` a seed");
+    let history = serve.pair_history(top).expect("ranked pairs carry history");
+    println!(
+        "Its correlation history (oldest → newest): {}",
+        history.iter().map(|h| format!("{h:.3}")).collect::<Vec<_>>().join(" → ")
+    );
     println!(
         "As expected: the volcano/air-traffic correlation shift, not any popular tag by itself."
     );

@@ -42,7 +42,7 @@ fn drain(rx: &Receiver<RankingUpdate>) -> Vec<RankingUpdate> {
 fn subscribers_receive_pushed_rankings_through_the_pipeline() {
     let archive = archive();
     let broker = PushBroker::new(archive.interner.clone());
-    let rx = broker.subscribe(Subscription::new(UserProfile::new("visitor"), 10));
+    let rx = broker.subscribe(PushSubscription::new(UserProfile::new("visitor"), 10));
 
     let (_, handles) =
         PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
@@ -80,8 +80,8 @@ fn change_only_delivery_is_quieter_than_every_update() {
     let chatty_profile = UserProfile::new("chatty").with_category(watched_category).filter_only();
 
     let broker = PushBroker::new(archive.interner.clone());
-    let on_change = broker.subscribe(Subscription::new(quiet_profile, 3));
-    let always = broker.subscribe(Subscription::new(chatty_profile, 3).every_update());
+    let on_change = broker.subscribe(PushSubscription::new(quiet_profile, 3));
+    let always = broker.subscribe(PushSubscription::new(chatty_profile, 3).every_update());
 
     PipelineBuilder::new(archive.docs.clone(), TickSpec::daily(), archive.interner.clone())
         .with_engine_and_broker("e1", engine_config(), broker.clone())
@@ -104,11 +104,11 @@ fn personalised_subscribers_get_their_own_view() {
     let cat_b = events.iter().map(|e| e.tag_a).find(|&c| c != cat_a).unwrap_or(events[0].tag_b);
 
     let broker = PushBroker::new(archive.interner.clone());
-    let rx_a = broker.subscribe(Subscription::new(
+    let rx_a = broker.subscribe(PushSubscription::new(
         UserProfile::new("a").with_category(cat_a).with_alpha(5.0),
         5,
     ));
-    let rx_b = broker.subscribe(Subscription::new(
+    let rx_b = broker.subscribe(PushSubscription::new(
         UserProfile::new("b").with_category(cat_b).with_alpha(5.0),
         5,
     ));

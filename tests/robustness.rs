@@ -150,7 +150,7 @@ fn broker_survives_subscriber_churn_mid_stream() {
     let a = TagPair::new(TagId(1), TagId(2));
     // Subscribe, receive, drop, re-subscribe, repeat.
     for round in 0..5u64 {
-        let rx = broker.subscribe(Subscription::new(UserProfile::new(format!("u{round}")), 5));
+        let rx = broker.subscribe(PushSubscription::new(UserProfile::new(format!("u{round}")), 5));
         broker.publish(&RankingSnapshot {
             tick: Tick(round),
             time: Timestamp::from_hours(round),
