@@ -26,7 +26,7 @@ fn main() {
     let mut exact_engine = EnBlogueEngine::new(exact_config);
     let exact_snaps = exact_engine.run_replay(&archive.docs);
     let exact_report = evaluate(&exact_snaps, &archive.script, 10, 2 * Timestamp::DAY);
-    let exact_seeds = exact_engine.current_seeds();
+    let exact_seeds = exact_engine.pipeline().current_seeds();
 
     let table = Table::new(&[18, 14, 10, 14, 14]);
     table.header(&["selector", "seed overlap", "recall", "precision@10", "memory"]);
@@ -50,7 +50,7 @@ fn main() {
         let mut engine = EnBlogueEngine::new(config);
         let snaps = engine.run_replay(&archive.docs);
         let report = evaluate(&snaps, &archive.script, 10, 2 * Timestamp::DAY);
-        let seeds = engine.current_seeds();
+        let seeds = engine.pipeline().current_seeds();
         let overlap = seeds.iter().filter(|s| exact_seeds.contains(s)).count() as f64
             / exact_seeds.len().max(1) as f64;
         table.row(&[

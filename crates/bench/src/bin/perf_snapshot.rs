@@ -107,8 +107,8 @@ fn measure(name: &'static str, w: &Workload, dir: &Path, repeats: usize) -> Row 
     }
     let restored = restored.expect("at least one repeat");
     assert_eq!(
-        restored.latest_snapshot(),
-        engine.latest_snapshot(),
+        restored.pipeline().latest_snapshot(),
+        engine.pipeline().latest_snapshot(),
         "{name}: the restored engine must be a perfect clone"
     );
 
@@ -160,7 +160,7 @@ fn recovery_drill(w: &Workload, dir: &Path) -> usize {
         &baseline[resumed_ticks..],
         "recovered rankings diverged from the uninterrupted run"
     );
-    assert_eq!(recovered.latest_snapshot(), uninterrupted.latest_snapshot());
+    assert_eq!(recovered.pipeline().latest_snapshot(), uninterrupted.pipeline().latest_snapshot());
     let _ = std::fs::remove_dir_all(&crash_dir);
     baseline.len() - resumed_ticks
 }

@@ -166,6 +166,117 @@ impl TelemetryConfig {
     }
 }
 
+/// Event-time ingestion policy: out-of-order arrivals with a bounded
+/// lateness watermark (see `docs/EVENT_TIME.md` and
+/// [`enblogue_ingest::reorder`]).
+///
+/// Off by default — the engine then requires timestamp-sorted feeds
+/// exactly as before, byte-identical to every prior release (pinned by
+/// `tests/stage_parity.rs`). When enabled, the replay/ingest surfaces
+/// route documents through a [`enblogue_ingest::ReorderBuffer`]: a tick
+/// closes only once the arrival-driven low watermark
+/// (`max event tick seen − bounded_lateness`) passes it, late arrivals
+/// are re-sequenced into their true event tick, and anything later than
+/// the bound is dropped with full accounting
+/// ([`crate::stages::EngineCounters::docs_late_dropped`], the
+/// `ingest.late_drops` counter, and `late_drop` journal events). The
+/// layer is **invisible on clean input**: an already-sorted stream
+/// produces byte-identical rankings with it on or off. Buffer state
+/// (pending documents included) rides through [`crate::snapshot`], so
+/// crash recovery stays exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventTimeConfig {
+    /// Master switch for the reordering buffer.
+    pub enabled: bool,
+    /// How many ticks an arrival may lag the maximum event tick seen and
+    /// still be folded into its true tick; later documents drop. `0`
+    /// means "arrival order must already respect tick order" (stragglers
+    /// within the newest tick are still fine).
+    pub bounded_lateness: u64,
+    /// Hard cap on documents held by the buffer (memory bound for
+    /// streams whose watermark stalls); excess arrivals drop into
+    /// [`crate::stages::EngineCounters::docs_buffer_overflow`]. Must be
+    /// positive when enabled.
+    pub max_buffered_docs: usize,
+}
+
+impl Default for EventTimeConfig {
+    fn default() -> Self {
+        EventTimeConfig { enabled: false, bounded_lateness: 2, max_buffered_docs: 1_000_000 }
+    }
+}
+
+impl EventTimeConfig {
+    /// The disabled policy (feeds must be timestamp-sorted).
+    pub fn disabled() -> Self {
+        EventTimeConfig::default()
+    }
+
+    /// Enabled with the given lateness bound (in ticks) and the default
+    /// buffer cap.
+    pub fn bounded(bounded_lateness: u64) -> Self {
+        EventTimeConfig { enabled: true, bounded_lateness, ..EventTimeConfig::default() }
+    }
+}
+
+/// Source-guard policy: exact-duplicate rejection and per-source flood
+/// caps in front of the seed/pair stages (see
+/// [`enblogue_ingest::guard`] and `docs/EVENT_TIME.md`).
+///
+/// Off by default and byte-identical to prior behavior when off. When
+/// enabled, every document entering the stages is judged once: an
+/// exact-duplicate `(source, doc)` observation within
+/// `dedup_window_ticks` is rejected, then the source's token bucket
+/// (capacity `rate_burst`, refilled `rate_limit_per_tick` tokens per
+/// event tick) must cover it — so a flooding or replaying source
+/// degrades alone instead of hijacking the shift scores. On a
+/// duplicate-free stream whose per-source rate stays under the cap the
+/// guard admits everything and rankings are byte-identical to guard-off
+/// (pinned by `tests/stage_parity.rs`). Guard state rides through
+/// [`crate::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceGuardConfig {
+    /// Master switch for both checks.
+    pub enabled: bool,
+    /// Reject an admitted `(source, doc)` key re-observed within this
+    /// many ticks; `0` disables deduplication.
+    pub dedup_window_ticks: u64,
+    /// Tokens refilled per event tick and spent one per admitted
+    /// document; `0.0` disables the rate cap. Must be finite and ≥ 0.
+    pub rate_limit_per_tick: f64,
+    /// Bucket capacity (burst allowance) new sources start with; `0.0`
+    /// means "same as `rate_limit_per_tick`". Must be finite and ≥ 0.
+    pub rate_burst: f64,
+}
+
+impl Default for SourceGuardConfig {
+    fn default() -> Self {
+        SourceGuardConfig {
+            enabled: false,
+            dedup_window_ticks: 24,
+            rate_limit_per_tick: 0.0,
+            rate_burst: 0.0,
+        }
+    }
+}
+
+impl SourceGuardConfig {
+    /// The disabled policy (every document is admitted).
+    pub fn disabled() -> Self {
+        SourceGuardConfig::default()
+    }
+
+    /// The effective bucket capacity: `rate_burst`, falling back to one
+    /// tick's refill when unset.
+    pub fn effective_burst(&self) -> f64 {
+        if self.rate_burst > 0.0 {
+            self.rate_burst
+        } else {
+            self.rate_limit_per_tick
+        }
+    }
+}
+
 /// Full engine configuration. Build with [`EnBlogueConfig::builder`].
 ///
 /// Two kinds of knobs live here. *Semantic* knobs (tick width, window
@@ -259,6 +370,13 @@ pub struct EnBlogueConfig {
     /// [`crate::engine::EnBlogueEngine::telemetry`]). On by default and,
     /// like every execution knob, invisible in rankings.
     pub telemetry: TelemetryConfig,
+    /// Out-of-order event-time ingestion with a bounded-lateness
+    /// watermark. Off by default; invisible on clean (already-sorted)
+    /// input when on.
+    pub event_time: EventTimeConfig,
+    /// Per-source dedup window and token-bucket flood caps. Off by
+    /// default; invisible on duplicate-free, under-rate input when on.
+    pub source_guard: SourceGuardConfig,
 }
 
 impl Default for EnBlogueConfig {
@@ -297,6 +415,8 @@ impl Default for EnBlogueConfig {
             snapshot: SnapshotConfig::default(),
             scoring_mode: ScoringMode::default(),
             telemetry: TelemetryConfig::default(),
+            event_time: EventTimeConfig::default(),
+            source_guard: SourceGuardConfig::default(),
         }
     }
 }
@@ -394,6 +514,35 @@ impl EnBlogueConfig {
             return Err(EnBlogueError::invalid_config(
                 "snapshot.retention",
                 "at least the newest checkpoint must be retained",
+            ));
+        }
+        if self.event_time.enabled && self.event_time.max_buffered_docs == 0 {
+            return Err(EnBlogueError::invalid_config(
+                "event_time.max_buffered_docs",
+                "the reordering buffer needs room for at least one document",
+            ));
+        }
+        if !(self.source_guard.rate_limit_per_tick.is_finite()
+            && self.source_guard.rate_limit_per_tick >= 0.0)
+        {
+            return Err(EnBlogueError::invalid_config(
+                "source_guard.rate_limit_per_tick",
+                "the per-tick refill must be a finite non-negative number",
+            ));
+        }
+        if !(self.source_guard.rate_burst.is_finite() && self.source_guard.rate_burst >= 0.0) {
+            return Err(EnBlogueError::invalid_config(
+                "source_guard.rate_burst",
+                "the burst capacity must be a finite non-negative number",
+            ));
+        }
+        if self.source_guard.enabled
+            && self.source_guard.rate_limit_per_tick > 0.0
+            && self.source_guard.effective_burst() < 1.0
+        {
+            return Err(EnBlogueError::invalid_config(
+                "source_guard.rate_burst",
+                "with the rate cap on, the bucket must hold at least one token",
             ));
         }
         if let SeedStrategy::Hybrid { popularity_weight } = self.seed_strategy {
@@ -604,6 +753,28 @@ impl EnBlogueConfigBuilder {
         self
     }
 
+    /// Sets the full event-time policy.
+    #[must_use]
+    pub fn event_time(mut self, event_time: EventTimeConfig) -> Self {
+        self.config.event_time = event_time;
+        self
+    }
+
+    /// Enables out-of-order ingestion with the given lateness bound in
+    /// ticks (shorthand for [`EventTimeConfig::bounded`]).
+    #[must_use]
+    pub fn bounded_lateness(mut self, ticks: u64) -> Self {
+        self.config.event_time = EventTimeConfig::bounded(ticks);
+        self
+    }
+
+    /// Sets the full source-guard policy.
+    #[must_use]
+    pub fn source_guard(mut self, source_guard: SourceGuardConfig) -> Self {
+        self.config.source_guard = source_guard;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<EnBlogueConfig, EnBlogueError> {
         self.config.validate()?;
@@ -740,6 +911,55 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("telemetry.dump_directory"));
+    }
+
+    #[test]
+    fn event_time_and_guard_default_off_and_validate() {
+        let config = EnBlogueConfig::default();
+        assert!(!config.event_time.enabled, "event-time reordering is opt-in");
+        assert!(!config.source_guard.enabled, "source guards are opt-in");
+
+        let config = EnBlogueConfig::builder()
+            .bounded_lateness(3)
+            .source_guard(SourceGuardConfig {
+                enabled: true,
+                dedup_window_ticks: 12,
+                rate_limit_per_tick: 50.0,
+                rate_burst: 0.0,
+            })
+            .build()
+            .unwrap();
+        assert!(config.event_time.enabled);
+        assert_eq!(config.event_time.bounded_lateness, 3);
+        assert_eq!(config.source_guard.effective_burst(), 50.0, "burst falls back to the refill");
+
+        let err = EnBlogueConfig::builder()
+            .event_time(EventTimeConfig {
+                enabled: true,
+                bounded_lateness: 2,
+                max_buffered_docs: 0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("event_time.max_buffered_docs"));
+        let err = EnBlogueConfig::builder()
+            .source_guard(SourceGuardConfig {
+                rate_limit_per_tick: f64::NAN,
+                ..SourceGuardConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("source_guard.rate_limit_per_tick"));
+        let err = EnBlogueConfig::builder()
+            .source_guard(SourceGuardConfig {
+                enabled: true,
+                dedup_window_ticks: 0,
+                rate_limit_per_tick: 0.5,
+                rate_burst: 0.0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("source_guard.rate_burst"));
     }
 
     #[test]

@@ -15,11 +15,10 @@
 
 use crate::config::EnBlogueConfig;
 use crate::ingest::ReplayIngest;
-use crate::pairs::TrackedPairInfo;
 use crate::snapshot::SnapshotStats;
 use crate::stages::StagePipeline;
 use enblogue_ingest::pipeline::{IngestConfig, IngestPipeline, IngestStats};
-use enblogue_types::{Document, EnBlogueError, RankingSnapshot, TagId, TagInterner, TagPair, Tick};
+use enblogue_types::{Document, EnBlogueError, RankingSnapshot, TagInterner, Tick};
 use std::path::Path;
 
 pub use crate::stages::{EngineCounters, EngineMetrics, EngineTimings};
@@ -64,10 +63,10 @@ impl EnBlogueEngine {
     }
 
     /// The engine's in-place [`crate::query::QueryView`] — the unified
-    /// read surface this type's five classic read accessors forward to.
-    /// Prefer it (or an `enblogue-serve` `QueryHandle`, which implements
-    /// the same trait lock-free and concurrently) over the individual
-    /// accessors in new code.
+    /// read surface (ranking, seeds, pair info/history). Use it, or an
+    /// `enblogue-serve` `QueryHandle` implementing the same trait
+    /// lock-free and concurrently; tests and tools needing raw pipeline
+    /// reads can go through [`EnBlogueEngine::pipeline`].
     pub fn query_view(&self, interner: TagInterner) -> crate::query::EngineQuery<'_> {
         self.pipeline.query_view(interner)
     }
@@ -99,8 +98,30 @@ impl EnBlogueEngine {
     /// Replays a timestamp-sorted document slice, closing every tick in
     /// sequence (including empty gap ticks, so correlation histories stay
     /// tick-aligned). Returns one snapshot per closed tick.
+    ///
+    /// With [`crate::config::EventTimeConfig`] enabled the slice is
+    /// treated as a raw *arrival* stream instead: it may be out of order,
+    /// the reorder buffer re-sequences it, and the watermark drives the
+    /// closes (see [`EnBlogueEngine::offer_doc`]).
     pub fn run_replay(&mut self, docs: &[Document]) -> Vec<RankingSnapshot> {
         self.pipeline.run_replay(docs)
+    }
+
+    /// Offers one arrival to the event-time front end: buffered until the
+    /// watermark seals its tick, dropped if beyond the lateness bound,
+    /// fed in true event-tick order otherwise; sealed ticks close
+    /// immediately and `emit` receives their snapshots. With event time
+    /// disabled this is the plain streaming feed (gap ticks close, then
+    /// the document is processed). See [`StagePipeline::offer_doc`].
+    pub fn offer_doc(&mut self, doc: &Document, emit: impl FnMut(RankingSnapshot)) {
+        self.pipeline.offer_doc(doc, emit);
+    }
+
+    /// End of an event-time arrival stream: drains the reorder buffer and
+    /// closes through the last tick that saw a document, emitting each
+    /// snapshot. A no-op when event time is disabled.
+    pub fn finish_stream(&mut self, emit: impl FnMut(RankingSnapshot)) {
+        self.pipeline.finish_event_stream(emit);
     }
 
     /// [`EnBlogueEngine::run_replay`] through the shard-partitioned
@@ -124,6 +145,18 @@ impl EnBlogueEngine {
         if resolved.workers == 0 {
             resolved.workers = self.pipeline.config().ingest_workers;
         }
+        // Event-time mode: re-sequence the raw arrival stream through the
+        // reorder buffer first (drops metered there), then drive the
+        // batched pipeline over the sorted survivors — its sortedness
+        // invariants hold again, and the source guard still judges every
+        // document exactly once at the sink.
+        let ordered;
+        let docs = if self.pipeline.config().event_time.enabled {
+            ordered = self.pipeline.resequence_arrivals(docs);
+            ordered.as_slice()
+        } else {
+            docs
+        };
         let mut driver = IngestPipeline::new(resolved);
         driver.attach_telemetry(self.pipeline.telemetry());
         let mut sink = ReplayIngest::new(&mut self.pipeline);
@@ -201,48 +234,6 @@ impl EnBlogueEngine {
         Err(newest_error.expect("at least one resume attempt"))
     }
 
-    /// The most recent ranking, if any tick has been closed.
-    ///
-    /// Thin forwarder kept for compatibility: the unified read surface is
-    /// [`crate::query::QueryView`] (via [`EnBlogueEngine::query_view`] or
-    /// a concurrent `enblogue-serve` handle), whose `ranking()` answers
-    /// from the same state.
-    pub fn latest_snapshot(&self) -> Option<&RankingSnapshot> {
-        self.pipeline.latest_snapshot()
-    }
-
-    /// The seeds selected at the last tick close, sorted.
-    ///
-    /// Thin forwarder; prefer [`crate::query::QueryView::seeds`] through
-    /// [`EnBlogueEngine::query_view`] in new code.
-    pub fn current_seeds(&self) -> Vec<TagId> {
-        self.pipeline.current_seeds()
-    }
-
-    /// Whether `tag` is currently a seed.
-    ///
-    /// Thin forwarder; prefer [`crate::query::QueryView::is_seed`]
-    /// through [`EnBlogueEngine::query_view`] in new code.
-    pub fn is_seed(&self, tag: TagId) -> bool {
-        self.pipeline.is_seed(tag)
-    }
-
-    /// Rich info on a tracked pair.
-    ///
-    /// Thin forwarder; prefer [`crate::query::QueryView::pair_info`]
-    /// through [`EnBlogueEngine::query_view`] in new code.
-    pub fn pair_info(&self, pair: TagPair) -> Option<TrackedPairInfo> {
-        self.pipeline.pair_info(pair)
-    }
-
-    /// The correlation history of a tracked pair (oldest → newest).
-    ///
-    /// Thin forwarder; prefer [`crate::query::QueryView::pair_history`]
-    /// through [`EnBlogueEngine::query_view`] in new code.
-    pub fn pair_history(&self, pair: TagPair) -> Option<Vec<f64>> {
-        self.pipeline.pair_history(pair)
-    }
-
     /// Run-time counters.
     pub fn metrics(&self) -> EngineMetrics {
         self.pipeline.metrics()
@@ -261,7 +252,7 @@ impl EnBlogueEngine {
 mod tests {
     use super::*;
     use crate::config::SeedStrategy;
-    use enblogue_types::{TickSpec, Timestamp};
+    use enblogue_types::{TagId, TagPair, TickSpec, Timestamp};
 
     fn config() -> EnBlogueConfig {
         EnBlogueConfig::builder()
@@ -305,13 +296,13 @@ mod tests {
         let mut engine = EnBlogueEngine::new(config());
         // Background: tags 1 and 2 each popular, never together.
         stream(&mut engine, 0..10, 5, &[&[1], &[2], &[3]]);
-        assert!(engine.is_seed(TagId(1)) && engine.is_seed(TagId(2)));
-        let quiet = engine.latest_snapshot().unwrap().clone();
+        assert!(engine.pipeline().is_seed(TagId(1)) && engine.pipeline().is_seed(TagId(2)));
+        let quiet = engine.pipeline().latest_snapshot().unwrap().clone();
         assert!(quiet.ranked.is_empty(), "no shift during background: {quiet:?}");
 
         // Event: tags 1 and 2 suddenly co-occur.
         stream(&mut engine, 10..12, 5, &[&[1, 2], &[3]]);
-        let snap = engine.latest_snapshot().unwrap();
+        let snap = engine.pipeline().latest_snapshot().unwrap();
         let pair = TagPair::new(TagId(1), TagId(2));
         assert_eq!(snap.ranked[0].0, pair, "the correlated pair must rank first: {snap:?}");
         assert!(snap.ranked[0].1 > 0.1);
@@ -325,7 +316,7 @@ mod tests {
         stream(&mut engine, 0..10, 5, &[&[1], &[2]]);
         // Tag 1 volume triples; co-occurrence unchanged (none).
         stream(&mut engine, 10..13, 15, &[&[1]]);
-        let snap = engine.latest_snapshot().unwrap();
+        let snap = engine.pipeline().latest_snapshot().unwrap();
         assert!(
             snap.ranked.is_empty(),
             "solo popularity peaks are not correlation shifts: {snap:?}"
@@ -340,12 +331,12 @@ mod tests {
         // 1-8). Tags 1 and 2 also co-occur, and 1 is a seed.
         let sets: &[&[u32]] = &[&[1], &[2], &[3], &[4], &[5], &[6], &[7], &[8], &[1, 2], &[10, 11]];
         stream(&mut engine, 0..6, 5, sets);
-        assert!(!engine.is_seed(TagId(10)));
+        assert!(!engine.pipeline().is_seed(TagId(10)));
         let pair = TagPair::new(TagId(10), TagId(11));
-        assert!(engine.pair_info(pair).is_none(), "seedless pair must not be tracked");
+        assert!(engine.pipeline().pair_info(pair).is_none(), "seedless pair must not be tracked");
         let m = engine.metrics();
         assert!(m.pairs_discovered > 0, "seeded pairs are tracked");
-        assert!(engine.pair_info(TagPair::new(TagId(1), TagId(2))).is_some());
+        assert!(engine.pipeline().pair_info(TagPair::new(TagId(1), TagId(2))).is_some());
     }
 
     #[test]
@@ -394,7 +385,7 @@ mod tests {
             engine.close_tick(Tick(t));
         }
         let pair = TagPair::new(TagId(1), TagId(99));
-        assert!(engine.pair_info(pair).is_some(), "tag/entity mixture must be tracked");
+        assert!(engine.pipeline().pair_info(pair).is_some(), "tag/entity mixture must be tracked");
     }
 
     #[test]
@@ -413,7 +404,7 @@ mod tests {
             }
             engine.close_tick(Tick(t));
         }
-        assert!(engine.pair_info(TagPair::new(TagId(1), TagId(99))).is_none());
+        assert!(engine.pipeline().pair_info(TagPair::new(TagId(1), TagId(99))).is_none());
     }
 
     #[test]
@@ -442,7 +433,7 @@ mod tests {
             let mut engine = EnBlogueEngine::new(config());
             stream(&mut engine, 0..8, 4, &[&[1], &[2], &[3, 1]]);
             stream(&mut engine, 8..10, 4, &[&[1, 2], &[3]]);
-            engine.latest_snapshot().unwrap().clone()
+            engine.pipeline().latest_snapshot().unwrap().clone()
         };
         assert_eq!(run(), run());
     }
@@ -487,7 +478,7 @@ mod tests {
             let mut engine = EnBlogueEngine::new(cfg);
             stream(&mut engine, 0..8, 4, &[&[1], &[2], &[3], &[1, 3]]);
             stream(&mut engine, 8..10, 4, &[&[1, 2], &[3]]);
-            engine.latest_snapshot().unwrap().clone()
+            engine.pipeline().latest_snapshot().unwrap().clone()
         };
         let baseline = run(1, false);
         assert!(!baseline.ranked.is_empty());
@@ -540,7 +531,10 @@ mod tests {
         assert_eq!(resumed.metrics().restores, 1);
         stream(&mut resumed, 6..10, 4, &[&[1, 2], &[3]]);
 
-        assert_eq!(resumed.latest_snapshot(), uninterrupted.latest_snapshot());
+        assert_eq!(
+            resumed.pipeline().latest_snapshot(),
+            uninterrupted.pipeline().latest_snapshot()
+        );
         assert_eq!(
             scrub_snapshot_counters(resumed.metrics()),
             scrub_snapshot_counters(uninterrupted.metrics()),
@@ -712,7 +706,7 @@ mod tests {
         // The checkpointing run itself is semantically invisible.
         let mut plain = EnBlogueEngine::new(config());
         stream(&mut plain, 0..10, 4, &[&[1], &[2], &[1, 2]]);
-        assert_eq!(engine.latest_snapshot(), plain.latest_snapshot());
+        assert_eq!(engine.pipeline().latest_snapshot(), plain.pipeline().latest_snapshot());
 
         // Crash recovery from the newest file continues the stream.
         let mut recovered = EnBlogueEngine::resume_latest(cfg, &dir).unwrap();
@@ -720,7 +714,7 @@ mod tests {
         stream(&mut plain, 10..12, 4, &[&[1], &[2], &[1, 2]]);
         // (`stream` re-feeds tick 9 to the recovered engine — it resumed
         // at tick 8, so tick 9 is its next open tick.)
-        assert_eq!(recovered.latest_snapshot(), plain.latest_snapshot());
+        assert_eq!(recovered.pipeline().latest_snapshot(), plain.pipeline().latest_snapshot());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

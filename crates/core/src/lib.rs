@@ -66,7 +66,7 @@
 //!     }
 //!     engine.close_tick(enblogue_types::Tick(hour));
 //! }
-//! let ranking = engine.latest_snapshot().unwrap();
+//! let ranking = engine.pipeline().latest_snapshot().unwrap();
 //! assert!(!ranking.ranked.is_empty());
 //! ```
 
@@ -89,7 +89,9 @@ pub mod snapshot;
 pub mod stages;
 pub mod termwin;
 
-pub use config::{EnBlogueConfig, MeasureKind, SeedStrategy, SnapshotConfig};
+pub use config::{
+    EnBlogueConfig, EventTimeConfig, MeasureKind, SeedStrategy, SnapshotConfig, SourceGuardConfig,
+};
 pub use enblogue_types::RankingSnapshot;
 pub use engine::EnBlogueEngine;
 pub use ingest::ReplayIngest;

@@ -20,7 +20,7 @@
 //! [`EnBlogueError`] — never a panic: a half-written checkpoint from a
 //! crash is exactly the input the restore path exists for.
 //!
-//! # File format (version 1)
+//! # File format (version 2)
 //!
 //! ```text
 //! magic   8 bytes  b"ENBSNP01"
@@ -51,7 +51,12 @@ use enblogue_types::{EnBlogueError, TagId, Tick, Timestamp};
 use std::path::{Path, PathBuf};
 
 /// The snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2 appended the event-time robustness sections (reordering
+/// buffer — pending documents included — and source-guard state) behind
+/// presence bytes; version-1 files are rejected with a typed
+/// [`EnBlogueError::SnapshotVersionMismatch`] rather than misparsed.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// File magic: identifies EnBlogue snapshots regardless of extension.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ENBSNP01";
@@ -179,6 +184,12 @@ impl SnapWriter {
             None => self.u8(0),
         }
     }
+
+    /// Length-prefixed raw byte string (buffered document text).
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        self.usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
 }
 
 /// Cursor-based payload reader; every read is bounds-checked and returns
@@ -257,6 +268,13 @@ impl<'a> SnapReader<'a> {
             )));
         }
         Ok(len)
+    }
+
+    /// Length-prefixed raw byte string (inverse of
+    /// [`SnapWriter::bytes`]).
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, EnBlogueError> {
+        let len = self.seq(1)?;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Asserts the payload was consumed exactly.

@@ -28,9 +28,11 @@ use crate::pairs::{ShardedPairRegistry, TrackedPairInfo};
 use crate::seeds::SeedTracker;
 use crate::snapshot::{self, checkpoint_file_name, corrupt, SnapReader, SnapWriter, SnapshotStats};
 use crate::termwin::WindowedTermDists;
+use enblogue_ingest::guard::{GuardSnapshot, GuardVerdict, SourceGuard};
 use enblogue_ingest::partition::{
     annotations_of, for_each_pair, partition_docs, PartitionSpec, PartitionedBatch,
 };
+use enblogue_ingest::reorder::{PushOutcome, ReorderBuffer, ReorderSnapshot};
 use enblogue_stats::correlation::PairCounts;
 use enblogue_stats::shift::ShiftScorer;
 use enblogue_telemetry::{duration_ns, Counter, EventKind, Gauge, Histogram, Telemetry};
@@ -80,6 +82,23 @@ pub struct EngineCounters {
     pub snapshot_failures: u64,
     /// Snapshots this pipeline was restored from (0 or 1).
     pub restores: u64,
+    /// Arrivals offered to the event-time reordering buffer (accepted or
+    /// not) — the arrival-stream cursor crash recovery replays from.
+    /// Zero with `event_time` disabled (`docs_processed` is the cursor
+    /// then).
+    pub docs_arrived: u64,
+    /// Documents dropped for arriving beyond the event-time lateness
+    /// bound (zero with `event_time` disabled).
+    pub docs_late_dropped: u64,
+    /// Documents dropped by the reordering buffer's memory cap (zero
+    /// with `event_time` disabled).
+    pub docs_buffer_overflow: u64,
+    /// Exact-duplicate documents rejected by the source guard's dedup
+    /// window (zero with `source_guard` disabled).
+    pub docs_deduped: u64,
+    /// Documents rejected by a source's token-bucket rate cap (zero
+    /// with `source_guard` disabled).
+    pub docs_rate_capped: u64,
 }
 
 /// Wall-clock timing views, derived from the telemetry registry's
@@ -157,6 +176,10 @@ pub(crate) struct PipelineProbes {
     pub(crate) snapshot_write: Histogram,
     pub(crate) restore: Histogram,
     pub(crate) dump_failures: Counter,
+    pub(crate) late_drops: Counter,
+    pub(crate) overflow_drops: Counter,
+    pub(crate) dedup_drops: Counter,
+    pub(crate) rate_drops: Counter,
 }
 
 impl PipelineProbes {
@@ -172,6 +195,10 @@ impl PipelineProbes {
             snapshot_write: r.histogram("snapshot.write.ns"),
             restore: r.histogram("snapshot.restore.ns"),
             dump_failures: r.counter("telemetry.dump_failures"),
+            late_drops: r.counter("ingest.late_drops"),
+            overflow_drops: r.counter("ingest.overflow_drops"),
+            dedup_drops: r.counter("ingest.dedup_drops"),
+            rate_drops: r.counter("ingest.rate_drops"),
         }
     }
 }
@@ -209,6 +236,13 @@ pub struct PipelineState {
     pub(crate) telemetry: Telemetry,
     /// Pre-registered handles the stages record through.
     pub(crate) probes: PipelineProbes,
+    /// The event-time reordering buffer (`Some` iff
+    /// `config.event_time.enabled`). Serialized — pending documents and
+    /// drop counters included — so resume continues bit-exactly.
+    pub(crate) event: Option<ReorderBuffer>,
+    /// The per-source guard (`Some` iff `config.source_guard.enabled`).
+    /// Serialized: dedup keys, token buckets and counters all restore.
+    pub(crate) guard: Option<SourceGuard>,
 }
 
 impl PipelineState {
@@ -237,6 +271,8 @@ impl PipelineState {
         };
         let probes = PipelineProbes::new(&telemetry);
         registry.attach_telemetry(&telemetry);
+        let event = Self::build_event_buffer(&config);
+        let guard = Self::build_guard(&config);
         PipelineState {
             seed_tracker: SeedTracker::new(
                 config.seed_strategy,
@@ -258,8 +294,30 @@ impl PipelineState {
             restores: 0,
             telemetry,
             probes,
+            event,
+            guard,
             config,
         }
+    }
+
+    fn build_event_buffer(config: &EnBlogueConfig) -> Option<ReorderBuffer> {
+        config.event_time.enabled.then(|| {
+            ReorderBuffer::new(
+                config.tick_spec,
+                config.event_time.bounded_lateness,
+                config.event_time.max_buffered_docs,
+            )
+        })
+    }
+
+    fn build_guard(config: &EnBlogueConfig) -> Option<SourceGuard> {
+        config.source_guard.enabled.then(|| {
+            SourceGuard::new(
+                config.source_guard.dedup_window_ticks,
+                config.source_guard.rate_limit_per_tick,
+                config.source_guard.effective_burst(),
+            )
+        })
     }
 
     /// The pipeline's observability hub (metric registry, event
@@ -356,6 +414,11 @@ impl PipelineState {
                 snapshot_bytes_written: self.snapshot_bytes,
                 snapshot_failures: self.snapshot_failures,
                 restores: self.restores,
+                docs_arrived: self.event.as_ref().map_or(0, |b| b.arrivals()),
+                docs_late_dropped: self.event.as_ref().map_or(0, |b| b.late_dropped()),
+                docs_buffer_overflow: self.event.as_ref().map_or(0, |b| b.overflow_dropped()),
+                docs_deduped: self.guard.as_ref().map_or(0, |g| g.deduped()),
+                docs_rate_capped: self.guard.as_ref().map_or(0, |g| g.rate_capped()),
             },
             // The timing views are the histograms' exact nanosecond
             // sums (bucketing only approximates quantiles, never the
@@ -419,6 +482,25 @@ impl PipelineState {
             None => w.u8(0),
         }
         self.registry.encode_snapshot(&mut w);
+        // Event-time robustness sections (format version 2): the
+        // reordering buffer — pending documents included, so a resumed
+        // pipeline replays the arrival stream from `arrivals` and
+        // continues bit-exactly — and the source guard's dedup keys,
+        // token buckets (bit-pattern f64 tokens) and counters.
+        match &self.event {
+            Some(buffer) => {
+                w.u8(1);
+                encode_reorder(&mut w, &buffer.to_snapshot());
+            }
+            None => w.u8(0),
+        }
+        match &self.guard {
+            Some(guard) => {
+                w.u8(1);
+                encode_guard(&mut w, &guard.to_snapshot());
+            }
+            None => w.u8(0),
+        }
         w.into_bytes()
     }
 
@@ -511,6 +593,42 @@ impl PipelineState {
             config.rebalance.resolved(config.shards, config.parallel_close),
         )?;
         registry.set_scoring(config.scoring_mode);
+        let event = match (r.u8()?, config.event_time.enabled) {
+            (1, true) => {
+                let snap = decode_reorder(r)?;
+                Some(ReorderBuffer::from_snapshot(
+                    config.tick_spec,
+                    config.event_time.bounded_lateness,
+                    config.event_time.max_buffered_docs,
+                    snap,
+                ))
+            }
+            (0, false) => None,
+            (0 | 1, _) => {
+                return Err(EnBlogueError::SnapshotConfigMismatch(
+                    "event-time buffer state does not match the configured policy".into(),
+                ))
+            }
+            (tag, _) => return Err(corrupt(format!("invalid event-time tag {tag}"))),
+        };
+        let guard = match (r.u8()?, config.source_guard.enabled) {
+            (1, true) => {
+                let snap = decode_guard(r)?;
+                Some(SourceGuard::from_snapshot(
+                    config.source_guard.dedup_window_ticks,
+                    config.source_guard.rate_limit_per_tick,
+                    config.source_guard.effective_burst(),
+                    snap,
+                ))
+            }
+            (0, false) => None,
+            (0 | 1, _) => {
+                return Err(EnBlogueError::SnapshotConfigMismatch(
+                    "source-guard state does not match the configured policy".into(),
+                ))
+            }
+            (tag, _) => return Err(corrupt(format!("invalid source-guard tag {tag}"))),
+        };
         let telemetry = if config.telemetry.enabled {
             Telemetry::new(config.telemetry.journal_capacity)
         } else {
@@ -534,10 +652,161 @@ impl PipelineState {
             restores: 0,
             telemetry,
             probes,
+            event,
+            guard,
             config,
         };
         Ok((state, last_closed, first_open))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Event-time / guard snapshot codec
+// ---------------------------------------------------------------------------
+
+fn encode_doc(w: &mut SnapWriter, doc: &Document) {
+    w.u64(doc.id);
+    w.timestamp(doc.timestamp);
+    w.u32(doc.source.0);
+    w.usize(doc.tags.len());
+    for &tag in &doc.tags {
+        w.tag(tag);
+    }
+    w.usize(doc.entities.len());
+    for &entity in &doc.entities {
+        w.tag(entity);
+    }
+    w.usize(doc.terms.len());
+    for &term in &doc.terms {
+        w.tag(term);
+    }
+    match &doc.text {
+        Some(text) => {
+            w.u8(1);
+            w.bytes(text.as_bytes());
+        }
+        None => w.u8(0),
+    }
+}
+
+fn decode_doc(r: &mut SnapReader<'_>) -> Result<Document, EnBlogueError> {
+    let id = r.u64()?;
+    let timestamp = r.timestamp()?;
+    let source = enblogue_types::SourceId(r.u32()?);
+    let read_tags = |r: &mut SnapReader<'_>| -> Result<Vec<TagId>, EnBlogueError> {
+        let len = r.seq(4)?;
+        let mut tags = Vec::with_capacity(len);
+        for _ in 0..len {
+            tags.push(r.tag()?);
+        }
+        Ok(tags)
+    };
+    let tags = read_tags(r)?;
+    let entities = read_tags(r)?;
+    let terms = read_tags(r)?;
+    let text = match r.u8()? {
+        0 => None,
+        1 => Some(
+            String::from_utf8(r.bytes()?)
+                .map_err(|_| corrupt("buffered document text is not UTF-8"))?,
+        ),
+        tag => return Err(corrupt(format!("invalid document-text tag {tag}"))),
+    };
+    // Field assignment instead of builder methods: the buffered document
+    // was already normalized before checkpointing, and re-normalizing
+    // must not get a chance to reorder anything.
+    let mut doc = Document::builder(id, timestamp).source(source).build();
+    doc.tags = tags;
+    doc.entities = entities;
+    doc.terms = terms;
+    doc.text = text;
+    Ok(doc)
+}
+
+fn encode_reorder(w: &mut SnapWriter, snap: &ReorderSnapshot) {
+    w.u64(snap.arrivals);
+    w.u64(snap.late_dropped);
+    w.u64(snap.overflow_dropped);
+    w.opt_tick(snap.max_tick_seen);
+    w.opt_tick(snap.emitted_through);
+    w.usize(snap.pending.len());
+    for (tick, docs) in &snap.pending {
+        w.tick(*tick);
+        w.usize(docs.len());
+        for doc in docs {
+            encode_doc(w, doc);
+        }
+    }
+}
+
+fn decode_reorder(r: &mut SnapReader<'_>) -> Result<ReorderSnapshot, EnBlogueError> {
+    let arrivals = r.u64()?;
+    let late_dropped = r.u64()?;
+    let overflow_dropped = r.u64()?;
+    let max_tick_seen = r.opt_tick()?;
+    let emitted_through = r.opt_tick()?;
+    let tick_count = r.seq(16)?;
+    let mut pending = Vec::with_capacity(tick_count);
+    for _ in 0..tick_count {
+        let tick = r.tick()?;
+        let doc_count = r.seq(21)?;
+        let mut docs = Vec::with_capacity(doc_count);
+        for _ in 0..doc_count {
+            docs.push(decode_doc(r)?);
+        }
+        pending.push((tick, docs));
+    }
+    Ok(ReorderSnapshot {
+        arrivals,
+        late_dropped,
+        overflow_dropped,
+        max_tick_seen,
+        emitted_through,
+        pending,
+    })
+}
+
+fn encode_guard(w: &mut SnapWriter, snap: &GuardSnapshot) {
+    w.u64(snap.admitted);
+    w.u64(snap.deduped);
+    w.u64(snap.rate_capped);
+    w.opt_tick(snap.current_tick);
+    w.usize(snap.dedup.len());
+    for &(source, doc, tick) in &snap.dedup {
+        w.u32(source.0);
+        w.u64(doc);
+        w.tick(tick);
+    }
+    w.usize(snap.buckets.len());
+    for &(source, tokens, last_refill) in &snap.buckets {
+        w.u32(source.0);
+        w.f64(tokens);
+        w.tick(last_refill);
+    }
+}
+
+fn decode_guard(r: &mut SnapReader<'_>) -> Result<GuardSnapshot, EnBlogueError> {
+    let admitted = r.u64()?;
+    let deduped = r.u64()?;
+    let rate_capped = r.u64()?;
+    let current_tick = r.opt_tick()?;
+    let dedup_len = r.seq(20)?;
+    let mut dedup = Vec::with_capacity(dedup_len);
+    for _ in 0..dedup_len {
+        let source = enblogue_types::SourceId(r.u32()?);
+        let doc = r.u64()?;
+        let tick = r.tick()?;
+        dedup.push((source, doc, tick));
+    }
+    let bucket_len = r.seq(20)?;
+    let mut buckets = Vec::with_capacity(bucket_len);
+    for _ in 0..bucket_len {
+        let source = enblogue_types::SourceId(r.u32()?);
+        let tokens = r.f64()?;
+        let last_refill = r.tick()?;
+        buckets.push((source, tokens, last_refill));
+    }
+    Ok(GuardSnapshot { admitted, deduped, rate_capped, current_tick, dedup, buckets })
 }
 
 /// One phase of the per-tick computation.
@@ -880,6 +1149,15 @@ pub struct StagePipeline {
     /// had to be re-partitioned (timing-dependent, so deliberately *not*
     /// part of [`EngineMetrics`], which tests compare across feed modes).
     stale_repartitions: u64,
+    /// Scratch for documents the reordering buffer releases (reused
+    /// across [`StagePipeline::offer_doc`] calls).
+    event_ready_buf: Vec<Document>,
+    /// Drop totals already journaled (late+overflow, deduped,
+    /// rate-capped) — close-time journal events carry per-tick deltas.
+    /// Process-local like the journal itself; a resumed pipeline starts
+    /// from the restored totals so the first close reports only new
+    /// drops.
+    drops_reported: [u64; 3],
 }
 
 impl StagePipeline {
@@ -912,6 +1190,11 @@ impl StagePipeline {
                 )
             })
             .collect();
+        let drops_reported = [
+            state.event.as_ref().map_or(0, |b| b.late_dropped() + b.overflow_dropped()),
+            state.guard.as_ref().map_or(0, |g| g.deduped()),
+            state.guard.as_ref().map_or(0, |g| g.rate_capped()),
+        ];
         StagePipeline {
             state,
             stages,
@@ -920,6 +1203,8 @@ impl StagePipeline {
             last_closed,
             first_open,
             stale_repartitions: 0,
+            event_ready_buf: Vec::new(),
+            drops_reported,
         }
     }
 
@@ -968,8 +1253,40 @@ impl StagePipeline {
     /// closed ticks; a document belonging to an already-closed tick is
     /// counted into the open tick's slot (windowed counters never move
     /// backwards).
+    ///
+    /// With [`crate::config::SourceGuardConfig`] enabled, the document is
+    /// judged first — an exact duplicate within the dedup window or a
+    /// document its source's token bucket cannot cover is dropped (with
+    /// counter + journal accounting) before it reaches any stage.
     pub fn process_doc(&mut self, doc: &Document) {
+        if !self.admit_doc(doc) {
+            return;
+        }
         self.ingest_doc(doc, false);
+    }
+
+    /// Applies the source guard to one document; `true` admits. Always
+    /// `true` with the guard disabled. Every feed path funnels each
+    /// document through this exactly once — the guard is stateful
+    /// (tokens, dedup keys), so double-judging would diverge.
+    fn admit_doc(&mut self, doc: &Document) -> bool {
+        if self.state.guard.is_none() {
+            return true;
+        }
+        let tick = self.state.config.tick_spec.tick_of(doc.timestamp);
+        let verdict =
+            self.state.guard.as_mut().expect("guard checked above").admit(doc.source, doc.id, tick);
+        match verdict {
+            GuardVerdict::Admitted => true,
+            GuardVerdict::Duplicate => {
+                self.state.probes.dedup_drops.inc();
+                false
+            }
+            GuardVerdict::RateCapped => {
+                self.state.probes.rate_drops.inc();
+                false
+            }
+        }
     }
 
     /// The shared per-document prologue of both feeding modes: assign the
@@ -1018,6 +1335,18 @@ impl StagePipeline {
     /// observations are applied to the sharded registry in one pass —
     /// shard-parallel when the configuration enables `parallel_close`.
     pub fn process_docs(&mut self, docs: &[Document]) {
+        if self.state.guard.is_some() {
+            // Guard verdicts must interleave with feeding in stream
+            // order (each admission spends tokens and records dedup
+            // keys), so the batch fast path — which partitions the pair
+            // observations of *all* documents up front — cannot run:
+            // it would count observations of documents the guard
+            // rejects. Per-document feeding is semantically identical.
+            for doc in docs {
+                self.process_doc(doc);
+            }
+            return;
+        }
         match docs {
             [] => {}
             [doc] => self.process_doc(doc),
@@ -1048,6 +1377,18 @@ impl StagePipeline {
         /// serial apply loop it replaces; small batches stay on the caller
         /// thread. A pure execution threshold — results are identical.
         const PARALLEL_APPLY_MIN_OBSERVATIONS: usize = 512;
+        if self.state.guard.is_some() {
+            // The batch was partitioned before the guard could judge its
+            // documents (partitioning runs on worker threads that hold no
+            // guard state), so its buckets may contain observations of
+            // documents about to be rejected. Discard the buckets and
+            // feed per document — the guard then judges each exactly
+            // once, identically to the serial path.
+            for doc in docs {
+                self.process_doc(doc);
+            }
+            return;
+        }
         if partitioned.routing_epoch != self.state.registry.routing_epoch() {
             // A rebalance migrated shard ownership between partitioning
             // (on a worker thread) and application: the buckets route to
@@ -1091,7 +1432,28 @@ impl StagePipeline {
             self.state.registry.len() as u64,
             snapshot.ranked.len() as u64,
         );
+        self.journal_drops(tick);
         snapshot
+    }
+
+    /// Journals one aggregate event per drop class whose total advanced
+    /// since the last close (`a` = drops since then, `b` = total), so
+    /// hostile-input damage is visible per tick without a per-document
+    /// journal flood.
+    fn journal_drops(&mut self, tick: Tick) {
+        let totals = [
+            self.state.event.as_ref().map_or(0, |b| b.late_dropped() + b.overflow_dropped()),
+            self.state.guard.as_ref().map_or(0, |g| g.deduped()),
+            self.state.guard.as_ref().map_or(0, |g| g.rate_capped()),
+        ];
+        let kinds = [EventKind::LateDrop, EventKind::DedupDrop, EventKind::RateCapDrop];
+        for ((kind, total), reported) in kinds.into_iter().zip(totals).zip(&mut self.drops_reported)
+        {
+            if total > *reported {
+                self.state.telemetry.journal().record(kind, tick.0, total - *reported, total);
+                *reported = total;
+            }
+        }
     }
 
     /// Closes every tick from the first unclosed one up to and including
@@ -1143,6 +1505,17 @@ impl StagePipeline {
     /// and documents at or before an already-*closed* tick are rejected
     /// (they were already counted before the checkpoint).
     pub fn run_replay(&mut self, docs: &[Document]) -> Vec<RankingSnapshot> {
+        if self.state.event.is_some() {
+            // Event-time mode: arrivals may be out of order; the reorder
+            // buffer re-sequences them and the watermark drives closes.
+            // The sortedness assertions below do not apply.
+            let mut snapshots = Vec::new();
+            for doc in docs {
+                self.offer_doc(doc, |snapshot| snapshots.push(snapshot));
+            }
+            self.finish_event_stream(|snapshot| snapshots.push(snapshot));
+            return snapshots;
+        }
         let mut snapshots = Vec::new();
         let closed_floor = self.last_closed;
         let mut open: Option<Tick> = self.last_closed.or(self.first_open);
@@ -1171,6 +1544,103 @@ impl StagePipeline {
             }
         }
         snapshots
+    }
+
+    /// Offers one *arrival* — the event-time streaming entry point.
+    ///
+    /// With [`crate::config::EventTimeConfig`] enabled the document goes
+    /// through the reorder buffer: it is held until the arrival-driven
+    /// watermark seals its tick, dropped (with counter + journal
+    /// accounting) if it arrives beyond the lateness bound or the buffer
+    /// cap, and fed in true event-tick order otherwise. Ticks the
+    /// watermark seals are closed immediately — all of their surviving
+    /// documents are fed by then, so the emitted rankings are
+    /// byte-identical to replaying the same stream pre-sorted (pinned in
+    /// `tests/stage_parity.rs`). `emit` receives each closed tick's
+    /// snapshot.
+    ///
+    /// With event time disabled this degrades to the plain streaming
+    /// feed: close the gap before the document's tick, then process it —
+    /// so hosts can call one entry point regardless of configuration.
+    pub fn offer_doc(&mut self, doc: &Document, mut emit: impl FnMut(RankingSnapshot)) {
+        let Some(mut buffer) = self.state.event.take() else {
+            self.feed_ordered_doc(doc, &mut emit);
+            return;
+        };
+        match buffer.push(doc.clone()) {
+            PushOutcome::Buffered => {}
+            PushOutcome::Late => self.state.probes.late_drops.inc(),
+            PushOutcome::Overflow => self.state.probes.overflow_drops.inc(),
+        }
+        let mut ready = std::mem::take(&mut self.event_ready_buf);
+        buffer.drain_ready(&mut ready);
+        let sealed = buffer.emitted_through();
+        self.state.event = Some(buffer);
+        for ordered in &ready {
+            self.feed_ordered_doc(ordered, &mut emit);
+        }
+        ready.clear();
+        self.event_ready_buf = ready;
+        if let Some(sealed) = sealed {
+            // Every surviving document of ticks ≤ sealed is fed (later
+            // ticks are still buffered), so closing now reproduces the
+            // sorted replay's state at these closes exactly.
+            self.close_through(sealed, &mut emit);
+        }
+    }
+
+    /// End of an event-time stream: releases everything the reorder
+    /// buffer still holds (in tick order) and closes through the last
+    /// tick that saw a document, emitting each snapshot. A no-op when
+    /// event time is disabled or nothing was ever buffered.
+    pub fn finish_event_stream(&mut self, mut emit: impl FnMut(RankingSnapshot)) {
+        let Some(mut buffer) = self.state.event.take() else { return };
+        let mut ready = std::mem::take(&mut self.event_ready_buf);
+        buffer.flush(&mut ready);
+        let through = buffer.emitted_through();
+        self.state.event = Some(buffer);
+        for ordered in &ready {
+            self.feed_ordered_doc(ordered, &mut emit);
+        }
+        ready.clear();
+        self.event_ready_buf = ready;
+        if let Some(through) = through {
+            self.close_through(through, &mut emit);
+        }
+    }
+
+    /// Feeds one document of a tick-ordered stream the way `run_replay`
+    /// would: close every tick before the document's, then process it
+    /// (which still runs the source guard).
+    fn feed_ordered_doc(&mut self, doc: &Document, emit: impl FnMut(RankingSnapshot)) {
+        let tick = self.state.config.tick_spec.tick_of(doc.timestamp);
+        self.close_gap_before(tick, emit);
+        self.process_doc(doc);
+    }
+
+    /// Runs a raw arrival slice through the reorder buffer and returns
+    /// the surviving documents in event-tick order (drop counters fire
+    /// as usual); the buffer is left flushed. With event time disabled
+    /// the slice passes through unchanged. This is the batched
+    /// counterpart of [`offer_doc`](Self::offer_doc) for hosts that feed
+    /// an ingest pipeline rather than per-document calls — the returned
+    /// slice is sorted, so the batched feeders' invariants hold.
+    pub fn resequence_arrivals(&mut self, docs: &[Document]) -> Vec<Document> {
+        let Some(mut buffer) = self.state.event.take() else { return docs.to_vec() };
+        let mut ordered = Vec::with_capacity(docs.len());
+        for doc in docs {
+            match buffer.push(doc.clone()) {
+                PushOutcome::Buffered => {}
+                PushOutcome::Late => self.state.probes.late_drops.inc(),
+                PushOutcome::Overflow => self.state.probes.overflow_drops.inc(),
+            }
+            // Draining as the watermark advances (rather than once at the
+            // end) keeps held memory at the cap, not the stream length.
+            buffer.drain_ready(&mut ordered);
+        }
+        buffer.flush(&mut ordered);
+        self.state.event = Some(buffer);
+        ordered
     }
 
     /// The most recently closed tick — the resume cursor: a pipeline

@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn ranking_invariants(ticks in workload()) {
         let engine = run_engine(small_config(1000), &ticks);
-        if let Some(snap) = engine.latest_snapshot() {
+        if let Some(snap) = engine.pipeline().latest_snapshot() {
             prop_assert!(snap.ranked.len() <= 5);
             for w in snap.ranked.windows(2) {
                 prop_assert!(w[0].1 >= w[1].1, "ranking not sorted: {:?}", snap.ranked);
@@ -74,7 +74,7 @@ proptest! {
     fn engine_is_deterministic(ticks in workload()) {
         let a = run_engine(small_config(100), &ticks);
         let b = run_engine(small_config(100), &ticks);
-        prop_assert_eq!(a.latest_snapshot(), b.latest_snapshot());
+        prop_assert_eq!(a.pipeline().latest_snapshot(), b.pipeline().latest_snapshot());
         prop_assert_eq!(a.metrics(), b.metrics());
     }
 
@@ -101,7 +101,7 @@ proptest! {
     fn single_tag_streams_never_rank(per_tick in 1usize..10, ticks in 2usize..12) {
         let workload: Vec<Vec<Vec<u32>>> = (0..ticks).map(|_| vec![vec![1u32]; per_tick]).collect();
         let engine = run_engine(small_config(100), &workload);
-        let snap = engine.latest_snapshot().unwrap();
+        let snap = engine.pipeline().latest_snapshot().unwrap();
         prop_assert!(snap.ranked.is_empty());
         prop_assert_eq!(engine.metrics().pairs_discovered, 0);
     }

@@ -86,11 +86,11 @@ fn surface(engine: &EnBlogueEngine, observed: &[u64]) -> Surface {
     let stats = registry.stats();
     let metrics = engine.metrics();
     (
-        engine.latest_snapshot().cloned(),
+        engine.pipeline().latest_snapshot().cloned(),
         tracked,
         counts,
         histories,
-        engine.current_seeds(),
+        engine.pipeline().current_seeds(),
         stats.routing_epoch,
         (metrics.pairs_tracked, metrics.pairs_discovered, metrics.pairs_evicted),
     )
@@ -203,7 +203,7 @@ fn tick_cursor_survives_even_empty_engines() {
     assert_eq!(stats.tick, None);
     assert_eq!(stats.tracked_pairs, 0);
     let mut resumed = EnBlogueEngine::resume(cfg, &path).unwrap();
-    assert!(resumed.latest_snapshot().is_none());
+    assert!(resumed.pipeline().latest_snapshot().is_none());
     // The restored empty engine behaves exactly like a fresh one.
     let docs = docs_of(&[(0, 1, 2), (1, 1, 2), (2, 3, 4)]);
     let mut fresh = EnBlogueEngine::new(config(1, false));

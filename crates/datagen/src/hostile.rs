@@ -1,0 +1,333 @@
+//! Hostile workload generators: event-time and flood attacks.
+//!
+//! The other generators in this crate model *cooperative* streams —
+//! sorted, duplicate-free, honestly sourced. Real Web 2.0 ingestion is
+//! none of those things, and EnBlogue's shift scores are a target: a feed
+//! that replays documents, floods a tag pair, or delivers a day late can
+//! manufacture or destroy "emergent topics". This module scripts exactly
+//! those attacks, each against the same clean background stream with one
+//! planted genuine event, so the event-time layer
+//! (`enblogue_core::config::EventTimeConfig` /
+//! `SourceGuardConfig`) can be drilled with ground truth attached:
+//!
+//! * [`HostileWorkload::late_arrival_storm`] — a fraction of arrivals is
+//!   delayed by up to a bounded number of ticks; the *event* timestamps
+//!   are untouched, so a reorder buffer with sufficient lateness bound
+//!   must reconstruct the clean stream exactly.
+//! * [`HostileWorkload::duplicate_flood`] — one source re-emits every one
+//!   of its documents several times; a dedup window must drop each copy,
+//!   reproducing the clean rankings byte-for-byte.
+//! * [`HostileWorkload::spam_burst`] — coordinated spam sources spray a
+//!   fixed tag pair at high rate inside a window, trying to push a fake
+//!   topic into the ranking; per-source rate caps must bound the damage.
+//!
+//! Every workload is deterministic in the config seed and carries both
+//! the hostile **arrival stream** and the **clean baseline** it was
+//! derived from.
+
+use crate::events::{CorrelationEvent, EventScript, RampShape};
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use enblogue_types::{Document, SourceId, TagInterner, TagKind, TagPair, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration shared by all hostile workloads.
+#[derive(Debug, Clone)]
+pub struct HostileConfig {
+    /// Master seed; every derived generator is seeded from it.
+    pub seed: u64,
+    /// Stream length in hourly ticks.
+    pub hours: u64,
+    /// Background documents per tick.
+    pub docs_per_hour: u64,
+    /// Hashtag vocabulary size.
+    pub n_tags: usize,
+    /// Honest sources feeding the background (ids `1..=n_sources`).
+    pub n_sources: u32,
+}
+
+impl Default for HostileConfig {
+    /// A drill-scale default: ~5 k documents over 96 hourly ticks from
+    /// 12 honest sources, with one planted genuine event.
+    fn default() -> Self {
+        HostileConfig { seed: 0xBAD_F00D, hours: 96, docs_per_hour: 50, n_tags: 60, n_sources: 12 }
+    }
+}
+
+/// One hostile arrival stream plus the clean baseline it perturbs.
+pub struct HostileWorkload {
+    /// Workload identifier ("late_arrival_storm", …).
+    pub name: &'static str,
+    /// The stream in **arrival order** — possibly out of event-time
+    /// order, with duplicates, or with spam mixed in.
+    pub arrivals: Vec<Document>,
+    /// The clean, sorted, duplicate-free baseline stream (what an honest
+    /// feed would have delivered).
+    pub clean: Vec<Document>,
+    /// The shared interner.
+    pub interner: TagInterner,
+    /// The planted *genuine* event (ground truth that must survive).
+    pub script: EventScript,
+    /// The manufactured pair of the spam burst, when one exists.
+    pub spam_pair: Option<TagPair>,
+    /// Hostile extras: delayed documents (storm), duplicate copies
+    /// (flood), or spam documents (burst).
+    pub injected: u64,
+}
+
+/// The clean background: zipf-tagged documents from honest sources with
+/// one genuine correlation event planted mid-stream.
+fn base_stream(config: &HostileConfig) -> (Vec<Document>, TagInterner, EventScript) {
+    assert!(config.hours >= 12, "hostile drills need a dozen ticks");
+    assert!(config.n_tags >= 16 && config.n_sources >= 1, "universe too small");
+    let interner = TagInterner::new();
+    let tags =
+        Vocabulary::generate(&interner, TagKind::Hashtag, config.n_tags, config.seed ^ 0x7A6);
+    let zipf = Zipf::new(config.n_tags, 1.05);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // The genuine event: a popular tag meets a mid-tail tag over the
+    // middle third of the stream.
+    let event_a = tags.id(1);
+    let event_b = tags.id(config.n_tags / 3);
+    let start = Timestamp::from_hours(config.hours / 3);
+    let end = Timestamp::from_hours(2 * config.hours / 3);
+    let mut script = EventScript::new();
+    script.push(CorrelationEvent::new(
+        "genuine burst",
+        event_a,
+        event_b,
+        start,
+        end,
+        6.0,
+        RampShape::Step,
+    ));
+    let event = script.events()[0].clone();
+
+    let mut docs = Vec::with_capacity((config.hours * config.docs_per_hour) as usize);
+    let mut next_id: u64 = 1;
+    for hour in 0..config.hours {
+        let tick_start = Timestamp::from_hours(hour);
+        let mid = tick_start.plus(Timestamp::HOUR / 2);
+        let mut event_budget = event.rate_at(mid).round() as u64;
+        for _ in 0..config.docs_per_hour {
+            let ts = tick_start.plus(rng.gen_range(0..Timestamp::HOUR));
+            let source = SourceId(1 + rng.gen_range(0..config.n_sources));
+            let doc = if event_budget > 0 {
+                event_budget -= 1;
+                Document::builder(next_id, ts)
+                    .tags([event.tag_a, event.tag_b])
+                    .source(source)
+                    .build()
+            } else {
+                let a = tags.id(zipf.sample(&mut rng));
+                let b = tags.id(zipf.sample(&mut rng));
+                Document::builder(next_id, ts)
+                    .tags(if a == b { vec![a] } else { vec![a, b] })
+                    .source(source)
+                    .build()
+            };
+            docs.push(doc);
+            next_id += 1;
+        }
+    }
+    docs.sort_by_key(|d| (d.timestamp, d.id));
+    (docs, interner, script)
+}
+
+impl HostileWorkload {
+    /// A late-arrival storm: `delayed_share` (~30%) of the clean stream
+    /// arrives up to `max_delay_ticks` ticks after its event time (event
+    /// timestamps untouched). Re-sorting arrivals by event time yields
+    /// the clean stream back, so a reorder buffer with
+    /// `bounded_lateness >= max_delay_ticks` must attribute every
+    /// document to its true tick and reproduce the clean rankings
+    /// byte-for-byte.
+    pub fn late_arrival_storm(config: &HostileConfig, max_delay_ticks: u64) -> Self {
+        assert!(max_delay_ticks >= 1, "a storm needs at least one tick of delay");
+        let (clean, interner, script) = base_stream(config);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1A7E);
+        let mut injected = 0u64;
+        // Arrival time = event time + delay; stable sort keeps the clean
+        // order among undelayed documents.
+        let mut keyed: Vec<(Timestamp, u64, Document)> = clean
+            .iter()
+            .map(|doc| {
+                let delayed = rng.gen_bool(0.3);
+                let delay = if delayed {
+                    injected += 1;
+                    rng.gen_range(1..=max_delay_ticks) * Timestamp::HOUR
+                } else {
+                    0
+                };
+                (doc.timestamp.plus(delay), doc.id, doc.clone())
+            })
+            .collect();
+        keyed.sort_by_key(|&(arrival, id, _)| (arrival, id));
+        let arrivals = keyed.into_iter().map(|(_, _, doc)| doc).collect();
+        HostileWorkload {
+            name: "late_arrival_storm",
+            arrivals,
+            clean,
+            interner,
+            script,
+            spam_pair: None,
+            injected,
+        }
+    }
+
+    /// A duplicate flood: every document of honest source 1 is re-emitted
+    /// `copies` times immediately after the original — identical id,
+    /// source, and timestamp, the classic feed-replay failure. A dedup
+    /// window of ≥ 1 tick must reject every copy and reproduce the clean
+    /// rankings byte-for-byte.
+    pub fn duplicate_flood(config: &HostileConfig, copies: u32) -> Self {
+        assert!(copies >= 1, "a flood needs at least one copy");
+        let (clean, interner, script) = base_stream(config);
+        let flooder = SourceId(1);
+        let mut arrivals = Vec::with_capacity(clean.len() * 2);
+        let mut injected = 0u64;
+        for doc in &clean {
+            arrivals.push(doc.clone());
+            if doc.source == flooder {
+                for _ in 0..copies {
+                    arrivals.push(doc.clone());
+                    injected += 1;
+                }
+            }
+        }
+        HostileWorkload {
+            name: "duplicate_flood",
+            arrivals,
+            clean,
+            interner,
+            script,
+            spam_pair: None,
+            injected,
+        }
+    }
+
+    /// A coordinated spam burst: `spam_sources` fresh sources each spray
+    /// `docs_per_tick` documents per tick, all tagged with one fixed
+    /// (previously unseen) tag pair, across the middle third of the
+    /// stream — volume engineered to out-shout the genuine event and
+    /// push the fake pair into the ranking. Per-source token-bucket caps
+    /// must throttle each spammer to the configured rate and keep the
+    /// damage bounded.
+    pub fn spam_burst(config: &HostileConfig, spam_sources: u32, docs_per_tick: u64) -> Self {
+        assert!(spam_sources >= 1 && docs_per_tick >= 1, "a burst needs volume");
+        let (clean, interner, script) = base_stream(config);
+        let spam_a = interner.intern("spamstorm", TagKind::Hashtag);
+        let spam_b = interner.intern("fakecrisis", TagKind::Hashtag);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5CA4);
+        let mut next_id = clean.last().map_or(1, |d| d.id + 1);
+        let mut arrivals = clean.clone();
+        let mut injected = 0u64;
+        for hour in config.hours / 3..2 * config.hours / 3 {
+            let tick_start = Timestamp::from_hours(hour);
+            for s in 0..spam_sources {
+                let source = SourceId(config.n_sources + 1 + s);
+                for _ in 0..docs_per_tick {
+                    let ts = tick_start.plus(rng.gen_range(0..Timestamp::HOUR));
+                    arrivals.push(
+                        Document::builder(next_id, ts)
+                            .tags([spam_a, spam_b])
+                            .source(source)
+                            .build(),
+                    );
+                    next_id += 1;
+                    injected += 1;
+                }
+            }
+        }
+        arrivals.sort_by_key(|d| (d.timestamp, d.id));
+        HostileWorkload {
+            name: "spam_burst",
+            arrivals,
+            clean,
+            interner,
+            script,
+            spam_pair: Some(TagPair::new(spam_a, spam_b)),
+            injected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_by_event_time(docs: &[Document]) -> Vec<Document> {
+        let mut sorted = docs.to_vec();
+        sorted.sort_by_key(|d| (d.timestamp, d.id));
+        sorted
+    }
+
+    #[test]
+    fn storm_is_a_permutation_of_the_clean_stream() {
+        let w = HostileWorkload::late_arrival_storm(&HostileConfig::default(), 3);
+        assert_eq!(w.arrivals.len(), w.clean.len());
+        assert!(w.injected > 0, "some documents must be delayed");
+        assert_eq!(sorted_by_event_time(&w.arrivals), w.clean);
+        // It is genuinely out of order as an arrival stream.
+        assert!(w.arrivals.windows(2).any(|p| p[0].timestamp > p[1].timestamp));
+    }
+
+    #[test]
+    fn storm_delay_is_bounded() {
+        let max_delay = 4u64;
+        let w = HostileWorkload::late_arrival_storm(&HostileConfig::default(), max_delay);
+        // Each document arrives within max_delay ticks of its event time:
+        // the maximum event timestamp seen so far never runs more than
+        // max_delay ticks ahead of any later arrival.
+        let mut max_seen = Timestamp::from_hours(0);
+        for doc in &w.arrivals {
+            assert!(
+                doc.timestamp.plus(max_delay * Timestamp::HOUR) >= max_seen,
+                "doc {} arrived more than {max_delay} ticks late",
+                doc.id
+            );
+            max_seen = max_seen.max(doc.timestamp);
+        }
+    }
+
+    #[test]
+    fn flood_duplicates_only_the_flooding_source() {
+        let config = HostileConfig::default();
+        let w = HostileWorkload::duplicate_flood(&config, 2);
+        let from_flooder = w.clean.iter().filter(|d| d.source == SourceId(1)).count() as u64;
+        assert_eq!(w.injected, from_flooder * 2);
+        assert_eq!(w.arrivals.len() as u64, w.clean.len() as u64 + w.injected);
+        // Copies are exact: same id, source, timestamp.
+        let mut seen = std::collections::HashMap::new();
+        for doc in &w.arrivals {
+            *seen.entry((doc.source, doc.id, doc.timestamp)).or_insert(0u32) += 1;
+        }
+        assert!(seen.values().all(|&n| n == 1 || n == 3));
+    }
+
+    #[test]
+    fn spam_burst_adds_a_fresh_pair_from_fresh_sources() {
+        let config = HostileConfig::default();
+        let w = HostileWorkload::spam_burst(&config, 4, 30);
+        let spam_a = w.interner.get("spamstorm", TagKind::Hashtag).unwrap();
+        let spam_b = w.interner.get("fakecrisis", TagKind::Hashtag).unwrap();
+        assert_eq!(w.spam_pair, Some(TagPair::new(spam_a, spam_b)));
+        assert!(w.clean.iter().all(|d| !d.has_tag(spam_a) && !d.has_tag(spam_b)));
+        let spam: Vec<&Document> = w.arrivals.iter().filter(|d| d.has_tag(spam_a)).collect();
+        assert_eq!(spam.len() as u64, w.injected);
+        assert!(spam.iter().all(|d| d.source.0 > config.n_sources));
+        // Arrivals stay event-time sorted (this attack is in-order).
+        assert!(w.arrivals.windows(2).all(|p| p[0].timestamp <= p[1].timestamp));
+    }
+
+    #[test]
+    fn workloads_are_deterministic_in_the_seed() {
+        let config = HostileConfig::default();
+        let a = HostileWorkload::late_arrival_storm(&config, 3);
+        let b = HostileWorkload::late_arrival_storm(&config, 3);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.clean, b.clean);
+    }
+}

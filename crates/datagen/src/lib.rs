@@ -13,6 +13,9 @@
 //!   topics) with ramp shapes and ground-truth windows,
 //! * [`entities`] — a synthetic entity universe: gazetteer titles,
 //!   redirect aliases and a small YAGO-style ontology,
+//! * [`hostile`] — adversarial arrival streams (late-arrival storms,
+//!   duplicate floods, coordinated spam bursts) drilling the event-time
+//!   robustness layer,
 //! * [`nyt`] — the archive generator behind Show Case 1,
 //! * [`twitter`] — the tweet-stream generator behind Show Case 2
 //!   (including the paper's "SIGMOD Athens" stunt),
@@ -29,6 +32,7 @@
 pub mod entities;
 pub mod eval;
 pub mod events;
+pub mod hostile;
 pub mod nyt;
 pub mod rss;
 pub mod twitter;
@@ -38,6 +42,7 @@ pub mod zipf;
 pub use entities::EntityUniverse;
 pub use eval::{evaluate, DetectionOutcome, EvalReport};
 pub use events::{CorrelationEvent, EventScript, RampShape};
+pub use hostile::{HostileConfig, HostileWorkload};
 pub use nyt::{NytArchive, NytConfig};
 pub use rss::{RssConfig, RssFeed};
 pub use twitter::{TweetConfig, TweetStream};

@@ -120,7 +120,8 @@ pub use enblogue_window as window;
 /// The names most applications need.
 pub mod prelude {
     pub use enblogue_core::config::{
-        EnBlogueConfig, MeasureKind, SeedStrategy, SnapshotConfig, TelemetryConfig,
+        EnBlogueConfig, EventTimeConfig, MeasureKind, SeedStrategy, SnapshotConfig,
+        SourceGuardConfig, TelemetryConfig,
     };
     pub use enblogue_core::engine::{EnBlogueEngine, EngineMetrics};
     pub use enblogue_core::ingest::ReplayIngest;
@@ -154,7 +155,8 @@ pub mod prelude {
     pub use enblogue_stream::source::{MergeSource, ReplaySource};
     pub use enblogue_telemetry::{EventKind, Telemetry};
     pub use enblogue_types::{
-        Document, RankingSnapshot, TagId, TagInterner, TagKind, TagPair, Tick, TickSpec, Timestamp,
+        Document, RankingSnapshot, SourceId, TagId, TagInterner, TagKind, TagPair, Tick, TickSpec,
+        Timestamp,
     };
 }
 

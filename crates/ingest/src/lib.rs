@@ -23,6 +23,18 @@
 //!   — any [`pipeline::IngestSink`] — applies batches and tick closes in
 //!   deterministic submission order.
 //!
+//! Two event-time robustness primitives sit in front of that feed path
+//! (both pure functions of the document stream, so every execution path
+//! reaches byte-identical state; both exactly checkpointable):
+//!
+//! * [`reorder`] — the bounded watermark buffer: holds out-of-order
+//!   arrivals per event tick, seals ticks `bounded_lateness` behind the
+//!   maximum event tick seen, re-sequences late documents into their
+//!   true tick, and drops anything beyond the bound.
+//! * [`guard`] — per-source defenses: an exact-duplicate window keyed by
+//!   `(source, doc)` and token-bucket flood caps, so one hostile feed
+//!   degrades alone instead of hijacking the rankings.
+//!
 //! Parallel ingestion is a **pure execution knob**: for any batch size,
 //! queue depth, worker count, shard count, or rebalance schedule, the sink observes the exact
 //! sequence of applications a sequential replay would perform, so rankings
@@ -34,8 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod guard;
 pub mod partition;
 pub mod pipeline;
+pub mod reorder;
 
+pub use guard::{GuardSnapshot, GuardVerdict, SourceGuard};
 pub use partition::{partition_docs, PartitionSpec, PartitionedBatch};
 pub use pipeline::{IngestConfig, IngestPipeline, IngestSink, IngestStats};
+pub use reorder::{PushOutcome, ReorderBuffer, ReorderSnapshot};

@@ -16,7 +16,10 @@
 //! * **Backpressure** — both queues are bounded; when the work queue is
 //!   full the feeder stalls (counted in [`IngestStats::queue_full_stalls`],
 //!   timed in [`IngestStats::stall_micros`] and the `ingest.stall.ns`
-//!   telemetry histogram) until a worker frees a slot.
+//!   telemetry histogram) until a worker frees a slot. Instead of parking
+//!   on a blocking send — invisible to a profiler and prone to thundering
+//!   re-polls — the feeder retries with jittered exponential backoff naps,
+//!   each nap recorded in the `ingest.backoff.ns` histogram.
 //! * **Determinism** — workers finish out of order, but every operation
 //!   carries its submission sequence number and the caller thread applies
 //!   strictly in sequence. Batches never span a tick boundary, and tick
@@ -32,7 +35,7 @@ use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The consumer side of the ingestion pipeline.
 ///
@@ -129,6 +132,14 @@ impl IngestStats {
     }
 }
 
+/// First backoff nap when the work queue is full; each retry doubles it
+/// up to [`BACKOFF_MAX_SHIFT`] doublings (20µs → ~1.3ms), so a brief
+/// queue hiccup costs microseconds while a saturated queue is polled
+/// gently instead of spun on.
+const BACKOFF_MIN_NS: u64 = 20_000;
+/// Doubling cap for the backoff nap (bounds worst-case added latency).
+const BACKOFF_MAX_SHIFT: u32 = 6;
+
 /// What the feeder schedules, in submission order.
 enum PlanOp {
     /// Partition and apply `docs[range]` (one tick, ≤ batch_size docs).
@@ -164,8 +175,9 @@ impl IngestPipeline {
 
     /// Wires the driver into a [`Telemetry`] hub: backpressure stalls are
     /// timed into the `ingest.stall.ns` histogram (and journaled as
-    /// [`EventKind::IngestStall`] events), and the `ingest.queue.depth`
-    /// gauge tracks batches in flight between the feeder and the applier.
+    /// [`EventKind::IngestStall`] events), each backoff nap within a stall
+    /// lands in `ingest.backoff.ns`, and the `ingest.queue.depth` gauge
+    /// tracks batches in flight between the feeder and the applier.
     /// Handles are resolved once per [`IngestPipeline::run`]; the hot
     /// feeder/applier loops only touch relaxed atomics.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
@@ -228,6 +240,7 @@ impl IngestPipeline {
         // touch relaxed atomics through them — or a single branch when the
         // hub is disabled.
         let stall_hist = self.telemetry.registry().histogram("ingest.stall.ns");
+        let backoff_hist = self.telemetry.registry().histogram("ingest.backoff.ns");
         let queue_depth = self.telemetry.registry().gauge("ingest.queue.depth");
         let journal = self.telemetry.journal().clone();
         let mut stats = IngestStats { docs: docs.len() as u64, workers, ..IngestStats::default() };
@@ -284,6 +297,7 @@ impl IngestPipeline {
             let stalls = &stalls;
             let stall_ns_total = &stall_ns_total;
             let feeder_hist = stall_hist.clone();
+            let feeder_backoff = backoff_hist.clone();
             let feeder_gauge = queue_depth.clone();
             let feeder_journal = journal.clone();
             handles.push(scope.spawn(move || {
@@ -296,9 +310,35 @@ impl IngestPipeline {
                                 stalls.fetch_add(1, Ordering::Relaxed);
                                 // Timing only starts on the (already slow)
                                 // blocked path — no clock reads while the
-                                // queue keeps up.
+                                // queue keeps up. Retry with jittered
+                                // exponential naps (xorshift seeded from
+                                // the batch sequence: deterministic per
+                                // slot, different across batches) so
+                                // stalled feeders neither spin nor wake in
+                                // lockstep; each nap is visible in the
+                                // `ingest.backoff.ns` histogram.
                                 let blocked = Instant::now();
-                                if work_tx.send(item).is_err() {
+                                let mut item = item;
+                                let mut rng = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                                let mut attempt = 0u32;
+                                let sent = loop {
+                                    let base = BACKOFF_MIN_NS << attempt.min(BACKOFF_MAX_SHIFT);
+                                    rng ^= rng << 13;
+                                    rng ^= rng >> 7;
+                                    rng ^= rng << 17;
+                                    // Nap in [½·base, 1½·base).
+                                    let nap = base / 2 + rng % base;
+                                    let napped = Instant::now();
+                                    std::thread::sleep(Duration::from_nanos(nap));
+                                    feeder_backoff.record(duration_ns(napped));
+                                    attempt += 1;
+                                    match work_tx.try_send(item) {
+                                        Ok(()) => break true,
+                                        Err(TrySendError::Full(back)) => item = back,
+                                        Err(TrySendError::Disconnected(_)) => break false,
+                                    }
+                                };
+                                if !sent {
                                     break;
                                 }
                                 let ns = duration_ns(blocked);
@@ -492,6 +532,9 @@ mod tests {
         assert_eq!(sink.ops.len(), 501);
         let hist = telemetry.registry().histogram("ingest.stall.ns");
         assert_eq!(hist.count(), stats.queue_full_stalls);
+        // Every stall episode naps at least once before its first retry.
+        let backoff = telemetry.registry().histogram("ingest.backoff.ns");
+        assert!(backoff.count() >= stats.queue_full_stalls);
         if stats.queue_full_stalls == 0 {
             assert_eq!(stats.stall_micros, 0);
         }

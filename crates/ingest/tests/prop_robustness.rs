@@ -1,0 +1,292 @@
+//! Property-based tests for the event-time robustness layer: the
+//! [`ReorderBuffer`] against a naive flat-vector reference model, and the
+//! [`SourceGuard`] against a naive map-and-counter reference — both fed
+//! arbitrary (adversarial) arrival streams.
+
+use enblogue_ingest::guard::{GuardVerdict, SourceGuard};
+use enblogue_ingest::reorder::{PushOutcome, ReorderBuffer};
+use enblogue_types::{Document, SourceId, Tick, TickSpec, Timestamp};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn doc(id: u64, tick: u64) -> Document {
+    Document::builder(id, Timestamp::from_hours(tick)).build()
+}
+
+/// The naive reference for the reorder buffer: no BTreeMap, no
+/// incremental draining — just a flat vector of held documents, the
+/// watermark arithmetic spelled out per arrival, and a stable sort by
+/// tick whenever the seal advances. Obviously correct, obviously slow.
+struct NaiveReorder {
+    lateness: u64,
+    cap: usize,
+    held: Vec<(u64, u64)>, // (tick, id) in arrival order
+    max_tick: Option<u64>,
+    sealed: Option<u64>,
+    out: Vec<u64>,
+    late: u64,
+    overflow: u64,
+}
+
+impl NaiveReorder {
+    fn new(lateness: u64, cap: usize) -> Self {
+        NaiveReorder {
+            lateness,
+            cap,
+            held: Vec::new(),
+            max_tick: None,
+            sealed: None,
+            out: Vec::new(),
+            late: 0,
+            overflow: 0,
+        }
+    }
+
+    fn push(&mut self, id: u64, tick: u64) {
+        if self.sealed.is_some_and(|sealed| tick <= sealed) {
+            self.late += 1;
+            return;
+        }
+        if self.held.len() >= self.cap {
+            self.overflow += 1;
+            return;
+        }
+        if self.max_tick.is_none_or(|max| tick > max) {
+            self.max_tick = Some(tick);
+        }
+        self.held.push((tick, id));
+        if let Some(seal) = self.max_tick.and_then(|max| max.checked_sub(self.lateness + 1)) {
+            self.seal_through(seal);
+        }
+    }
+
+    fn seal_through(&mut self, seal: u64) {
+        if self.sealed.is_some_and(|done| done >= seal) {
+            return;
+        }
+        let mut released: Vec<(u64, u64)> =
+            self.held.iter().copied().filter(|&(tick, _)| tick <= seal).collect();
+        self.held.retain(|&(tick, _)| tick > seal);
+        released.sort_by_key(|&(tick, _)| tick); // stable: arrival order within a tick
+        self.out.extend(released.into_iter().map(|(_, id)| id));
+        self.sealed = Some(seal);
+    }
+
+    fn flush(&mut self) {
+        if let Some(max) = self.max_tick {
+            self.seal_through(max);
+        }
+    }
+}
+
+/// The naive reference for the source guard: the clamp, the dedup map,
+/// and the bucket arithmetic written out once more, flat. Entries never
+/// expire — expiry is a memory optimization the verdicts must not see.
+struct NaiveGuard {
+    window: u64,
+    rate: f64,
+    burst: f64,
+    current: Option<u64>,
+    seen: HashMap<(u32, u64), u64>,
+    buckets: HashMap<u32, (f64, u64)>,
+}
+
+impl NaiveGuard {
+    fn admit(&mut self, source: u32, id: u64, tick: u64) -> GuardVerdict {
+        let tick = self.current.map_or(tick, |current| tick.max(current));
+        self.current = Some(tick);
+        if self.window > 0 {
+            if let Some(&seen) = self.seen.get(&(source, id)) {
+                if tick - seen < self.window {
+                    return GuardVerdict::Duplicate;
+                }
+            }
+        }
+        if self.rate > 0.0 {
+            let (tokens, last) = self.buckets.entry(source).or_insert((self.burst, tick));
+            *tokens = self.burst.min(*tokens + (tick - *last) as f64 * self.rate);
+            *last = tick;
+            if *tokens < 1.0 {
+                return GuardVerdict::RateCapped;
+            }
+            *tokens -= 1.0;
+        }
+        if self.window > 0 {
+            self.seen.insert((source, id), tick);
+        }
+        GuardVerdict::Admitted
+    }
+}
+
+proptest! {
+    /// Arbitrary arrival streams: the buffer's emissions, drops, and
+    /// counters match the naive reference exactly, and nothing is held
+    /// after a flush.
+    #[test]
+    fn reorder_buffer_matches_naive_reference(
+        ticks in proptest::collection::vec(0u64..24, 0..120),
+        lateness in 0u64..6,
+        cap in 1usize..40,
+    ) {
+        let mut buffer = ReorderBuffer::new(TickSpec::hourly(), lateness, cap);
+        let mut naive = NaiveReorder::new(lateness, cap);
+        let mut emitted = Vec::new();
+        for (id, &tick) in ticks.iter().enumerate() {
+            buffer.push(doc(id as u64, tick));
+            naive.push(id as u64, tick);
+            // Drop accounting agrees arrival by arrival.
+            prop_assert_eq!(buffer.late_dropped(), naive.late);
+            prop_assert_eq!(buffer.overflow_dropped(), naive.overflow);
+            buffer.drain_ready(&mut emitted);
+        }
+        buffer.flush(&mut emitted);
+        naive.flush();
+        let ids: Vec<u64> = emitted.iter().map(|d| d.id).collect();
+        prop_assert_eq!(ids, naive.out);
+        prop_assert_eq!(buffer.late_dropped(), naive.late);
+        prop_assert_eq!(buffer.overflow_dropped(), naive.overflow);
+        prop_assert_eq!(buffer.arrivals(), ticks.len() as u64);
+        prop_assert_eq!(buffer.buffered(), 0);
+    }
+
+    /// Streams whose out-of-orderness stays within the bound lose
+    /// nothing: the emission is exactly the stable sort of the input by
+    /// tick — the sorted-replay equivalence the engine's byte-parity
+    /// rests on.
+    #[test]
+    fn bounded_delay_loses_nothing_and_sorts(
+        deltas in proptest::collection::vec((0u64..3, 0u64..4), 1..100),
+        lateness in 3u64..8,
+    ) {
+        // Build a stream whose lateness never exceeds 3 ≤ bound.
+        let mut base = 0u64;
+        let mut ticks = Vec::new();
+        for &(advance, back) in &deltas {
+            base += advance;
+            ticks.push(base.saturating_sub(back.min(3)));
+        }
+        let mut buffer = ReorderBuffer::new(TickSpec::hourly(), lateness, usize::MAX);
+        let mut emitted = Vec::new();
+        for (id, &tick) in ticks.iter().enumerate() {
+            prop_assert_eq!(buffer.push(doc(id as u64, tick)), PushOutcome::Buffered);
+            buffer.drain_ready(&mut emitted);
+        }
+        buffer.flush(&mut emitted);
+        let mut expected: Vec<(u64, u64)> =
+            ticks.iter().enumerate().map(|(id, &t)| (t, id as u64)).collect();
+        expected.sort_by_key(|&(tick, _)| tick); // stable
+        let got: Vec<(u64, u64)> = emitted
+            .iter()
+            .map(|d| (TickSpec::hourly().tick_of(d.timestamp).0, d.id))
+            .collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(buffer.late_dropped(), 0);
+        prop_assert_eq!(buffer.overflow_dropped(), 0);
+    }
+
+    /// A snapshot taken at any split point restores a buffer that
+    /// continues bit-identically to the uninterrupted one.
+    #[test]
+    fn reorder_snapshot_resumes_anywhere(
+        ticks in proptest::collection::vec(0u64..16, 1..80),
+        lateness in 0u64..5,
+        cap in 4usize..32,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((ticks.len() as f64) * split_frac) as usize;
+        let mut full = ReorderBuffer::new(TickSpec::hourly(), lateness, cap);
+        let mut full_out = Vec::new();
+        let mut head = ReorderBuffer::new(TickSpec::hourly(), lateness, cap);
+        let mut head_out = Vec::new();
+        for (id, &tick) in ticks[..split].iter().enumerate() {
+            full.push(doc(id as u64, tick));
+            full.drain_ready(&mut full_out);
+            head.push(doc(id as u64, tick));
+            head.drain_ready(&mut head_out);
+        }
+        let mut resumed = ReorderBuffer::from_snapshot(
+            TickSpec::hourly(), lateness, cap, head.to_snapshot(),
+        );
+        for (off, &tick) in ticks[split..].iter().enumerate() {
+            let id = (split + off) as u64;
+            full.push(doc(id, tick));
+            full.drain_ready(&mut full_out);
+            resumed.push(doc(id, tick));
+            resumed.drain_ready(&mut head_out);
+        }
+        full.flush(&mut full_out);
+        resumed.flush(&mut head_out);
+        prop_assert_eq!(full_out, head_out);
+        prop_assert_eq!(full.to_snapshot(), resumed.to_snapshot());
+    }
+
+    /// Arbitrary (source, doc, tick) streams: the guard's verdicts match
+    /// the naive reference document by document — dedup before metering,
+    /// late ticks clamped, per-source buckets independent.
+    #[test]
+    fn source_guard_matches_naive_reference(
+        stream in proptest::collection::vec((0u32..4, 0u64..12, 0u64..3), 0..150),
+        window in 0u64..5,
+        rate_x2 in 0u32..7,
+        extra_burst in 0u32..4,
+    ) {
+        let rate = f64::from(rate_x2) / 2.0;
+        let burst = if rate > 0.0 { rate + f64::from(extra_burst) } else { 0.0 };
+        let mut guard = SourceGuard::new(window, rate, burst);
+        let mut naive = NaiveGuard {
+            window,
+            rate,
+            burst,
+            current: None,
+            seen: HashMap::new(),
+            buckets: HashMap::new(),
+        };
+        let mut tick = 0u64;
+        let mut counts = [0u64; 3];
+        for &(source, id, advance) in &stream {
+            tick += advance;
+            // Offer some documents "late" to exercise the clamp.
+            let offered = if id % 3 == 0 { tick.saturating_sub(2) } else { tick };
+            let verdict = guard.admit(SourceId(source), id, Tick(offered));
+            let expected = naive.admit(source, id, offered);
+            prop_assert_eq!(verdict, expected);
+            counts[match verdict {
+                GuardVerdict::Admitted => 0,
+                GuardVerdict::Duplicate => 1,
+                GuardVerdict::RateCapped => 2,
+            }] += 1;
+        }
+        prop_assert_eq!(guard.admitted(), counts[0]);
+        prop_assert_eq!(guard.deduped(), counts[1]);
+        prop_assert_eq!(guard.rate_capped(), counts[2]);
+    }
+
+    /// A guard snapshot taken at any split point restores a guard whose
+    /// verdicts continue identically.
+    #[test]
+    fn guard_snapshot_resumes_anywhere(
+        stream in proptest::collection::vec((0u32..3, 0u64..10, 0u64..3), 1..100),
+        window in 0u64..5,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((stream.len() as f64) * split_frac) as usize;
+        let (rate, burst) = (1.5, 3.0);
+        let mut full = SourceGuard::new(window, rate, burst);
+        let mut head = SourceGuard::new(window, rate, burst);
+        let mut tick = 0u64;
+        let mut feed = Vec::new();
+        for &(source, id, advance) in &stream {
+            tick += advance;
+            feed.push((SourceId(source), id, Tick(tick)));
+        }
+        for &(s, d, t) in &feed[..split] {
+            full.admit(s, d, t);
+            head.admit(s, d, t);
+        }
+        let mut resumed = SourceGuard::from_snapshot(window, rate, burst, head.to_snapshot());
+        for &(s, d, t) in &feed[split..] {
+            prop_assert_eq!(full.admit(s, d, t), resumed.admit(s, d, t));
+        }
+        prop_assert_eq!(full.to_snapshot(), resumed.to_snapshot());
+    }
+}

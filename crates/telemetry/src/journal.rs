@@ -36,6 +36,16 @@ pub enum EventKind {
     IngestStall,
     /// The engine restored from a snapshot. `a` = restore micros.
     Restore,
+    /// Documents dropped at a tick close for arriving beyond the
+    /// event-time lateness bound (or the buffer cap). `a` = drops since
+    /// the previous close, `b` = total drops so far.
+    LateDrop,
+    /// Exact-duplicate documents rejected by the dedup window at a tick
+    /// close. `a` = rejections since the previous close, `b` = total.
+    DedupDrop,
+    /// Documents rejected by a source's token-bucket rate cap at a tick
+    /// close. `a` = rejections since the previous close, `b` = total.
+    RateCapDrop,
     /// The serving tier published a new epoch-versioned read view at a
     /// tick close. `a` = the published epoch, `b` = ranked pairs in the
     /// view.
@@ -53,6 +63,9 @@ impl EventKind {
             EventKind::CheckpointFailure => "checkpoint_failure",
             EventKind::IngestStall => "ingest_stall",
             EventKind::Restore => "restore",
+            EventKind::LateDrop => "late_drop",
+            EventKind::DedupDrop => "dedup_drop",
+            EventKind::RateCapDrop => "rate_cap_drop",
             EventKind::ViewPublish => "view_publish",
         }
     }

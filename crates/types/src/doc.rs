@@ -3,6 +3,37 @@
 use crate::tag::{DocId, TagId};
 use crate::time::Timestamp;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of the feed/account/host a document arrived from.
+///
+/// Sources are the unit of *trust* in the ingestion guards: the dedup
+/// window keys on `(source, doc)` and the flood caps meter tokens per
+/// source, so one hijacked feed cannot drown the shift-scoring signal of
+/// everyone else. `SourceId::ANONYMOUS` (`0`) is the default for
+/// workloads that never attribute documents — guards still work, they
+/// just see one aggregate source.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The default source for unattributed documents.
+    pub const ANONYMOUS: SourceId = SourceId(0);
+
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src:{}", self.0)
+    }
+}
 
 /// A document in a Web 2.0 stream.
 ///
@@ -21,8 +52,13 @@ use serde::{Deserialize, Serialize};
 pub struct Document {
     /// Unique document identifier within the stream.
     pub id: DocId,
-    /// Arrival/publication time in stream time.
+    /// Publication time in *event* time. The tick a document belongs to
+    /// is derived from this, never from its arrival position — the two
+    /// may disagree on late streams (see `docs/EVENT_TIME.md`).
     pub timestamp: Timestamp,
+    /// Feed/account the document arrived from (guards key on it);
+    /// [`SourceId::ANONYMOUS`] for unattributed workloads.
+    pub source: SourceId,
     /// Set of annotation tags (categories, descriptors, hashtags), sorted.
     pub tags: Vec<TagId>,
     /// Set of named entities (filled by the entity tagger), sorted.
@@ -40,6 +76,7 @@ impl Document {
             doc: Document {
                 id,
                 timestamp,
+                source: SourceId::ANONYMOUS,
                 tags: Vec::new(),
                 entities: Vec::new(),
                 terms: Vec::new(),
@@ -184,6 +221,14 @@ impl DocumentBuilder {
         self
     }
 
+    /// Attributes the document to a source (defaults to
+    /// [`SourceId::ANONYMOUS`]).
+    #[must_use]
+    pub fn source(mut self, source: SourceId) -> Self {
+        self.doc.source = source;
+        self
+    }
+
     /// Finishes the document, normalising its annotation sets.
     pub fn build(mut self) -> Document {
         self.doc.normalize();
@@ -256,6 +301,15 @@ mod tests {
     fn terms_keep_duplicates_and_order() {
         let doc = Document::builder(1, Timestamp::ZERO).terms([t(5), t(2), t(5)]).build();
         assert_eq!(doc.terms, vec![t(5), t(2), t(5)]);
+    }
+
+    #[test]
+    fn source_defaults_to_anonymous() {
+        let doc = Document::builder(1, Timestamp::ZERO).build();
+        assert_eq!(doc.source, SourceId::ANONYMOUS);
+        let attributed = Document::builder(2, Timestamp::ZERO).source(SourceId(7)).build();
+        assert_eq!(attributed.source, SourceId(7));
+        assert_eq!(format!("{}", attributed.source), "src:7");
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod routing;
 pub mod tag;
 pub mod time;
 
-pub use doc::{Document, DocumentBuilder};
+pub use doc::{Document, DocumentBuilder, SourceId};
 pub use error::EnBlogueError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pair::{shard_of_packed, TagPair};

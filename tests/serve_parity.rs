@@ -125,19 +125,30 @@ fn full_detail_views_match_engine_accessors_across_the_grid() {
             assert_eq!(view.detail(), PublishDetail::Full);
 
             // The five re-homed accessors, engine vs published view.
-            assert_eq!(view.ranking().as_ref(), engine.latest_snapshot(), "{name}: ranking");
-            assert_eq!(view.seeds(), engine.current_seeds(), "{name}: seeds");
+            assert_eq!(
+                view.ranking().as_ref(),
+                engine.pipeline().latest_snapshot(),
+                "{name}: ranking"
+            );
+            assert_eq!(view.seeds(), engine.pipeline().current_seeds(), "{name}: seeds");
             let seeds = view.seeds();
             for &seed in seeds.iter().take(5) {
-                assert!(engine.is_seed(seed) && view.is_seed(seed), "{name}: seed membership");
+                assert!(
+                    engine.pipeline().is_seed(seed) && view.is_seed(seed),
+                    "{name}: seed membership"
+                );
             }
-            let Some(snapshot) = engine.latest_snapshot() else { return };
+            let Some(snapshot) = engine.pipeline().latest_snapshot() else { return };
             assert_eq!(view.tick(), Some(snapshot.tick), "{name}: tick");
             for pair in probe_pairs(snapshot) {
-                assert_eq!(view.pair_info(pair), engine.pair_info(pair), "{name}: pair_info");
+                assert_eq!(
+                    view.pair_info(pair),
+                    engine.pipeline().pair_info(pair),
+                    "{name}: pair_info"
+                );
                 assert_eq!(
                     view.pair_history(pair),
-                    engine.pair_history(pair),
+                    engine.pipeline().pair_history(pair),
                     "{name}: pair_history"
                 );
             }
@@ -159,7 +170,11 @@ fn full_detail_views_match_engine_accessors_across_the_grid() {
 
             // The engine's own in-place QueryView agrees with both.
             let live = engine.query_view(archive.interner.clone());
-            assert_eq!(live.ranking().as_ref(), engine.latest_snapshot(), "{name}: live view");
+            assert_eq!(
+                live.ranking().as_ref(),
+                engine.pipeline().latest_snapshot(),
+                "{name}: live view"
+            );
             assert_eq!(live.seeds(), view.seeds());
             assert_eq!(live.top_k(5), view.top_k(5));
             for &(pair, _) in snapshot.ranked.iter().take(3) {
@@ -185,15 +200,15 @@ fn ranked_detail_covers_the_ranking_and_answers_identically() {
     replay_with(&mut engine, &archive.docs, |engine, _tick| {
         let view = handle.view().expect("published after first close");
         assert_eq!(view.detail(), PublishDetail::Ranked);
-        assert_eq!(view.ranking().as_ref(), engine.latest_snapshot());
-        assert_eq!(view.seeds(), engine.current_seeds());
-        let Some(snapshot) = engine.latest_snapshot() else { return };
+        assert_eq!(view.ranking().as_ref(), engine.pipeline().latest_snapshot());
+        assert_eq!(view.seeds(), engine.pipeline().current_seeds());
+        let Some(snapshot) = engine.pipeline().latest_snapshot() else { return };
         // Stat columns cover exactly the ranked pairs — and answer
         // byte-identically to the engine for every one of them.
         assert_eq!(view.covered_pairs(), snapshot.ranked.len());
         for &(pair, _) in &snapshot.ranked {
-            assert_eq!(view.pair_info(pair), engine.pair_info(pair));
-            assert_eq!(view.pair_history(pair), engine.pair_history(pair));
+            assert_eq!(view.pair_info(pair), engine.pipeline().pair_info(pair));
+            assert_eq!(view.pair_history(pair), engine.pipeline().pair_history(pair));
         }
     });
 }
@@ -281,7 +296,7 @@ fn subscriptions_share_the_publish_pass_and_deliver_on_change_only() {
         .collect();
 
     replay_with(&mut engine, &archive.docs, |engine, _tick| {
-        let snapshot = match engine.latest_snapshot() {
+        let snapshot = match engine.pipeline().latest_snapshot() {
             Some(s) => s.clone(),
             None => return,
         };

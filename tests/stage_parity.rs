@@ -465,3 +465,73 @@ fn batched_ingestion_matches_streamed_ingestion() {
     let streamed = engine_snapshots(cfg, &archive.docs);
     assert_eq!(batched, streamed);
 }
+
+/// The same NYT knobs with the event-time robustness layer switched on.
+fn hardened_config(event: bool, guard: bool) -> EnBlogueConfig {
+    let mut builder = EnBlogueConfig::builder()
+        .tick_spec(TickSpec::daily())
+        .window_ticks(7)
+        .seed_count(25)
+        .min_seed_count(3)
+        .top_k(10)
+        .shards(4)
+        .parallel_close(false);
+    if event {
+        builder = builder.bounded_lateness(3);
+    }
+    if guard {
+        // The archive is a single (anonymous) source, so the cap must sit
+        // far above one source's full volume to be a pure pass-through.
+        builder = builder.source_guard(SourceGuardConfig {
+            enabled: true,
+            dedup_window_ticks: 3,
+            rate_limit_per_tick: 1e9,
+            rate_burst: 0.0,
+        });
+    }
+    builder.build().unwrap()
+}
+
+#[test]
+fn event_time_layer_is_invisible_on_clean_input() {
+    // The robustness layer's parity contract: on a sorted, duplicate-free,
+    // within-cap stream, enabling the reorder buffer, the source guard, or
+    // both changes nothing — rankings stay byte-identical, and no drop
+    // counter moves.
+    let archive = archive();
+    let baseline = engine_snapshots(config(4, false), &archive.docs);
+    for (event, guard) in [(true, false), (false, true), (true, true)] {
+        let mut engine = EnBlogueEngine::new(hardened_config(event, guard));
+        let snapshots = engine.run_replay(&archive.docs);
+        assert_eq!(snapshots, baseline, "event={event} guard={guard} must be invisible");
+        let m = engine.metrics();
+        assert_eq!(m.docs_late_dropped, 0, "event={event} guard={guard}");
+        assert_eq!(m.docs_buffer_overflow, 0, "event={event} guard={guard}");
+        assert_eq!(m.docs_deduped, 0, "event={event} guard={guard}");
+        assert_eq!(m.docs_rate_capped, 0, "event={event} guard={guard}");
+        assert_eq!(m.docs_processed, archive.docs.len() as u64, "every document admitted");
+    }
+}
+
+#[test]
+fn event_time_batched_ingest_matches_serial_offering() {
+    // With the full hardened stack on, the batched feeder (resequence +
+    // shard-parallel `IngestPipeline`) and the per-arrival serial path
+    // must still agree byte-for-byte — drops included.
+    let archive = archive();
+    let cfg = hardened_config(true, true);
+
+    let mut serial = EnBlogueEngine::new(cfg.clone());
+    let mut from_serial = Vec::new();
+    for doc in &archive.docs {
+        serial.offer_doc(doc, |s| from_serial.push(s));
+    }
+    serial.finish_stream(|s| from_serial.push(s));
+
+    let mut batched = EnBlogueEngine::new(cfg);
+    let ingest = IngestConfig { batch_size: 128, queue_depth: 4, workers: 2 };
+    let (from_batched, _) = batched.run_replay_ingest(&archive.docs, &ingest);
+
+    assert_eq!(from_batched, from_serial);
+    assert_eq!(batched.metrics(), serial.metrics());
+}
